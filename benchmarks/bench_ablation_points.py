@@ -1,0 +1,96 @@
+"""Ablation A1: the detection-rule variants the paper discusses.
+
+* X0 search: the paper's global negative minimum right of C versus the
+  original Carvalho RT-window (the paper argues T-wave ends are
+  unreliable and switched — with a healthy T wave both should agree).
+* B branch: how often the (+,-,+,-) second-derivative pattern fires,
+  and the accuracy of each branch against ground truth.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.ecg import detect_r_peaks, preprocess_ecg
+from repro.errors import DetectionError
+from repro.experiments import format_table
+from repro.icg.points import PointConfig, detect_all_points, detect_beat_points
+from repro.icg.preprocessing import icg_from_impedance
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+
+def _errors_ms(detected_times, truth_times):
+    return np.array([
+        (d - truth_times[np.argmin(np.abs(truth_times - d))]) * 1000.0
+        for d in detected_times])
+
+
+def test_point_detection_ablation(benchmark, results_dir):
+    subject = default_cohort()[1]
+    recording = synthesize_recording(
+        subject, "thoracic", 1,
+        SynthesisConfig(duration_s=30.0, include_motion=False,
+                        include_powerline=False))
+    fs = recording.fs
+    icg = icg_from_impedance(recording.channel("z"), fs)
+    r_peaks = detect_r_peaks(
+        preprocess_ecg(recording.channel("ecg"), fs), fs)
+
+    def run_paper_variant():
+        return detect_all_points(icg, fs, r_peaks, PointConfig())
+
+    points, failures = benchmark(run_paper_variant)
+
+    # Carvalho RT-window variant needs per-beat RT intervals from the
+    # (synthetic ground truth) T peaks.
+    t_peaks = recording.annotation("t_peak_times_s")
+    x0_paper, x0_carvalho = [], []
+    for p in points:
+        r_time = p.r_index / fs
+        t_candidates = t_peaks[t_peaks > r_time]
+        if t_candidates.size == 0:
+            continue
+        rt = float(t_candidates[0] - r_time)
+        try:
+            alternative = detect_beat_points(
+                icg, fs, p.r_index,
+                p.r_index + int((p.x0_index - p.r_index) * 1.8),
+                PointConfig(x_strategy="rt_window"), rt_interval_s=rt)
+        except DetectionError:
+            continue
+        x0_paper.append(p.x0_index / fs)
+        x0_carvalho.append(alternative.x0_index / fs)
+
+    truth_b = recording.annotation("b_times_s")
+    truth_x = recording.annotation("x_times_s")
+    b_pattern = _errors_ms([p.b_index / fs for p in points
+                            if p.pattern_found], truth_b)
+    b_zerocross = _errors_ms([p.b_index / fs for p in points
+                              if not p.pattern_found], truth_b)
+    x0_err = _errors_ms([p.x0_index / fs for p in points], truth_x)
+    agreement = np.abs(np.array(x0_paper) - np.array(x0_carvalho)) * 1000
+
+    def stats(err):
+        return (f"{err.mean():+6.1f} +- {err.std():5.1f}"
+                if err.size else "   n/a")
+
+    rows = [
+        ["B via d2 pattern branch", str(b_pattern.size),
+         stats(b_pattern)],
+        ["B via d1 zero-cross branch", str(b_zerocross.size),
+         stats(b_zerocross)],
+        ["X0 paper (global min right of C)", str(x0_err.size),
+         stats(x0_err)],
+        ["X0 Carvalho vs paper (|delta|)", str(agreement.size),
+         f"{agreement.mean():6.1f} +- {agreement.std():5.1f}"],
+    ]
+    table = format_table(["Rule variant", "n beats", "error (ms)"], rows,
+                         title="Ablation A1: detection-rule variants")
+    save_artifact(results_dir, "ablation_points", table)
+
+    assert len(failures) <= 2
+    # Both B branches land within the literature's dispersion.
+    if b_pattern.size:
+        assert abs(b_pattern.mean()) < 25.0
+    assert abs(b_zerocross.mean()) < 20.0
+    # With a healthy T wave the two X0 definitions mostly agree.
+    assert np.median(agreement) < 40.0

@@ -1,0 +1,40 @@
+"""Conclusion-level claims (C1): the paper's headline numbers.
+
+* "highly correlated with traditional systems (> 80 %)" and
+  "strong correlation (r = 85 %)",
+* "the obtained error is always below 20 %",
+* "long duration of operation of over four days on a single battery
+  charge".
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.device import battery_life_hours
+from repro.experiments import format_table
+
+
+def test_headline_claims(benchmark, study, results_dir):
+    def derive():
+        return (study.mean_correlation(), study.worst_case_error(),
+                battery_life_hours())
+
+    mean_r, worst_error, hours = benchmark(derive)
+
+    rows = [
+        ["overall correlation", f"{mean_r:.3f}", "~0.85 (> 0.80)"],
+        ["worst-case |error|", f"{worst_error * 100:.1f} %", "< 20 %"],
+        ["battery life", f"{hours:.0f} h ({hours / 24:.1f} d)",
+         "106 h (> 4 d)"],
+    ]
+    table = format_table(["Claim", "measured", "paper"], rows,
+                         title="Conclusion claims, paper vs reproduction")
+    save_artifact(results_dir, "claims_summary", table)
+
+    assert mean_r > 0.80
+    assert worst_error < 0.20
+    assert hours / 24.0 > 4.0
+    # The per-position means follow the paper's pattern (pos 3 weakest).
+    means = [np.mean(list(study.correlation_table(p).values()))
+             for p in (1, 2, 3)]
+    assert means[2] == min(means)

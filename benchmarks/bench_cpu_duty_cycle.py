@@ -1,0 +1,44 @@
+"""Section V claim: 40-50 % of the STM32's duty cycle (S5a).
+
+The firmware simulator counts every operation of the streaming chain
+(front-end decimation, morphological baseline, FIR, Pan-Tompkins, ICG
+conditioning, per-beat landmark search) and prices it on the
+Cortex-M3 model in three arithmetic regimes.  The unoptimised
+double-precision soft-float build — what plain C with ``double``
+literals compiles to on an FPU-less core — reproduces the paper's
+figure; the Q15 row quantifies the fixed-point rewrite headroom.
+"""
+
+from conftest import save_artifact
+
+from repro.device import FirmwareSimulator
+from repro.experiments import format_table
+
+
+def test_cpu_duty_cycle(benchmark, thoracic_recording, results_dir):
+    recording = thoracic_recording
+    simulator = FirmwareSimulator(recording.fs)
+    ecg = recording.channel("ecg")
+    z = recording.channel("z")
+
+    result = benchmark.pedantic(simulator.run, args=(ecg, z),
+                                rounds=1, iterations=1)
+
+    rows = [
+        ["Q15 fixed point", f"{result.cpu_duty_q15:.1%}"],
+        ["soft float (single)", f"{result.cpu_duty_softfloat:.1%}"],
+        ["soft float (double)", f"{result.cpu_duty_softdouble:.1%}"],
+        ["paper claim", "40-50 %"],
+    ]
+    table = format_table(["Arithmetic regime", "CPU duty @ 32 MHz"], rows,
+                         title="Section V: STM32L151 CPU duty cycle")
+    save_artifact(results_dir, "cpu_duty_cycle", table)
+
+    # The paper's regime lands inside its stated band.
+    assert 0.40 <= result.cpu_duty_paper <= 0.50
+    # Ordering and the fixed-point headroom.
+    assert (result.cpu_duty_q15 < result.cpu_duty_softfloat
+            < result.cpu_duty_softdouble)
+    assert result.cpu_duty_q15 < 0.10
+    # Functional output sanity while we are here.
+    assert len(result.beats) > 20

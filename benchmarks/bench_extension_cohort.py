@@ -1,0 +1,57 @@
+"""Extension bench: the paper's future-work larger-cohort study.
+
+"As for the future work, we are planning to expand our study on a
+larger number of subjects."  This bench runs the full protocol on a
+10-subject randomly drawn cohort and reports the correlation and
+position-error distributions — checking that the paper's claims are
+not artefacts of the original five subjects.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.experiments import ProtocolConfig, format_table, run_study
+from repro.synth import random_cohort
+
+
+def test_larger_cohort_study(benchmark, results_dir):
+    cohort = random_cohort(10, np.random.default_rng(77))
+    config = ProtocolConfig(duration_s=20.0)
+
+    study = benchmark.pedantic(run_study,
+                               kwargs={"cohort": cohort, "config": config},
+                               rounds=1, iterations=1)
+
+    correlations = np.array([
+        study.correlation(subject.subject_id, position)
+        for subject in cohort for position in (1, 2, 3)
+    ])
+    worst = study.worst_case_error()
+    errors = study.relative_errors()
+
+    def mean_error(name):
+        return np.mean([v for by_freq in errors[name].values()
+                        for v in by_freq.values()])
+
+    rows = [
+        ["subjects x positions", f"{correlations.size}", ""],
+        ["correlation mean", f"{correlations.mean():.3f}", "> 0.80"],
+        ["correlation min / max",
+         f"{correlations.min():.3f} / {correlations.max():.3f}", ""],
+        ["fraction r > 0.8",
+         f"{np.mean(correlations > 0.8):.0%}", ""],
+        ["mean e21 / e23 / e31",
+         (f"{mean_error('e21') * 100:+.1f}% / "
+          f"{mean_error('e23') * 100:+.1f}% / "
+          f"{mean_error('e31') * 100:+.1f}%"), "ordered, > 0"],
+        ["worst-case |error|", f"{worst * 100:.1f} %", "< 20 %"],
+    ]
+    table = format_table(["Statistic", "value", "claim"], rows,
+                         title="Future-work study: 10 random subjects, "
+                               "full protocol")
+    save_artifact(results_dir, "extension_cohort", table)
+
+    # The paper's headline claims hold beyond the original five.
+    assert correlations.mean() > 0.80
+    assert worst < 0.20
+    assert mean_error("e21") > mean_error("e23") > mean_error("e31") > 0

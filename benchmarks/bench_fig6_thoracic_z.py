@@ -1,0 +1,26 @@
+"""Fig 6: thoracic bioimpedance vs injection frequency (F6).
+
+Paper: the traditional-setup Z0 increases until f = 10 kHz and then
+decreases.  Shape targets: peak at 10 kHz, monotone decline beyond.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.experiments import render_mean_z_series
+
+
+def test_fig6_thoracic_bioimpedance(benchmark, study, results_dir):
+    series = benchmark(study.thoracic_mean_z)
+
+    save_artifact(results_dir, "fig6_thoracic_z",
+                  render_mean_z_series(series,
+                                       "Fig 6: Thoracic bioimpedance "
+                                       "(mean Z0, ohm)"))
+
+    means = {freq: float(np.mean(values))
+             for freq, values in series.items()}
+    assert means[10_000.0] > means[2_000.0]          # rising to 10 kHz
+    assert means[10_000.0] > means[50_000.0] > means[100_000.0]  # falling
+    # Thoracic impedance magnitude is in the tens of ohms.
+    assert 5.0 < means[50_000.0] < 60.0

@@ -1,0 +1,40 @@
+"""Figs 7a-c: device bioimpedance per position pair (F7).
+
+Paper: the device's mean Z0 shows the same rise-to-10-kHz-then-fall
+shape in every arm position; the figure plots positions pairwise
+(1 & 2, 1 & 3, 2 & 3).  Shape targets: the peak at 10 kHz per position
+and the position ordering Z(2) > Z(3) > Z(1).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.experiments import render_mean_z_series
+
+PAIRS = {"fig7a": (1, 2), "fig7b": (1, 3), "fig7c": (2, 3)}
+
+
+def test_fig7_device_bioimpedance(benchmark, study, results_dir):
+    def derive():
+        return {pos: study.device_mean_z(pos) for pos in (1, 2, 3)}
+
+    by_position = benchmark(derive)
+
+    blocks = []
+    for name, (first, second) in PAIRS.items():
+        for position in (first, second):
+            blocks.append(render_mean_z_series(
+                by_position[position],
+                f"Fig {name[3:]}: device mean Z0 (ohm), "
+                f"Position {position}"))
+    save_artifact(results_dir, "fig7_device_z", "\n\n".join(blocks))
+
+    for position, series in by_position.items():
+        means = {freq: float(np.mean(values))
+                 for freq, values in series.items()}
+        assert means[10_000.0] > means[2_000.0], position
+        assert means[10_000.0] > means[50_000.0] > means[100_000.0], \
+            position
+    overall = {pos: np.mean([np.mean(v) for v in series.values()])
+               for pos, series in by_position.items()}
+    assert overall[2] > overall[3] > overall[1]

@@ -1,0 +1,42 @@
+"""Figs 9a-b: LVET, PEP and HR per subject, Positions 1 and 2 (F9).
+
+Paper: characteristic ICG parameters plus heart rate for each of the
+five subjects, measured by the touch device in the two worst-case
+positions at 50 kHz.  Shape targets: physiological ranges and per-
+subject agreement with the synthetic ground truth.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments import render_hemodynamics
+
+
+def test_fig9_hemodynamic_parameters(benchmark, study, cohort,
+                                     results_dir):
+    def derive():
+        return {pos: study.hemodynamics(pos) for pos in (1, 2)}
+
+    tables = benchmark(derive)
+
+    blocks = [render_hemodynamics(tables[pos], pos) for pos in (1, 2)]
+    truth_rows = "\n".join(
+        f"  Subject {s.subject_id}: LVET {s.lvet_s * 1000:.0f} ms, "
+        f"PEP {s.pep_s * 1000:.0f} ms, HR {s.hr_bpm:.0f} bpm"
+        for s in cohort)
+    save_artifact(results_dir, "fig9_hemodynamics",
+                  "\n\n".join(blocks)
+                  + "\n\nSynthetic ground truth:\n" + truth_rows)
+
+    truth = {s.subject_id: s for s in cohort}
+    for position, table in tables.items():
+        for sid, entry in table.items():
+            subject = truth[sid]
+            # HR is calibration-free and tight.
+            assert abs(entry["hr_bpm"] - subject.hr_bpm) < 3.0, \
+                (position, sid)
+            # Intervals carry detector-definitional offsets plus
+            # device-grade noise; bounded, physiological.
+            assert 0.04 < entry["pep_s"] < 0.20, (position, sid)
+            assert 0.15 < entry["lvet_s"] < 0.45, (position, sid)
+            assert abs(entry["pep_s"] - subject.pep_s) < 0.05
+            assert abs(entry["lvet_s"] - subject.lvet_s) < 0.10

@@ -1,0 +1,32 @@
+"""Table I + the battery-life arithmetic (experiment T1/S5b).
+
+Paper: Table I lists per-component currents; Sections V-VI derive
+106 h on a 710 mAh battery at 50 % MCU / 1 % radio duty.
+"""
+
+from conftest import save_artifact
+
+from repro.device import (
+    TABLE_I,
+    PowerBudget,
+    battery_life_hours,
+    paper_operating_point,
+)
+from repro.experiments import format_table
+
+
+def test_table1_and_battery_life(benchmark, results_dir):
+    hours = benchmark(battery_life_hours)
+
+    rows = [[c.name, f"{c.active_ma:.3f}", f"{c.standby_ma:.3f}"]
+            for c in TABLE_I.values()]
+    table = format_table(["Component", "active (mA)", "standby (mA)"],
+                         rows, title="TABLE I: Current consumption")
+    current = PowerBudget().average_current_ma(paper_operating_point())
+    summary = (f"{table}\n\nAverage current at paper operating point: "
+               f"{current:.3f} mA\nBattery life (710 mAh): {hours:.1f} h "
+               f"(paper: 106 h)")
+    save_artifact(results_dir, "table1_power", summary)
+
+    assert abs(hours - 106.0) < 1.5
+    assert hours / 24.0 > 4.0      # "over four days"

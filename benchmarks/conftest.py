@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+The full protocol simulation (5 subjects x 3 positions x 4 frequencies
+x 30 s, plus thoracic references) runs once per session; every
+table/figure bench derives its artefact from that shared result and
+records the rendered text under ``benchmarks/results/`` so the
+paper-vs-measured comparison survives the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ProtocolConfig, run_study
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+#: Paper values of Tables II-IV (correlation per subject/position),
+#: used for side-by-side rendering in the correlation bench.
+PAPER_CORRELATIONS = {
+    1: {1: 0.9081, 2: 0.9471, 3: 0.9827, 4: 0.8451, 5: 0.9251},
+    2: {1: 0.9747, 2: 0.9497, 3: 0.9938, 4: 0.9033, 5: 0.8461},
+    3: {1: 0.9737, 2: 0.9377, 3: 0.9908, 4: 0.8531, 5: 0.6919},
+}
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The complete simulated protocol (paper-sized)."""
+    return run_study(config=ProtocolConfig())
+
+
+@pytest.fixture(scope="session")
+def cohort():
+    """The five-subject cohort."""
+    return default_cohort()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the rendered artefacts."""
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def thoracic_recording(cohort):
+    """A reference recording reused by the algorithm benches."""
+    return synthesize_recording(cohort[1], "thoracic", 1,
+                                SynthesisConfig(duration_s=30.0))
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it (visible with -s)."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,69 @@
+"""Battery-life planning: Table I, the 106-hour figure, and the PMU.
+
+Reproduces the paper's power bookkeeping (Section V / VI) and goes one
+step further: what the adaptive power-management policies buy over the
+fixed continuous-monitoring worst case.
+
+Run:  python examples/battery_planning.py
+"""
+
+import numpy as np
+
+from repro.device import (
+    TABLE_I,
+    PowerBudget,
+    PowerManagementUnit,
+    battery_life_hours,
+    paper_operating_point,
+)
+
+
+def main() -> None:
+    print("Component current consumption (Table I):")
+    print(f"{'Component':32s} {'active (mA)':>12s} {'standby (mA)':>13s}")
+    for component in TABLE_I.values():
+        print(f"{component.name:32s} {component.active_ma:12.3f} "
+              f"{component.standby_ma:13.3f}")
+
+    duties = paper_operating_point()
+    budget = PowerBudget()
+    current = budget.average_current_ma(duties)
+    print(f"\nPaper operating point: MCU {duties['mcu']:.0%} duty, "
+          f"radio {duties['radio']:.0%}, signal chain always on, IMU off")
+    print(f"Average current: {current:.2f} mA")
+    print(f"Battery life on 710 mAh: {battery_life_hours():.1f} h "
+          f"(paper: 106 h, i.e. > 4 days)")
+
+    print("\nBattery life vs MCU duty cycle (the algorithm budget):")
+    mcu_duties = [0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0]
+    lives = budget.sweep_mcu_duty(710.0, duties, mcu_duties)
+    for duty, hours in zip(mcu_duties, lives):
+        print(f"  MCU {duty:4.0%}: {hours:6.1f} h "
+              f"({hours / 24:.1f} days)")
+
+    print("\nWhat if the IMU stayed powered for continuous posture "
+          "tracking?")
+    with_imu = dict(duties)
+    with_imu["imu"] = 1.0
+    print(f"  battery life drops to "
+          f"{budget.battery_life_hours(710.0, with_imu):.1f} h — why the "
+          f"design only spot-checks posture.")
+
+    print("\nAdaptive PMU policy (continuous -> periodic -> low power):")
+    pmu = PowerManagementUnit()
+    fixed = pmu.simulate_discharge(adaptive=False)
+    adaptive = pmu.simulate_discharge(adaptive=True)
+    print(f"  fixed continuous: {fixed.lifetime_hours:8.1f} h")
+    print(f"  adaptive policy:  {adaptive.lifetime_hours:8.1f} h "
+          f"({adaptive.lifetime_hours / fixed.lifetime_hours:.1f}x)")
+    switches = [i for i in range(1, len(adaptive.mode_names))
+                if adaptive.mode_names[i] != adaptive.mode_names[i - 1]]
+    for switch in switches:
+        t = adaptive.timeline_hours[switch]
+        print(f"  switched to {adaptive.mode_names[switch]:10s} at "
+              f"{t:7.1f} h "
+              f"({adaptive.remaining_fraction[switch]:.0%} charge left)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Body composition from the device's multi-frequency sweep.
+
+The paper's Section IV-B explains why multi-frequency measurement
+matters: below ~50 kHz the injected current stays extracellular, above
+it crosses cell membranes.  That physics is exactly what classic
+bioimpedance analysis (BIA) exploits — so the touch device's 2-100 kHz
+sweep yields body composition for free.  This example measures one
+subject at 2 kHz and 100 kHz, divides out the instrument response, and
+estimates total body water, the ECW/ICW split, fat-free and fat mass.
+
+Run:  python examples/body_composition.py
+"""
+
+import numpy as np
+
+from repro.bioimpedance import BodyComposition, InstrumentResponse
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+
+def measured_tissue_resistance(subject, frequency_hz: float) -> float:
+    """One device measurement -> gain-corrected tissue resistance."""
+    config = SynthesisConfig(duration_s=15.0,
+                             injection_frequency_hz=frequency_hz)
+    recording = synthesize_recording(subject, "device", 1, config)
+    gain = float(InstrumentResponse().gain(frequency_hz))
+    return float(np.mean(recording.channel("z"))) / gain
+
+
+def main() -> None:
+    for subject in default_cohort():
+        r_low = measured_tissue_resistance(subject, 2_000.0)
+        r_high = measured_tissue_resistance(subject, 100_000.0)
+        body = BodyComposition.from_multifrequency(
+            height_cm=subject.height_m * 100.0,
+            weight_kg=subject.weight_kg,
+            r_low_ohm=r_low, r_high_ohm=r_high, sex="M")
+        true_fat = subject.body_fat_fraction
+        print(f"Subject {subject.subject_id} "
+              f"({subject.height_m:.2f} m, {subject.weight_kg:.0f} kg, "
+              f"true fat {true_fat:.0%}):")
+        print(f"  R(2 kHz) = {r_low:6.1f} ohm, R(100 kHz) = "
+              f"{r_high:6.1f} ohm")
+        print(f"  TBW {body.tbw_l:5.1f} L   FFM {body.ffm_kg:5.1f} kg   "
+              f"fat {body.fat_kg:5.1f} kg ({body.fat_fraction:.0%})")
+        print(f"  ECW fraction {body.compartments.ecw_fraction:.0%} "
+              f"(fluid-status index for CHF follow-up)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Stroke volume and cardiac output from the ICG (Kubicek vs
+Sramek-Bernstein).
+
+The paper's systolic time intervals (LVET, PEP) feed the classic
+impedance-cardiography stroke-volume estimators it cites.  This example
+computes both on a thoracic recording, shows the beat-to-beat series,
+and demonstrates why the touch device needs *two* pathway calibration
+factors (Z0 and dZ/dt scale differently hand-to-hand) before its
+absolute SV means anything — the reason the paper reports intervals,
+not volumes.
+
+Run:  python examples/cardiac_output.py
+"""
+
+import numpy as np
+
+from repro import (
+    BeatToBeatPipeline,
+    PipelineConfig,
+    default_cohort,
+    synthesize_recording,
+)
+from repro.icg import thoracic_fluid_content
+
+
+def main() -> None:
+    subject = default_cohort()[0]
+    height_cm = subject.height_m * 100
+
+    thoracic = synthesize_recording(subject, "thoracic", 1)
+    config = PipelineConfig(height_cm=height_cm)
+    result = BeatToBeatPipeline(thoracic.fs, config).process_recording(
+        thoracic)
+
+    kubicek = np.array([b.sv_kubicek_ml for b in result.beat_hemodynamics])
+    sramek = np.array([b.sv_sramek_ml for b in result.beat_hemodynamics])
+    co_kubicek = np.array([b.co_kubicek_l_min
+                           for b in result.beat_hemodynamics])
+    print(f"Thoracic measurement, {kubicek.size} beats:")
+    print(f"  SV (Kubicek)          : {kubicek.mean():6.1f} +- "
+          f"{kubicek.std():.1f} ml")
+    print(f"  SV (Sramek-Bernstein) : {sramek.mean():6.1f} +- "
+          f"{sramek.std():.1f} ml")
+    print(f"  CO (Kubicek)          : {co_kubicek.mean():6.2f} L/min")
+    print(f"  TFC                   : "
+          f"{thoracic_fluid_content(result.z0_ohm):6.1f} /kOhm")
+
+    print("\nBeat-to-beat series (first 8 beats):")
+    print("beat   HR (bpm)   LVET (ms)   SV_k (ml)   SV_s (ml)")
+    for i, beat in enumerate(result.beat_hemodynamics[:8]):
+        print(f"{i + 1:4d}  {beat.hr_bpm:9.1f}  "
+              f"{beat.lvet_s * 1000:9.0f}  {beat.sv_kubicek_ml:9.1f}  "
+              f"{beat.sv_sramek_ml:9.1f}")
+
+    # --- the device needs pathway calibration --------------------------
+    device = synthesize_recording(subject, "device", 1)
+    naive = BeatToBeatPipeline(device.fs, config).process_recording(device)
+    naive_sv = np.median([b.sv_sramek_ml
+                          for b in naive.beat_hemodynamics])
+
+    calibrated_config = PipelineConfig(
+        height_cm=height_cm,
+        z0_calibration=(thoracic.meta["true_z0_ohm"]
+                        / device.meta["true_z0_ohm"]),
+        dzdt_calibration=1.0 / device.meta["cardiac_coupling"])
+    calibrated = BeatToBeatPipeline(
+        device.fs, calibrated_config).process_recording(device)
+    calibrated_sv = np.median([b.sv_sramek_ml
+                               for b in calibrated.beat_hemodynamics])
+
+    print("\nTouch-device stroke volume (Sramek-Bernstein, median):")
+    print(f"  uncalibrated : {naive_sv:8.1f} ml   "
+          f"(hand-to-hand Z0 ~17x, dZ/dt ~0.3x thoracic)")
+    print(f"  calibrated   : {calibrated_sv:8.1f} ml   "
+          f"(after separate Z0 and dZ/dt pathway factors)")
+    print("\nSystolic time intervals need no such calibration — that is")
+    print("why the paper reports LVET/PEP from the touch device, not SV:")
+    print(f"  device LVET {naive.mean_lvet_s * 1000:.0f} ms vs thoracic "
+          f"{result.mean_lvet_s * 1000:.0f} ms;  device PEP "
+          f"{naive.mean_pep_s * 1000:.0f} ms vs thoracic "
+          f"{result.mean_pep_s * 1000:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Inside the ICG front end: carrier injection and synchronous
+demodulation.
+
+Everything else in this library works on the demodulated impedance
+envelope; this example opens the box and simulates the actual 50 kHz
+carrier path for a short window — inject a safe current, develop a
+modulated voltage across a beating thoracic impedance, mix with the
+coherent reference, low-pass away the 2fc image — and verifies the
+recovered envelope against the ground truth.  It also shows the
+measured-Z0-vs-frequency curve that the AC-coupled front end produces
+(the Fig 6/7 peak at 10 kHz).
+
+Run:  python examples/carrier_demodulation.py
+"""
+
+import numpy as np
+
+from repro.bioimpedance import BodyGeometry, InstrumentResponse, ThoracicPathway
+from repro.device import CurrentInjector, IcgFrontEnd, max_safe_current_ua
+from repro.synth.icg_model import integrate_to_impedance, synthesize_icg
+
+
+def main() -> None:
+    # --- safety envelope -------------------------------------------------
+    print("IEC 60601-1 patient auxiliary current limits:")
+    for freq in (2_000.0, 10_000.0, 50_000.0, 100_000.0):
+        print(f"  {freq / 1000:5.0f} kHz: "
+              f"{max_safe_current_ua(freq):7.0f} uA rms")
+
+    injector = CurrentInjector.safe_for(50_000.0)
+    print(f"\nProgrammed source: {injector.frequency_hz / 1000:.0f} kHz, "
+          f"{injector.amplitude_ua:.0f} uA rms")
+
+    # --- one second of beating impedance at the carrier rate -----------
+    fs_carrier = 400_000.0
+    duration_s = 1.2
+    icg, landmarks = synthesize_icg(np.array([0.4]), 0.10, 0.30, 1.2,
+                                    duration_s, fs_carrier)
+    envelope = integrate_to_impedance(icg, fs_carrier, z0_ohm=25.0)
+
+    frontend = IcgFrontEnd(injector=injector)
+    voltage = frontend.modulated_voltage_mv(envelope, fs_carrier)
+    print(f"\nDeveloped voltage across the body: "
+          f"{np.sqrt(np.mean(voltage**2)):.1f} mV rms "
+          f"(modulated at {injector.frequency_hz / 1000:.0f} kHz)")
+
+    recovered = frontend.demodulate_carrier(voltage, fs_carrier)
+    inner = slice(int(0.15 * fs_carrier), int(1.05 * fs_carrier))
+    error = recovered[inner] - envelope[inner]
+    print(f"Demodulated envelope error: {np.abs(error).max() * 1000:.3f} "
+          f"mOhm max — the cardiac dZ of ~0.3 Ohm is resolved easily")
+
+    c_index = int(landmarks["c_times_s"][0] * fs_carrier)
+    window = slice(c_index - int(0.05 * fs_carrier),
+                   c_index + int(0.05 * fs_carrier))
+    drop = envelope[window].max() - envelope[window].min()
+    print(f"Systolic impedance excursion around C: {drop * 1000:.0f} mOhm")
+
+    # --- the measured Z0(f) shape ----------------------------------------
+    print("\nMeasured mean Z0 vs carrier frequency (thoracic pathway):")
+    pathway = ThoracicPathway(BodyGeometry(1.78, 75.0, 0.18))
+    instrument = InstrumentResponse()
+    for freq in (2_000.0, 10_000.0, 50_000.0, 100_000.0):
+        z0 = float(pathway.measured_z0(freq, instrument))
+        print(f"  {freq / 1000:5.0f} kHz: {z0:6.2f} ohm")
+    print("-> rises to 10 kHz, falls beyond: the AC-coupled front end "
+          "shapes the low side,\n   tissue dispersion the high side "
+          "(paper Figs 6-7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""The firmware, sample by sample: streaming detection and resource use.
+
+Runs the causal firmware simulator (the embedded counterpart of the
+offline pipeline) on a touch recording: streaming morphological
+baseline removal, causal FIR, streaming Pan-Tompkins, beat-triggered
+ICG analysis — then prices the whole chain on the STM32L151 cycle
+model and the BLE link budget, reproducing the Section V resource
+claims.
+
+Run:  python examples/streaming_firmware.py
+"""
+
+from repro import default_cohort, synthesize_recording
+from repro.core import BeatToBeatPipeline
+from repro.device import FirmwareSimulator
+
+
+def main() -> None:
+    subject = default_cohort()[1]
+    recording = synthesize_recording(subject, "device", 1)
+    print(f"Streaming {recording.n_samples} samples "
+          f"({recording.duration_s:.0f} s at {recording.fs:.0f} Hz) "
+          f"through the firmware model...\n")
+
+    firmware = FirmwareSimulator(recording.fs)
+    result = firmware.run(recording.channel("ecg"),
+                          recording.channel("z"))
+
+    print(f"R peaks confirmed: {result.r_peak_indices.size}")
+    print(f"Beats analysed: {len(result.beats)} "
+          f"({len(result.failures)} failed)")
+    print("\nFirst five report packets (the BLE payload):")
+    print("seq    Z0 (ohm)   LVET (ms)   PEP (ms)   HR (bpm)")
+    for packet in result.packets[:5]:
+        print(f"{packet.sequence:3d}  {packet.z0_ohm:9.1f}  "
+              f"{packet.lvet_s * 1000:9.0f}  {packet.pep_s * 1000:8.0f}  "
+              f"{packet.hr_bpm:8.1f}")
+
+    offline = BeatToBeatPipeline(recording.fs).process_recording(recording)
+    print("\nStreaming vs offline (zero-phase reference):")
+    for key in ("z0_ohm", "lvet_s", "pep_s", "hr_bpm"):
+        fw, off = result.summary()[key], offline.summary()[key]
+        print(f"  {key:8s}  firmware {fw:9.4f}   offline {off:9.4f}")
+
+    print("\nSTM32L151 CPU duty cycle at 32 MHz (per arithmetic regime):")
+    print(f"  Q15 fixed point        : {result.cpu_duty_q15:6.1%}")
+    print(f"  soft float (single)    : {result.cpu_duty_softfloat:6.1%}")
+    print(f"  soft float (double)    : {result.cpu_duty_softdouble:6.1%}"
+          f"   <- the paper's 40-50 % regime")
+    print(f"\nRadio duty cycle: {result.radio_duty:.3%} "
+          f"(paper: ~0.1 % used, 1 % budgeted)")
+    print("\nPer-sample operation counts (referred to 250 Hz):")
+    for name, count in result.ops_per_sample.as_dict().items():
+        if count:
+            print(f"  {name:7s} {count:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` on environments whose setuptools lacks
+``bdist_wheel`` (no network access to fetch it).
+"""
+
+from setuptools import setup
+
+setup()

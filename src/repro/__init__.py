@@ -1,0 +1,67 @@
+"""repro — touch-based beat-to-beat ICG/ECG acquisition and hemodynamic
+parameter estimation.
+
+A full reproduction of Sopic, Murali, Rincón and Atienza, "Touch-Based
+System for Beat-to-Beat Impedance Cardiogram Acquisition and
+Hemodynamic Parameters Estimation" (DATE 2016): the published signal
+chain (morphological ECG baseline removal, zero-phase filters,
+Pan-Tompkins, beat-to-beat ICG B/C/X detection, LVET/PEP/HR/Z0), a
+physiological synthesizer standing in for the human subjects, a model
+of the acquisition hardware (front ends, ADC, MCU cycle costs, radio,
+battery, PMU), a streaming firmware simulator, and an experiment runner
+that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import (BeatToBeatPipeline, default_cohort,
+                       synthesize_recording)
+
+    subject = default_cohort()[0]
+    recording = synthesize_recording(subject, "device", position=1)
+    result = BeatToBeatPipeline(recording.fs).process_recording(recording)
+    print(result.summary())   # {'z0_ohm': ..., 'lvet_s': ..., ...}
+
+Subpackage map (one per subsystem):
+
+- :mod:`repro.core` — the beat-to-beat pipeline (the paper's algorithm);
+- :mod:`repro.dsp` — filters, morphology, derivatives, spectra;
+- :mod:`repro.ecg` / :mod:`repro.icg` — signal-specific processing;
+- :mod:`repro.bioimpedance` — tissue/electrode/pathway physics;
+- :mod:`repro.synth` — subject and recording synthesis;
+- :mod:`repro.device` — hardware models and the firmware simulator;
+- :mod:`repro.rt` — streaming kernels with operation counting;
+- :mod:`repro.experiments` — the protocol and study runner;
+- :mod:`repro.io` — recording containers and persistence.
+"""
+
+from repro.core import BeatToBeatPipeline, PipelineConfig, PipelineResult
+from repro.errors import (
+    ConfigurationError,
+    DetectionError,
+    HardwareError,
+    ProtocolError,
+    ReproError,
+    SignalError,
+)
+from repro.experiments import ProtocolConfig, StudyResult, run_study
+from repro.io import Recording
+from repro.synth import (
+    SubjectProfile,
+    SynthesisConfig,
+    default_cohort,
+    random_cohort,
+    synthesize_recording,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BeatToBeatPipeline", "PipelineConfig", "PipelineResult",
+    "Recording",
+    "SubjectProfile", "default_cohort", "random_cohort",
+    "SynthesisConfig", "synthesize_recording",
+    "ProtocolConfig", "StudyResult", "run_study",
+    "ReproError", "ConfigurationError", "SignalError", "DetectionError",
+    "HardwareError", "ProtocolError",
+]

@@ -1,0 +1,10 @@
+"""Small numpy version-compatibility helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trapezoid"]
+
+# np.trapz was renamed np.trapezoid in numpy 2.0 and removed later.
+trapezoid = getattr(np, "trapezoid", None) or getattr(np, "trapz")

@@ -1,0 +1,64 @@
+"""Bioimpedance substrate: tissue physics, electrodes and pathways.
+
+Models everything between the instrument terminals and the body: the
+Cole-Cole dispersion of bulk tissue, electrode-skin interfaces (wet gel
+vs dry fingertip), subject anthropometric scaling, and the two
+measurement pathways the paper compares (traditional thoracic,
+touch-device hand-to-hand), plus the analysis metrics of the evaluation
+(correlation, mean Z0, relative position errors).
+"""
+
+from repro.bioimpedance.analysis import (
+    ERROR_PAIRS,
+    mean_impedance,
+    pearson_correlation,
+    position_relative_errors,
+    relative_error,
+)
+from repro.bioimpedance.composition import (
+    BodyComposition,
+    FluidCompartments,
+    fat_free_mass_kg,
+    fluid_compartments,
+    total_body_water_l,
+)
+from repro.bioimpedance.cole import (
+    ARM_BULK,
+    BLOOD,
+    FAT,
+    MUSCLE,
+    THORAX_BULK,
+    ColeModel,
+    from_fluid_resistances,
+)
+from repro.bioimpedance.electrodes import (
+    ElectrodeModel,
+    dry_finger_electrode,
+    wet_gel_electrode,
+)
+from repro.bioimpedance.pathways import (
+    POSITION_ARM_FACTORS,
+    HandToHandPathway,
+    InstrumentResponse,
+    ThoracicPathway,
+    position_arm_factor,
+)
+from repro.bioimpedance.tissue import (
+    REFERENCE_GEOMETRY,
+    BodyGeometry,
+    arm_segment,
+    thorax_segment,
+)
+
+__all__ = [
+    "ColeModel", "from_fluid_resistances",
+    "BLOOD", "MUSCLE", "FAT", "THORAX_BULK", "ARM_BULK",
+    "ElectrodeModel", "wet_gel_electrode", "dry_finger_electrode",
+    "BodyGeometry", "REFERENCE_GEOMETRY", "arm_segment", "thorax_segment",
+    "ThoracicPathway", "HandToHandPathway", "InstrumentResponse",
+    "POSITION_ARM_FACTORS", "position_arm_factor",
+    "pearson_correlation", "mean_impedance", "relative_error",
+    "position_relative_errors", "ERROR_PAIRS",
+    "BodyComposition", "FluidCompartments", "total_body_water_l",
+    "fluid_compartments", "fat_free_mass_kg",
+]

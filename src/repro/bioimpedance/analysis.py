@@ -1,0 +1,106 @@
+"""Analysis metrics for the bioimpedance position/frequency study.
+
+Implements the quantities the paper's evaluation reports:
+
+* Pearson correlation coefficients between device and thoracic signals
+  (Tables II-IV),
+* mean base impedance per position/frequency (Figs 6-7),
+* the relative position errors e21, e23, e31 of equations (1)-(3)
+  (Fig 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "pearson_correlation",
+    "mean_impedance",
+    "relative_error",
+    "position_relative_errors",
+    "ERROR_PAIRS",
+]
+
+
+#: The three position pairs of the paper's equations (1)-(3), as
+#: ``name -> (numerator_reference_position, subtracted_position)``:
+#: ``e21 = (Z2 - Z1) / Z2`` and so on.
+ERROR_PAIRS = {
+    "e21": (2, 1),
+    "e23": (2, 3),
+    "e31": (3, 1),
+}
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation coefficient between two equal-length signals.
+
+    This is the statistic of Tables II-IV, computed between the touch
+    device's signal and the thoracic reference.  Raises
+    :class:`SignalError` for degenerate (constant) inputs rather than
+    returning NaN.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise SignalError(
+            f"correlation needs two 1-D arrays of equal length, got "
+            f"{x.shape} and {y.shape}")
+    if x.size < 2:
+        raise SignalError("correlation needs at least two samples")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(np.sum(xc**2) * np.sum(yc**2))
+    if denom == 0:
+        raise SignalError("correlation undefined for constant signals")
+    return float(np.clip(np.sum(xc * yc) / denom, -1.0, 1.0))
+
+
+def mean_impedance(z) -> float:
+    """Mean of an impedance trace; rejects empty or non-finite input."""
+    z = np.asarray(z, dtype=float)
+    if z.size == 0:
+        raise SignalError("impedance trace is empty")
+    if not np.all(np.isfinite(z)):
+        raise SignalError("impedance trace contains non-finite samples")
+    return float(z.mean())
+
+
+def relative_error(z_reference: float, z_other: float) -> float:
+    """The paper's relative error: ``(z_reference - z_other) / z_reference``.
+
+    Equation (1) with ``z_reference = Zposition2`` and
+    ``z_other = Zposition1`` yields e21; the sign convention follows the
+    paper (positive when the reference position reads higher).
+    """
+    if z_reference == 0:
+        raise ConfigurationError("reference impedance must be non-zero")
+    return float((z_reference - z_other) / z_reference)
+
+
+def position_relative_errors(mean_z_by_position: dict) -> dict:
+    """All three paper error metrics from per-position mean impedances.
+
+    Parameters
+    ----------
+    mean_z_by_position:
+        Mapping ``{1: Z1, 2: Z2, 3: Z3}`` of mean measured impedance per
+        protocol position (any numeric values).
+
+    Returns
+    -------
+    dict
+        ``{"e21": ..., "e23": ..., "e31": ...}`` following equations
+        (1)-(3) of the paper.
+    """
+    missing = {1, 2, 3} - set(mean_z_by_position)
+    if missing:
+        raise ConfigurationError(
+            f"missing mean impedance for positions {sorted(missing)}")
+    errors = {}
+    for name, (ref_pos, other_pos) in ERROR_PAIRS.items():
+        errors[name] = relative_error(mean_z_by_position[ref_pos],
+                                      mean_z_by_position[other_pos])
+    return errors

@@ -1,0 +1,196 @@
+"""Cole-Cole dispersion model of tissue impedance.
+
+The frequency dependence of body impedance — the physics behind the
+paper's multi-frequency experiment (2 / 10 / 50 / 100 kHz) — is captured
+by the single-dispersion Cole model
+
+    Z(w) = Rinf + (R0 - Rinf) / (1 + (j w tau)^alpha)
+
+where ``R0`` is the resistance at DC (current confined to extracellular
+fluid), ``Rinf`` the resistance at infinite frequency (current crosses
+cell membranes, so intra- and extracellular fluid conduct in parallel),
+``tau`` the characteristic time constant, and ``alpha`` in (0, 1] the
+dispersion broadening.  The paper's Section V paraphrases exactly this:
+below ~50 kHz current flows extracellularly; at and above 50 kHz it
+penetrates the membranes.
+
+``|Z|`` is strictly decreasing with frequency — the *measured* rise up
+to 10 kHz in the paper's Figs 6-7 is an instrument effect modelled in
+:mod:`repro.bioimpedance.pathways`, not a tissue property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ColeModel",
+    "from_fluid_resistances",
+    "BLOOD",
+    "MUSCLE",
+    "FAT",
+    "THORAX_BULK",
+    "ARM_BULK",
+]
+
+
+@dataclass(frozen=True)
+class ColeModel:
+    """Single-dispersion Cole-Cole impedance element.
+
+    Parameters
+    ----------
+    r_zero_ohm:
+        Resistance at zero frequency (extracellular path only).
+    r_inf_ohm:
+        Resistance at infinite frequency (extra- and intracellular
+        paths in parallel); must be below ``r_zero_ohm``.
+    tau_s:
+        Characteristic relaxation time constant in seconds.
+    alpha:
+        Dispersion exponent in (0, 1]; 1 gives an ideal single-pole
+        (Debye) relaxation, smaller values broaden the dispersion as
+        real tissue does.
+    """
+
+    r_zero_ohm: float
+    r_inf_ohm: float
+    tau_s: float
+    alpha: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.r_zero_ohm <= 0:
+            raise ConfigurationError(
+                f"R0 must be positive, got {self.r_zero_ohm}")
+        if not 0.0 < self.r_inf_ohm < self.r_zero_ohm:
+            raise ConfigurationError(
+                f"Rinf must satisfy 0 < Rinf < R0, got Rinf={self.r_inf_ohm} "
+                f"R0={self.r_zero_ohm}")
+        if self.tau_s <= 0:
+            raise ConfigurationError(f"tau must be positive, got {self.tau_s}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {self.alpha}")
+
+    @property
+    def characteristic_frequency_hz(self) -> float:
+        """Frequency of maximal reactance, ``1 / (2 pi tau)``."""
+        return 1.0 / (2.0 * np.pi * self.tau_s)
+
+    def impedance(self, frequency_hz) -> np.ndarray:
+        """Complex impedance at the given frequency (scalar or array)."""
+        f = np.asarray(frequency_hz, dtype=float)
+        if np.any(f < 0):
+            raise ConfigurationError("frequency must be non-negative")
+        jwt = (1j * 2.0 * np.pi * f * self.tau_s) ** self.alpha
+        return self.r_inf_ohm + (self.r_zero_ohm - self.r_inf_ohm) / (1.0 + jwt)
+
+    def magnitude(self, frequency_hz) -> np.ndarray:
+        """``|Z(f)|`` in ohm."""
+        return np.abs(self.impedance(frequency_hz))
+
+    def phase_deg(self, frequency_hz) -> np.ndarray:
+        """Impedance phase in degrees (negative: capacitive)."""
+        return np.degrees(np.angle(self.impedance(frequency_hz)))
+
+    def scaled(self, factor: float) -> "ColeModel":
+        """A geometrically scaled copy (both R0 and Rinf multiplied).
+
+        Scaling a segment's length/area multiplies every resistive term
+        by the same geometric factor while leaving the relaxation
+        dynamics (tau, alpha) untouched.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return ColeModel(self.r_zero_ohm * factor, self.r_inf_ohm * factor,
+                         self.tau_s, self.alpha)
+
+    def series(self, other: "ColeModel") -> "SeriesCole":
+        """Series combination with another Cole element."""
+        return SeriesCole((self, other))
+
+
+@dataclass(frozen=True)
+class SeriesCole:
+    """Series chain of Cole elements (impedances add)."""
+
+    elements: tuple
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ConfigurationError("series chain needs at least one element")
+
+    def impedance(self, frequency_hz) -> np.ndarray:
+        total = None
+        for element in self.elements:
+            z = element.impedance(frequency_hz)
+            total = z if total is None else total + z
+        return total
+
+    def magnitude(self, frequency_hz) -> np.ndarray:
+        return np.abs(self.impedance(frequency_hz))
+
+    def series(self, other) -> "SeriesCole":
+        return SeriesCole(self.elements + (other,))
+
+
+def from_fluid_resistances(r_extracellular_ohm: float,
+                           r_intracellular_ohm: float,
+                           membrane_capacitance_f: float,
+                           alpha: float = 0.85) -> ColeModel:
+    """Build a Cole model from the physiological circuit parameters.
+
+    The classic equivalent circuit is the extracellular resistance
+    ``Re`` in parallel with the series pair (intracellular resistance
+    ``Ri``, membrane capacitance ``Cm``):
+
+        R0   = Re
+        Rinf = Re * Ri / (Re + Ri)
+        tau  = (Re + Ri) * Cm
+    """
+    re_ = float(r_extracellular_ohm)
+    ri = float(r_intracellular_ohm)
+    cm = float(membrane_capacitance_f)
+    if re_ <= 0 or ri <= 0 or cm <= 0:
+        raise ConfigurationError(
+            "resistances and capacitance must all be positive")
+    r_zero = re_
+    r_inf = re_ * ri / (re_ + ri)
+    tau = (ri + re_) * cm
+    return ColeModel(r_zero, r_inf, tau, alpha)
+
+
+# --- Literature-guided tissue presets ------------------------------------
+#
+# Absolute values are per-"unit segment" and get geometrically scaled by
+# the body model; the ratios R0/Rinf and the characteristic frequencies
+# are the physiologically meaningful parts (fc of muscle/thorax sits in
+# the tens of kHz, which is why 50 kHz is the standard BIA frequency).
+
+#: Whole blood: low resistivity, mild dispersion.
+BLOOD = ColeModel(r_zero_ohm=160.0, r_inf_ohm=100.0, tau_s=4.0e-6, alpha=0.90)
+
+#: Skeletal muscle (longitudinal): the dominant conductor of limbs.
+MUSCLE = ColeModel(r_zero_ohm=400.0, r_inf_ohm=180.0, tau_s=3.2e-6, alpha=0.82)
+
+#: Adipose tissue: high resistivity, weak dispersion.
+FAT = ColeModel(r_zero_ohm=2200.0, r_inf_ohm=1600.0, tau_s=7.0e-6, alpha=0.75)
+
+#: Effective thorax bulk (lungs + muscle + blood in parallel), normalised
+#: to give a ~25-30 ohm base thoracic impedance after geometric scaling.
+#: The effective relaxation is placed at fc ~= 15 kHz — lower than
+#: single-cell beta dispersion because organ-scale interfaces broaden and
+#: shift the bulk response — so that, combined with the instrument's
+#: AC-coupling corner (see ``pathways.InstrumentResponse``), the measured
+#: curve peaks near 10 kHz exactly as Figs 6-7 of the paper report.
+THORAX_BULK = ColeModel(r_zero_ohm=33.0, r_inf_ohm=21.0, tau_s=1.06e-5,
+                        alpha=0.80)
+
+#: Effective whole-arm bulk (wrist-to-shoulder), dominating a
+#: hand-to-hand measurement: two arms contribute ~85 % of the path.
+ARM_BULK = ColeModel(r_zero_ohm=290.0, r_inf_ohm=185.0, tau_s=1.06e-5,
+                     alpha=0.82)

@@ -1,0 +1,145 @@
+"""Body-composition estimation from multi-frequency bioimpedance.
+
+The paper's Section IV-B explains the physics (lean tissue conducts,
+fat and bone resist) and cites the BIA methodology literature (Kyle et
+al., Mialich et al.).  The device's multi-frequency capability is
+exactly what classic BIA needs:
+
+* at low frequency (2 kHz) current stays extracellular -> R_low maps
+  extracellular water (ECW);
+* at high frequency (100 kHz) current crosses membranes -> R_high maps
+  total body water (TBW);
+* regression equations on the impedance index ``height^2 / R`` convert
+  resistances into litres, and hydration constants split fat-free from
+  fat mass.
+
+All equations operate on *tissue* resistances: callers measuring
+through the device must first divide out the instrument gain (see
+:class:`~repro.bioimpedance.pathways.InstrumentResponse`).  Regression
+coefficients are population averages — the absolute numbers carry the
+usual BIA caveats, which is why the functions also expose the raw
+compartment ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "total_body_water_l",
+    "fluid_compartments",
+    "FluidCompartments",
+    "fat_free_mass_kg",
+    "BodyComposition",
+]
+
+#: Fraction of fat-free mass that is water in healthy adults.
+HYDRATION_CONSTANT = 0.732
+
+
+def total_body_water_l(height_cm: float, weight_kg: float,
+                       resistance_ohm: float, sex: str = "M") -> float:
+    """Total body water from the 50-100 kHz resistance.
+
+    Kushner-Schoeller-style regression on the impedance index
+    ``H^2/R`` plus weight:
+
+    * male:   ``TBW = 0.396 * H^2/R + 0.143 * W + 8.399``
+    * female: ``TBW = 0.382 * H^2/R + 0.105 * W + 8.315``
+    """
+    if height_cm <= 0 or weight_kg <= 0 or resistance_ohm <= 0:
+        raise ConfigurationError(
+            "height, weight and resistance must be positive")
+    index = height_cm**2 / resistance_ohm
+    if sex.upper() == "M":
+        return 0.396 * index + 0.143 * weight_kg + 8.399
+    if sex.upper() == "F":
+        return 0.382 * index + 0.105 * weight_kg + 8.315
+    raise ConfigurationError(f"sex must be 'M' or 'F', got {sex!r}")
+
+
+@dataclass(frozen=True)
+class FluidCompartments:
+    """Extracellular/intracellular water split."""
+
+    ecw_fraction: float
+    icw_fraction: float
+    ecw_over_icw: float
+
+
+def fluid_compartments(r_low_ohm: float, r_high_ohm: float,
+                       ) -> FluidCompartments:
+    """ECW/ICW split from a low/high frequency resistance pair.
+
+    In the Cole equivalent circuit the low-frequency resistance is the
+    extracellular branch (``Re``) and the high-frequency resistance is
+    ``Re`` parallel ``Ri``; hence ``Ri = Re*Rinf / (Re - Rinf)``.
+    Water volumes scale inversely with branch resistance (same
+    geometry, same resistivity class), so ``ECW/ICW = Ri/Re``.
+
+    A rising ECW fraction is the fluid-overload signature the CHF
+    monitoring literature tracks.
+    """
+    if r_low_ohm <= 0 or r_high_ohm <= 0:
+        raise ConfigurationError("resistances must be positive")
+    if r_high_ohm >= r_low_ohm:
+        raise ConfigurationError(
+            f"high-frequency resistance ({r_high_ohm}) must be below the "
+            f"low-frequency one ({r_low_ohm}); check the measurement")
+    r_intracellular = (r_low_ohm * r_high_ohm
+                       / (r_low_ohm - r_high_ohm))
+    ecw_over_icw = r_intracellular / r_low_ohm
+    ecw_fraction = ecw_over_icw / (1.0 + ecw_over_icw)
+    return FluidCompartments(
+        ecw_fraction=float(ecw_fraction),
+        icw_fraction=float(1.0 - ecw_fraction),
+        ecw_over_icw=float(ecw_over_icw),
+    )
+
+
+def fat_free_mass_kg(tbw_l: float,
+                     hydration: float = HYDRATION_CONSTANT) -> float:
+    """Fat-free mass from total body water via the hydration constant."""
+    if tbw_l <= 0:
+        raise ConfigurationError("TBW must be positive")
+    if not 0.5 < hydration < 0.9:
+        raise ConfigurationError(
+            f"hydration constant must be physiological, got {hydration}")
+    return tbw_l / hydration
+
+
+@dataclass(frozen=True)
+class BodyComposition:
+    """Full composition estimate from one multi-frequency measurement."""
+
+    tbw_l: float
+    ffm_kg: float
+    fat_kg: float
+    fat_fraction: float
+    compartments: FluidCompartments
+
+    @classmethod
+    def from_multifrequency(cls, height_cm: float, weight_kg: float,
+                            r_low_ohm: float, r_high_ohm: float,
+                            sex: str = "M") -> "BodyComposition":
+        """Compose the full estimate from the 2 kHz / 100 kHz pair.
+
+        TBW uses the high-frequency (whole-water) resistance; the
+        compartment split uses both.  Fat mass is weight minus
+        fat-free mass, floored at zero (regressions can overshoot on
+        very lean subjects).
+        """
+        if weight_kg <= 0:
+            raise ConfigurationError("weight must be positive")
+        tbw = total_body_water_l(height_cm, weight_kg, r_high_ohm, sex)
+        ffm = fat_free_mass_kg(tbw)
+        fat = max(0.0, weight_kg - ffm)
+        return cls(
+            tbw_l=tbw,
+            ffm_kg=ffm,
+            fat_kg=fat,
+            fat_fraction=fat / weight_kg,
+            compartments=fluid_compartments(r_low_ohm, r_high_ohm),
+        )

@@ -1,0 +1,121 @@
+"""Body geometry and segment scaling.
+
+Maps a subject's anthropometrics onto geometric scale factors for the
+bulk tissue models of :mod:`repro.bioimpedance.cole`.  The underlying
+relation is the classic BIA observation that segment resistance scales
+as ``length / cross-section``, which for whole-body indices reduces to
+the familiar ``height^2 / weight`` dependence.
+
+All ratios are documented approximations — they set plausible absolute
+levels and, more importantly, plausible *between-subject variation*,
+which is what the correlation tables of the paper exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bioimpedance.cole import ARM_BULK, THORAX_BULK, ColeModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BodyGeometry",
+    "REFERENCE_GEOMETRY",
+    "arm_segment",
+    "thorax_segment",
+]
+
+
+@dataclass(frozen=True)
+class BodyGeometry:
+    """Subject anthropometrics relevant to segment impedance.
+
+    Parameters
+    ----------
+    height_m:
+        Standing height in metres.
+    weight_kg:
+        Body mass in kilograms.
+    body_fat_fraction:
+        Fraction of body mass that is adipose tissue, in [0.05, 0.6].
+        Fat conducts poorly, so higher fractions raise segment
+        impedance at fixed height/weight.
+    """
+
+    height_m: float
+    weight_kg: float
+    body_fat_fraction: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not 1.2 <= self.height_m <= 2.3:
+            raise ConfigurationError(
+                f"height must be a plausible adult value in metres, "
+                f"got {self.height_m}")
+        if not 30.0 <= self.weight_kg <= 250.0:
+            raise ConfigurationError(
+                f"weight must be plausible in kg, got {self.weight_kg}")
+        if not 0.05 <= self.body_fat_fraction <= 0.6:
+            raise ConfigurationError(
+                f"body fat fraction must be in [0.05, 0.6], "
+                f"got {self.body_fat_fraction}")
+
+    @property
+    def bmi(self) -> float:
+        """Body-mass index, kg/m^2."""
+        return self.weight_kg / self.height_m**2
+
+    @property
+    def arm_length_m(self) -> float:
+        """Shoulder-to-fingertip length, ~44 % of height."""
+        return 0.44 * self.height_m
+
+    @property
+    def thorax_path_m(self) -> float:
+        """Current path across the thorax between the shoulders,
+        ~26 % of height."""
+        return 0.26 * self.height_m
+
+    def impedance_index(self) -> float:
+        """Dimensionless ``(height^2 / weight)`` index relative to the
+        reference subject; > 1 means higher segment impedance."""
+        own = self.height_m**2 / self.weight_kg
+        ref = (REFERENCE_GEOMETRY.height_m**2
+               / REFERENCE_GEOMETRY.weight_kg)
+        return own / ref
+
+    def fat_modifier(self) -> float:
+        """Multiplicative impedance increase due to adiposity.
+
+        Linearised around the reference 20 % body fat: each additional
+        10 % of fat mass raises bulk impedance by ~8 % (lean conductive
+        cross-section shrinks).
+        """
+        return 1.0 + 0.8 * (self.body_fat_fraction
+                            - REFERENCE_GEOMETRY.body_fat_fraction)
+
+    def segment_scale(self) -> float:
+        """Overall geometric scale factor for bulk tissue models."""
+        return self.impedance_index() * self.fat_modifier()
+
+
+#: The subject the bulk Cole presets were normalised against.
+REFERENCE_GEOMETRY = BodyGeometry(height_m=1.75, weight_kg=70.0,
+                                  body_fat_fraction=0.20)
+
+
+def arm_segment(geometry: BodyGeometry) -> ColeModel:
+    """Bulk Cole model of one arm, scaled to the subject."""
+    return ARM_BULK.scaled(geometry.segment_scale())
+
+
+def thorax_segment(geometry: BodyGeometry) -> ColeModel:
+    """Bulk Cole model of the trans-thoracic path, scaled to the
+    subject.
+
+    The thorax cross-section grows faster with mass than the limbs do,
+    so thoracic impedance varies less between subjects; the 0.5 exponent
+    reflects that damping.
+    """
+    return THORAX_BULK.scaled(float(np.sqrt(geometry.segment_scale())))

@@ -1,0 +1,192 @@
+"""Command-line interface: the device experience in a terminal.
+
+Four subcommands cover the workflows a user of the real device (or a
+reviewer of the paper) would want:
+
+* ``measure`` — one touch measurement for a cohort subject, reporting
+  the paper's payload (Z0, LVET, PEP, HR);
+* ``study`` — run the evaluation protocol and print Tables II-IV plus
+  the figure series;
+* ``power`` — the Table I battery bookkeeping;
+* ``monitor`` — a simulated CHF decompensation course with alerts.
+
+Run ``python -m repro.cli <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import BeatToBeatPipeline
+from repro.device.power import PowerBudget, battery_life_hours, paper_operating_point
+from repro.errors import ReproError
+from repro.experiments import (
+    ProtocolConfig,
+    render_correlation_table,
+    render_hemodynamics,
+    render_mean_z_series,
+    render_relative_errors,
+    run_study,
+)
+from repro.monitoring import (
+    ChfMonitor,
+    DecompensationScenario,
+    WeightMonitor,
+    simulate_decompensation_course,
+)
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Touch-based ICG/ECG reproduction (Sopic et al., "
+                    "DATE 2016)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    measure = commands.add_parser(
+        "measure", help="one touch measurement for a cohort subject")
+    measure.add_argument("--subject", type=int, default=3,
+                         choices=range(1, 6),
+                         help="cohort subject id (1-5)")
+    measure.add_argument("--position", type=int, default=1,
+                         choices=(1, 2, 3), help="arm position")
+    measure.add_argument("--setup", default="device",
+                         choices=("device", "thoracic"))
+    measure.add_argument("--duration", type=float, default=30.0,
+                         help="recording length in seconds")
+    measure.add_argument("--frequency-khz", type=float, default=50.0,
+                         help="injection frequency in kHz")
+
+    study = commands.add_parser(
+        "study", help="run the evaluation protocol (Tables II-IV, "
+                      "Figs 6-9)")
+    study.add_argument("--quick", action="store_true",
+                       help="reduced protocol (12 s, 2 frequencies)")
+
+    commands.add_parser("power", help="Table I battery bookkeeping")
+
+    monitor = commands.add_parser(
+        "monitor", help="simulated CHF decompensation course")
+    monitor.add_argument("--subject", type=int, default=4,
+                         choices=range(1, 6))
+    monitor.add_argument("--days", type=int, default=40)
+    monitor.add_argument("--onset", type=int, default=20)
+    monitor.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_measure(args) -> int:
+    subject = default_cohort()[args.subject - 1]
+    config = SynthesisConfig(
+        duration_s=args.duration,
+        injection_frequency_hz=args.frequency_khz * 1000.0)
+    recording = synthesize_recording(subject, args.setup, args.position,
+                                     config)
+    result = BeatToBeatPipeline(recording.fs).process_recording(recording)
+    summary = result.summary()
+    print(f"Subject {subject.subject_id}, {args.setup}, position "
+          f"{args.position}, {args.frequency_khz:.0f} kHz, "
+          f"{args.duration:.0f} s")
+    print(f"  Z0   = {summary['z0_ohm']:8.1f} ohm")
+    print(f"  LVET = {summary['lvet_s'] * 1000:8.0f} ms")
+    print(f"  PEP  = {summary['pep_s'] * 1000:8.0f} ms")
+    print(f"  HR   = {summary['hr_bpm']:8.1f} bpm")
+    print(f"  beats analysed: {result.n_beats_detected} "
+          f"({len(result.failures)} failed)")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    config = ProtocolConfig()
+    if args.quick:
+        config = config.quick()
+    print(f"Running protocol: {len(default_cohort())} subjects, "
+          f"{len(config.positions)} positions, "
+          f"{len(config.frequencies_hz)} frequencies, "
+          f"{config.duration_s:.0f} s each ...")
+    study = run_study(config=config)
+    for position in config.positions:
+        print()
+        print(render_correlation_table(study.correlation_table(position),
+                                       position))
+    print()
+    print(render_mean_z_series(study.thoracic_mean_z(),
+                               "Fig 6: thoracic mean Z0 (ohm)"))
+    for position in config.positions:
+        print()
+        print(render_mean_z_series(study.device_mean_z(position),
+                                   f"Fig 7: device mean Z0 (ohm), "
+                                   f"position {position}"))
+    print()
+    print(render_relative_errors(study.relative_errors()))
+    for position in (1, 2):
+        print()
+        print(render_hemodynamics(
+            study.hemodynamics(position,
+                               config.frequencies_hz[-1]
+                               if 50_000.0 not in config.frequencies_hz
+                               else 50_000.0),
+            position))
+    print(f"\nOverall correlation: {study.mean_correlation():.3f} "
+          f"(paper ~0.85); worst error "
+          f"{study.worst_case_error() * 100:.1f} % (paper < 20 %)")
+    return 0
+
+
+def _cmd_power(_args) -> int:
+    budget = PowerBudget()
+    duties = paper_operating_point()
+    print("Operating point: MCU 50 %, radio 1 %, signal chain on, IMU "
+          "off")
+    print(f"Average current : "
+          f"{budget.average_current_ma(duties):.3f} mA")
+    print(f"Battery life    : {battery_life_hours():.1f} h on 710 mAh "
+          f"(paper: 106 h)")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    subject = default_cohort()[args.subject - 1]
+    scenario = DecompensationScenario(n_days=args.days,
+                                      onset_day=args.onset)
+    course = simulate_decompensation_course(
+        subject, scenario, np.random.default_rng(args.seed))
+    icg_day = ChfMonitor().run(course)
+    weight_day = WeightMonitor().run(course)
+    print(f"Subject {subject.subject_id}: {args.days}-day course, fluid "
+          f"onset day {args.onset}")
+    print(f"  ICG multi-parameter alert : day {icg_day}"
+          + ("" if icg_day < 0 else
+             f" ({icg_day - args.onset} days after onset)"))
+    print(f"  weight-gain rule (2 kg/7d): "
+          + (f"day {weight_day}" if weight_day >= 0 else "never fired"))
+    return 0
+
+
+_COMMANDS = {
+    "measure": _cmd_measure,
+    "study": _cmd_study,
+    "power": _cmd_power,
+    "monitor": _cmd_monitor,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""The paper's primary contribution: the beat-to-beat pipeline."""
+
+from repro.core.pipeline import (
+    BeatToBeatPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+
+__all__ = ["BeatToBeatPipeline", "PipelineConfig", "PipelineResult"]

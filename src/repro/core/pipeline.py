@@ -1,0 +1,169 @@
+"""The end-to-end beat-to-beat pipeline — the paper's Fig 3 flowchart.
+
+Given a simultaneous ECG + impedance recording (from the synthesizer,
+the device simulator, or a real file), the pipeline runs the complete
+published processing chain:
+
+1. ECG conditioning (morphological baseline removal + zero-phase
+   0.05-40 Hz FIR),
+2. Pan-Tompkins R-peak detection,
+3. ICG derivation (``-dZ/dt``) and conditioning (zero-phase 20 Hz
+   Butterworth + 0.8 Hz band edge),
+4. beat-to-beat B/C/X detection between consecutive R peaks,
+5. hemodynamic parameters: Z0, HR, PEP, LVET (the radio payload of
+   Section V) plus stroke volume / cardiac output estimates.
+
+This offline pipeline is the reference implementation; the streaming
+firmware model in :mod:`repro.device.firmware` mirrors it causally and
+is tested for agreement against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bioimpedance.analysis import mean_impedance
+from repro.ecg.pan_tompkins import PanTompkinsConfig, PanTompkinsDetector
+from repro.ecg.preprocessing import EcgFilterConfig, preprocess_ecg
+from repro.errors import ConfigurationError, SignalError
+from repro.icg.hemodynamics import HemodynamicsEstimator, systolic_intervals
+from repro.icg.points import PointConfig, detect_all_points
+from repro.icg.preprocessing import IcgFilterConfig, icg_from_impedance
+from repro.io.records import Recording
+
+__all__ = ["PipelineConfig", "PipelineResult", "BeatToBeatPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All stage configurations in one bundle (paper defaults)."""
+
+    ecg: EcgFilterConfig = field(default_factory=EcgFilterConfig)
+    icg: IcgFilterConfig = field(default_factory=IcgFilterConfig)
+    points: PointConfig = field(default_factory=PointConfig)
+    pan_tompkins: PanTompkinsConfig = field(
+        default_factory=PanTompkinsConfig)
+    #: Subject height for the Sramek-Bernstein stroke volume (cm);
+    #: ``None`` skips SV/CO estimation.
+    height_cm: float = None
+    #: Pathway calibrations for the SV formulas (1.0 = thoracic); see
+    #: :class:`repro.icg.hemodynamics.HemodynamicsEstimator`.
+    z0_calibration: float = 1.0
+    dzdt_calibration: float = 1.0
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything the pipeline extracted from one recording."""
+
+    fs: float
+    r_peak_indices: np.ndarray
+    r_peak_times_s: np.ndarray
+    points: list
+    failures: list
+    pep_s: np.ndarray
+    lvet_s: np.ndarray
+    hr_bpm: float
+    z0_ohm: float
+    beat_hemodynamics: list
+    ecg_filtered: np.ndarray
+    icg: np.ndarray
+
+    @property
+    def mean_pep_s(self) -> float:
+        """Mean pre-ejection period over valid beats."""
+        return float(self.pep_s.mean())
+
+    @property
+    def mean_lvet_s(self) -> float:
+        """Mean left-ventricular ejection time over valid beats."""
+        return float(self.lvet_s.mean())
+
+    @property
+    def n_beats_detected(self) -> int:
+        """Number of R-R intervals successfully analysed."""
+        return len(self.points)
+
+    def summary(self) -> dict:
+        """The device's report payload: ``Z0, LVET, PEP, HR``
+        (Section V lists exactly these as the radio payload)."""
+        return {
+            "z0_ohm": self.z0_ohm,
+            "lvet_s": self.mean_lvet_s,
+            "pep_s": self.mean_pep_s,
+            "hr_bpm": self.hr_bpm,
+        }
+
+
+class BeatToBeatPipeline:
+    """Reference implementation of the paper's processing chain."""
+
+    def __init__(self, fs: float, config: PipelineConfig = None) -> None:
+        if fs <= 0:
+            raise ConfigurationError("fs must be positive")
+        self.fs = float(fs)
+        self.config = config or PipelineConfig()
+        self._pan_tompkins = PanTompkinsDetector(self.fs,
+                                                 self.config.pan_tompkins)
+
+    def process_recording(self, recording: Recording) -> PipelineResult:
+        """Run the full chain on a :class:`Recording` with ``ecg`` and
+        ``z`` channels."""
+        if recording.fs != self.fs:
+            raise ConfigurationError(
+                f"pipeline built for fs={self.fs}, recording has "
+                f"fs={recording.fs}")
+        return self.process(recording.channel("ecg"),
+                            recording.channel("z"))
+
+    def process(self, ecg, z) -> PipelineResult:
+        """Run the full chain on raw ECG (mV) and impedance (ohm)."""
+        ecg = np.asarray(ecg, dtype=float)
+        z = np.asarray(z, dtype=float)
+        if ecg.shape != z.shape or ecg.ndim != 1:
+            raise SignalError(
+                "ecg and z must be 1-D arrays of equal length")
+
+        ecg_filtered = preprocess_ecg(ecg, self.fs, self.config.ecg)
+        r_peaks = self._pan_tompkins.detect(ecg_filtered)
+        if r_peaks.size < 2:
+            raise SignalError(
+                "fewer than two R peaks detected; cannot delimit beats")
+
+        icg = icg_from_impedance(z, self.fs, self.config.icg)
+        points, failures = detect_all_points(icg, self.fs, r_peaks,
+                                             self.config.points)
+        if not points:
+            raise SignalError(
+                f"no ICG beats could be analysed "
+                f"({len(failures)} failures)")
+        intervals = systolic_intervals(points, self.fs)
+
+        z0 = mean_impedance(z)
+        rr = np.diff(r_peaks) / self.fs
+        hr = float(60.0 / rr.mean())
+
+        hemodynamics = []
+        if self.config.height_cm is not None:
+            estimator = HemodynamicsEstimator(
+                self.fs, z0, self.config.height_cm,
+                z0_calibration=self.config.z0_calibration,
+                dzdt_calibration=self.config.dzdt_calibration)
+            hemodynamics = estimator.estimate_all(points, icg)
+
+        return PipelineResult(
+            fs=self.fs,
+            r_peak_indices=r_peaks,
+            r_peak_times_s=r_peaks / self.fs,
+            points=points,
+            failures=failures,
+            pep_s=intervals.pep_s,
+            lvet_s=intervals.lvet_s,
+            hr_bpm=hr,
+            z0_ohm=z0,
+            beat_hemodynamics=hemodynamics,
+            ecg_filtered=ecg_filtered,
+            icg=icg,
+        )

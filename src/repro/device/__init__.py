@@ -1,0 +1,57 @@
+"""Device simulation: the touch-based acquisition hardware.
+
+Models every block of the Fig 4 architecture: the ECG/ICG sensing
+chains (injection, demodulation, amplification), the ADC, the
+STM32L151 cycle-cost model, the IMU with posture classification, the
+BLE radio, the power budget (Table I) and the PMU — plus the firmware
+simulator that composes the streaming pipeline and prices it.
+"""
+
+from repro.device.adc import AdcConfig, AdcModel, AdcResult
+from repro.device.afe import EcgFrontEnd, IcgFrontEnd
+from repro.device.firmware import (
+    FirmwareConfig,
+    FirmwareResult,
+    FirmwareSimulator,
+)
+from repro.device.imu import (
+    GRAVITY_TEMPLATES,
+    ImuModel,
+    ImuSample,
+    PostureClassifier,
+)
+from repro.device.injector import (
+    PAPER_SWEEP_FREQUENCIES_HZ,
+    CurrentInjector,
+    max_safe_current_ua,
+)
+from repro.device.mcu import CortexM3Costs, McuModel
+from repro.device.pmu import (
+    STANDARD_MODES,
+    DischargeResult,
+    OperatingMode,
+    PowerManagementUnit,
+)
+from repro.device.power import (
+    TABLE_I,
+    ComponentPower,
+    PowerBudget,
+    battery_life_hours,
+    paper_operating_point,
+)
+from repro.device.radio import BleRadioModel, ReportPacket
+
+__all__ = [
+    "AdcConfig", "AdcModel", "AdcResult",
+    "EcgFrontEnd", "IcgFrontEnd",
+    "CurrentInjector", "max_safe_current_ua",
+    "PAPER_SWEEP_FREQUENCIES_HZ",
+    "ImuModel", "ImuSample", "PostureClassifier", "GRAVITY_TEMPLATES",
+    "BleRadioModel", "ReportPacket",
+    "ComponentPower", "TABLE_I", "PowerBudget", "paper_operating_point",
+    "battery_life_hours",
+    "OperatingMode", "STANDARD_MODES", "PowerManagementUnit",
+    "DischargeResult",
+    "CortexM3Costs", "McuModel",
+    "FirmwareConfig", "FirmwareResult", "FirmwareSimulator",
+]

@@ -1,0 +1,123 @@
+"""ADC model: sampling and quantization.
+
+The paper's acquisition system samples from 125 Hz up to 16 kHz with up
+to 16-bit resolution (the STM32L151's own ADC is 12-bit; the ADS1291
+delivers up to 16 significant bits).  This model covers rate
+validation, mid-tread uniform quantization with saturation, and
+dithered conversion — enough to study resolution/rate trade-offs in the
+benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.resample import resample_rate
+from repro.errors import ConfigurationError, HardwareError, SignalError
+
+__all__ = ["AdcConfig", "AdcModel", "AdcResult"]
+
+#: The supported sampling range from Section III-A.
+MIN_SAMPLE_RATE_HZ = 125.0
+MAX_SAMPLE_RATE_HZ = 16_000.0
+MAX_RESOLUTION_BITS = 16
+
+
+@dataclass(frozen=True)
+class AdcConfig:
+    """Converter configuration.
+
+    ``full_scale`` is the symmetric input range ``[-full_scale,
+    +full_scale)`` mapped onto the code space.
+    """
+
+    sample_rate_hz: float = 250.0
+    resolution_bits: int = 12
+    full_scale: float = 2.5
+    dither_lsb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not MIN_SAMPLE_RATE_HZ <= self.sample_rate_hz <= MAX_SAMPLE_RATE_HZ:
+            raise HardwareError(
+                f"sample rate {self.sample_rate_hz} Hz outside the "
+                f"device's {MIN_SAMPLE_RATE_HZ}-{MAX_SAMPLE_RATE_HZ} Hz "
+                f"range")
+        if not 4 <= self.resolution_bits <= MAX_RESOLUTION_BITS:
+            raise HardwareError(
+                f"resolution {self.resolution_bits} bits outside "
+                f"4-{MAX_RESOLUTION_BITS}")
+        if self.full_scale <= 0:
+            raise ConfigurationError("full scale must be positive")
+        if self.dither_lsb < 0:
+            raise ConfigurationError("dither must be >= 0")
+
+    @property
+    def lsb(self) -> float:
+        """Quantization step in input units."""
+        return 2.0 * self.full_scale / 2**self.resolution_bits
+
+    @property
+    def code_min(self) -> int:
+        """Most negative output code."""
+        return -(2 ** (self.resolution_bits - 1))
+
+    @property
+    def code_max(self) -> int:
+        """Most positive output code."""
+        return 2 ** (self.resolution_bits - 1) - 1
+
+
+@dataclass(frozen=True)
+class AdcResult:
+    """Conversion outcome: integer codes, reconstruction and stats."""
+
+    codes: np.ndarray
+    reconstructed: np.ndarray
+    clipped_fraction: float
+    sample_rate_hz: float
+
+
+class AdcModel:
+    """Uniform mid-tread quantizer with optional resampling and dither."""
+
+    def __init__(self, config: AdcConfig = None,
+                 rng: np.random.Generator = None) -> None:
+        self.config = config or AdcConfig()
+        self._rng = rng or np.random.default_rng(0)
+
+    def convert(self, signal, fs_in: float = None) -> AdcResult:
+        """Convert an analog signal to codes.
+
+        When ``fs_in`` differs from the configured rate the signal is
+        first resampled (with anti-aliasing on downsampling), modelling
+        the front-end's decimation chain.
+        """
+        x = np.asarray(signal, dtype=float)
+        if x.ndim != 1 or x.size == 0:
+            raise SignalError("expected a non-empty 1-D signal")
+        cfg = self.config
+        if fs_in is not None and fs_in != cfg.sample_rate_hz:
+            if fs_in <= 0:
+                raise ConfigurationError("fs_in must be positive")
+            x = resample_rate(x, fs_in, cfg.sample_rate_hz)
+        if cfg.dither_lsb > 0:
+            x = x + cfg.dither_lsb * cfg.lsb * (
+                self._rng.random(x.size) - 0.5)
+        raw_codes = np.floor(x / cfg.lsb + 0.5)
+        clipped = np.count_nonzero((raw_codes < cfg.code_min)
+                                   | (raw_codes > cfg.code_max))
+        codes = np.clip(raw_codes, cfg.code_min, cfg.code_max).astype(
+            np.int32)
+        return AdcResult(
+            codes=codes,
+            reconstructed=codes.astype(float) * cfg.lsb,
+            clipped_fraction=clipped / x.size,
+            sample_rate_hz=cfg.sample_rate_hz,
+        )
+
+    def snr_theoretical_db(self) -> float:
+        """Ideal quantization SNR for a full-scale sine:
+        ``6.02 N + 1.76`` dB."""
+        return 6.02 * self.config.resolution_bits + 1.76

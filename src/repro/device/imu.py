@@ -1,0 +1,150 @@
+"""Accelerometer + gyroscope model and posture classification.
+
+Section III-A: "the accelerometer and gyroscope sense motion, which are
+used to distinguish different positions."  Each protocol position puts
+gravity along a different device axis:
+
+* Position 1 — device held against the chest: gravity along the
+  device's -Y (device upright against the sternum);
+* Position 2 — arms outstretched forward: the device faces up, gravity
+  along -Z;
+* Position 3 — arms hanging: the device points down, gravity along +X.
+
+The classifier matches the low-passed accelerometer vector against
+those templates; the gyroscope RMS gates *stability* (a reading taken
+while the arm is still swinging is rejected, which the acquisition
+loop of Fig 3 uses to re-prompt the user).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = ["ImuSample", "ImuModel", "PostureClassifier",
+           "GRAVITY_TEMPLATES"]
+
+#: Earth gravity in m/s^2.
+G = 9.81
+
+#: Unit gravity direction in device coordinates per protocol position.
+GRAVITY_TEMPLATES = {
+    1: np.array([0.0, -1.0, 0.15]) / np.linalg.norm([0.0, -1.0, 0.15]),
+    2: np.array([0.0, -0.15, -1.0]) / np.linalg.norm([0.0, -0.15, -1.0]),
+    3: np.array([1.0, -0.2, 0.0]) / np.linalg.norm([1.0, -0.2, 0.0]),
+}
+
+
+@dataclass(frozen=True)
+class ImuSample:
+    """One IMU reading: 3-axis accel (m/s^2) and gyro (rad/s)."""
+
+    accel: np.ndarray
+    gyro: np.ndarray
+
+    def __post_init__(self) -> None:
+        accel = np.asarray(self.accel, dtype=float)
+        gyro = np.asarray(self.gyro, dtype=float)
+        if accel.shape != (3,) or gyro.shape != (3,):
+            raise ConfigurationError("accel and gyro must be 3-vectors")
+        object.__setattr__(self, "accel", accel)
+        object.__setattr__(self, "gyro", gyro)
+
+
+class ImuModel:
+    """Generates IMU streams for a subject holding a protocol position.
+
+    Tremor shows up as band-limited acceleration noise plus small
+    angular rates; the ``tremor_level`` parameter matches the position
+    scaling used for the impedance motion artifacts, keeping the two
+    modalities consistent.
+    """
+
+    def __init__(self, fs: float = 50.0, accel_noise_ms2: float = 0.05,
+                 gyro_noise_rads: float = 0.01) -> None:
+        if fs <= 0:
+            raise ConfigurationError("fs must be positive")
+        if accel_noise_ms2 < 0 or gyro_noise_rads < 0:
+            raise ConfigurationError("noise levels must be >= 0")
+        self.fs = float(fs)
+        self.accel_noise_ms2 = float(accel_noise_ms2)
+        self.gyro_noise_rads = float(gyro_noise_rads)
+
+    def simulate(self, position: int, duration_s: float,
+                 rng: np.random.Generator,
+                 tremor_level: float = 1.0) -> list:
+        """A list of :class:`ImuSample` for a held posture."""
+        if position not in GRAVITY_TEMPLATES:
+            raise ConfigurationError(
+                f"position must be one of {sorted(GRAVITY_TEMPLATES)}, "
+                f"got {position}")
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if tremor_level < 0:
+            raise ConfigurationError("tremor level must be >= 0")
+        n = max(1, int(round(duration_s * self.fs)))
+        gravity = G * GRAVITY_TEMPLATES[position]
+        # Slow postural sway: a random-walk tilt of a few degrees.
+        sway = np.cumsum(rng.standard_normal((n, 3)), axis=0)
+        sway *= 0.002 * tremor_level
+        samples = []
+        for k in range(n):
+            tilt = sway[k]
+            accel = (gravity + G * tilt
+                     + self.accel_noise_ms2 * tremor_level
+                     * rng.standard_normal(3))
+            gyro = (self.gyro_noise_rads * tremor_level
+                    * rng.standard_normal(3))
+            samples.append(ImuSample(accel=accel, gyro=gyro))
+        return samples
+
+
+class PostureClassifier:
+    """Nearest-gravity-template posture classifier with stability gate."""
+
+    def __init__(self, max_angle_deg: float = 35.0,
+                 max_gyro_rms_rads: float = 0.25) -> None:
+        if not 0.0 < max_angle_deg < 90.0:
+            raise ConfigurationError("max angle must be in (0, 90) deg")
+        if max_gyro_rms_rads <= 0:
+            raise ConfigurationError("gyro gate must be positive")
+        self.max_angle_deg = float(max_angle_deg)
+        self.max_gyro_rms_rads = float(max_gyro_rms_rads)
+
+    def classify(self, samples) -> int:
+        """Classify a window of :class:`ImuSample`.
+
+        Returns the position id (1-3).  Raises :class:`SignalError`
+        when the window is unstable (gyro gate) or matches no template
+        within the angular tolerance (returns the *rejection* the
+        firmware uses to re-prompt the user).
+        """
+        if not samples:
+            raise SignalError("empty IMU window")
+        accel = np.mean([s.accel for s in samples], axis=0)
+        gyro_rms = float(np.sqrt(np.mean(
+            [np.sum(s.gyro**2) for s in samples])))
+        if gyro_rms > self.max_gyro_rms_rads:
+            raise SignalError(
+                f"window unstable: gyro RMS {gyro_rms:.3f} rad/s exceeds "
+                f"{self.max_gyro_rms_rads}")
+        norm = np.linalg.norm(accel)
+        if norm == 0:
+            raise SignalError("zero acceleration vector (free fall?)")
+        direction = accel / norm
+        best_position = None
+        best_angle = np.inf
+        for position, template in GRAVITY_TEMPLATES.items():
+            cosine = float(np.clip(np.dot(direction, template), -1.0, 1.0))
+            angle = np.degrees(np.arccos(cosine))
+            if angle < best_angle:
+                best_angle = angle
+                best_position = position
+        if best_angle > self.max_angle_deg:
+            raise SignalError(
+                f"no posture template within {self.max_angle_deg} deg "
+                f"(best: position {best_position} at {best_angle:.1f} deg)")
+        return best_position

@@ -1,0 +1,106 @@
+"""Excitation current source for the ICG measurement.
+
+The flowchart of Fig 3 starts with "set the frequency of the current we
+inject".  This model validates the programmable frequency/amplitude
+against the safety envelope of IEC 60601-1 (patient auxiliary current:
+100 uA rms below 1 kHz, rising proportionally with frequency and capped
+at 10 mA) and computes the developed voltage across a pathway — the raw
+quantity the voltage front-end amplifies.
+
+The paper uses 50 kHz for the systolic-interval work (citing Kyle et
+al. on current penetration) and sweeps {2, 10, 50, 100} kHz for the
+position study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, HardwareError
+
+__all__ = ["CurrentInjector", "PAPER_SWEEP_FREQUENCIES_HZ",
+           "max_safe_current_ua"]
+
+#: The four injection frequencies of the paper's experiment.
+PAPER_SWEEP_FREQUENCIES_HZ = (2_000.0, 10_000.0, 50_000.0, 100_000.0)
+
+
+def max_safe_current_ua(frequency_hz: float) -> float:
+    """IEC 60601-1 patient auxiliary current limit (rms) at a given
+    frequency: 100 uA below 1 kHz, ``100 uA * f/1 kHz`` above, capped
+    at 10 mA."""
+    if frequency_hz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    if frequency_hz <= 1_000.0:
+        return 100.0
+    return min(10_000.0, 100.0 * frequency_hz / 1_000.0)
+
+
+@dataclass(frozen=True)
+class CurrentInjector:
+    """Programmable constant-current source.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Carrier frequency (adjustable per Fig 3; 1-150 kHz supported).
+    amplitude_ua:
+        RMS current in microampere; validated against the safety limit
+        at construction.
+    output_impedance_ohm:
+        Source output impedance; a finite value makes the injected
+        current sag into high-impedance (poorly coupled) loads — one of
+        the mechanisms behind the device's low-frequency roll-off.
+    """
+
+    frequency_hz: float = 50_000.0
+    amplitude_ua: float = 400.0
+    output_impedance_ohm: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        if not 1_000.0 <= self.frequency_hz <= 150_000.0:
+            raise HardwareError(
+                f"injection frequency {self.frequency_hz} Hz outside the "
+                f"supported 1-150 kHz range")
+        limit = max_safe_current_ua(self.frequency_hz)
+        if not 0.0 < self.amplitude_ua <= limit:
+            raise HardwareError(
+                f"{self.amplitude_ua} uA rms exceeds the IEC 60601-1 "
+                f"limit of {limit:.0f} uA at {self.frequency_hz} Hz")
+        if self.output_impedance_ohm <= 0:
+            raise ConfigurationError("output impedance must be positive")
+
+    def delivered_current_ua(self, load_ohm: float) -> float:
+        """Actual rms current into a load (current-divider sag)."""
+        if load_ohm < 0:
+            raise ConfigurationError("load must be >= 0")
+        return self.amplitude_ua * self.output_impedance_ohm / (
+            self.output_impedance_ohm + load_ohm)
+
+    def developed_voltage_mv(self, impedance_ohm) -> np.ndarray:
+        """RMS voltage developed across a (possibly time-varying)
+        measured impedance, in millivolt."""
+        z = np.asarray(impedance_ohm, dtype=float)
+        if np.any(z < 0):
+            raise ConfigurationError("impedance must be >= 0")
+        current_a = self.delivered_current_ua(float(np.mean(z))) * 1e-6
+        return z * current_a * 1e3
+
+    def with_frequency(self, frequency_hz: float) -> "CurrentInjector":
+        """Copy of this injector at a different carrier frequency,
+        re-validated against the safety envelope."""
+        return CurrentInjector(frequency_hz, self.amplitude_ua,
+                               self.output_impedance_ohm)
+
+    @classmethod
+    def safe_for(cls, frequency_hz: float,
+                 margin: float = 0.8) -> "CurrentInjector":
+        """An injector at ``margin`` times the safety limit for the
+        given frequency — what the firmware programs when sweeping the
+        2-100 kHz frequencies of the protocol."""
+        if not 0.0 < margin <= 1.0:
+            raise ConfigurationError(f"margin must be in (0, 1], got {margin}")
+        amplitude = margin * max_safe_current_ua(frequency_hz)
+        return cls(frequency_hz, amplitude)

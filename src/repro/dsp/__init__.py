@@ -1,0 +1,100 @@
+"""Digital signal processing substrate.
+
+Everything the paper's embedded pipeline needs, implemented from scratch
+on numpy: window functions, windowed-sinc FIR design, Butterworth IIR
+design with second-order-section filtering, zero-phase application,
+grey-scale morphology for baseline wander, smoothed derivatives,
+spectral estimation and resampling.
+
+The public surface re-exports the most commonly used callables; the
+individual submodules stay importable for the full APIs.
+"""
+
+from repro.dsp.derivative import (
+    central_difference,
+    fit_line,
+    line_x_intercept,
+    local_maxima,
+    local_minima,
+    savgol_derivative,
+    sign_pattern_positions,
+    smooth_derivative,
+    zero_crossings,
+)
+from repro.dsp.fir import (
+    apply_fir,
+    design_bandpass,
+    design_bandstop,
+    design_highpass,
+    design_lowpass,
+    filtfilt_fir,
+    frequency_response,
+    group_delay,
+)
+from repro.dsp.iir import (
+    butter_bandpass,
+    butter_bandstop,
+    butter_highpass,
+    butter_lowpass,
+    sos_frequency_response,
+    sosfilt,
+    sosfilt_zi,
+    sosfiltfilt,
+)
+from repro.dsp.morphology import (
+    closing,
+    dilate,
+    erode,
+    estimate_baseline,
+    opening,
+    remove_baseline,
+)
+from repro.dsp.resample import (
+    decimate,
+    linear_resample,
+    resample_rate,
+    resample_to_length,
+)
+from repro.dsp.spectral import (
+    band_power,
+    dominant_frequency,
+    periodogram,
+    total_power,
+    welch,
+)
+from repro.dsp.wavelet import (
+    denoise as wavelet_denoise,
+    dwt,
+    idwt,
+    level_band_hz,
+    suppress_low_frequency,
+    wavedec,
+    waverec,
+)
+from repro.dsp.windows import get_window, hamming, hann, kaiser
+
+__all__ = [
+    # windows
+    "get_window", "hamming", "hann", "kaiser",
+    # fir
+    "design_lowpass", "design_highpass", "design_bandpass", "design_bandstop",
+    "apply_fir", "filtfilt_fir", "group_delay", "frequency_response",
+    # iir
+    "butter_lowpass", "butter_highpass", "butter_bandpass", "butter_bandstop",
+    "sosfilt", "sosfilt_zi", "sosfiltfilt", "sos_frequency_response",
+    # morphology
+    "erode", "dilate", "opening", "closing",
+    "estimate_baseline", "remove_baseline",
+    # derivative
+    "central_difference", "smooth_derivative", "savgol_derivative",
+    "fit_line", "line_x_intercept", "zero_crossings",
+    "local_minima", "local_maxima", "sign_pattern_positions",
+    # spectral
+    "periodogram", "welch", "band_power", "total_power",
+    "dominant_frequency",
+    # resample
+    "linear_resample", "resample_to_length", "decimate", "resample_rate",
+    # wavelet
+    "dwt", "idwt", "wavedec", "waverec", "wavelet_denoise",
+    "suppress_low_frequency", "level_band_hz",
+]

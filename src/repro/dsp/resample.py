@@ -1,0 +1,108 @@
+"""Resampling utilities.
+
+Two kinds of resampling appear in this system:
+
+* *rate conversion* of full recordings (e.g. simulating the device's
+  selectable 125 Hz - 16 kHz sampling rates from a high-rate synthetic
+  master signal), done with an anti-aliased polyphase-style FIR method;
+* *beat normalisation* to a fixed number of samples per cardiac cycle,
+  used by the ensemble-averaging and correlation analyses, done with
+  linear interpolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp import fir as _fir
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "linear_resample",
+    "resample_to_length",
+    "decimate",
+    "resample_rate",
+]
+
+
+def _as_signal(x) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
+    if x.size == 0:
+        raise SignalError("signal is empty")
+    return x
+
+
+def linear_resample(x, times_in, times_out) -> np.ndarray:
+    """Linear interpolation of ``x`` sampled at ``times_in`` onto
+    ``times_out``.  Out-of-range targets clamp to the edge values."""
+    x = _as_signal(x)
+    times_in = np.asarray(times_in, dtype=float)
+    times_out = np.asarray(times_out, dtype=float)
+    if times_in.shape != x.shape:
+        raise SignalError("times_in must match the signal length")
+    if np.any(np.diff(times_in) <= 0):
+        raise SignalError("times_in must be strictly increasing")
+    return np.interp(times_out, times_in, x)
+
+
+def resample_to_length(x, n_out: int) -> np.ndarray:
+    """Resample a signal to exactly ``n_out`` samples (linear).
+
+    End points map to end points, which preserves landmark positions in
+    *relative* time — the property the beat-correlation analysis needs.
+    """
+    x = _as_signal(x)
+    if n_out < 2:
+        raise ConfigurationError(f"output length must be >= 2, got {n_out}")
+    if x.size == 1:
+        return np.full(n_out, x[0])
+    src = np.linspace(0.0, 1.0, x.size)
+    dst = np.linspace(0.0, 1.0, n_out)
+    return np.interp(dst, src, x)
+
+
+def decimate(x, factor: int, fs: float) -> np.ndarray:
+    """Integer-factor decimation with an anti-alias FIR low-pass.
+
+    The low-pass cuts at 80 % of the new Nyquist rate using a 64th-order
+    zero-phase FIR, then every ``factor``-th sample is kept.
+    """
+    x = _as_signal(x)
+    if not isinstance(factor, (int, np.integer)) or factor < 1:
+        raise ConfigurationError(f"factor must be a positive integer, got {factor}")
+    if factor == 1:
+        return x.copy()
+    new_nyquist = fs / (2.0 * factor)
+    taps = _fir.design_lowpass(64, 0.8 * new_nyquist, fs)
+    if x.size <= taps.size:
+        raise SignalError(
+            f"signal of {x.size} samples too short to decimate by {factor}"
+        )
+    filtered = _fir.filtfilt_fir(taps, x)
+    return filtered[::factor]
+
+
+def resample_rate(x, fs_in: float, fs_out: float) -> np.ndarray:
+    """Arbitrary-rate resampling.
+
+    Downsampling applies an anti-alias low-pass first; upsampling uses
+    plain linear interpolation (adequate for the smooth, band-limited
+    physiological signals in this library).
+    """
+    x = _as_signal(x)
+    if fs_in <= 0 or fs_out <= 0:
+        raise ConfigurationError("sampling rates must be positive")
+    if fs_in == fs_out:
+        return x.copy()
+    duration = (x.size - 1) / fs_in
+    n_out = max(2, int(round(duration * fs_out)) + 1)
+    if fs_out < fs_in:
+        taps = _fir.design_lowpass(64, 0.45 * fs_out, fs_in)
+        if x.size > taps.size:
+            x = _fir.filtfilt_fir(taps, x)
+    times_in = np.arange(x.size) / fs_in
+    times_out = np.arange(n_out) / fs_out
+    times_out = times_out[times_out <= times_in[-1] + 1e-12]
+    return np.interp(times_out, times_in, x)

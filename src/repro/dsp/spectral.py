@@ -1,0 +1,129 @@
+"""Spectral estimation: periodogram, Welch PSD and band power.
+
+Used throughout the library to verify filter behaviour (the paper
+motivates the 20 Hz ICG low-pass by inspecting the signal's spectrum)
+and by the signal-quality metrics in :mod:`repro.ecg.quality`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._compat import trapezoid
+from repro.dsp import windows as _windows
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "periodogram",
+    "welch",
+    "band_power",
+    "total_power",
+    "dominant_frequency",
+]
+
+
+def _as_signal(x) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
+    if x.size == 0:
+        raise SignalError("signal is empty")
+    return x
+
+
+def periodogram(x, fs: float, window="hann", detrend: bool = True):
+    """One-sided periodogram PSD estimate.
+
+    Returns ``(freqs, psd)`` with PSD in units of ``x**2 / Hz``,
+    normalised so that ``sum(psd) * df`` approximates the signal power.
+    """
+    x = _as_signal(x)
+    if fs <= 0:
+        raise ConfigurationError(f"sampling rate must be positive, got {fs}")
+    if detrend:
+        x = x - x.mean()
+    w = _windows.get_window(window, x.size, periodic=True)
+    scale = 1.0 / (fs * np.sum(w**2))
+    spectrum = np.fft.rfft(x * w)
+    psd = scale * np.abs(spectrum) ** 2
+    # One-sided correction: double everything except DC (and Nyquist for
+    # even lengths).
+    if x.size % 2 == 0:
+        psd[1:-1] *= 2.0
+    else:
+        psd[1:] *= 2.0
+    freqs = np.fft.rfftfreq(x.size, d=1.0 / fs)
+    return freqs, psd
+
+
+def welch(x, fs: float, nperseg: int = 256, overlap: float = 0.5,
+          window="hann", detrend: bool = True):
+    """Welch-averaged PSD estimate.
+
+    Segments of ``nperseg`` samples with fractional ``overlap`` are
+    windowed, periodogrammed, and averaged.  Short inputs degrade
+    gracefully to a single segment.
+    """
+    x = _as_signal(x)
+    if fs <= 0:
+        raise ConfigurationError(f"sampling rate must be positive, got {fs}")
+    if nperseg < 8:
+        raise ConfigurationError(f"nperseg must be >= 8, got {nperseg}")
+    if not 0.0 <= overlap < 1.0:
+        raise ConfigurationError(f"overlap must be in [0, 1), got {overlap}")
+    nperseg = min(int(nperseg), x.size)
+    step = max(1, int(round(nperseg * (1.0 - overlap))))
+    starts = range(0, x.size - nperseg + 1, step)
+    if not starts:
+        starts = [0]
+    psd_accumulator = None
+    count = 0
+    freqs = None
+    for start in starts:
+        segment = x[start: start + nperseg]
+        freqs, psd = periodogram(segment, fs, window=window, detrend=detrend)
+        psd_accumulator = psd if psd_accumulator is None else psd_accumulator + psd
+        count += 1
+    return freqs, psd_accumulator / count
+
+
+def band_power(freqs, psd, low_hz: float, high_hz: float) -> float:
+    """Integrated PSD over ``[low_hz, high_hz]`` (trapezoidal rule)."""
+    freqs = np.asarray(freqs, dtype=float)
+    psd = np.asarray(psd, dtype=float)
+    if freqs.shape != psd.shape:
+        raise SignalError("freqs and psd must have matching shapes")
+    if low_hz >= high_hz:
+        raise ConfigurationError(
+            f"band limits must satisfy low < high, got [{low_hz}, {high_hz}]"
+        )
+    mask = (freqs >= low_hz) & (freqs <= high_hz)
+    if mask.sum() < 2:
+        return 0.0
+    return float(trapezoid(psd[mask], freqs[mask]))
+
+
+def total_power(freqs, psd) -> float:
+    """Integrated PSD over the full one-sided axis."""
+    freqs = np.asarray(freqs, dtype=float)
+    psd = np.asarray(psd, dtype=float)
+    return float(trapezoid(psd, freqs))
+
+
+def dominant_frequency(x, fs: float, low_hz: float = 0.0,
+                       high_hz: float = None) -> float:
+    """Frequency of the PSD maximum, optionally restricted to a band.
+
+    Used e.g. to recover respiration rate from the impedance baseline.
+    """
+    freqs, psd = welch(x, fs, nperseg=min(1024, max(8, len(np.atleast_1d(x)))))
+    if high_hz is None:
+        high_hz = fs / 2.0
+    mask = (freqs >= low_hz) & (freqs <= high_hz)
+    if not mask.any():
+        raise SignalError(
+            f"no PSD bins inside the requested band [{low_hz}, {high_hz}] Hz"
+        )
+    band_freqs = freqs[mask]
+    band_psd = psd[mask]
+    return float(band_freqs[int(np.argmax(band_psd))])

@@ -1,0 +1,155 @@
+"""Window functions for FIR design and spectral estimation.
+
+All windows are implemented directly on numpy so that the library has no
+runtime dependency on :mod:`scipy`; the test-suite cross-checks each
+window against ``scipy.signal.get_window`` as an oracle.
+
+Windows are returned *symmetric* by default (the right choice for filter
+design).  Pass ``periodic=True`` for spectral analysis use, which returns
+the DFT-even variant (equivalent to computing the symmetric window of
+length ``n + 1`` and dropping the last sample).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "rectangular",
+    "hamming",
+    "hann",
+    "blackman",
+    "blackman_harris",
+    "kaiser",
+    "kaiser_beta",
+    "kaiser_order",
+    "get_window",
+]
+
+
+def _check_length(n: int) -> None:
+    if not isinstance(n, (int, np.integer)):
+        raise ConfigurationError(f"window length must be an integer, got {n!r}")
+    if n < 1:
+        raise ConfigurationError(f"window length must be >= 1, got {n}")
+
+
+def _cosine_window(n: int, coefficients, periodic: bool) -> np.ndarray:
+    """Generalised cosine window: ``sum_k (-1)^k a_k cos(2 pi k t)``."""
+    _check_length(n)
+    if n == 1:
+        return np.ones(1)
+    denom = n if periodic else n - 1
+    t = np.arange(n) / denom
+    window = np.zeros(n)
+    for k, a_k in enumerate(coefficients):
+        window += ((-1) ** k) * a_k * np.cos(2.0 * np.pi * k * t)
+    return window
+
+
+def rectangular(n: int, periodic: bool = False) -> np.ndarray:
+    """Rectangular (boxcar) window of length ``n``."""
+    _check_length(n)
+    del periodic  # identical either way
+    return np.ones(n)
+
+
+def hamming(n: int, periodic: bool = False) -> np.ndarray:
+    """Hamming window (first sidelobe about -43 dB)."""
+    return _cosine_window(n, (0.54, 0.46), periodic)
+
+
+def hann(n: int, periodic: bool = False) -> np.ndarray:
+    """Hann window (raised cosine, sidelobes roll off at -18 dB/octave)."""
+    return _cosine_window(n, (0.5, 0.5), periodic)
+
+
+def blackman(n: int, periodic: bool = False) -> np.ndarray:
+    """Blackman window (classic a0=0.42 variant, sidelobes < -58 dB)."""
+    return _cosine_window(n, (0.42, 0.5, 0.08), periodic)
+
+
+def blackman_harris(n: int, periodic: bool = False) -> np.ndarray:
+    """4-term Blackman-Harris window (sidelobes < -92 dB)."""
+    return _cosine_window(n, (0.35875, 0.48829, 0.14128, 0.01168), periodic)
+
+
+def kaiser(n: int, beta: float, periodic: bool = False) -> np.ndarray:
+    """Kaiser window with shape parameter ``beta``.
+
+    ``beta`` trades main-lobe width against sidelobe attenuation; use
+    :func:`kaiser_beta` to derive it from a stop-band attenuation target.
+    """
+    _check_length(n)
+    if beta < 0:
+        raise ConfigurationError(f"kaiser beta must be >= 0, got {beta}")
+    if n == 1:
+        return np.ones(1)
+    denom = n if periodic else n - 1
+    ratio = 2.0 * np.arange(n) / denom - 1.0
+    return np.i0(beta * np.sqrt(np.clip(1.0 - ratio**2, 0.0, None))) / np.i0(beta)
+
+
+def kaiser_beta(attenuation_db: float) -> float:
+    """Kaiser's empirical beta for a given stop-band attenuation in dB."""
+    a = float(attenuation_db)
+    if a > 50.0:
+        return 0.1102 * (a - 8.7)
+    if a >= 21.0:
+        return 0.5842 * (a - 21.0) ** 0.4 + 0.07886 * (a - 21.0)
+    return 0.0
+
+
+def kaiser_order(attenuation_db: float, transition_width: float) -> int:
+    """Estimate the FIR order for a Kaiser-window design.
+
+    Parameters
+    ----------
+    attenuation_db:
+        Desired stop-band attenuation in dB (positive number).
+    transition_width:
+        Transition band width as a fraction of the sampling rate
+        (``delta_f / fs``), must be in (0, 0.5).
+    """
+    if not 0.0 < transition_width < 0.5:
+        raise ConfigurationError(
+            f"transition width must be in (0, 0.5) of fs, got {transition_width}"
+        )
+    a = float(attenuation_db)
+    numtaps = (a - 7.95) / (2.285 * 2.0 * np.pi * transition_width) + 1
+    return max(1, int(np.ceil(numtaps)) - 1)
+
+
+_WINDOWS_BY_NAME = {
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+    "hamming": hamming,
+    "hann": hann,
+    "hanning": hann,
+    "blackman": blackman,
+    "blackmanharris": blackman_harris,
+    "blackman_harris": blackman_harris,
+}
+
+
+def get_window(name, n: int, periodic: bool = False) -> np.ndarray:
+    """Look a window up by name, mirroring scipy's string interface.
+
+    ``name`` may be a plain string (``"hamming"``) or a ``("kaiser",
+    beta)`` tuple.  Unknown names raise :class:`ConfigurationError`.
+    """
+    if isinstance(name, tuple):
+        kind, *params = name
+        if kind.lower() == "kaiser":
+            if len(params) != 1:
+                raise ConfigurationError("kaiser window expects ('kaiser', beta)")
+            return kaiser(n, float(params[0]), periodic=periodic)
+        raise ConfigurationError(f"unknown parametric window {kind!r}")
+    key = str(name).lower()
+    if key not in _WINDOWS_BY_NAME:
+        raise ConfigurationError(
+            f"unknown window {name!r}; available: {sorted(_WINDOWS_BY_NAME)}"
+        )
+    return _WINDOWS_BY_NAME[key](n, periodic=periodic)

@@ -1,0 +1,40 @@
+"""ECG processing: the paper's conditioning chain, Pan-Tompkins QRS
+detection, signal quality and heart-rate statistics."""
+
+from repro.ecg.hrv import (
+    HrvSummary,
+    heart_rate_from_indices,
+    hrv_summary,
+    instantaneous_hr_bpm,
+    mean_heart_rate_bpm,
+    rr_intervals,
+)
+from repro.ecg.pan_tompkins import (
+    PanTompkinsConfig,
+    PanTompkinsDetector,
+    detect_r_peaks,
+)
+from repro.ecg.preprocessing import (
+    EcgFilterConfig,
+    bandpass,
+    preprocess_ecg,
+    remove_baseline_wander,
+)
+from repro.ecg.quality import (
+    SignalQuality,
+    assess_quality,
+    clipping_fraction,
+    flatline_fraction,
+    qrs_template_correlation,
+    snr_db,
+)
+
+__all__ = [
+    "EcgFilterConfig", "remove_baseline_wander", "bandpass",
+    "preprocess_ecg",
+    "PanTompkinsConfig", "PanTompkinsDetector", "detect_r_peaks",
+    "SignalQuality", "assess_quality", "snr_db", "flatline_fraction",
+    "clipping_fraction", "qrs_template_correlation",
+    "rr_intervals", "mean_heart_rate_bpm", "instantaneous_hr_bpm",
+    "HrvSummary", "hrv_summary", "heart_rate_from_indices",
+]

@@ -1,0 +1,92 @@
+"""RR-interval series and heart-rate statistics.
+
+The device reports HR next to Z0/LVET/PEP (the radio payload listed in
+Section V), and Fig 9 plots the per-subject heart rate; this module
+derives those numbers from detected R peaks, plus the standard
+short-term HRV statistics as a natural extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "rr_intervals",
+    "mean_heart_rate_bpm",
+    "instantaneous_hr_bpm",
+    "HrvSummary",
+    "hrv_summary",
+]
+
+
+def rr_intervals(r_times_s, max_rr_s: float = 3.0,
+                 min_rr_s: float = 0.25) -> np.ndarray:
+    """RR intervals (seconds) from R-peak times, with gross outliers
+    (missed/false beats outside ``[min_rr_s, max_rr_s]``) dropped."""
+    r_times_s = np.asarray(r_times_s, dtype=float)
+    if r_times_s.ndim != 1 or r_times_s.size < 2:
+        raise SignalError("need at least two R peaks for RR intervals")
+    if np.any(np.diff(r_times_s) <= 0):
+        raise SignalError("R-peak times must be strictly increasing")
+    rr = np.diff(r_times_s)
+    return rr[(rr >= min_rr_s) & (rr <= max_rr_s)]
+
+
+def mean_heart_rate_bpm(r_times_s) -> float:
+    """Mean HR over a recording — the number the device transmits."""
+    rr = rr_intervals(r_times_s)
+    if rr.size == 0:
+        raise SignalError("no physiological RR intervals found")
+    return float(60.0 / rr.mean())
+
+
+def instantaneous_hr_bpm(r_times_s) -> np.ndarray:
+    """Beat-to-beat HR series (one value per RR interval)."""
+    rr = rr_intervals(r_times_s)
+    if rr.size == 0:
+        raise SignalError("no physiological RR intervals found")
+    return 60.0 / rr
+
+
+@dataclass(frozen=True)
+class HrvSummary:
+    """Short-term time-domain HRV statistics."""
+
+    mean_hr_bpm: float
+    sdnn_ms: float
+    rmssd_ms: float
+    pnn50: float
+    n_beats: int
+
+
+def hrv_summary(r_times_s) -> HrvSummary:
+    """Time-domain HRV summary from R-peak times.
+
+    SDNN = standard deviation of RR; RMSSD = root-mean-square of
+    successive differences; pNN50 = fraction of successive differences
+    above 50 ms.
+    """
+    rr = rr_intervals(r_times_s)
+    if rr.size < 3:
+        raise SignalError("need at least three RR intervals for HRV")
+    rr_ms = rr * 1000.0
+    diffs = np.diff(rr_ms)
+    return HrvSummary(
+        mean_hr_bpm=float(60_000.0 / rr_ms.mean()),
+        sdnn_ms=float(rr_ms.std(ddof=1)),
+        rmssd_ms=float(np.sqrt(np.mean(diffs**2))),
+        pnn50=float(np.mean(np.abs(diffs) > 50.0)) if diffs.size else 0.0,
+        n_beats=int(rr.size + 1),
+    )
+
+
+def heart_rate_from_indices(r_indices, fs: float) -> float:
+    """Mean HR from R-peak *sample indices* (firmware convenience)."""
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    r_indices = np.asarray(r_indices, dtype=float)
+    return mean_heart_rate_bpm(r_indices / fs)

@@ -1,0 +1,93 @@
+"""The paper's ECG conditioning chain.
+
+Two stages, exactly as Section IV-A.1 describes:
+
+1. *Baseline-wander removal by morphological filtering* (Sun et al.
+   2002): an opening removes peaks, a closing removes the resulting
+   pits, and the outcome — the baseline-drift estimate — is subtracted
+   from the original signal.
+2. *Zero-phase band-pass*: a 32nd-order FIR with cut-offs 0.05 Hz and
+   40 Hz, applied forward-backward so the QRS timing used for PEP is
+   not skewed by filter delay.
+
+Note on fidelity: a 33-tap FIR at 250 Hz cannot build a sharp 0.05 Hz
+edge — the paper relies on the morphological stage for everything below
+~1 Hz and uses the FIR mainly as a 40 Hz low-pass.  We implement the
+stated design faithfully and verify exactly that division of labour in
+the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp import fir as _fir
+from repro.dsp import morphology as _morphology
+from repro.errors import ConfigurationError
+
+__all__ = ["EcgFilterConfig", "remove_baseline_wander", "bandpass",
+           "preprocess_ecg"]
+
+
+@dataclass(frozen=True)
+class EcgFilterConfig:
+    """Parameters of the ECG conditioning chain (paper defaults)."""
+
+    fir_order: int = 32
+    low_cut_hz: float = 0.05
+    high_cut_hz: float = 40.0
+    window: str = "hamming"
+    #: Structuring-element lengths in seconds for the morphological
+    #: baseline estimator (opening, closing); ``None`` derives them from
+    #: the sampling rate (0.2 s / 0.3 s per Sun et al.).
+    morphology_lengths_s: tuple = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_cut_hz < self.high_cut_hz:
+            raise ConfigurationError(
+                f"need 0 < low < high cut-off, got "
+                f"[{self.low_cut_hz}, {self.high_cut_hz}]")
+
+    def morphology_lengths(self, fs: float) -> tuple:
+        """Structuring-element lengths in (odd) samples."""
+        if self.morphology_lengths_s is None:
+            return _morphology.default_element_lengths(fs)
+        first_s, second_s = self.morphology_lengths_s
+        lengths = []
+        for seconds in (first_s, second_s):
+            samples = max(3, int(round(seconds * fs)))
+            samples += 1 - samples % 2
+            lengths.append(samples)
+        return tuple(lengths)
+
+
+def remove_baseline_wander(ecg, fs: float,
+                           config: EcgFilterConfig = None) -> np.ndarray:
+    """Morphological baseline correction (stage 1 of the paper chain)."""
+    config = config or EcgFilterConfig()
+    return _morphology.remove_baseline(ecg, fs,
+                                       config.morphology_lengths(fs))
+
+
+def bandpass(ecg, fs: float, config: EcgFilterConfig = None) -> np.ndarray:
+    """Zero-phase FIR band-pass (stage 2 of the paper chain)."""
+    config = config or EcgFilterConfig()
+    if config.high_cut_hz >= fs / 2.0:
+        raise ConfigurationError(
+            f"high cut-off {config.high_cut_hz} Hz does not fit below "
+            f"fs/2 = {fs / 2.0} Hz")
+    taps = _fir.design_bandpass(config.fir_order, config.low_cut_hz,
+                                config.high_cut_hz, fs,
+                                window=config.window)
+    return _fir.filtfilt_fir(taps, ecg)
+
+
+def preprocess_ecg(ecg, fs: float,
+                   config: EcgFilterConfig = None) -> np.ndarray:
+    """Full paper chain: morphological baseline removal, then the
+    zero-phase 0.05-40 Hz FIR band-pass."""
+    config = config or EcgFilterConfig()
+    corrected = remove_baseline_wander(ecg, fs, config)
+    return bandpass(corrected, fs, config)

@@ -1,0 +1,147 @@
+"""ECG signal-quality metrics.
+
+A touch device must know when the user's grip is poor: these metrics
+feed the acquisition loop of Fig 3 (re-prompt the user instead of
+reporting hemodynamics from garbage).  All metrics are cheap enough for
+the embedded budget modelled in :mod:`repro.device.mcu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp import spectral as _spectral
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "snr_db",
+    "flatline_fraction",
+    "clipping_fraction",
+    "qrs_template_correlation",
+    "SignalQuality",
+    "assess_quality",
+]
+
+
+def _as_signal(x) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise SignalError("expected a non-empty 1-D signal")
+    return x
+
+
+def snr_db(ecg, fs: float, signal_band=(5.0, 20.0),
+           noise_band=(45.0, None)) -> float:
+    """Spectral SNR: QRS-band power over high-frequency noise power.
+
+    ``noise_band`` upper edge defaults to Nyquist.  Returns dB; raises
+    :class:`SignalError` when either band is empty.
+    """
+    ecg = _as_signal(ecg)
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    freqs, psd = _spectral.welch(ecg, fs,
+                                 nperseg=min(1024, max(64, ecg.size // 4)))
+    noise_hi = noise_band[1] if noise_band[1] is not None else fs / 2.0
+    p_signal = _spectral.band_power(freqs, psd, *signal_band)
+    p_noise = _spectral.band_power(freqs, psd, noise_band[0], noise_hi)
+    if p_noise <= 0 or p_signal <= 0:
+        raise SignalError("insufficient spectral content to estimate SNR")
+    return float(10.0 * np.log10(p_signal / p_noise))
+
+
+def flatline_fraction(ecg, fs: float, window_s: float = 0.5,
+                      threshold: float = 1e-6) -> float:
+    """Fraction of the recording whose local peak-to-peak span is below
+    ``threshold`` — a lead-off / lost-contact indicator."""
+    ecg = _as_signal(ecg)
+    window = max(2, int(round(window_s * fs)))
+    n_windows = ecg.size // window
+    if n_windows == 0:
+        return 0.0
+    flat = 0
+    for k in range(n_windows):
+        segment = ecg[k * window:(k + 1) * window]
+        if float(segment.max() - segment.min()) < threshold:
+            flat += 1
+    return flat / n_windows
+
+
+def clipping_fraction(ecg, rail_fraction: float = 0.999) -> float:
+    """Fraction of samples pinned at the extreme values (ADC rails)."""
+    ecg = _as_signal(ecg)
+    if not 0.5 < rail_fraction <= 1.0:
+        raise ConfigurationError("rail_fraction must be in (0.5, 1]")
+    lo, hi = ecg.min(), ecg.max()
+    if hi == lo:
+        return 1.0
+    span = hi - lo
+    near_hi = ecg >= lo + rail_fraction * span
+    near_lo = ecg <= lo + (1.0 - rail_fraction) * span
+    return float((near_hi.sum() + near_lo.sum()) / ecg.size)
+
+
+def qrs_template_correlation(ecg, fs: float, r_peaks) -> float:
+    """Mean correlation of each beat against the median beat template.
+
+    Values near 1 mean consistent QRS morphology (good contact); motion
+    artifacts and grip changes drag it down.  Needs >= 3 beats.
+    """
+    ecg = _as_signal(ecg)
+    r_peaks = np.asarray(r_peaks, dtype=int)
+    if r_peaks.size < 3:
+        raise SignalError("need at least three beats for a template")
+    half = int(0.12 * fs)
+    beats = []
+    for r in r_peaks:
+        if r - half < 0 or r + half >= ecg.size:
+            continue
+        beats.append(ecg[r - half: r + half + 1])
+    if len(beats) < 3:
+        raise SignalError("not enough full beats inside the recording")
+    stack = np.vstack(beats)
+    template = np.median(stack, axis=0)
+    t_center = template - template.mean()
+    t_norm = float(np.sqrt(np.sum(t_center**2)))
+    if t_norm == 0:
+        raise SignalError("degenerate (constant) beat template")
+    correlations = []
+    for beat in stack:
+        b_center = beat - beat.mean()
+        b_norm = float(np.sqrt(np.sum(b_center**2)))
+        if b_norm == 0:
+            correlations.append(0.0)
+            continue
+        correlations.append(float(np.dot(b_center, t_center)
+                                  / (b_norm * t_norm)))
+    return float(np.mean(correlations))
+
+
+@dataclass(frozen=True)
+class SignalQuality:
+    """Bundle of quality indicators with an overall verdict."""
+
+    snr_db: float
+    flatline_fraction: float
+    clipping_fraction: float
+    template_correlation: float
+
+    @property
+    def acceptable(self) -> bool:
+        """Conservative gate used by the firmware acquisition loop."""
+        return (self.snr_db > 8.0
+                and self.flatline_fraction < 0.05
+                and self.clipping_fraction < 0.02
+                and self.template_correlation > 0.8)
+
+
+def assess_quality(ecg, fs: float, r_peaks) -> SignalQuality:
+    """Compute all quality indicators in one pass."""
+    return SignalQuality(
+        snr_db=snr_db(ecg, fs),
+        flatline_fraction=flatline_fraction(ecg, fs),
+        clipping_fraction=clipping_fraction(ecg),
+        template_correlation=qrs_template_correlation(ecg, fs, r_peaks),
+    )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while still letting programming errors
+(``TypeError``, ``ValueError`` from numpy, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SignalError",
+    "DetectionError",
+    "HardwareError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters.
+
+    Raised eagerly at construction time (filters with out-of-range cut-off
+    frequencies, ADCs with non-positive resolution, subjects with
+    non-physiological vitals, ...), never lazily at use time.
+    """
+
+
+class SignalError(ReproError):
+    """An input signal does not satisfy a routine's requirements.
+
+    Typical causes: empty arrays, wrong dimensionality, signals shorter
+    than a filter's impulse response, or non-finite samples where finite
+    data is required.
+    """
+
+
+class DetectionError(ReproError):
+    """A detector could not produce a result on an otherwise valid signal.
+
+    Example: the ICG B-point search is asked to analyse a beat whose
+    C point sits at the very first sample, leaving no room for the
+    backward searches the algorithm performs.
+    """
+
+
+class HardwareError(ReproError):
+    """A simulated hardware component was driven outside its envelope.
+
+    Example: requesting an ADC sampling rate outside the supported
+    125 Hz - 16 kHz range of the paper's acquisition system, or drawing
+    current from an empty battery.
+    """
+
+
+class ProtocolError(ReproError):
+    """The experimental protocol was violated (wrong position ids,
+    missing recordings for a requested frequency, ...)."""

@@ -1,0 +1,29 @@
+"""Experiment protocol, study runner and artefact rendering."""
+
+from repro.experiments.protocol import (
+    HEMODYNAMICS_FREQUENCY_HZ,
+    HEMODYNAMICS_POSITIONS,
+    POSITIONS,
+    ProtocolConfig,
+)
+from repro.experiments.study import (
+    RecordingAnalysis,
+    StudyResult,
+    analyse_recording,
+    run_study,
+)
+from repro.experiments.tables import (
+    format_table,
+    render_correlation_table,
+    render_hemodynamics,
+    render_mean_z_series,
+    render_relative_errors,
+)
+
+__all__ = [
+    "ProtocolConfig", "POSITIONS", "HEMODYNAMICS_POSITIONS",
+    "HEMODYNAMICS_FREQUENCY_HZ",
+    "RecordingAnalysis", "StudyResult", "run_study", "analyse_recording",
+    "format_table", "render_correlation_table", "render_mean_z_series",
+    "render_relative_errors", "render_hemodynamics",
+]

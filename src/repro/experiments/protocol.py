@@ -1,0 +1,64 @@
+"""The measurement protocol of Section V.
+
+Five male subjects; the traditional thoracic reference recorded first;
+then the touch device in three arm positions (held to the chest, arms
+outstretched parallel to the floor, arms down by the sides); each
+recording 30 s at fs = 250 Hz; everything repeated at four injection
+frequencies (2, 10, 50, 100 kHz).  Systolic-interval analysis (Fig 9)
+uses Positions 1 and 2 — the pair with the largest mutual error, i.e.
+the worst case — at the 50 kHz frequency the paper selects for
+LVET/PEP work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.injector import PAPER_SWEEP_FREQUENCIES_HZ
+from repro.errors import ConfigurationError
+
+__all__ = ["ProtocolConfig", "POSITIONS", "HEMODYNAMICS_POSITIONS",
+           "HEMODYNAMICS_FREQUENCY_HZ"]
+
+#: The three arm positions of the study.
+POSITIONS = (1, 2, 3)
+
+#: Positions used for the LVET/PEP/HR comparison (Fig 9): the worst
+#: case pair per the relative-error analysis.
+HEMODYNAMICS_POSITIONS = (1, 2)
+
+#: Injection frequency used for systolic intervals (Section IV-B).
+HEMODYNAMICS_FREQUENCY_HZ = 50_000.0
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Parameters of one protocol run."""
+
+    duration_s: float = 30.0
+    fs: float = 250.0
+    frequencies_hz: tuple = PAPER_SWEEP_FREQUENCIES_HZ
+    positions: tuple = POSITIONS
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 8.0:
+            raise ConfigurationError(
+                "protocol recordings must be at least 8 s for stable "
+                "ensembles")
+        if self.fs <= 0:
+            raise ConfigurationError("fs must be positive")
+        if not self.frequencies_hz:
+            raise ConfigurationError("need at least one frequency")
+        if any(f <= 0 for f in self.frequencies_hz):
+            raise ConfigurationError("frequencies must be positive")
+        invalid = set(self.positions) - set(POSITIONS)
+        if invalid:
+            raise ConfigurationError(
+                f"unknown positions {sorted(invalid)}")
+
+    def quick(self) -> "ProtocolConfig":
+        """A reduced configuration for fast tests (shorter recordings,
+        two frequencies)."""
+        return ProtocolConfig(duration_s=12.0, fs=self.fs,
+                              frequencies_hz=self.frequencies_hz[:2],
+                              positions=self.positions)

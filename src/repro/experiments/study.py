@@ -1,0 +1,258 @@
+"""The full study runner: synthesize the protocol, regenerate every
+table and figure of the paper's evaluation.
+
+One :func:`run_study` call produces a :class:`StudyResult` from which
+each artefact is derived:
+
+* ``correlation_table(position)`` — Tables II, III, IV;
+* ``thoracic_mean_z()`` — Fig 6;
+* ``device_mean_z(position)`` — Figs 7a-c (pairs are just two calls);
+* ``relative_errors()`` — Figs 8a-c;
+* ``hemodynamics(position)`` — Figs 9a-b.
+
+The correlation statistic is the Pearson coefficient between the
+ensemble-averaged ICG beats (device vs thoracic, normalised cardiac
+phase), averaged over the four injection frequencies.  The paper does
+not spell out its exact computation; this interpretation captures what
+the claim is used for — "the touch signal has the same morphology as
+the thoracic signal" — and is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bioimpedance.analysis import (
+    pearson_correlation,
+    position_relative_errors,
+)
+from repro.ecg.pan_tompkins import PanTompkinsDetector
+from repro.ecg.preprocessing import preprocess_ecg
+from repro.errors import ProtocolError
+from repro.experiments.protocol import (
+    HEMODYNAMICS_FREQUENCY_HZ,
+    HEMODYNAMICS_POSITIONS,
+    ProtocolConfig,
+)
+from repro.icg.ensemble import EnsembleConfig, ensemble_average
+from repro.icg.points import detect_all_points
+from repro.icg.preprocessing import icg_from_impedance
+from repro.icg.hemodynamics import systolic_intervals
+from repro.synth.recording import SynthesisConfig, synthesize_recording
+from repro.synth.subject import default_cohort
+
+__all__ = ["RecordingAnalysis", "StudyResult", "run_study",
+           "analyse_recording"]
+
+
+@dataclass(frozen=True)
+class RecordingAnalysis:
+    """Derived quantities of one protocol recording."""
+
+    subject_id: int
+    setup: str
+    position: int
+    frequency_hz: float
+    mean_z0_ohm: float
+    ensemble_beat: np.ndarray
+    mean_pep_s: float
+    mean_lvet_s: float
+    hr_bpm: float
+    n_beats: int
+    n_failures: int
+
+
+def analyse_recording(recording) -> RecordingAnalysis:
+    """Run the detection chain on one recording and summarise it."""
+    fs = recording.fs
+    ecg = recording.channel("ecg")
+    z = recording.channel("z")
+    filtered = preprocess_ecg(ecg, fs)
+    r_peaks = PanTompkinsDetector(fs).detect(filtered)
+    icg = icg_from_impedance(z, fs)
+    ensemble = ensemble_average(icg, fs, r_peaks, EnsembleConfig())
+    points, failures = detect_all_points(icg, fs, r_peaks)
+    if points:
+        intervals = systolic_intervals(points, fs)
+        mean_pep = intervals.mean_pep_s
+        mean_lvet = intervals.mean_lvet_s
+    else:
+        mean_pep = float("nan")
+        mean_lvet = float("nan")
+    rr = np.diff(r_peaks) / fs
+    return RecordingAnalysis(
+        subject_id=int(recording.meta["subject_id"]),
+        setup=str(recording.meta["setup"]),
+        position=int(recording.meta["position"]),
+        frequency_hz=float(recording.meta["injection_frequency_hz"]),
+        mean_z0_ohm=float(np.mean(z)),
+        ensemble_beat=ensemble.waveform,
+        mean_pep_s=mean_pep,
+        mean_lvet_s=mean_lvet,
+        hr_bpm=float(60.0 / rr.mean()) if rr.size else float("nan"),
+        n_beats=len(points),
+        n_failures=len(failures),
+    )
+
+
+@dataclass
+class StudyResult:
+    """All analysed recordings of a protocol run, with artefact
+    derivations."""
+
+    config: ProtocolConfig
+    subject_ids: list
+    #: (subject_id, position, frequency_hz) -> RecordingAnalysis
+    device: dict = field(default_factory=dict)
+    #: (subject_id, frequency_hz) -> RecordingAnalysis
+    thoracic: dict = field(default_factory=dict)
+
+    # -- Tables II-IV ----------------------------------------------------
+
+    def correlation(self, subject_id: int, position: int) -> float:
+        """Device-vs-thoracic ensemble-beat correlation, averaged over
+        the injection frequencies."""
+        values = []
+        for freq in self.config.frequencies_hz:
+            device = self._device(subject_id, position, freq)
+            thoracic = self._thoracic(subject_id, freq)
+            values.append(pearson_correlation(device.ensemble_beat,
+                                              thoracic.ensemble_beat))
+        return float(np.mean(values))
+
+    def correlation_table(self, position: int) -> dict:
+        """One of Tables II-IV: ``{subject_id: r}`` for a position."""
+        return {sid: self.correlation(sid, position)
+                for sid in self.subject_ids}
+
+    # -- Figs 6-7 -----------------------------------------------------------
+
+    def thoracic_mean_z(self) -> dict:
+        """Fig 6: ``{frequency_hz: [Z0 per subject]}``."""
+        return {
+            freq: [self._thoracic(sid, freq).mean_z0_ohm
+                   for sid in self.subject_ids]
+            for freq in self.config.frequencies_hz
+        }
+
+    def device_mean_z(self, position: int) -> dict:
+        """Fig 7 (one position): ``{frequency_hz: [Z0 per subject]}``."""
+        return {
+            freq: [self._device(sid, position, freq).mean_z0_ohm
+                   for sid in self.subject_ids]
+            for freq in self.config.frequencies_hz
+        }
+
+    # -- Fig 8 -----------------------------------------------------------
+
+    def relative_errors(self) -> dict:
+        """Figs 8a-c: ``{error_name: {subject_id: {freq: value}}}``.
+
+        Errors follow equations (1)-(3) on the per-frequency mean
+        device impedances.
+        """
+        out = {"e21": {}, "e23": {}, "e31": {}}
+        for sid in self.subject_ids:
+            per_freq = {name: {} for name in out}
+            for freq in self.config.frequencies_hz:
+                mean_z = {
+                    pos: self._device(sid, pos, freq).mean_z0_ohm
+                    for pos in self.config.positions
+                }
+                errors = position_relative_errors(mean_z)
+                for name, value in errors.items():
+                    per_freq[name][freq] = value
+            for name in out:
+                out[name][sid] = per_freq[name]
+        return out
+
+    def worst_case_error(self) -> float:
+        """Conclusion claim: the largest |relative error| anywhere."""
+        errors = self.relative_errors()
+        worst = 0.0
+        for by_subject in errors.values():
+            for by_freq in by_subject.values():
+                for value in by_freq.values():
+                    worst = max(worst, abs(value))
+        return worst
+
+    # -- Fig 9 ------------------------------------------------------------
+
+    def hemodynamics(self, position: int,
+                     frequency_hz: float = HEMODYNAMICS_FREQUENCY_HZ,
+                     ) -> dict:
+        """Fig 9: ``{subject_id: {"lvet_s", "pep_s", "hr_bpm"}}``."""
+        if position not in HEMODYNAMICS_POSITIONS:
+            raise ProtocolError(
+                f"the paper evaluates hemodynamics in positions "
+                f"{HEMODYNAMICS_POSITIONS}, not {position}")
+        table = {}
+        for sid in self.subject_ids:
+            analysis = self._device(sid, position, frequency_hz)
+            table[sid] = {
+                "lvet_s": analysis.mean_lvet_s,
+                "pep_s": analysis.mean_pep_s,
+                "hr_bpm": analysis.hr_bpm,
+            }
+        return table
+
+    # -- aggregate claims ---------------------------------------------------
+
+    def mean_correlation(self) -> float:
+        """Conclusion claim: overall correlation (the paper's ~85 %)."""
+        values = []
+        for position in self.config.positions:
+            values.extend(self.correlation_table(position).values())
+        return float(np.mean(values))
+
+    # -- internals ---------------------------------------------------------
+
+    def _device(self, subject_id: int, position: int,
+                frequency_hz: float) -> RecordingAnalysis:
+        key = (subject_id, position, float(frequency_hz))
+        if key not in self.device:
+            raise ProtocolError(
+                f"no device recording for subject {subject_id}, position "
+                f"{position}, {frequency_hz} Hz")
+        return self.device[key]
+
+    def _thoracic(self, subject_id: int,
+                  frequency_hz: float) -> RecordingAnalysis:
+        key = (subject_id, float(frequency_hz))
+        if key not in self.thoracic:
+            raise ProtocolError(
+                f"no thoracic recording for subject {subject_id} at "
+                f"{frequency_hz} Hz")
+        return self.thoracic[key]
+
+
+def run_study(cohort=None, config: ProtocolConfig = None,
+              verbose: bool = False) -> StudyResult:
+    """Simulate and analyse the complete protocol.
+
+    Every recording is deterministic (seeded per subject/setup/
+    position/frequency), so repeated runs produce identical tables.
+    """
+    cohort = cohort if cohort is not None else default_cohort()
+    config = config or ProtocolConfig()
+    result = StudyResult(config=config,
+                         subject_ids=[s.subject_id for s in cohort])
+    for subject in cohort:
+        for freq in config.frequencies_hz:
+            synth = SynthesisConfig(duration_s=config.duration_s,
+                                    fs=config.fs,
+                                    injection_frequency_hz=freq)
+            recording = synthesize_recording(subject, "thoracic", 1, synth)
+            result.thoracic[(subject.subject_id, float(freq))] = (
+                analyse_recording(recording))
+            for position in config.positions:
+                recording = synthesize_recording(subject, "device",
+                                                 position, synth)
+                key = (subject.subject_id, position, float(freq))
+                result.device[key] = analyse_recording(recording)
+                if verbose:
+                    print(f"analysed subject {subject.subject_id} "
+                          f"pos {position} f={freq / 1000:.0f} kHz")
+    return result

@@ -1,0 +1,102 @@
+"""Text rendering of the paper's tables and figure series.
+
+Benches print through these helpers so every artefact has the same
+shape as in the paper (e.g. "Subjects | Correlation Coefficient" for
+Tables II-IV), making paper-vs-measured comparison mechanical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "format_table",
+    "render_correlation_table",
+    "render_mean_z_series",
+    "render_relative_errors",
+    "render_hemodynamics",
+]
+
+
+def format_table(headers, rows, title: str = None) -> str:
+    """Monospace table with a header rule; values are pre-formatted
+    strings."""
+    headers = [str(h) for h in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row} does not match header width {len(headers)}")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_correlation_table(table: dict, position: int) -> str:
+    """Tables II-IV: per-subject correlation for one position."""
+    rows = [[f"Subject {sid}", f"{r:.4f}"]
+            for sid, r in sorted(table.items())]
+    number = {1: "II", 2: "III", 3: "IV"}.get(position, "?")
+    return format_table(
+        ["Subjects", "Correlation Coefficient"], rows,
+        title=(f"TABLE {number}: Correlation Position {position} VS "
+               f"Thoracic bioimpedance"))
+
+
+def render_mean_z_series(series: dict, label: str) -> str:
+    """Figs 6-7: mean Z0 per frequency (rows) and subject (columns)."""
+    freqs = sorted(series)
+    n_subjects = len(series[freqs[0]])
+    headers = ["f (kHz)"] + [f"S{i + 1}" for i in range(n_subjects)] + [
+        "mean"]
+    rows = []
+    for freq in freqs:
+        values = series[freq]
+        rows.append([f"{freq / 1000:g}"]
+                    + [f"{v:.2f}" for v in values]
+                    + [f"{np.mean(values):.2f}"])
+    return format_table(headers, rows, title=label)
+
+
+def render_relative_errors(errors: dict) -> str:
+    """Figs 8a-c: e21/e23/e31 per subject and frequency."""
+    blocks = []
+    for name in ("e21", "e23", "e31"):
+        by_subject = errors[name]
+        subject_ids = sorted(by_subject)
+        freqs = sorted(next(iter(by_subject.values())))
+        headers = ["f (kHz)"] + [f"S{sid}" for sid in subject_ids]
+        rows = []
+        for freq in freqs:
+            rows.append([f"{freq / 1000:g}"]
+                        + [f"{by_subject[sid][freq] * 100:+.1f}%"
+                           for sid in subject_ids])
+        blocks.append(format_table(headers, rows,
+                                   title=f"Fig 8 ({name}): relative error"))
+    return "\n\n".join(blocks)
+
+
+def render_hemodynamics(table: dict, position: int) -> str:
+    """Fig 9: LVET/PEP/HR per subject for one position."""
+    rows = []
+    for sid in sorted(table):
+        entry = table[sid]
+        rows.append([
+            f"Subject {sid}",
+            f"{entry['lvet_s'] * 1000:.0f}",
+            f"{entry['pep_s'] * 1000:.0f}",
+            f"{entry['hr_bpm']:.0f}",
+        ])
+    return format_table(
+        ["Subject", "LVET (ms)", "PEP (ms)", "HR (bpm)"], rows,
+        title=f"Fig 9: characteristic ICG parameters, Position {position}")

@@ -1,0 +1,114 @@
+"""Beat ensemble averaging.
+
+The correlation study (Tables II-IV) compares the *morphology* of the
+cardiac impedance waveform seen by the touch device against the
+thoracic reference.  Individual beats are noisy; the standard tool is
+the ensemble average: each RR interval is resampled to a common length
+(normalised cardiac phase), outlier beats are rejected by correlation
+against the median template, and the survivors are averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bioimpedance.analysis import pearson_correlation
+from repro.dsp.resample import resample_to_length
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = ["EnsembleConfig", "EnsembleBeat", "ensemble_average",
+           "extract_beats"]
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Parameters of the ensemble averager."""
+
+    n_phase_samples: int = 100
+    min_beats: int = 5
+    #: Beats whose correlation against the median template falls below
+    #: this are dropped (grip adjustments, coughs, ...).
+    outlier_correlation: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_phase_samples < 10:
+            raise ConfigurationError("need at least 10 phase samples")
+        if self.min_beats < 2:
+            raise ConfigurationError("need at least 2 beats")
+        if not -1.0 <= self.outlier_correlation < 1.0:
+            raise ConfigurationError(
+                "outlier_correlation must be in [-1, 1)")
+
+
+@dataclass(frozen=True)
+class EnsembleBeat:
+    """Result of ensemble averaging.
+
+    ``waveform`` is the mean beat over normalised cardiac phase
+    (``n_phase_samples`` long); ``n_used``/``n_total`` record the
+    outlier rejection, and ``beat_matrix`` keeps the per-beat rows for
+    dispersion analyses.
+    """
+
+    waveform: np.ndarray
+    n_used: int
+    n_total: int
+    beat_matrix: np.ndarray
+
+    @property
+    def rejection_fraction(self) -> float:
+        """Fraction of beats discarded as outliers."""
+        return 1.0 - self.n_used / self.n_total if self.n_total else 0.0
+
+
+def extract_beats(signal, fs: float, r_indices,
+                  n_phase_samples: int = 100) -> np.ndarray:
+    """Phase-normalised beat matrix: one row per RR interval,
+    resampled to ``n_phase_samples`` columns."""
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise SignalError("expected a 1-D signal")
+    r_indices = np.asarray(r_indices, dtype=int)
+    if r_indices.size < 2:
+        raise SignalError("need at least two R peaks")
+    rows = []
+    for lo, hi in zip(r_indices[:-1], r_indices[1:]):
+        if lo < 0 or hi > signal.size or hi - lo < 4:
+            continue
+        rows.append(resample_to_length(signal[lo:hi], n_phase_samples))
+    if not rows:
+        raise SignalError("no complete beats inside the signal")
+    return np.vstack(rows)
+
+
+def ensemble_average(signal, fs: float, r_indices,
+                     config: EnsembleConfig = None) -> EnsembleBeat:
+    """Outlier-robust ensemble average over normalised cardiac phase."""
+    config = config or EnsembleConfig()
+    beats = extract_beats(signal, fs, r_indices, config.n_phase_samples)
+    if beats.shape[0] < config.min_beats:
+        raise SignalError(
+            f"only {beats.shape[0]} beats available, need "
+            f">= {config.min_beats}")
+    template = np.median(beats, axis=0)
+    keep = []
+    for row in beats:
+        try:
+            corr = pearson_correlation(row, template)
+        except SignalError:
+            corr = -1.0  # constant beat: certainly an artifact
+        keep.append(corr >= config.outlier_correlation)
+    keep = np.asarray(keep)
+    if keep.sum() < config.min_beats:
+        # Too aggressive for this recording: fall back to all beats
+        # rather than fail — the caller sees the rejection stats.
+        keep = np.ones(beats.shape[0], dtype=bool)
+    used = beats[keep]
+    return EnsembleBeat(
+        waveform=used.mean(axis=0),
+        n_used=int(keep.sum()),
+        n_total=int(beats.shape[0]),
+        beat_matrix=beats,
+    )

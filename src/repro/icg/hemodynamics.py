@@ -1,0 +1,244 @@
+"""Hemodynamic parameter estimation from detected ICG points.
+
+Implements the paper's Section IV-B quantities and the two classic
+stroke-volume estimators it cites:
+
+* systolic time intervals — LVET (B to X) and PEP (ECG R to ICG B);
+* stroke volume via Kubicek et al. (1966):
+  ``SV = rho * (L / Z0)^2 * LVET * dZdt_max``;
+* stroke volume via Sramek-Bernstein (as in Thomas 1992):
+  ``SV = delta * ((0.17 H)^3 / 4.25) * (dZdt_max / Z0) * LVET``;
+* cardiac output ``CO = SV * HR``;
+* thoracic fluid content ``TFC = 1000 / Z0`` (the fluid-status index
+  used by the CHF-monitoring literature the paper builds on).
+
+Stroke-volume formulas are calibrated for *thoracic* measurements; when
+fed the touch device's hand-to-hand Z0 they need the pathway's
+calibration factor — see :meth:`HemodynamicsEstimator.with_calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+from repro.icg.points import BeatPoints
+
+__all__ = [
+    "SystolicIntervals",
+    "systolic_intervals",
+    "BeatHemodynamics",
+    "HemodynamicsEstimator",
+    "kubicek_stroke_volume_ml",
+    "sramek_bernstein_stroke_volume_ml",
+    "thoracic_fluid_content",
+]
+
+#: Resistivity of blood in ohm*cm, the classic Kubicek constant.
+BLOOD_RESISTIVITY_OHM_CM = 135.0
+
+
+@dataclass(frozen=True)
+class SystolicIntervals:
+    """Per-recording summary of the systolic time intervals."""
+
+    pep_s: np.ndarray
+    lvet_s: np.ndarray
+
+    @property
+    def mean_pep_s(self) -> float:
+        """Mean pre-ejection period."""
+        return float(self.pep_s.mean())
+
+    @property
+    def mean_lvet_s(self) -> float:
+        """Mean left-ventricular ejection time."""
+        return float(self.lvet_s.mean())
+
+    @property
+    def pep_over_lvet(self) -> float:
+        """The PEP/LVET ratio (systolic performance index)."""
+        return self.mean_pep_s / self.mean_lvet_s
+
+    @property
+    def n_beats(self) -> int:
+        """Number of beats contributing to the summary."""
+        return int(self.pep_s.size)
+
+
+def systolic_intervals(points, fs: float,
+                       max_pep_s: float = 0.30,
+                       max_lvet_s: float = 0.60) -> SystolicIntervals:
+    """LVET/PEP per beat from detected points, with gross outliers
+    (detection failures that slipped through) removed."""
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    if not points:
+        raise SignalError("no detected beats supplied")
+    pep = np.array([p.pep_s(fs) for p in points])
+    lvet = np.array([p.lvet_s(fs) for p in points])
+    valid = ((pep > 0.0) & (pep <= max_pep_s)
+             & (lvet > 0.0) & (lvet <= max_lvet_s))
+    if not valid.any():
+        raise SignalError("no physiologically valid beats after gating")
+    return SystolicIntervals(pep_s=pep[valid], lvet_s=lvet[valid])
+
+
+def kubicek_stroke_volume_ml(z0_ohm: float, lvet_s: float,
+                             dzdt_max_ohm_s: float,
+                             electrode_distance_cm: float,
+                             rho_ohm_cm: float = BLOOD_RESISTIVITY_OHM_CM,
+                             ) -> float:
+    """Kubicek stroke volume in millilitres.
+
+    ``SV = rho * (L / Z0)^2 * LVET * dZdt_max`` with L the inner
+    electrode distance.
+    """
+    if z0_ohm <= 0 or lvet_s <= 0 or electrode_distance_cm <= 0:
+        raise ConfigurationError(
+            "Z0, LVET and electrode distance must be positive")
+    if dzdt_max_ohm_s <= 0:
+        raise ConfigurationError("dZ/dt max must be positive")
+    return float(rho_ohm_cm * (electrode_distance_cm / z0_ohm) ** 2
+                 * lvet_s * dzdt_max_ohm_s)
+
+
+def sramek_bernstein_stroke_volume_ml(z0_ohm: float, lvet_s: float,
+                                      dzdt_max_ohm_s: float,
+                                      height_cm: float,
+                                      delta: float = 1.0) -> float:
+    """Sramek-Bernstein stroke volume in millilitres.
+
+    ``SV = delta * ((0.17 H)^3 / 4.25) * LVET * dZdt_max / Z0`` where H
+    is the subject height and ``delta`` Bernstein's body-habitus
+    correction (1 for normal build).
+    """
+    if z0_ohm <= 0 or lvet_s <= 0 or height_cm <= 0:
+        raise ConfigurationError("Z0, LVET and height must be positive")
+    if dzdt_max_ohm_s <= 0:
+        raise ConfigurationError("dZ/dt max must be positive")
+    if delta <= 0:
+        raise ConfigurationError("delta must be positive")
+    vept = (0.17 * height_cm) ** 3 / 4.25  # volume of electrically
+    return float(delta * vept * lvet_s * dzdt_max_ohm_s / z0_ohm)
+
+
+def thoracic_fluid_content(z0_ohm: float) -> float:
+    """Thoracic fluid content, ``1000 / Z0`` (1/kOhm).
+
+    Rising TFC means fluid accumulation — the early-warning trend for
+    CHF decompensation the paper's introduction motivates.
+    """
+    if z0_ohm <= 0:
+        raise ConfigurationError("Z0 must be positive")
+    return 1000.0 / z0_ohm
+
+
+@dataclass(frozen=True)
+class BeatHemodynamics:
+    """Full per-beat hemodynamic estimate."""
+
+    pep_s: float
+    lvet_s: float
+    hr_bpm: float
+    dzdt_max_ohm_s: float
+    sv_kubicek_ml: float
+    sv_sramek_ml: float
+    co_kubicek_l_min: float
+    co_sramek_l_min: float
+
+
+class HemodynamicsEstimator:
+    """Turns detected beats into hemodynamic parameters.
+
+    Parameters
+    ----------
+    fs:
+        Sampling rate of the analysed signals.
+    z0_ohm:
+        Mean base impedance of the recording (thoracic-equivalent; see
+        ``calibration``).
+    height_cm:
+        Subject height (Sramek-Bernstein needs it).
+    electrode_distance_cm:
+        Inner-electrode distance for Kubicek; defaults to 0.17 * height
+        when omitted (the usual approximation).
+    z0_calibration, dzdt_calibration:
+        Multipliers converting the *measured* Z0 and dZ/dt to the
+        thoracic-equivalent scale the SV formulas assume.  Both are 1.0
+        for the traditional setup.  The touch device needs two separate
+        factors because its pathway scales the base impedance (arms in
+        series: Z0 is ~17x thoracic) and the cardiac pulse (coupling:
+        dZ/dt is ~0.3x thoracic) by *different* amounts — a single
+        scalar cannot fix both, which is exactly why the paper reports
+        systolic time intervals (calibration-free) rather than absolute
+        SV from the device.
+    """
+
+    def __init__(self, fs: float, z0_ohm: float, height_cm: float,
+                 electrode_distance_cm: float = None,
+                 z0_calibration: float = 1.0,
+                 dzdt_calibration: float = 1.0) -> None:
+        if fs <= 0:
+            raise ConfigurationError("fs must be positive")
+        if z0_ohm <= 0:
+            raise ConfigurationError("Z0 must be positive")
+        if height_cm <= 0:
+            raise ConfigurationError("height must be positive")
+        if z0_calibration <= 0 or dzdt_calibration <= 0:
+            raise ConfigurationError("calibrations must be positive")
+        self.fs = float(fs)
+        self.z0_ohm = float(z0_ohm)
+        self.height_cm = float(height_cm)
+        self.electrode_distance_cm = float(
+            electrode_distance_cm if electrode_distance_cm is not None
+            else 0.17 * height_cm)
+        self.z0_calibration = float(z0_calibration)
+        self.dzdt_calibration = float(dzdt_calibration)
+
+    def with_calibration(self, z0_calibration: float,
+                         dzdt_calibration: float) -> "HemodynamicsEstimator":
+        """Copy of this estimator with different pathway calibrations."""
+        return HemodynamicsEstimator(self.fs, self.z0_ohm, self.height_cm,
+                                     self.electrode_distance_cm,
+                                     z0_calibration, dzdt_calibration)
+
+    def estimate_beat(self, point: BeatPoints, rr_s: float, icg,
+                      ) -> BeatHemodynamics:
+        """Hemodynamics of one beat given its points and RR interval."""
+        if rr_s <= 0:
+            raise ConfigurationError("RR interval must be positive")
+        icg = np.asarray(icg, dtype=float)
+        pep = point.pep_s(self.fs)
+        lvet = point.lvet_s(self.fs)
+        if not 0 <= point.c_index < icg.size:
+            raise SignalError("C index outside the supplied ICG")
+        dzdt_max = float(icg[point.c_index]) * self.dzdt_calibration
+        z0_equivalent = self.z0_ohm * self.z0_calibration
+        if dzdt_max <= 0:
+            raise SignalError("non-positive dZ/dt maximum at C")
+        hr = 60.0 / rr_s
+        sv_k = kubicek_stroke_volume_ml(z0_equivalent, lvet, dzdt_max,
+                                        self.electrode_distance_cm)
+        sv_s = sramek_bernstein_stroke_volume_ml(z0_equivalent, lvet,
+                                                 dzdt_max, self.height_cm)
+        return BeatHemodynamics(
+            pep_s=pep, lvet_s=lvet, hr_bpm=hr, dzdt_max_ohm_s=dzdt_max,
+            sv_kubicek_ml=sv_k, sv_sramek_ml=sv_s,
+            co_kubicek_l_min=sv_k * hr / 1000.0,
+            co_sramek_l_min=sv_s * hr / 1000.0,
+        )
+
+    def estimate_all(self, points, icg) -> list:
+        """Per-beat hemodynamics for a detected-point sequence.
+
+        RR intervals are taken between consecutive R indices; the last
+        beat is dropped when no successor exists.
+        """
+        results = []
+        for current, successor in zip(points[:-1], points[1:]):
+            rr = (successor.r_index - current.r_index) / self.fs
+            results.append(self.estimate_beat(current, rr, icg))
+        return results

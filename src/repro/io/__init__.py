@@ -1,0 +1,5 @@
+"""Recording containers and persistence."""
+
+from repro.io.records import Recording
+
+__all__ = ["Recording"]

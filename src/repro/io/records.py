@@ -1,0 +1,192 @@
+"""Recording containers and on-disk persistence.
+
+A :class:`Recording` is the unit every stage of the system exchanges:
+synthesizers produce them, device models transform them, detectors and
+the experiment runner consume them.  It bundles equal-length sampled
+channels with a sampling rate, ground-truth/derived annotations and
+free-form metadata, and round-trips losslessly through ``.npz`` files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = ["Recording"]
+
+
+@dataclass
+class Recording:
+    """A multichannel sampled recording with annotations.
+
+    Parameters
+    ----------
+    fs:
+        Sampling rate in Hz, shared by every channel.
+    signals:
+        Mapping of channel name to 1-D float array; all channels must
+        have the same length.  Conventional names used across the
+        library: ``"ecg"`` (millivolt), ``"z"`` (measured impedance,
+        ohm), ``"icg"`` (-dZ/dt, ohm/s).
+    annotations:
+        Mapping of annotation name to 1-D float array (event times in
+        seconds, per-beat values, ...).  Lengths are annotation-specific.
+    meta:
+        Scalar metadata (subject id, position, injection frequency,
+        ground-truth parameters, ...).  Values must be str/int/float/bool
+        so the container serialises cleanly.
+    """
+
+    fs: float
+    signals: dict = field(default_factory=dict)
+    annotations: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0:
+            raise ConfigurationError(f"fs must be positive, got {self.fs}")
+        if not self.signals:
+            raise ConfigurationError("a recording needs at least one channel")
+        lengths = set()
+        clean_signals = {}
+        for name, data in self.signals.items():
+            arr = np.asarray(data, dtype=float)
+            if arr.ndim != 1:
+                raise SignalError(
+                    f"channel {name!r} must be 1-D, got shape {arr.shape}")
+            if arr.size == 0:
+                raise SignalError(f"channel {name!r} is empty")
+            clean_signals[name] = arr
+            lengths.add(arr.size)
+        if len(lengths) != 1:
+            raise SignalError(
+                f"all channels must share one length, got {sorted(lengths)}")
+        self.signals = clean_signals
+        self.annotations = {
+            name: np.atleast_1d(np.asarray(vals, dtype=float))
+            for name, vals in self.annotations.items()
+        }
+        for key, value in self.meta.items():
+            if not isinstance(value, (str, int, float, bool, np.integer,
+                                      np.floating)):
+                raise ConfigurationError(
+                    f"meta[{key!r}] must be a scalar, got {type(value)}")
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in every channel."""
+        return next(iter(self.signals.values())).size
+
+    @property
+    def duration_s(self) -> float:
+        """Recording duration in seconds."""
+        return self.n_samples / self.fs
+
+    @property
+    def time_s(self) -> np.ndarray:
+        """Time axis in seconds (starts at 0)."""
+        return np.arange(self.n_samples) / self.fs
+
+    def channel(self, name: str) -> np.ndarray:
+        """A channel by name; raises :class:`SignalError` when absent."""
+        if name not in self.signals:
+            raise SignalError(
+                f"no channel {name!r}; available: {sorted(self.signals)}")
+        return self.signals[name]
+
+    def annotation(self, name: str) -> np.ndarray:
+        """An annotation by name; raises :class:`SignalError` when absent."""
+        if name not in self.annotations:
+            raise SignalError(
+                f"no annotation {name!r}; available: "
+                f"{sorted(self.annotations)}")
+        return self.annotations[name]
+
+    def with_channel(self, name: str, data) -> "Recording":
+        """A copy of this recording with one channel added/replaced."""
+        signals = dict(self.signals)
+        signals[name] = np.asarray(data, dtype=float)
+        return Recording(self.fs, signals, dict(self.annotations),
+                         dict(self.meta))
+
+    def slice_time(self, start_s: float, stop_s: float) -> "Recording":
+        """A time-sliced copy.
+
+        Annotations holding event *timestamps* — names ending in
+        ``_times_s`` by convention — are shifted and cropped; all other
+        annotations (per-beat intervals etc.) are kept verbatim.
+        """
+        if not 0.0 <= start_s < stop_s:
+            raise ConfigurationError(
+                f"need 0 <= start < stop, got [{start_s}, {stop_s}]")
+        i0 = int(round(start_s * self.fs))
+        i1 = min(int(round(stop_s * self.fs)), self.n_samples)
+        if i1 - i0 < 2:
+            raise SignalError("slice selects fewer than two samples")
+        signals = {k: v[i0:i1] for k, v in self.signals.items()}
+        annotations = {}
+        for name, values in self.annotations.items():
+            if name.endswith("_times_s"):
+                kept = values[(values >= start_s) & (values < stop_s)]
+                annotations[name] = kept - start_s
+            else:
+                annotations[name] = values
+        return Recording(self.fs, signals, annotations, dict(self.meta))
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> Path:
+        """Serialise to a compressed ``.npz`` file and return its path."""
+        path = Path(path)
+        payload = {"__fs__": np.asarray(self.fs)}
+        for name, data in self.signals.items():
+            payload[f"sig::{name}"] = data
+        for name, data in self.annotations.items():
+            payload[f"ann::{name}"] = data
+        for key, value in self.meta.items():
+            payload[f"meta::{key}"] = np.asarray(value)
+        np.savez_compressed(path, **payload)
+        # numpy appends .npz to bare names; report the real location.
+        return path if str(path).endswith(".npz") else Path(f"{path}.npz")
+
+    @classmethod
+    def load(cls, path) -> "Recording":
+        """Load a recording previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            # numpy appends .npz when saving to a bare name
+            alt = path.with_name(path.name + ".npz")
+            if alt.exists():
+                path = alt
+            else:
+                raise ConfigurationError(f"no recording file at {path}")
+        with np.load(path, allow_pickle=False) as data:
+            fs = float(data["__fs__"])
+            signals, annotations, meta = {}, {}, {}
+            for key in data.files:
+                if key.startswith("sig::"):
+                    signals[key[5:]] = data[key]
+                elif key.startswith("ann::"):
+                    annotations[key[5:]] = data[key]
+                elif key.startswith("meta::"):
+                    value = data[key]
+                    meta[key[6:]] = (value.item() if value.ndim == 0
+                                     else value.tolist())
+        return cls(fs, signals, annotations, meta)
+
+    def export_csv(self, path) -> Path:
+        """Write the channels as a CSV with a time column (for external
+        plotting tools).  Annotations/meta are not included."""
+        path = Path(path)
+        names = sorted(self.signals)
+        header = ",".join(["time_s"] + names)
+        table = np.column_stack([self.time_s]
+                                + [self.signals[n] for n in names])
+        np.savetxt(path, table, delimiter=",", header=header, comments="")
+        return path

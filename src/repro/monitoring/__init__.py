@@ -1,0 +1,34 @@
+"""Out-patient monitoring on top of the device's daily measurements.
+
+The paper's future-work direction, built out: longitudinal trend
+tracking, CHF decompensation alerts (and the weight-gain comparator its
+introduction argues against), and respiration-rate extraction from the
+signals the device already acquires.
+"""
+
+from repro.monitoring.chf import (
+    ChfMonitor,
+    DailyMeasurement,
+    DecompensationScenario,
+    WeightMonitor,
+    simulate_decompensation_course,
+)
+from repro.monitoring.respiration_rate import (
+    fuse_rate_estimates,
+    respiration_rate_from_impedance,
+    respiration_rate_from_rr,
+)
+from repro.monitoring.trends import (
+    DailySummary,
+    TrendTracker,
+    aggregate_daily,
+    theil_sen_slope,
+)
+
+__all__ = [
+    "DailySummary", "aggregate_daily", "theil_sen_slope", "TrendTracker",
+    "DecompensationScenario", "simulate_decompensation_course",
+    "DailyMeasurement", "ChfMonitor", "WeightMonitor",
+    "respiration_rate_from_impedance", "respiration_rate_from_rr",
+    "fuse_rate_estimates",
+]

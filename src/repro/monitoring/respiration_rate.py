@@ -1,0 +1,96 @@
+"""Respiration-rate extraction from the device's own signals.
+
+The touch device measures thoracic impedance: breathing modulates it
+directly (impedance pneumography) and also modulates the heart period
+(respiratory sinus arrhythmia).  Both estimates come for free from
+signals the device already acquires, extending the report payload —
+one of the natural follow-ons to the paper's future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp import iir as _iir
+from repro.dsp import spectral as _spectral
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = [
+    "respiration_rate_from_impedance",
+    "respiration_rate_from_rr",
+    "fuse_rate_estimates",
+]
+
+#: The paper's respiration band (Section II): 0.04 - 2 Hz.
+RESPIRATION_BAND_HZ = (0.04, 2.0)
+
+
+def respiration_rate_from_impedance(z, fs: float,
+                                    band_hz: tuple = (0.08, 0.7)) -> float:
+    """Breathing rate (Hz) from the raw impedance channel.
+
+    The cardiac component is removed with a zero-phase low-pass at the
+    band's upper edge, then the dominant PSD peak inside the band is
+    taken.  The search band defaults to 5-42 breaths/min (resting to
+    brisk), inside the paper's 0.04-2 Hz artifact band.
+    """
+    z = np.asarray(z, dtype=float)
+    if z.ndim != 1 or z.size == 0:
+        raise SignalError("expected a non-empty 1-D impedance trace")
+    low, high = band_hz
+    if not RESPIRATION_BAND_HZ[0] <= low < high <= RESPIRATION_BAND_HZ[1]:
+        raise ConfigurationError(
+            f"band {band_hz} must sit inside the respiration band "
+            f"{RESPIRATION_BAND_HZ}")
+    if z.size < int(3.0 / low * fs / 4):
+        raise SignalError(
+            "impedance trace too short to resolve the requested band")
+    sos = _iir.butter_lowpass(4, min(2.0 * high, 0.45 * fs), fs)
+    slow = _iir.sosfiltfilt(sos, z - z.mean())
+    return _spectral.dominant_frequency(slow, fs, low_hz=low, high_hz=high)
+
+
+def respiration_rate_from_rr(r_times_s, band_hz: tuple = (0.08, 0.7),
+                             resample_hz: float = 4.0) -> float:
+    """Breathing rate (Hz) from respiratory sinus arrhythmia.
+
+    The RR tachogram is resampled to a uniform grid and the dominant
+    high-frequency peak of its spectrum is the RSA — i.e. respiration —
+    frequency.  Needs at least ~30 s of beats for a stable estimate.
+    """
+    r_times_s = np.asarray(r_times_s, dtype=float)
+    if r_times_s.ndim != 1 or r_times_s.size < 8:
+        raise SignalError("need at least eight R peaks for RSA analysis")
+    if np.any(np.diff(r_times_s) <= 0):
+        raise SignalError("R-peak times must be strictly increasing")
+    rr = np.diff(r_times_s)
+    mid_times = 0.5 * (r_times_s[:-1] + r_times_s[1:])
+    duration = mid_times[-1] - mid_times[0]
+    low, high = band_hz
+    if duration < 2.0 / low:
+        raise SignalError(
+            f"tachogram spans only {duration:.1f} s; too short for "
+            f"{low} Hz resolution")
+    grid = np.arange(mid_times[0], mid_times[-1], 1.0 / resample_hz)
+    tachogram = np.interp(grid, mid_times, rr)
+    return _spectral.dominant_frequency(tachogram - tachogram.mean(),
+                                        resample_hz, low_hz=low,
+                                        high_hz=high)
+
+
+def fuse_rate_estimates(rate_impedance_hz: float, rate_rsa_hz: float,
+                        max_disagreement: float = 0.3) -> float:
+    """Combine the two estimates; reject when they disagree.
+
+    Agreement within ``max_disagreement`` (fractional) returns the
+    mean; disagreement raises — the caller should re-measure rather
+    than report a fabricated number.
+    """
+    if rate_impedance_hz <= 0 or rate_rsa_hz <= 0:
+        raise ConfigurationError("rates must be positive")
+    mean = 0.5 * (rate_impedance_hz + rate_rsa_hz)
+    if abs(rate_impedance_hz - rate_rsa_hz) > max_disagreement * mean:
+        raise SignalError(
+            f"estimates disagree: impedance {rate_impedance_hz:.3f} Hz "
+            f"vs RSA {rate_rsa_hz:.3f} Hz")
+    return mean

@@ -1,0 +1,38 @@
+"""Streaming runtime: the firmware-shaped, op-counted kernels."""
+
+from repro.rt.detectors import (
+    StreamingBeatProcessor,
+    StreamingIcgConditioner,
+    StreamingPanTompkins,
+)
+from repro.rt.fixedpoint import (
+    Q15,
+    Q31,
+    from_fixed,
+    quantize,
+    saturating_add,
+    saturating_multiply,
+    to_fixed,
+)
+from repro.rt.opcount import OpCounts
+from repro.rt.ringbuffer import RingBuffer
+from repro.rt.streaming import (
+    MovingWindowIntegrator,
+    StreamingBiquadCascade,
+    StreamingDerivative,
+    StreamingExtreme,
+    StreamingFir,
+    StreamingMorphologyBaseline,
+    StreamingSquare,
+)
+
+__all__ = [
+    "RingBuffer", "OpCounts",
+    "to_fixed", "from_fixed", "quantize", "saturating_add",
+    "saturating_multiply", "Q15", "Q31",
+    "StreamingFir", "StreamingBiquadCascade", "MovingWindowIntegrator",
+    "StreamingExtreme", "StreamingMorphologyBaseline",
+    "StreamingDerivative", "StreamingSquare",
+    "StreamingPanTompkins", "StreamingIcgConditioner",
+    "StreamingBeatProcessor",
+]

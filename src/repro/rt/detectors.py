@@ -1,0 +1,262 @@
+"""Causal (streaming) detectors: Pan-Tompkins and the beat processor.
+
+The offline detectors in :mod:`repro.ecg`/:mod:`repro.icg` are the
+reference; these streaming forms mirror what fits in an ISR-driven
+firmware:
+
+* :class:`StreamingPanTompkins` — per-sample thresholding on the
+  causal band-pass -> derivative -> square -> MWI chain, with adaptive
+  signal/noise estimates and a refractory period.  Detected R peaks
+  are reported in *input* time (chain delays compensated).
+* :class:`StreamingBeatProcessor` — buffers the conditioned ICG and,
+  whenever a new R peak confirms a completed beat, runs the
+  characteristic-point detection on that beat window.  Real firmware
+  works the same way: per-beat batch analysis over a bounded buffer,
+  amortised across the beat's samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp import iir as _iir
+from repro.errors import ConfigurationError, DetectionError
+from repro.icg.points import PointConfig, detect_beat_points
+from repro.rt.opcount import OpCounts
+from repro.rt.ringbuffer import RingBuffer
+from repro.rt.streaming import (
+    MovingWindowIntegrator,
+    StreamingBiquadCascade,
+    StreamingDerivative,
+    StreamingSquare,
+)
+
+__all__ = ["StreamingPanTompkins", "StreamingBeatProcessor",
+           "StreamingIcgConditioner"]
+
+
+class StreamingPanTompkins:
+    """Sample-at-a-time QRS detector.
+
+    Call :meth:`process` once per ECG sample; it returns the R-peak
+    index (in input-sample time) when a QRS is confirmed, else None.
+    Confirmation lags the actual R peak by roughly the chain delay plus
+    the peak-confirmation window — inherent to causal detection.
+    """
+
+    def __init__(self, fs: float) -> None:
+        if fs < 60.0:
+            raise ConfigurationError("needs fs >= 60 Hz")
+        self.fs = float(fs)
+        self._bandpass = StreamingBiquadCascade(
+            _iir.butter_bandpass(2, 5.0, 15.0, self.fs))
+        self._derivative = StreamingDerivative()
+        self._square = StreamingSquare()
+        self._mwi = MovingWindowIntegrator(int(round(0.150 * self.fs)))
+        self._spk = 0.0
+        self._npk = 0.0
+        self._threshold = 0.0
+        self._index = 0
+        self._last_qrs = -10**9
+        self._refractory = int(round(0.200 * self.fs))
+        self._prev = (0.0, 0.0)  # last two MWI values for peak test
+        self._learning = int(round(2.0 * self.fs))
+        self._raw = RingBuffer(int(round(0.400 * self.fs)))
+        #: Total delay from input to MWI output.
+        self.chain_delay = (self._bandpass.delay_samples
+                            + self._derivative.delay_samples
+                            + self._mwi.delay_samples)
+
+    def process(self, sample: float):
+        """Consume one ECG sample; return a confirmed R index or None."""
+        self._raw.push(sample)
+        mwi = self._mwi.process(self._square.process(
+            self._derivative.process(self._bandpass.process(sample))))
+        detected = None
+        prev2, prev1 = self._prev
+        is_peak = prev1 > prev2 and prev1 >= mwi
+        peak_index = self._index - 1
+        if self._index < self._learning:
+            # Learning phase: grow the initial estimates.
+            self._spk = max(self._spk, 0.4 * mwi)
+            self._npk = 0.9 * self._npk + 0.1 * 0.5 * mwi
+            self._threshold = self._npk + 0.25 * (self._spk - self._npk)
+        elif is_peak:
+            if (prev1 > self._threshold
+                    and peak_index - self._last_qrs > self._refractory):
+                self._spk = 0.125 * prev1 + 0.875 * self._spk
+                self._last_qrs = peak_index
+                detected = self._refine(peak_index)
+            else:
+                self._npk = 0.125 * prev1 + 0.875 * self._npk
+            self._threshold = self._npk + 0.25 * (self._spk - self._npk)
+        self._prev = (prev1, mwi)
+        self._index += 1
+        return detected
+
+    def _refine(self, mwi_peak_index: int) -> int:
+        """Map an MWI peak to the raw-input R sample: compensate the
+        chain delay, then snap to the local max of the buffered input."""
+        estimate = mwi_peak_index - int(round(self.chain_delay))
+        available = len(self._raw)
+        half = int(round(0.060 * self.fs))
+        newest = self._index  # index of the next input sample
+        # Ages of the search window in the raw buffer.
+        lo_age = min(available - 1, newest - 1 - (estimate - half))
+        hi_age = max(0, newest - 1 - (estimate + half))
+        if lo_age <= hi_age:
+            return max(estimate, 0)
+        window = np.array([self._raw[a] for a in range(hi_age, lo_age + 1)])
+        # window is newest-first; convert argmax to an input index.
+        best_age = hi_age + int(np.argmax(window))
+        return newest - 1 - best_age
+
+    def ops_per_sample(self) -> OpCounts:
+        chain = (self._bandpass.ops_per_sample()
+                 + self._derivative.ops_per_sample()
+                 + self._square.ops_per_sample()
+                 + self._mwi.ops_per_sample())
+        thresholding = OpCounts(cmp=4, add=3, mul=2, load=5, store=3,
+                                branch=3)
+        return chain + thresholding
+
+
+class StreamingIcgConditioner:
+    """Causal ICG chain: first difference, 20 Hz low-pass, 0.8 Hz
+    high-pass."""
+
+    def __init__(self, fs: float, lowpass_hz: float = 20.0,
+                 highpass_hz: float = 0.8) -> None:
+        if fs <= 0:
+            raise ConfigurationError("fs must be positive")
+        self.fs = float(fs)
+        self._lowpass = StreamingBiquadCascade(
+            _iir.butter_lowpass(4, lowpass_hz, self.fs))
+        self._highpass = StreamingBiquadCascade(
+            _iir.butter_highpass(2, highpass_hz, self.fs))
+        self._previous_z = None
+        #: Effective landmark delay of the causal chain.  The chain is
+        #: far from linear-phase, so different landmarks experience
+        #: different delays; the value is calibrated so that the *B
+        #: point* — the landmark PEP hinges on — aligns with the offline
+        #: zero-phase reference (see ``_estimate_delay``).
+        self.delay_samples = self._estimate_delay()
+
+    def _estimate_delay(self) -> float:
+        """Calibrate the beat-window delay on a canonical beat.
+
+        A clean synthetic beat is pushed through both the causal chain
+        and the offline zero-phase chain; the shift between the two
+        *detected B points* is the delay the firmware must compensate
+        when mapping R-peak times into ICG-stream time.
+        """
+        # Calibration-only dependencies; imported here to keep the
+        # module graph of the runtime core minimal.
+        from repro.icg.preprocessing import IcgFilterConfig, icg_from_impedance
+        from repro.synth.icg_model import integrate_to_impedance, synthesize_icg
+
+        fs = self.fs
+        icg_true, _ = synthesize_icg(np.array([1.0]), 0.10, 0.30, 1.0,
+                                     3.0, fs)
+        z = integrate_to_impedance(icg_true, fs, 100.0)
+
+        lowpass = StreamingBiquadCascade(self._lowpass.sos)
+        highpass = StreamingBiquadCascade(self._highpass.sos)
+        causal = np.empty(z.size)
+        previous = z[0]
+        for i, value in enumerate(z):
+            raw = -(value - previous) * fs
+            previous = value
+            causal[i] = highpass.process(lowpass.process(raw))
+        offline = icg_from_impedance(z, fs, IcgFilterConfig())
+
+        r_index = int(1.0 * fs)
+        window_stop = r_index + int(0.9 * fs)
+        causal_points = detect_beat_points(causal, fs, r_index, window_stop)
+        offline_points = detect_beat_points(offline, fs, r_index,
+                                            window_stop)
+        return float(causal_points.b_index - offline_points.b_index)
+
+    def process(self, z_sample: float) -> float:
+        """Consume one impedance sample, emit conditioned ICG."""
+        if self._previous_z is None:
+            self._previous_z = float(z_sample)
+        icg_raw = -(float(z_sample) - self._previous_z) * self.fs
+        self._previous_z = float(z_sample)
+        return self._highpass.process(self._lowpass.process(icg_raw))
+
+    def ops_per_sample(self) -> OpCounts:
+        return (OpCounts(add=1, mul=1, load=2, store=1)
+                + self._lowpass.ops_per_sample()
+                + self._highpass.ops_per_sample())
+
+
+class StreamingBeatProcessor:
+    """Beat-triggered ICG analysis over a bounded history buffer.
+
+    Feed conditioned ICG samples with :meth:`push_icg`; announce
+    confirmed R peaks with :meth:`on_r_peak`.  Each completed beat is
+    analysed with the offline point detector over the buffered window —
+    per-beat batch processing, exactly how the firmware amortises the
+    expensive landmark search.
+    """
+
+    def __init__(self, fs: float, buffer_s: float = 4.0,
+                 config: PointConfig = None) -> None:
+        if fs <= 0:
+            raise ConfigurationError("fs must be positive")
+        self.fs = float(fs)
+        self.config = config or PointConfig()
+        self._buffer = RingBuffer(int(round(buffer_s * fs)))
+        self._pushed = 0
+        self._previous_r = None
+        self._pending: list = []   # (r_start, r_stop) in ICG-stream time
+        self.beats: list = []      # (points, r_index, next_r_index)
+        self.failures: list = []
+
+    def push_icg(self, sample: float) -> None:
+        """Store one conditioned ICG sample and analyse any beat whose
+        window is now fully buffered."""
+        self._buffer.push(sample)
+        self._pushed += 1
+        while self._pending and self._pending[0][1] < self._pushed:
+            r_start, r_stop = self._pending.pop(0)
+            self._analyse(r_start, r_stop)
+
+    def on_r_peak(self, r_index: int) -> None:
+        """Notify the processor that an R peak was confirmed at
+        ``r_index`` (ICG-stream time).  Queues the beat it closes;
+        analysis happens once all its samples have been pushed."""
+        if r_index < 0:
+            raise ConfigurationError("r_index must be >= 0")
+        if self._previous_r is not None and r_index > self._previous_r:
+            self._pending.append((self._previous_r, r_index))
+        self._previous_r = r_index
+
+    def _analyse(self, r_start: int, r_stop: int) -> None:
+        oldest_retained = self._pushed - len(self._buffer)
+        if r_start < oldest_retained:
+            self.failures.append((r_start, "beat fell out of the buffer"))
+            return
+        window = self._buffer.recent(self._pushed - r_start)
+        beat = window[: r_stop - r_start + 1]
+        try:
+            points = detect_beat_points(beat, self.fs, 0, beat.size,
+                                        self.config)
+        except DetectionError as exc:
+            self.failures.append((r_start, str(exc)))
+            return
+        self.beats.append((points, r_start, r_stop))
+
+    def ops_per_beat_sample(self) -> OpCounts:
+        """Amortised per-sample cost of the beat analysis.
+
+        Dominated by the three Savitzky-Golay derivative filters
+        (11-tap each) plus the searches; every input sample belongs to
+        exactly one beat, so the per-beat work divided by the beat
+        length is a per-sample constant.
+        """
+        savgol = OpCounts(mac=3 * 11, load=3 * 22, store=3, branch=3 * 11)
+        searches = OpCounts(cmp=9, add=6, mul=3, load=14, store=3,
+                            branch=8)
+        return savgol + searches

@@ -1,0 +1,83 @@
+"""Q-format fixed-point helpers.
+
+The STM32L151 (Cortex-M3) has no FPU: production firmware runs the
+filter chains in Q15/Q31 arithmetic.  These helpers quantize
+coefficients and signals to Q formats with saturation, so tests can
+bound the accuracy loss the integer implementation would introduce and
+the MCU cost model can justify charging integer-op prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "to_fixed",
+    "from_fixed",
+    "quantize",
+    "saturating_add",
+    "saturating_multiply",
+    "Q15",
+    "Q31",
+]
+
+Q15 = 15
+Q31 = 31
+
+
+def _check_q(q_bits: int) -> int:
+    if not isinstance(q_bits, (int, np.integer)) or not 1 <= q_bits <= 62:
+        raise ConfigurationError(
+            f"Q format must be an integer in [1, 62], got {q_bits!r}")
+    return int(q_bits)
+
+
+def _limits(q_bits: int) -> tuple:
+    max_int = 2**q_bits - 1
+    min_int = -(2**q_bits)
+    return min_int, max_int
+
+
+def to_fixed(value, q_bits: int = Q15) -> np.ndarray:
+    """Float -> Q(q_bits) integer with rounding and saturation.
+
+    Representable range is ``[-1, 1 - 2^-q)``; values outside saturate
+    exactly as the DSP instructions do.
+    """
+    q_bits = _check_q(q_bits)
+    scaled = np.round(np.asarray(value, dtype=float) * 2.0**q_bits)
+    min_int, max_int = _limits(q_bits)
+    return np.clip(scaled, min_int, max_int).astype(np.int64)
+
+
+def from_fixed(value, q_bits: int = Q15) -> np.ndarray:
+    """Q(q_bits) integer -> float."""
+    q_bits = _check_q(q_bits)
+    return np.asarray(value, dtype=np.int64).astype(float) / 2.0**q_bits
+
+
+def quantize(value, q_bits: int = Q15) -> np.ndarray:
+    """Round-trip a float through the Q format (quantization model)."""
+    return from_fixed(to_fixed(value, q_bits), q_bits)
+
+
+def saturating_add(a: int, b: int, q_bits: int = Q15) -> int:
+    """Integer addition with Q-format saturation (QADD semantics)."""
+    q_bits = _check_q(q_bits)
+    min_int, max_int = _limits(q_bits)
+    return int(np.clip(int(a) + int(b), min_int, max_int))
+
+
+def saturating_multiply(a: int, b: int, q_bits: int = Q15) -> int:
+    """Fixed-point multiply with rounding and saturation.
+
+    ``(a * b) >> q`` with round-half-up, then saturate — the SMULxx +
+    shift idiom of Cortex-M DSP code.
+    """
+    q_bits = _check_q(q_bits)
+    min_int, max_int = _limits(q_bits)
+    product = int(a) * int(b)
+    rounded = (product + (1 << (q_bits - 1))) >> q_bits
+    return int(np.clip(rounded, min_int, max_int))

@@ -1,0 +1,59 @@
+"""Operation counting for the CPU duty-cycle claim.
+
+The paper states the full algorithm suite needs 40-50 % of the STM32's
+duty cycle.  To reproduce that number honestly we count, per sample,
+the arithmetic every streaming kernel performs, and price the counts
+through a Cortex-M3 cycle model (:mod:`repro.device.mcu`).  Kernels in
+:mod:`repro.rt.streaming` each report their own
+:class:`OpCounts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounts"]
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Arithmetic/memory operation tallies (per sample unless noted).
+
+    ``mac`` is a fused multiply-accumulate (single instruction on
+    Cortex-M3: MLA); ``load``/``store`` are 32-bit data moves;
+    ``branch`` counts taken branches including loop back-edges.
+    """
+
+    mac: float = 0.0
+    mul: float = 0.0
+    add: float = 0.0
+    div: float = 0.0
+    cmp: float = 0.0
+    abs: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+    sqrt: float = 0.0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        if not isinstance(other, OpCounts):
+            return NotImplemented
+        return OpCounts(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def scaled(self, factor: float) -> "OpCounts":
+        """Counts multiplied by a rate factor (e.g. per-beat work
+        amortised over the samples of one beat)."""
+        return OpCounts(**{
+            f.name: getattr(self, f.name) * factor for f in fields(self)
+        })
+
+    def total(self) -> float:
+        """Raw operation count (unweighted)."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reporting."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

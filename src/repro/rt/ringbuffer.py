@@ -1,0 +1,100 @@
+"""Fixed-capacity ring buffer — the firmware's working memory.
+
+The STM32L151 has 48 KB of RAM; every streaming stage works on bounded
+history.  This buffer is the single shared primitive: O(1) push,
+O(1) random access into the retained window, and explicit failure on
+over-reads (firmware bugs should crash tests, not silently wrap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Ring buffer over float samples.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained samples (> 0).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, (int, np.integer)) or capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be a positive integer, got {capacity!r}")
+        self._data = np.zeros(int(capacity))
+        self._capacity = int(capacity)
+        self._write = 0          # next write slot
+        self._count = 0          # valid samples
+        self._total = 0          # samples ever pushed
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained samples."""
+        return self._capacity
+
+    @property
+    def total_pushed(self) -> int:
+        """Samples pushed over the buffer's lifetime."""
+        return self._total
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """True once the buffer has wrapped at least once."""
+        return self._count == self._capacity
+
+    def push(self, value: float) -> None:
+        """Append one sample, evicting the oldest when full."""
+        self._data[self._write] = float(value)
+        self._write = (self._write + 1) % self._capacity
+        self._count = min(self._count + 1, self._capacity)
+        self._total += 1
+
+    def extend(self, values) -> None:
+        """Append many samples (oldest-first)."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push(value)
+
+    def recent(self, n: int) -> np.ndarray:
+        """The last ``n`` samples, oldest-first.
+
+        Raises :class:`SignalError` if fewer than ``n`` samples are
+        retained.
+        """
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        if n > self._count:
+            raise SignalError(
+                f"requested {n} samples but only {self._count} retained")
+        if n == 0:
+            return np.empty(0)
+        start = (self._write - n) % self._capacity
+        if start + n <= self._capacity:
+            return self._data[start:start + n].copy()
+        head = self._data[start:]
+        tail = self._data[: n - head.size]
+        return np.concatenate([head, tail])
+
+    def __getitem__(self, age: int) -> float:
+        """Sample by age: ``buffer[0]`` is the newest, ``buffer[1]`` the
+        one before, ...  Raises on ages beyond the retained window."""
+        if not isinstance(age, (int, np.integer)):
+            raise ConfigurationError("age must be an integer")
+        if age < 0 or age >= self._count:
+            raise SignalError(
+                f"age {age} outside retained window of {self._count}")
+        return float(self._data[(self._write - 1 - age) % self._capacity])
+
+    def clear(self) -> None:
+        """Drop all retained samples (lifetime counter is kept)."""
+        self._count = 0
+        self._write = 0

@@ -1,0 +1,244 @@
+"""Causal, sample-at-a-time DSP kernels with operation counting.
+
+These are the firmware counterparts of the offline blocks in
+:mod:`repro.dsp`: each processes one sample per call (the way an ISR
+consumes ADC data) and reports its per-sample arithmetic as
+:class:`~repro.rt.opcount.OpCounts` so the MCU model can price the
+whole chain.
+
+Causal filters delay; every kernel exposes ``delay_samples`` so
+downstream beat timing can be compensated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rt.opcount import OpCounts
+from repro.rt.ringbuffer import RingBuffer
+
+__all__ = [
+    "StreamingFir",
+    "StreamingBiquadCascade",
+    "MovingWindowIntegrator",
+    "StreamingExtreme",
+    "StreamingMorphologyBaseline",
+    "StreamingDerivative",
+    "StreamingSquare",
+]
+
+
+class StreamingFir:
+    """Causal direct-form FIR, one multiply-accumulate per tap."""
+
+    def __init__(self, taps) -> None:
+        taps = np.asarray(taps, dtype=float)
+        if taps.ndim != 1 or taps.size == 0:
+            raise ConfigurationError("taps must be a non-empty 1-D array")
+        self.taps = taps
+        self._history = RingBuffer(taps.size)
+        for _ in range(taps.size):
+            self._history.push(0.0)
+
+    @property
+    def delay_samples(self) -> float:
+        """Group delay of the linear-phase filter."""
+        return (self.taps.size - 1) / 2.0
+
+    def process(self, sample: float) -> float:
+        """Consume one input sample, emit one output sample."""
+        self._history.push(sample)
+        window = self._history.recent(self.taps.size)
+        return float(np.dot(window, self.taps[::-1]))
+
+    def ops_per_sample(self) -> OpCounts:
+        n = self.taps.size
+        return OpCounts(mac=n, load=2 * n + 1, store=1, branch=n)
+
+
+class StreamingBiquadCascade:
+    """Causal SOS cascade (direct form II transposed), per sample."""
+
+    def __init__(self, sos) -> None:
+        sos = np.asarray(sos, dtype=float)
+        if sos.ndim != 2 or sos.shape[1] != 6:
+            raise ConfigurationError("sos must have shape (n, 6)")
+        if not np.allclose(sos[:, 3], 1.0):
+            raise ConfigurationError("sections must be normalised (a0=1)")
+        self.sos = sos
+        self._state = np.zeros((sos.shape[0], 2))
+
+    @property
+    def n_sections(self) -> int:
+        """Number of biquad sections."""
+        return self.sos.shape[0]
+
+    @property
+    def delay_samples(self) -> float:
+        """Approximate low-frequency group delay (phase slope at DC is
+        filter-specific; callers should calibrate for their band)."""
+        return 1.0 * self.n_sections
+
+    def process(self, sample: float) -> float:
+        """Consume one sample through all sections."""
+        x = float(sample)
+        for s in range(self.n_sections):
+            b0, b1, b2, _, a1, a2 = self.sos[s]
+            w0, w1 = self._state[s]
+            y = b0 * x + w0
+            self._state[s, 0] = b1 * x - a1 * y + w1
+            self._state[s, 1] = b2 * x - a2 * y
+            x = y
+        return x
+
+    def ops_per_sample(self) -> OpCounts:
+        n = self.n_sections
+        # Per section: 5 multiplies folded as 1 mul + 4 MAC, 2 state
+        # loads + 2 stores.
+        return OpCounts(mac=4 * n, mul=n, load=4 * n, store=2 * n,
+                        branch=n)
+
+
+class MovingWindowIntegrator:
+    """Running mean over a fixed window (Pan-Tompkins MWI), O(1)."""
+
+    def __init__(self, width: int) -> None:
+        if not isinstance(width, (int, np.integer)) or width < 1:
+            raise ConfigurationError(
+                f"width must be a positive integer, got {width!r}")
+        self._history = RingBuffer(int(width))
+        for _ in range(int(width)):
+            self._history.push(0.0)
+        self._sum = 0.0
+        self.width = int(width)
+
+    @property
+    def delay_samples(self) -> float:
+        """Centre-of-window delay."""
+        return (self.width - 1) / 2.0
+
+    def process(self, sample: float) -> float:
+        """Consume one sample, emit the window mean."""
+        oldest = self._history[self.width - 1]
+        self._sum += float(sample) - oldest
+        self._history.push(sample)
+        return self._sum / self.width
+
+    def ops_per_sample(self) -> OpCounts:
+        return OpCounts(add=2, div=1, load=2, store=2)
+
+
+class StreamingExtreme:
+    """Sliding-window min or max in amortised O(1) (Lemire's monotonic
+    wedge) — the firmware form of grey-scale erosion/dilation."""
+
+    def __init__(self, width: int, mode: str) -> None:
+        if not isinstance(width, (int, np.integer)) or width < 1:
+            raise ConfigurationError(
+                f"width must be a positive integer, got {width!r}")
+        if mode not in ("min", "max"):
+            raise ConfigurationError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.width = int(width)
+        self.mode = mode
+        self._wedge: deque = deque()   # (index, value), monotonic
+        self._index = 0
+
+    @property
+    def delay_samples(self) -> float:
+        """The emitted extreme corresponds to the window centre."""
+        return (self.width - 1) / 2.0
+
+    def process(self, sample: float) -> float:
+        """Consume one sample, emit the window extreme."""
+        value = float(sample)
+        keep = ((lambda old: old <= value) if self.mode == "max"
+                else (lambda old: old >= value))
+        while self._wedge and keep(self._wedge[-1][1]):
+            self._wedge.pop()
+        self._wedge.append((self._index, value))
+        if self._wedge[0][0] <= self._index - self.width:
+            self._wedge.popleft()
+        self._index += 1
+        return self._wedge[0][1]
+
+    def ops_per_sample(self) -> OpCounts:
+        # Amortised: each sample enters and leaves the wedge once.
+        return OpCounts(cmp=3, load=3, store=2, branch=3)
+
+
+class StreamingMorphologyBaseline:
+    """Causal opening-then-closing baseline estimator.
+
+    The streaming equivalent of
+    :func:`repro.dsp.morphology.estimate_baseline`: erosion -> dilation
+    (opening) with the first element, dilation -> erosion (closing)
+    with the second.  Total delay is the sum of the four window
+    centres; the owner subtracts the delayed input to get the corrected
+    signal.
+    """
+
+    def __init__(self, first_width: int, second_width: int) -> None:
+        self._stages = [
+            StreamingExtreme(first_width, "min"),
+            StreamingExtreme(first_width, "max"),
+            StreamingExtreme(second_width, "max"),
+            StreamingExtreme(second_width, "min"),
+        ]
+
+    @property
+    def delay_samples(self) -> float:
+        """Cumulative centre delay of the four stages."""
+        return sum(stage.delay_samples for stage in self._stages)
+
+    def process(self, sample: float) -> float:
+        """Consume one raw sample, emit the baseline estimate."""
+        value = float(sample)
+        for stage in self._stages:
+            value = stage.process(value)
+        return value
+
+    def ops_per_sample(self) -> OpCounts:
+        total = OpCounts()
+        for stage in self._stages:
+            total = total + stage.ops_per_sample()
+        return total
+
+
+class StreamingDerivative:
+    """Pan-Tompkins five-point derivative, causal."""
+
+    def __init__(self, fs: float = None) -> None:
+        self._history = RingBuffer(5)
+        for _ in range(5):
+            self._history.push(0.0)
+        del fs  # scale-free (the squared stage normalises anyway)
+
+    @property
+    def delay_samples(self) -> float:
+        """Centre of the five-point stencil."""
+        return 2.0
+
+    def process(self, sample: float) -> float:
+        """Consume one sample, emit ``(2x[n]+x[n-1]-x[n-3]-2x[n-4])/8``."""
+        self._history.push(sample)
+        h = self._history
+        return (2.0 * h[0] + h[1] - h[3] - 2.0 * h[4]) / 8.0
+
+    def ops_per_sample(self) -> OpCounts:
+        return OpCounts(mac=2, add=2, mul=1, load=4, store=1)
+
+
+class StreamingSquare:
+    """Point-wise squaring (Pan-Tompkins energy stage)."""
+
+    delay_samples = 0.0
+
+    def process(self, sample: float) -> float:
+        """Emit ``sample**2``."""
+        return float(sample) * float(sample)
+
+    def ops_per_sample(self) -> OpCounts:
+        return OpCounts(mul=1, load=1, store=1)

@@ -1,0 +1,42 @@
+"""Physiological signal synthesis substrate.
+
+Stands in for the paper's five human subjects: structured RR series,
+Gaussian-sum ECG, landmark-exact ICG beats, respiration and motion
+artifacts, front-end noise, subject profiles, and the full recording
+assembler.
+"""
+
+from repro.synth.ecg_model import EcgBeatModel, WaveSpec, synthesize_ecg
+from repro.synth.icg_model import (
+    IcgBeatShape,
+    integrate_to_impedance,
+    synthesize_icg,
+)
+from repro.synth.motion import (
+    POSITION_TREMOR_LEVELS,
+    MotionModel,
+    motion_artifact,
+    position_motion_model,
+)
+from repro.synth.noise import (
+    PowerlineModel,
+    pink_noise,
+    powerline_interference,
+    white_noise,
+)
+from repro.synth.recording import SynthesisConfig, synthesize_recording
+from repro.synth.respiration import RespirationModel, respiration_wave
+from repro.synth.rr import RRModel, generate_rr_series, rr_to_beat_times
+from repro.synth.subject import SubjectProfile, default_cohort, random_cohort
+
+__all__ = [
+    "RRModel", "generate_rr_series", "rr_to_beat_times",
+    "EcgBeatModel", "WaveSpec", "synthesize_ecg",
+    "IcgBeatShape", "synthesize_icg", "integrate_to_impedance",
+    "RespirationModel", "respiration_wave",
+    "MotionModel", "motion_artifact", "position_motion_model",
+    "POSITION_TREMOR_LEVELS",
+    "white_noise", "pink_noise", "PowerlineModel", "powerline_interference",
+    "SubjectProfile", "default_cohort", "random_cohort",
+    "SynthesisConfig", "synthesize_recording",
+]

@@ -1,0 +1,242 @@
+"""Synthetic ICG (-dZ/dt) generation with exact landmark ground truth.
+
+Each beat is assembled from piecewise cubic Hermite segments through
+knots placed *by construction* at the physiological landmarks:
+
+* B — onset of ejection (value 0, slope 0: a true foot),
+* C — the dZ/dt maximum (exact local maximum),
+* the descending zero-crossing,
+* X — aortic valve closure (exact local minimum),
+* O — the diastolic filling wave (small positive lobe),
+
+plus a small Gaussian A wave ahead of B.  Because the knots *are* the
+landmarks, every synthetic beat carries exact ground truth for the
+B/C/X detectors of :mod:`repro.icg.points` — something no real ICG
+recording can provide.
+
+A per-beat zero-integral correction is applied in late diastole so the
+cardiac impedance ``Z(t) = Z0 - integral(ICG)`` returns to baseline
+every cycle (venous-return recovery), preventing unphysical drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._compat import trapezoid
+from repro.errors import ConfigurationError
+
+__all__ = ["IcgBeatShape", "synthesize_icg", "integrate_to_impedance"]
+
+
+@dataclass(frozen=True)
+class IcgBeatShape:
+    """Relative geometry of one ICG beat.
+
+    Fractions are relative to LVET (for times inside the ejection) or to
+    the C-wave amplitude (for wave amplitudes).  Defaults follow typical
+    adult morphology (C peak ~35 % into ejection, X trough 40-50 % of C,
+    O wave ~20 % of C about 160 ms after closure).
+    """
+
+    c_time_fraction: float = 0.35
+    zero_time_fraction: float = 0.65
+    x_amplitude_fraction: float = 0.45
+    recovery_s: float = 0.06
+    o_amplitude_fraction: float = 0.18
+    o_delay_s: float = 0.16
+    o_width_s: float = 0.12
+    a_amplitude_fraction: float = 0.07
+    a_lead_s: float = 0.07
+    a_width_s: float = 0.018
+
+    def __post_init__(self) -> None:
+        if not 0.05 < self.c_time_fraction < self.zero_time_fraction < 1.0:
+            raise ConfigurationError(
+                "need 0.05 < c_time_fraction < zero_time_fraction < 1")
+        for name in ("x_amplitude_fraction", "o_amplitude_fraction",
+                     "a_amplitude_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        for name in ("recovery_s", "o_delay_s", "o_width_s", "a_lead_s",
+                     "a_width_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+def _hermite_eval(time_s: np.ndarray, knots) -> np.ndarray:
+    """Evaluate a piecewise cubic Hermite curve given ``(t, y, slope)``
+    knots; zero outside the knot span."""
+    out = np.zeros_like(time_s)
+    for (t0, y0, m0), (t1, y1, m1) in zip(knots[:-1], knots[1:]):
+        h = t1 - t0
+        if h <= 0:
+            raise ConfigurationError("knots must be strictly increasing")
+        mask = (time_s >= t0) & (time_s < t1)
+        if not mask.any():
+            continue
+        u = (time_s[mask] - t0) / h
+        h00 = 2 * u**3 - 3 * u**2 + 1
+        h10 = u**3 - 2 * u**2 + u
+        h01 = -2 * u**3 + 3 * u**2
+        h11 = u**3 - u**2
+        out[mask] = h00 * y0 + h10 * h * m0 + h01 * y1 + h11 * h * m1
+    return out
+
+
+def _beat_knots(t_b: float, lvet: float, amp: float, shape: IcgBeatShape):
+    """Hermite knots for one beat starting at B time ``t_b``."""
+    t_c = t_b + shape.c_time_fraction * lvet
+    t_z = t_b + shape.zero_time_fraction * lvet
+    t_x = t_b + lvet
+    t_rec = t_x + shape.recovery_s
+    t_o = t_x + shape.o_delay_s
+    t_o_end = t_o + shape.o_width_s
+    amp_x = shape.x_amplitude_fraction * amp
+    amp_o = shape.o_amplitude_fraction * amp
+    slope_z = -(amp + amp_x) / (t_x - t_c)  # mean slope over the downstroke
+    knots = [
+        (t_b, 0.0, 0.0),
+        (t_c, amp, 0.0),
+        (t_z, 0.0, slope_z),
+        (t_x, -amp_x, 0.0),
+        (t_rec, -0.25 * amp_x, 0.8 * amp_x / shape.recovery_s),
+        (t_o, amp_o, 0.0),
+        (t_o_end, 0.0, 0.0),
+    ]
+    return knots, t_c, t_x, t_o_end
+
+
+def _flat_top_profile(u: np.ndarray, taper: float) -> np.ndarray:
+    """Tukey-style profile on u in [0, 1): raised-cosine ramps of width
+    ``taper`` at both ends, flat top in between — minimal peak for a
+    given area."""
+    profile = np.ones_like(u)
+    rising = u < taper
+    falling = u > 1.0 - taper
+    profile[rising] = 0.5 * (1.0 - np.cos(np.pi * u[rising] / taper))
+    profile[falling] = 0.5 * (1.0 - np.cos(np.pi * (1.0 - u[falling])
+                                           / taper))
+    return profile
+
+
+def _as_per_beat(value, n_beats: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full(n_beats, float(arr))
+    if arr.shape != (n_beats,):
+        raise ConfigurationError(
+            f"{name} must be a scalar or length-{n_beats} array, "
+            f"got shape {arr.shape}")
+    return arr
+
+
+def synthesize_icg(beat_times_s, pep_s, lvet_s, dzdt_max, duration_s: float,
+                   fs: float, shape: IcgBeatShape = None,
+                   zero_mean_per_beat: bool = True):
+    """Render a full ICG (-dZ/dt) trace with exact landmark ground truth.
+
+    Parameters
+    ----------
+    beat_times_s:
+        R-peak times (seconds); B points land at ``r + pep``.
+    pep_s, lvet_s, dzdt_max:
+        Pre-ejection period, ejection time and C amplitude — scalars or
+        per-beat arrays for beat-to-beat variability.
+    duration_s, fs:
+        Output length (seconds) and sampling rate (Hz).
+    shape:
+        Relative beat geometry, see :class:`IcgBeatShape`.
+    zero_mean_per_beat:
+        Add the diastolic zero-integral correction (recommended; keeps
+        ``Z(t)`` drift-free).
+
+    Returns
+    -------
+    (icg, landmarks)
+        ``icg`` in ohm/s, and a dict of per-beat ground-truth arrays
+        ``{"b_times_s", "c_times_s", "x_times_s"}``.
+    """
+    beat_times_s = np.asarray(beat_times_s, dtype=float)
+    if beat_times_s.ndim != 1 or beat_times_s.size == 0:
+        raise ConfigurationError("beat_times_s must be a non-empty 1-D array")
+    if duration_s <= 0 or fs <= 0:
+        raise ConfigurationError("duration and fs must be positive")
+    shape = shape or IcgBeatShape()
+    n_beats = beat_times_s.size
+    pep = _as_per_beat(pep_s, n_beats, "pep_s")
+    lvet = _as_per_beat(lvet_s, n_beats, "lvet_s")
+    amp = _as_per_beat(dzdt_max, n_beats, "dzdt_max")
+    if np.any(pep <= 0) or np.any(lvet <= 0) or np.any(amp <= 0):
+        raise ConfigurationError("pep, lvet and dzdt_max must be positive")
+
+    n = int(round(duration_s * fs))
+    time_s = np.arange(n) / fs
+    icg = np.zeros(n)
+    b_times = beat_times_s + pep
+    c_times = np.empty(n_beats)
+    x_times = np.empty(n_beats)
+
+    for i in range(n_beats):
+        knots, t_c, t_x, t_o_end = _beat_knots(b_times[i], lvet[i], amp[i],
+                                               shape)
+        c_times[i] = t_c
+        x_times[i] = t_x
+        lo = max(0, int((b_times[i] - 0.2) * fs))
+        hi = min(n, int((t_o_end + 0.6) * fs) + 1)
+        if lo >= hi:
+            continue
+        segment = _hermite_eval(time_s[lo:hi], knots)
+        # A wave (atrial kick) ahead of B; 3.9 sigma from the B knot so
+        # the onset ground truth stays exact to numerical precision.
+        t_a = b_times[i] - shape.a_lead_s
+        segment -= (shape.a_amplitude_fraction * amp[i]) * np.exp(
+            -((time_s[lo:hi] - t_a) ** 2) / (2.0 * shape.a_width_s**2))
+        if zero_mean_per_beat:
+            # Distribute the net beat area over the whole diastole as a
+            # shallow flat-topped plateau — the venous-return recovery
+            # of Z.  Spreading it wide keeps its depth far above the X
+            # trough so it can never masquerade as an X0 candidate.
+            net_area = trapezoid(segment, dx=1.0 / fs)
+            next_b = (b_times[i + 1] if i + 1 < n_beats
+                      else t_o_end + 0.4)
+            window_start = t_x + shape.recovery_s + 0.02
+            window_end = max(window_start + 0.15,
+                             next_b - shape.a_lead_s - 0.05)
+            mask = (time_s[lo:hi] >= window_start) & (time_s[lo:hi]
+                                                      < window_end)
+            if mask.any():
+                u = ((time_s[lo:hi][mask] - window_start)
+                     / (window_end - window_start))
+                lobe = _flat_top_profile(u, taper=0.35)
+                lobe_area = trapezoid(lobe, dx=1.0 / fs)
+                if lobe_area > 0:
+                    segment[mask] -= lobe * (net_area / lobe_area)
+        icg[lo:hi] += segment
+
+    landmarks = {
+        "b_times_s": b_times,
+        "c_times_s": c_times,
+        "x_times_s": x_times,
+    }
+    return icg, landmarks
+
+
+def integrate_to_impedance(icg, fs: float, z0_ohm: float) -> np.ndarray:
+    """Cardiac impedance trace ``Z(t) = Z0 - integral(ICG) dt``.
+
+    The device measures Z; its firmware differentiates to get the ICG.
+    This inverse operation produces the measured channel from the
+    synthetic ICG.
+    """
+    icg = np.asarray(icg, dtype=float)
+    if icg.ndim != 1 or icg.size == 0:
+        raise ConfigurationError("icg must be a non-empty 1-D array")
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    # Trapezoidal cumulative integral.
+    increments = 0.5 * (icg[1:] + icg[:-1]) / fs
+    integral = np.concatenate([[0.0], np.cumsum(increments)])
+    return z0_ohm - integral

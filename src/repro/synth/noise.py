@@ -1,0 +1,118 @@
+"""Measurement noise generators: white, pink (1/f) and powerline.
+
+These model the front-end's electronic noise floor and mains coupling —
+the "high-frequency noise interference" the paper's 20 Hz ICG low-pass
+and 0.05-40 Hz ECG band-pass are there to suppress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "white_noise",
+    "pink_noise",
+    "PowerlineModel",
+    "powerline_interference",
+]
+
+
+def white_noise(rms: float, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian white noise with the requested RMS."""
+    if rms < 0:
+        raise ConfigurationError(f"rms must be >= 0, got {rms}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return rms * rng.standard_normal(n)
+
+
+def pink_noise(rms: float, n: int, rng: np.random.Generator) -> np.ndarray:
+    """1/f (flicker) noise with the requested RMS, via spectral shaping.
+
+    White Gaussian noise is shaped in the frequency domain by
+    ``1/sqrt(f)`` (so power goes as 1/f), with the DC bin zeroed.
+    """
+    if rms < 0:
+        raise ConfigurationError(f"rms must be >= 0, got {rms}")
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    spectrum = np.fft.rfft(rng.standard_normal(n))
+    freqs = np.fft.rfftfreq(n)
+    shaping = np.zeros_like(freqs)
+    shaping[1:] = 1.0 / np.sqrt(freqs[1:])
+    shaped = np.fft.irfft(spectrum * shaping, n)
+    current_rms = float(np.sqrt(np.mean(shaped**2)))
+    if current_rms == 0:
+        return np.zeros(n)
+    return shaped * (rms / current_rms)
+
+
+@dataclass(frozen=True)
+class PowerlineModel:
+    """Mains interference: fundamental plus decaying odd harmonics.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Mains fundamental (50 Hz in Europe, where the paper's
+        measurements were made; 60 Hz available for completeness).
+    amplitude:
+        Peak amplitude of the fundamental, in output units.
+    harmonic_decay:
+        Each successive odd harmonic is scaled by this factor.
+    n_harmonics:
+        How many odd harmonics to include (1 = fundamental only).
+    amplitude_drift:
+        Fractional slow drift of the envelope (coupling changes as the
+        subject moves).
+    """
+
+    frequency_hz: float = 50.0
+    amplitude: float = 1.0
+    harmonic_decay: float = 0.3
+    n_harmonics: int = 2
+    amplitude_drift: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("mains frequency must be positive")
+        if self.amplitude < 0:
+            raise ConfigurationError("amplitude must be >= 0")
+        if not 0.0 <= self.harmonic_decay <= 1.0:
+            raise ConfigurationError("harmonic decay must be in [0, 1]")
+        if self.n_harmonics < 1:
+            raise ConfigurationError("need at least the fundamental")
+        if not 0.0 <= self.amplitude_drift < 1.0:
+            raise ConfigurationError("amplitude drift must be in [0, 1)")
+
+
+def powerline_interference(model: PowerlineModel, duration_s: float,
+                           fs: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Generate a mains-interference trace.
+
+    Harmonics above Nyquist are silently skipped (they would alias in a
+    real ADC, but the device's anti-alias front-end removes them first —
+    see :mod:`repro.device.afe`).
+    """
+    if duration_s <= 0 or fs <= 0:
+        raise ConfigurationError("duration and fs must be positive")
+    n = int(round(duration_s * fs))
+    t = np.arange(n) / fs
+    trace = np.zeros(n)
+    # Slow sinusoidal envelope drift with random phase.
+    drift = 1.0 + model.amplitude_drift * np.sin(
+        2.0 * np.pi * 0.05 * t + rng.uniform(0.0, 2.0 * np.pi))
+    for k in range(model.n_harmonics):
+        harmonic = (2 * k + 1)  # odd harmonics: 1x, 3x, 5x, ...
+        f_k = model.frequency_hz * harmonic
+        if f_k >= fs / 2.0:
+            continue
+        amplitude = model.amplitude * model.harmonic_decay**k
+        trace += amplitude * np.sin(2.0 * np.pi * f_k * t
+                                    + rng.uniform(0.0, 2.0 * np.pi))
+    return trace * drift

@@ -1,0 +1,91 @@
+"""Respiration signal and its coupling into impedance and ECG.
+
+Breathing modulates thoracic impedance strongly (air is an insulator:
+inspiration raises Z by up to ~1 ohm) and wobbles the ECG baseline
+through electrode-tissue geometry changes.  The paper cites the
+respiratory artifact band as 0.04-2 Hz; this generator produces a
+quasi-periodic waveform inside that band with cycle-to-cycle variability
+in both rate and depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RespirationModel", "respiration_wave"]
+
+
+@dataclass(frozen=True)
+class RespirationModel:
+    """Parameters of the respiration generator.
+
+    Parameters
+    ----------
+    rate_hz:
+        Mean breathing rate (0.04-2 Hz per the paper's artifact band).
+    rate_variability:
+        Fractional standard deviation of the cycle-to-cycle rate.
+    depth_variability:
+        Fractional standard deviation of the per-cycle amplitude.
+    ie_ratio:
+        Inspiration:expiration time ratio; < 1 skews each cycle the way
+        real breathing does (faster inhale, slower exhale).
+    """
+
+    rate_hz: float = 0.25
+    rate_variability: float = 0.08
+    depth_variability: float = 0.10
+    ie_ratio: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.04 <= self.rate_hz <= 2.0:
+            raise ConfigurationError(
+                f"respiration rate must be within the paper's 0.04-2 Hz "
+                f"band, got {self.rate_hz}")
+        if not 0.0 <= self.rate_variability < 0.5:
+            raise ConfigurationError("rate variability must be in [0, 0.5)")
+        if not 0.0 <= self.depth_variability < 0.5:
+            raise ConfigurationError("depth variability must be in [0, 0.5)")
+        if not 0.2 <= self.ie_ratio <= 1.5:
+            raise ConfigurationError("I:E ratio must be in [0.2, 1.5]")
+
+
+def respiration_wave(model: RespirationModel, duration_s: float, fs: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Unit-amplitude respiration waveform (positive = inspiration).
+
+    Built cycle by cycle: each breath gets its own period and depth
+    draw, and the within-cycle shape is an asymmetric raised cosine
+    (inspiration occupying ``ie_ratio / (1 + ie_ratio)`` of the cycle).
+    """
+    if duration_s <= 0 or fs <= 0:
+        raise ConfigurationError("duration and fs must be positive")
+    n = int(round(duration_s * fs))
+    wave = np.zeros(n)
+    t_cursor = 0.0
+    mean_period = 1.0 / model.rate_hz
+    insp_fraction = model.ie_ratio / (1.0 + model.ie_ratio)
+    while t_cursor < duration_s:
+        period = mean_period * float(np.clip(
+            1.0 + model.rate_variability * rng.standard_normal(), 0.6, 1.6))
+        depth = float(np.clip(
+            1.0 + model.depth_variability * rng.standard_normal(), 0.4, 1.6))
+        i0 = int(round(t_cursor * fs))
+        i1 = min(n, int(round((t_cursor + period) * fs)))
+        if i1 <= i0:
+            break
+        u = (np.arange(i0, i1) / fs - t_cursor) / period
+        # Asymmetric cycle: rise during [0, insp_fraction], fall after.
+        phase = np.where(
+            u < insp_fraction,
+            0.5 * u / insp_fraction,
+            0.5 + 0.5 * (u - insp_fraction) / (1.0 - insp_fraction),
+        )
+        wave[i0:i1] = depth * 0.5 * (1.0 - np.cos(2.0 * np.pi * phase))
+        t_cursor += period
+    # Centre around zero so it reads as a modulation, not an offset.
+    return wave - wave.mean()

@@ -1,0 +1,112 @@
+"""Correlation and relative-error metrics (equations (1)-(3))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bioimpedance import analysis
+from repro.errors import ConfigurationError, SignalError
+
+varied = arrays(np.float64, st.integers(min_value=3, max_value=100),
+                elements=st.floats(-1e3, 1e3, allow_nan=False)).filter(
+                    lambda x: np.std(x) > 1e-6)
+
+
+@settings(max_examples=50)
+@given(x=varied)
+def test_self_correlation_is_one(x):
+    assert analysis.pearson_correlation(x, x) == pytest.approx(1.0)
+
+
+@settings(max_examples=50)
+@given(x=varied)
+def test_anticorrelation_is_minus_one(x):
+    assert analysis.pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+
+@settings(max_examples=50)
+@given(x=varied, scale=st.floats(0.01, 100.0), offset=st.floats(-50, 50))
+def test_correlation_affine_invariant(x, scale, offset):
+    r = analysis.pearson_correlation(x, scale * x + offset)
+    assert r == pytest.approx(1.0, abs=1e-6)
+
+
+@settings(max_examples=50)
+@given(x=varied)
+def test_correlation_bounded(x):
+    rng = np.random.default_rng(0)
+    y = rng.normal(size=x.size)
+    if np.std(y) < 1e-9:
+        return
+    r = analysis.pearson_correlation(x, y)
+    assert -1.0 <= r <= 1.0
+
+
+def test_correlation_symmetric():
+    rng = np.random.default_rng(1)
+    x, y = rng.normal(size=50), rng.normal(size=50)
+    assert analysis.pearson_correlation(x, y) == pytest.approx(
+        analysis.pearson_correlation(y, x))
+
+
+def test_correlation_rejects_constant():
+    with pytest.raises(SignalError):
+        analysis.pearson_correlation(np.ones(10), np.arange(10.0))
+
+
+def test_correlation_rejects_mismatched():
+    with pytest.raises(SignalError):
+        analysis.pearson_correlation(np.ones(5), np.ones(6))
+
+
+def test_correlation_rejects_single_sample():
+    with pytest.raises(SignalError):
+        analysis.pearson_correlation(np.array([1.0]), np.array([2.0]))
+
+
+def test_mean_impedance():
+    assert analysis.mean_impedance([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+def test_mean_impedance_rejects_nonfinite():
+    with pytest.raises(SignalError):
+        analysis.mean_impedance([1.0, np.nan])
+    with pytest.raises(SignalError):
+        analysis.mean_impedance([])
+
+
+def test_relative_error_paper_equation():
+    """e21 = (Z2 - Z1) / Z2, the sign convention of equation (1)."""
+    assert analysis.relative_error(110.0, 100.0) == pytest.approx(
+        10.0 / 110.0)
+    assert analysis.relative_error(100.0, 110.0) == pytest.approx(-0.1)
+
+
+def test_relative_error_zero_reference_rejected():
+    with pytest.raises(ConfigurationError):
+        analysis.relative_error(0.0, 1.0)
+
+
+def test_position_relative_errors_identities():
+    mean_z = {1: 100.0, 2: 113.0, 3: 102.5}
+    errors = analysis.position_relative_errors(mean_z)
+    assert errors["e21"] == pytest.approx((113.0 - 100.0) / 113.0)
+    assert errors["e23"] == pytest.approx((113.0 - 102.5) / 113.0)
+    assert errors["e31"] == pytest.approx((102.5 - 100.0) / 102.5)
+
+
+def test_position_relative_errors_missing_position():
+    with pytest.raises(ConfigurationError):
+        analysis.position_relative_errors({1: 100.0, 2: 110.0})
+
+
+@settings(max_examples=50)
+@given(z1=st.floats(50.0, 200.0), z2=st.floats(50.0, 200.0),
+       z3=st.floats(50.0, 200.0))
+def test_error_pairs_consistent_with_table(z1, z2, z3):
+    errors = analysis.position_relative_errors({1: z1, 2: z2, 3: z3})
+    for name, (ref, other) in analysis.ERROR_PAIRS.items():
+        z_by_pos = {1: z1, 2: z2, 3: z3}
+        assert errors[name] == pytest.approx(
+            (z_by_pos[ref] - z_by_pos[other]) / z_by_pos[ref])

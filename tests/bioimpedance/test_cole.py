@@ -1,0 +1,120 @@
+"""Cole-Cole tissue model physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bioimpedance import cole
+from repro.errors import ConfigurationError
+
+cole_models = st.builds(
+    cole.ColeModel,
+    r_zero_ohm=st.floats(min_value=10.0, max_value=1000.0),
+    r_inf_ohm=st.floats(min_value=1.0, max_value=9.0),
+    tau_s=st.floats(min_value=1e-7, max_value=1e-4),
+    alpha=st.floats(min_value=0.3, max_value=1.0),
+)
+
+
+def test_limits_match_r0_rinf():
+    model = cole.ColeModel(100.0, 40.0, 1e-5, 0.8)
+    assert model.magnitude(0.0) == pytest.approx(100.0)
+    assert model.magnitude(1e12) == pytest.approx(40.0, rel=1e-3)
+
+
+@settings(max_examples=50)
+@given(model=cole_models)
+def test_magnitude_monotone_decreasing(model):
+    freqs = np.logspace(1, 7, 40)
+    mags = model.magnitude(freqs)
+    assert np.all(np.diff(mags) <= 1e-9)
+
+
+@settings(max_examples=50)
+@given(model=cole_models)
+def test_magnitude_bounded_by_r0_rinf(model):
+    freqs = np.logspace(0, 8, 30)
+    mags = model.magnitude(freqs)
+    assert np.all(mags <= model.r_zero_ohm + 1e-9)
+    assert np.all(mags >= model.r_inf_ohm - 1e-9)
+
+
+def test_phase_is_capacitive():
+    model = cole.ColeModel(100.0, 40.0, 1e-5, 0.8)
+    phase = model.phase_deg(model.characteristic_frequency_hz)
+    assert phase < 0.0
+
+
+def test_characteristic_frequency():
+    model = cole.ColeModel(100.0, 40.0, tau_s=1.0 / (2 * np.pi * 1000.0),
+                           alpha=1.0)
+    assert model.characteristic_frequency_hz == pytest.approx(1000.0)
+
+
+@settings(max_examples=30)
+@given(model=cole_models, factor=st.floats(min_value=0.1, max_value=10.0))
+def test_scaling_is_geometric(model, factor):
+    scaled = model.scaled(factor)
+    freqs = np.logspace(2, 6, 10)
+    assert np.allclose(scaled.magnitude(freqs),
+                       factor * model.magnitude(freqs), rtol=1e-12)
+
+
+def test_series_combination_adds():
+    a = cole.ColeModel(100.0, 40.0, 1e-5, 0.8)
+    b = cole.ColeModel(50.0, 20.0, 2e-5, 0.9)
+    chain = a.series(b)
+    freqs = np.array([1e3, 5e4])
+    assert np.allclose(chain.impedance(freqs),
+                       a.impedance(freqs) + b.impedance(freqs))
+
+
+def test_from_fluid_resistances_circuit_identities():
+    re_, ri, cm = 80.0, 120.0, 3e-9
+    model = cole.from_fluid_resistances(re_, ri, cm)
+    assert model.r_zero_ohm == pytest.approx(re_)
+    assert model.r_inf_ohm == pytest.approx(re_ * ri / (re_ + ri))
+    assert model.tau_s == pytest.approx((re_ + ri) * cm)
+
+
+def test_debye_case_matches_circuit():
+    """alpha=1: the Cole model equals the explicit RC circuit."""
+    re_, ri, cm = 100.0, 150.0, 2e-9
+    model = cole.from_fluid_resistances(re_, ri, cm, alpha=1.0)
+    freqs = np.logspace(2, 7, 20)
+    omega = 2j * np.pi * freqs
+    z_membrane = ri + 1.0 / (omega * cm)
+    z_circuit = re_ * z_membrane / (re_ + z_membrane)
+    assert np.allclose(model.impedance(freqs), z_circuit, rtol=1e-9)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        cole.ColeModel(-1.0, 0.5, 1e-5)
+    with pytest.raises(ConfigurationError):
+        cole.ColeModel(10.0, 20.0, 1e-5)  # Rinf > R0
+    with pytest.raises(ConfigurationError):
+        cole.ColeModel(10.0, 5.0, -1e-5)
+    with pytest.raises(ConfigurationError):
+        cole.ColeModel(10.0, 5.0, 1e-5, alpha=1.5)
+    with pytest.raises(ConfigurationError):
+        cole.ColeModel(10.0, 5.0, 1e-5).scaled(0.0)
+
+
+def test_negative_frequency_rejected():
+    model = cole.ColeModel(10.0, 5.0, 1e-5)
+    with pytest.raises(ConfigurationError):
+        model.impedance(-100.0)
+
+
+def test_presets_are_physiological():
+    for preset in (cole.BLOOD, cole.MUSCLE, cole.FAT, cole.THORAX_BULK,
+                   cole.ARM_BULK):
+        assert preset.r_zero_ohm > preset.r_inf_ohm > 0
+        assert 1e3 < preset.characteristic_frequency_hz < 1e6
+
+
+def test_fat_resists_more_than_blood():
+    freqs = np.array([5e4])
+    assert cole.FAT.magnitude(freqs)[0] > cole.MUSCLE.magnitude(freqs)[0]
+    assert cole.MUSCLE.magnitude(freqs)[0] > cole.BLOOD.magnitude(freqs)[0]

@@ -1,0 +1,116 @@
+"""Multi-frequency body-composition estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bioimpedance import composition
+from repro.bioimpedance.cole import ColeModel
+from repro.errors import ConfigurationError
+
+
+def test_tbw_reference_male():
+    """A 175 cm / 70 kg male with whole-body R = 500 ohm lands in the
+    textbook 38-45 L range (55-60 % of body weight)."""
+    tbw = composition.total_body_water_l(175.0, 70.0, 500.0, "M")
+    assert 35.0 < tbw < 46.0
+    assert 0.48 < tbw / 70.0 < 0.66
+
+
+def test_tbw_female_lower_than_male():
+    male = composition.total_body_water_l(170.0, 65.0, 550.0, "M")
+    female = composition.total_body_water_l(170.0, 65.0, 550.0, "F")
+    assert female < male
+
+
+@settings(max_examples=40)
+@given(r=st.floats(min_value=300.0, max_value=900.0))
+def test_tbw_decreases_with_resistance(r):
+    base = composition.total_body_water_l(175.0, 75.0, r)
+    higher = composition.total_body_water_l(175.0, 75.0, r + 50.0)
+    assert higher < base
+
+
+def test_tbw_validation():
+    with pytest.raises(ConfigurationError):
+        composition.total_body_water_l(-1.0, 70.0, 500.0)
+    with pytest.raises(ConfigurationError):
+        composition.total_body_water_l(175.0, 70.0, 500.0, sex="X")
+
+
+def test_fluid_compartments_from_cole_circuit():
+    """Feeding a Cole model's own R0/Rinf back recovers its Ri/Re."""
+    model = ColeModel(r_zero_ohm=600.0, r_inf_ohm=350.0, tau_s=1e-5)
+    r_low = model.r_zero_ohm
+    r_high = model.r_inf_ohm
+    compartments = composition.fluid_compartments(r_low, r_high)
+    r_intracellular = r_low * r_high / (r_low - r_high)
+    assert compartments.ecw_over_icw == pytest.approx(
+        r_intracellular / r_low)
+    assert compartments.ecw_fraction + compartments.icw_fraction == \
+        pytest.approx(1.0)
+
+
+def test_healthy_ecw_fraction_range():
+    """Typical adult: ECW is roughly 35-50 % of TBW.  With whole-body
+    R0 ~ 600 and Rinf ~ 400 the split lands in that band."""
+    compartments = composition.fluid_compartments(600.0, 400.0)
+    assert 0.3 < compartments.ecw_fraction < 0.75
+
+
+def test_fluid_overload_raises_ecw_fraction():
+    """Extra extracellular fluid lowers R0 more than Rinf -> ECW up."""
+    healthy = composition.fluid_compartments(600.0, 400.0)
+    overloaded = composition.fluid_compartments(480.0, 380.0)
+    assert overloaded.ecw_fraction > healthy.ecw_fraction
+
+
+def test_fluid_compartments_validation():
+    with pytest.raises(ConfigurationError):
+        composition.fluid_compartments(400.0, 600.0)  # inverted
+    with pytest.raises(ConfigurationError):
+        composition.fluid_compartments(0.0, -1.0)
+
+
+def test_fat_free_mass_hydration():
+    assert composition.fat_free_mass_kg(42.0) == pytest.approx(
+        42.0 / 0.732)
+    with pytest.raises(ConfigurationError):
+        composition.fat_free_mass_kg(42.0, hydration=0.3)
+    with pytest.raises(ConfigurationError):
+        composition.fat_free_mass_kg(-1.0)
+
+
+def test_full_composition_plausible():
+    body = composition.BodyComposition.from_multifrequency(
+        height_cm=178.0, weight_kg=78.0, r_low_ohm=620.0,
+        r_high_ohm=430.0, sex="M")
+    assert 35.0 < body.tbw_l < 50.0
+    assert 45.0 < body.ffm_kg < 75.0
+    assert 0.0 <= body.fat_fraction < 0.45
+    assert body.fat_kg == pytest.approx(78.0 - body.ffm_kg)
+    assert 0.3 < body.compartments.ecw_fraction < 0.75
+
+
+def test_fat_mass_floored_at_zero():
+    """Very lean + low resistance: the regression may exceed weight."""
+    body = composition.BodyComposition.from_multifrequency(
+        height_cm=195.0, weight_kg=60.0, r_low_ohm=420.0,
+        r_high_ohm=300.0, sex="M")
+    assert body.fat_kg >= 0.0
+    assert body.fat_fraction >= 0.0
+
+
+def test_composition_from_pathway_model():
+    """End-to-end: take the hand-to-hand pathway's tissue resistances
+    at 2/100 kHz (instrument gain divided out) and estimate."""
+    from repro.bioimpedance import BodyGeometry, HandToHandPathway
+
+    geometry = BodyGeometry(1.78, 75.0, 0.18)
+    pathway = HandToHandPathway(geometry, 1)
+    r_low = float(np.abs(pathway.impedance(2_000.0)))
+    r_high = float(np.abs(pathway.impedance(100_000.0)))
+    body = composition.BodyComposition.from_multifrequency(
+        178.0, 75.0, r_low, r_high, "M")
+    assert 30.0 < body.tbw_l < 55.0
+    assert 0.0 <= body.fat_fraction < 0.5

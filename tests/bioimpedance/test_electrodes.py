@@ -1,0 +1,75 @@
+"""Electrode-skin interface models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bioimpedance import electrodes
+from repro.errors import ConfigurationError
+
+
+def test_magnitude_decreases_with_frequency():
+    for electrode in (electrodes.wet_gel_electrode(),
+                      electrodes.dry_finger_electrode()):
+        freqs = np.logspace(1, 6, 30)
+        mags = electrode.magnitude(freqs)
+        assert np.all(np.diff(mags) <= 1e-9)
+
+
+def test_high_frequency_limit_is_series_resistance():
+    electrode = electrodes.dry_finger_electrode()
+    assert electrode.magnitude(1e9) == pytest.approx(
+        electrode.series_resistance_ohm, rel=1e-3)
+
+
+def test_dc_limit_is_rs_plus_rct():
+    electrode = electrodes.ElectrodeModel(100.0, 5000.0, 1e-8)
+    assert electrode.magnitude(0.0) == pytest.approx(5100.0)
+
+
+def test_dry_worse_than_wet_at_low_frequency():
+    wet = electrodes.wet_gel_electrode()
+    dry = electrodes.dry_finger_electrode()
+    assert dry.magnitude(1e3) > 10 * wet.magnitude(1e3)
+
+
+def test_dry_electrode_rolloff_spans_decades():
+    """The dry pad impedance collapses between 1 kHz and 100 kHz —
+    the mechanism behind the device's low-frequency insensitivity."""
+    dry = electrodes.dry_finger_electrode()
+    assert dry.magnitude(1e3) / dry.magnitude(1e5) > 5.0
+
+
+@settings(max_examples=40)
+@given(quality=st.floats(min_value=0.1, max_value=1.0))
+def test_quality_scales_interface(quality):
+    base = electrodes.dry_finger_electrode()
+    derated = base.with_quality(quality)
+    # Lower quality -> higher low-frequency impedance.
+    assert derated.magnitude(100.0) >= base.magnitude(100.0) - 1e-9
+
+
+def test_with_quality_returns_new_instance():
+    base = electrodes.wet_gel_electrode()
+    other = base.with_quality(0.5)
+    assert other is not base
+    assert other.contact_quality == 0.5
+    assert base.contact_quality == 1.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        electrodes.ElectrodeModel(-1.0, 100.0, 1e-8)
+    with pytest.raises(ConfigurationError):
+        electrodes.ElectrodeModel(10.0, 0.0, 1e-8)
+    with pytest.raises(ConfigurationError):
+        electrodes.ElectrodeModel(10.0, 100.0, -1e-8)
+    with pytest.raises(ConfigurationError):
+        electrodes.ElectrodeModel(10.0, 100.0, 1e-8, contact_quality=0.0)
+    with pytest.raises(ConfigurationError):
+        electrodes.ElectrodeModel(10.0, 100.0, 1e-8, contact_quality=1.5)
+
+
+def test_negative_frequency_rejected():
+    with pytest.raises(ConfigurationError):
+        electrodes.wet_gel_electrode().impedance(-5.0)

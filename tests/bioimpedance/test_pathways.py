@@ -1,0 +1,99 @@
+"""Measurement pathways: the Fig 6/7 curve shapes and position effects."""
+
+import numpy as np
+import pytest
+
+from repro.bioimpedance import pathways, tissue
+from repro.device.injector import PAPER_SWEEP_FREQUENCIES_HZ
+from repro.errors import ConfigurationError
+
+GEOMETRY = tissue.BodyGeometry(1.78, 75.0, 0.18)
+SWEEP = np.asarray(PAPER_SWEEP_FREQUENCIES_HZ)
+
+
+def test_instrument_gain_monotone_saturating():
+    instrument = pathways.InstrumentResponse()
+    freqs = np.logspace(3, 6, 30)
+    gains = instrument.gain(freqs)
+    assert np.all(np.diff(gains) > 0)
+    assert gains[-1] < 1.0
+    assert instrument.gain(1e8) == pytest.approx(1.0, abs=1e-4)
+
+
+def test_instrument_rejects_nonpositive_frequency():
+    with pytest.raises(ConfigurationError):
+        pathways.InstrumentResponse().gain(0.0)
+    with pytest.raises(ConfigurationError):
+        pathways.InstrumentResponse(corner_hz=-5.0)
+
+
+def test_thoracic_z0_peaks_at_10khz():
+    """Fig 6: measured Z0 rises to 10 kHz then falls."""
+    thorax = pathways.ThoracicPathway(GEOMETRY)
+    z = thorax.measured_z0(SWEEP)
+    assert z[1] > z[0]            # 2 kHz -> 10 kHz: rising
+    assert z[1] > z[2] > z[3]     # 10 -> 50 -> 100 kHz: falling
+
+
+@pytest.mark.parametrize("position", [1, 2, 3])
+def test_device_z0_peaks_at_10khz(position):
+    """Fig 7: the device shows the same non-monotonic shape."""
+    device = pathways.HandToHandPathway(GEOMETRY, position)
+    z = device.measured_z0(SWEEP)
+    assert z[1] > z[0]
+    assert z[1] > z[2] > z[3]
+
+
+def test_device_z0_much_larger_than_thoracic():
+    thorax = pathways.ThoracicPathway(GEOMETRY)
+    device = pathways.HandToHandPathway(GEOMETRY, 1)
+    assert device.measured_z0(5e4) > 10 * thorax.measured_z0(5e4)
+
+
+def test_position_ordering_matches_fig8():
+    """Position 2 reads highest, position 3 slightly above position 1:
+    the ordering that produces e21 > e23 > e31 > 0."""
+    z = {pos: float(np.mean(
+        pathways.HandToHandPathway(GEOMETRY, pos).measured_z0(SWEEP)))
+        for pos in (1, 2, 3)}
+    assert z[2] > z[3] > z[1]
+
+
+def test_position_errors_within_paper_bound():
+    from repro.bioimpedance.analysis import position_relative_errors
+    z = {pos: float(np.mean(
+        pathways.HandToHandPathway(GEOMETRY, pos).measured_z0(SWEEP)))
+        for pos in (1, 2, 3)}
+    errors = position_relative_errors(z)
+    assert errors["e21"] > errors["e23"] > errors["e31"] > 0
+    assert all(abs(v) < 0.20 for v in errors.values())
+
+
+def test_cardiac_coupling_attenuated_on_device():
+    thorax = pathways.ThoracicPathway(GEOMETRY)
+    device = pathways.HandToHandPathway(GEOMETRY, 1)
+    assert thorax.cardiac_coupling == pytest.approx(1.0)
+    assert 0.0 < device.cardiac_coupling < 0.5
+
+
+def test_with_position_copies():
+    device = pathways.HandToHandPathway(GEOMETRY, 1)
+    moved = device.with_position(3)
+    assert moved.position == 3
+    assert device.position == 1
+    assert moved.geometry is device.geometry
+
+
+def test_invalid_position_rejected():
+    with pytest.raises(ConfigurationError):
+        pathways.HandToHandPathway(GEOMETRY, 4)
+    with pytest.raises(ConfigurationError):
+        pathways.position_arm_factor(0)
+
+
+def test_tissue_chain_composition():
+    device = pathways.HandToHandPathway(GEOMETRY, 1)
+    chain = device.tissue_chain()
+    assert len(chain.elements) == 3  # arm + thorax + arm
+    thorax = pathways.ThoracicPathway(GEOMETRY)
+    assert len(thorax.tissue_chain().elements) == 1

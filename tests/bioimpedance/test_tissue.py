@@ -1,0 +1,79 @@
+"""Body geometry and anthropometric scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bioimpedance import tissue
+from repro.errors import ConfigurationError
+
+geometries = st.builds(
+    tissue.BodyGeometry,
+    height_m=st.floats(min_value=1.5, max_value=2.1),
+    weight_kg=st.floats(min_value=45.0, max_value=150.0),
+    body_fat_fraction=st.floats(min_value=0.08, max_value=0.45),
+)
+
+
+def test_reference_scale_is_unity():
+    assert tissue.REFERENCE_GEOMETRY.segment_scale() == pytest.approx(1.0)
+    assert tissue.REFERENCE_GEOMETRY.impedance_index() == pytest.approx(1.0)
+
+
+def test_taller_lighter_means_higher_impedance():
+    tall = tissue.BodyGeometry(1.95, 70.0, 0.20)
+    short = tissue.BodyGeometry(1.60, 70.0, 0.20)
+    assert tall.impedance_index() > short.impedance_index()
+
+
+def test_heavier_means_lower_impedance():
+    heavy = tissue.BodyGeometry(1.75, 100.0, 0.20)
+    light = tissue.BodyGeometry(1.75, 55.0, 0.20)
+    assert heavy.impedance_index() < light.impedance_index()
+
+
+def test_fat_raises_impedance():
+    lean = tissue.BodyGeometry(1.75, 70.0, 0.10)
+    obese = tissue.BodyGeometry(1.75, 70.0, 0.40)
+    assert obese.fat_modifier() > lean.fat_modifier()
+
+
+@settings(max_examples=40)
+@given(geometry=geometries)
+def test_segments_scale_together(geometry):
+    arm = tissue.arm_segment(geometry)
+    thorax = tissue.thorax_segment(geometry)
+    # Arms dominate hand-to-hand impedance: at mid frequency one arm
+    # must far exceed the trans-thoracic path.
+    assert arm.magnitude(5e4) > 3 * thorax.magnitude(5e4)
+
+
+@settings(max_examples=40)
+@given(geometry=geometries)
+def test_thorax_damped_scaling(geometry):
+    """Thorax impedance varies as sqrt of the segment scale."""
+    thorax = tissue.thorax_segment(geometry)
+    ref = tissue.thorax_segment(tissue.REFERENCE_GEOMETRY)
+    expected = np.sqrt(geometry.segment_scale())
+    ratio = thorax.magnitude(5e4) / ref.magnitude(5e4)
+    assert ratio == pytest.approx(expected, rel=1e-9)
+
+
+def test_bmi():
+    geometry = tissue.BodyGeometry(1.80, 81.0, 0.2)
+    assert geometry.bmi == pytest.approx(25.0)
+
+
+def test_path_lengths_proportional_to_height():
+    geometry = tissue.BodyGeometry(1.80, 75.0)
+    assert geometry.arm_length_m == pytest.approx(0.44 * 1.80)
+    assert geometry.thorax_path_m == pytest.approx(0.26 * 1.80)
+
+
+def test_invalid_anthropometrics_rejected():
+    with pytest.raises(ConfigurationError):
+        tissue.BodyGeometry(0.9, 70.0)
+    with pytest.raises(ConfigurationError):
+        tissue.BodyGeometry(1.75, 20.0)
+    with pytest.raises(ConfigurationError):
+        tissue.BodyGeometry(1.75, 70.0, body_fat_fraction=0.7)

@@ -1,0 +1,70 @@
+"""Shared fixtures.
+
+Recording synthesis and full-pipeline runs are the expensive pieces, so
+they are session-scoped: many test modules share one 16-second
+device/thoracic pair from the same subject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BeatToBeatPipeline
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+#: Sampling rate used throughout the tests (the protocol's 250 Hz).
+FS = 250.0
+
+
+@pytest.fixture(scope="session")
+def cohort():
+    """The five-subject default cohort."""
+    return default_cohort()
+
+
+@pytest.fixture(scope="session")
+def subject(cohort):
+    """One mid-quality subject (S2)."""
+    return cohort[1]
+
+
+@pytest.fixture(scope="session")
+def short_config():
+    """16 s at 250 Hz — enough beats for ensembles, fast to build."""
+    return SynthesisConfig(duration_s=16.0, fs=FS)
+
+
+@pytest.fixture(scope="session")
+def device_recording(subject, short_config):
+    """A device recording (position 1, 50 kHz)."""
+    return synthesize_recording(subject, "device", 1, short_config)
+
+
+@pytest.fixture(scope="session")
+def thoracic_recording(subject, short_config):
+    """The matching thoracic reference recording."""
+    return synthesize_recording(subject, "thoracic", 1, short_config)
+
+
+@pytest.fixture(scope="session")
+def clean_recording(subject):
+    """An artifact-free thoracic recording (detector happy path)."""
+    config = SynthesisConfig(duration_s=16.0, fs=FS,
+                             include_motion=False,
+                             include_powerline=False,
+                             include_noise=False)
+    return synthesize_recording(subject, "thoracic", 1, config)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(thoracic_recording):
+    """Full offline pipeline output on the thoracic recording."""
+    pipeline = BeatToBeatPipeline(thoracic_recording.fs)
+    return pipeline.process_recording(thoracic_recording)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

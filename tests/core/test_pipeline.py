@@ -1,0 +1,106 @@
+"""The end-to-end beat-to-beat pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import BeatToBeatPipeline, PipelineConfig
+from repro.errors import ConfigurationError, SignalError
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+
+def test_summary_payload_fields(pipeline_result):
+    summary = pipeline_result.summary()
+    assert set(summary) == {"z0_ohm", "lvet_s", "pep_s", "hr_bpm"}
+
+
+def test_recovers_ground_truth_hr(pipeline_result, thoracic_recording):
+    assert pipeline_result.hr_bpm == pytest.approx(
+        thoracic_recording.meta["true_hr_bpm"], rel=0.01)
+
+
+def test_recovers_ground_truth_z0(pipeline_result, thoracic_recording):
+    assert pipeline_result.z0_ohm == pytest.approx(
+        thoracic_recording.meta["true_z0_ohm"], rel=0.02)
+
+
+def test_recovers_intervals_within_tolerance(pipeline_result,
+                                             thoracic_recording):
+    """Definitional detector offsets are bounded and documented."""
+    assert pipeline_result.mean_pep_s == pytest.approx(
+        thoracic_recording.meta["true_pep_s"], abs=0.025)
+    assert pipeline_result.mean_lvet_s == pytest.approx(
+        thoracic_recording.meta["true_lvet_s"], abs=0.06)
+
+
+def test_detects_most_beats(pipeline_result, thoracic_recording):
+    truth = thoracic_recording.annotation("r_times_s")
+    assert pipeline_result.n_beats_detected >= truth.size - 2
+    assert len(pipeline_result.failures) <= 2
+
+
+def test_intermediate_signals_exposed(pipeline_result,
+                                      thoracic_recording):
+    assert pipeline_result.ecg_filtered.shape == (
+        thoracic_recording.n_samples,)
+    assert pipeline_result.icg.shape == (thoracic_recording.n_samples,)
+
+
+def test_hemodynamics_computed_when_height_given(thoracic_recording):
+    subject = default_cohort()[1]
+    config = PipelineConfig(height_cm=subject.height_m * 100)
+    pipeline = BeatToBeatPipeline(thoracic_recording.fs, config)
+    result = pipeline.process_recording(thoracic_recording)
+    assert len(result.beat_hemodynamics) > 5
+    sv = np.array([b.sv_kubicek_ml for b in result.beat_hemodynamics])
+    assert np.all((sv > 20.0) & (sv < 150.0))  # physiological SV
+
+
+def test_hemodynamics_skipped_without_height(pipeline_result):
+    assert pipeline_result.beat_hemodynamics == []
+
+
+def test_fs_mismatch_rejected(thoracic_recording):
+    pipeline = BeatToBeatPipeline(500.0)
+    with pytest.raises(ConfigurationError):
+        pipeline.process_recording(thoracic_recording)
+
+
+def test_mismatched_channel_lengths_rejected():
+    pipeline = BeatToBeatPipeline(250.0)
+    with pytest.raises(SignalError):
+        pipeline.process(np.zeros(5000), np.zeros(4000))
+
+
+def test_garbage_signal_flagged_by_quality_gate(rng):
+    """An adaptive detector happily 'detects' beats in pure noise; the
+    acquisition loop relies on the quality gate to reject the take."""
+    from repro.ecg.quality import assess_quality
+
+    pipeline = BeatToBeatPipeline(250.0)
+    noise = 0.001 * rng.standard_normal(4000)
+    try:
+        result = pipeline.process(noise, 25.0 + noise)
+    except SignalError:
+        return  # also acceptable: nothing detectable at all
+    verdict = assess_quality(noise, 250.0, result.r_peak_indices)
+    assert not verdict.acceptable
+
+
+def test_device_recording_processes(subject):
+    recording = synthesize_recording(subject, "device", 2,
+                                     SynthesisConfig(duration_s=16.0))
+    pipeline = BeatToBeatPipeline(recording.fs)
+    result = pipeline.process_recording(recording)
+    assert result.hr_bpm == pytest.approx(recording.meta["true_hr_bpm"],
+                                          rel=0.02)
+    assert result.z0_ohm == pytest.approx(recording.meta["true_z0_ohm"],
+                                          rel=0.02)
+
+
+def test_result_is_deterministic(thoracic_recording):
+    a = BeatToBeatPipeline(thoracic_recording.fs).process_recording(
+        thoracic_recording)
+    b = BeatToBeatPipeline(thoracic_recording.fs).process_recording(
+        thoracic_recording)
+    assert np.array_equal(a.r_peak_indices, b.r_peak_indices)
+    assert np.allclose(a.pep_s, b.pep_s)

@@ -1,0 +1,97 @@
+"""ADC model: rates, quantization, clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import adc
+from repro.errors import ConfigurationError, HardwareError, SignalError
+
+
+def test_rate_range_enforced():
+    adc.AdcConfig(sample_rate_hz=125.0)
+    adc.AdcConfig(sample_rate_hz=16_000.0)
+    with pytest.raises(HardwareError):
+        adc.AdcConfig(sample_rate_hz=100.0)
+    with pytest.raises(HardwareError):
+        adc.AdcConfig(sample_rate_hz=20_000.0)
+
+
+def test_resolution_range_enforced():
+    adc.AdcConfig(resolution_bits=16)
+    with pytest.raises(HardwareError):
+        adc.AdcConfig(resolution_bits=18)
+    with pytest.raises(HardwareError):
+        adc.AdcConfig(resolution_bits=2)
+
+
+def test_lsb_and_code_range():
+    config = adc.AdcConfig(resolution_bits=12, full_scale=2.048)
+    assert config.lsb == pytest.approx(2 * 2.048 / 4096)
+    assert config.code_min == -2048
+    assert config.code_max == 2047
+
+
+@settings(max_examples=40)
+@given(bits=st.integers(min_value=8, max_value=16))
+def test_quantization_error_within_half_lsb(bits):
+    config = adc.AdcConfig(resolution_bits=bits, full_scale=1.0)
+    model = adc.AdcModel(config)
+    rng = np.random.default_rng(bits)
+    x = rng.uniform(-0.9, 0.9, size=200)
+    result = model.convert(x)
+    assert np.all(np.abs(result.reconstructed - x) <= config.lsb / 2 + 1e-12)
+    assert result.clipped_fraction == 0.0
+
+
+def test_clipping_detected_and_saturated():
+    model = adc.AdcModel(adc.AdcConfig(full_scale=1.0))
+    x = np.array([0.0, 2.0, -3.0, 0.5])
+    result = model.convert(x)
+    assert result.clipped_fraction == pytest.approx(0.5)
+    assert result.codes.max() <= model.config.code_max
+    assert result.codes.min() >= model.config.code_min
+
+
+def test_codes_are_integers():
+    model = adc.AdcModel()
+    result = model.convert(np.linspace(-1, 1, 100))
+    assert result.codes.dtype == np.int32
+
+
+def test_monotonicity():
+    model = adc.AdcModel(adc.AdcConfig(resolution_bits=8, full_scale=1.0))
+    x = np.linspace(-0.99, 0.99, 500)
+    result = model.convert(x)
+    assert np.all(np.diff(result.codes) >= 0)
+
+
+def test_resampling_on_rate_mismatch():
+    model = adc.AdcModel(adc.AdcConfig(sample_rate_hz=250.0))
+    t = np.arange(2000) / 1000.0
+    x = np.sin(2 * np.pi * 5.0 * t)
+    result = model.convert(x, fs_in=1000.0)
+    assert result.codes.size == pytest.approx(500, abs=3)
+
+
+def test_dither_randomises_codes():
+    quiet = adc.AdcModel(adc.AdcConfig(dither_lsb=0.0))
+    dithered = adc.AdcModel(adc.AdcConfig(dither_lsb=1.0))
+    x = np.full(1000, 0.1234 * quiet.config.lsb)
+    assert np.unique(quiet.convert(x).codes).size == 1
+    assert np.unique(dithered.convert(x).codes).size > 1
+
+
+def test_theoretical_snr():
+    model = adc.AdcModel(adc.AdcConfig(resolution_bits=12))
+    assert model.snr_theoretical_db() == pytest.approx(74.0, abs=0.1)
+
+
+def test_empty_signal_rejected():
+    with pytest.raises(SignalError):
+        adc.AdcModel().convert(np.array([]))
+
+
+def test_invalid_fs_in_rejected():
+    with pytest.raises(ConfigurationError):
+        adc.AdcModel().convert(np.ones(10), fs_in=-5.0)

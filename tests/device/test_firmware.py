@@ -1,0 +1,108 @@
+"""The firmware simulator: functional agreement and resource claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import BeatToBeatPipeline
+from repro.device import firmware
+from repro.errors import SignalError
+
+
+@pytest.fixture(scope="module")
+def firmware_result(thoracic_recording_module):
+    rec = thoracic_recording_module
+    simulator = firmware.FirmwareSimulator(rec.fs)
+    return simulator.run(rec.channel("ecg"), rec.channel("z"))
+
+
+@pytest.fixture(scope="module")
+def thoracic_recording_module():
+    from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+    return synthesize_recording(default_cohort()[1], "thoracic", 1,
+                                SynthesisConfig(duration_s=16.0))
+
+
+def test_detects_most_beats(firmware_result, thoracic_recording_module):
+    truth = thoracic_recording_module.annotation("r_times_s")
+    # Learning phase costs the first beat or two; the rest must be there.
+    assert firmware_result.r_peak_indices.size >= truth.size - 2
+    assert len(firmware_result.beats) >= truth.size - 3
+
+
+def test_r_peaks_close_to_truth(firmware_result, thoracic_recording_module):
+    rec = thoracic_recording_module
+    truth = rec.annotation("r_times_s")
+    detected = firmware_result.r_peak_indices / rec.fs
+    for d in detected:
+        assert np.min(np.abs(truth - d)) < 0.05
+
+
+def test_agrees_with_offline_pipeline(firmware_result,
+                                      thoracic_recording_module):
+    """Streaming causal chain vs zero-phase offline: bounded deltas."""
+    rec = thoracic_recording_module
+    offline = BeatToBeatPipeline(rec.fs).process_recording(rec)
+    fw = firmware_result.summary()
+    off = offline.summary()
+    assert fw["z0_ohm"] == pytest.approx(off["z0_ohm"], rel=0.01)
+    assert fw["hr_bpm"] == pytest.approx(off["hr_bpm"], abs=1.0)
+    assert abs(fw["pep_s"] - off["pep_s"]) < 0.03
+    assert abs(fw["lvet_s"] - off["lvet_s"]) < 0.03
+
+
+def test_cpu_duty_reproduces_paper_claim(firmware_result):
+    """Section V: 40-50 % of the STM32 duty cycle (soft-double build)."""
+    assert 0.40 <= firmware_result.cpu_duty_paper <= 0.50
+
+
+def test_fixed_point_rewrite_headroom(firmware_result):
+    """The Q15 ablation: an order of magnitude below the paper build."""
+    assert firmware_result.cpu_duty_q15 < 0.1
+    assert (firmware_result.cpu_duty_q15
+            < firmware_result.cpu_duty_softfloat
+            < firmware_result.cpu_duty_softdouble)
+
+
+def test_radio_duty_near_paper_figure(firmware_result):
+    """Section V: ~0.1 % radio duty for the derived-parameter reports."""
+    assert 0.0002 < firmware_result.radio_duty < 0.005
+
+
+def test_packets_carry_beat_parameters(firmware_result):
+    assert len(firmware_result.packets) > 5
+    for packet in firmware_result.packets[:5]:
+        assert 0.0 < packet.pep_s < 0.3
+        assert 0.1 < packet.lvet_s < 0.6
+        assert 30.0 < packet.hr_bpm < 220.0
+        roundtrip = packet.decode(packet.encode())
+        assert roundtrip.sequence == packet.sequence
+
+
+def test_report_interval_thinning(thoracic_recording_module):
+    rec = thoracic_recording_module
+    config = firmware.FirmwareConfig(report_interval_beats=3)
+    result = firmware.FirmwareSimulator(rec.fs, config).run(
+        rec.channel("ecg"), rec.channel("z"))
+    full = firmware.FirmwareSimulator(rec.fs).run(
+        rec.channel("ecg"), rec.channel("z"))
+    assert len(result.packets) <= len(full.packets) // 2 + 1
+
+
+def test_ops_accounting_positive(firmware_result):
+    ops = firmware_result.ops_per_sample
+    assert ops.mac > 50          # FIR + front-end decimation dominate
+    assert ops.total() > 100
+
+
+def test_short_input_rejected(thoracic_recording_module):
+    rec = thoracic_recording_module
+    simulator = firmware.FirmwareSimulator(rec.fs)
+    with pytest.raises(SignalError):
+        simulator.run(np.zeros(100), np.zeros(100))
+
+
+def test_mismatched_channels_rejected(thoracic_recording_module):
+    rec = thoracic_recording_module
+    simulator = firmware.FirmwareSimulator(rec.fs)
+    with pytest.raises(SignalError):
+        simulator.run(np.zeros(5000), np.zeros(5001))

@@ -1,0 +1,102 @@
+"""IMU simulation and posture classification."""
+
+import numpy as np
+import pytest
+
+from repro.device import imu
+from repro.errors import ConfigurationError, SignalError
+
+
+@pytest.mark.parametrize("position", [1, 2, 3])
+def test_classifier_recovers_position(position, rng):
+    model = imu.ImuModel()
+    classifier = imu.PostureClassifier()
+    samples = model.simulate(position, 2.0, rng, tremor_level=1.0)
+    assert classifier.classify(samples) == position
+
+
+def test_classifier_confusion_matrix_diagonal(rng):
+    """All positions classified correctly over repeated draws."""
+    model = imu.ImuModel()
+    classifier = imu.PostureClassifier()
+    for trial in range(5):
+        for position in (1, 2, 3):
+            samples = model.simulate(position, 1.0,
+                                     np.random.default_rng(trial * 10
+                                                           + position))
+            assert classifier.classify(samples) == position
+
+
+def test_unstable_window_rejected(rng):
+    model = imu.ImuModel(gyro_noise_rads=2.0)
+    classifier = imu.PostureClassifier(max_gyro_rms_rads=0.25)
+    samples = model.simulate(1, 1.0, rng, tremor_level=3.0)
+    with pytest.raises(SignalError):
+        classifier.classify(samples)
+
+
+def test_unknown_orientation_rejected():
+    classifier = imu.PostureClassifier(max_angle_deg=20.0)
+    # Gravity along +Y: not close to any template.
+    weird = [imu.ImuSample(accel=np.array([0.0, 9.81, 0.0]),
+                           gyro=np.zeros(3))]
+    with pytest.raises(SignalError):
+        classifier.classify(weird)
+
+
+def test_free_fall_rejected():
+    classifier = imu.PostureClassifier()
+    samples = [imu.ImuSample(accel=np.zeros(3), gyro=np.zeros(3))]
+    with pytest.raises(SignalError):
+        classifier.classify(samples)
+
+
+def test_empty_window_rejected():
+    with pytest.raises(SignalError):
+        imu.PostureClassifier().classify([])
+
+
+def test_gravity_magnitude_plausible(rng):
+    model = imu.ImuModel()
+    samples = model.simulate(2, 1.0, rng, tremor_level=0.5)
+    mean_accel = np.mean([np.linalg.norm(s.accel) for s in samples])
+    assert mean_accel == pytest.approx(9.81, rel=0.1)
+
+
+def test_tremor_scales_accel_noise():
+    model = imu.ImuModel()
+    calm = model.simulate(1, 2.0, np.random.default_rng(0),
+                          tremor_level=0.2)
+    shaky = model.simulate(1, 2.0, np.random.default_rng(0),
+                           tremor_level=3.0)
+    var_calm = np.var([s.accel for s in calm], axis=0).sum()
+    var_shaky = np.var([s.accel for s in shaky], axis=0).sum()
+    assert var_shaky > 5 * var_calm
+
+
+def test_templates_are_unit_vectors():
+    for template in imu.GRAVITY_TEMPLATES.values():
+        assert np.linalg.norm(template) == pytest.approx(1.0)
+
+
+def test_templates_mutually_distinct():
+    keys = sorted(imu.GRAVITY_TEMPLATES)
+    for i in keys:
+        for j in keys:
+            if i < j:
+                cosine = np.dot(imu.GRAVITY_TEMPLATES[i],
+                                imu.GRAVITY_TEMPLATES[j])
+                assert cosine < 0.6  # > 50 degrees apart
+
+
+def test_validation(rng):
+    with pytest.raises(ConfigurationError):
+        imu.ImuModel(fs=0.0)
+    with pytest.raises(ConfigurationError):
+        imu.ImuModel().simulate(5, 1.0, rng)
+    with pytest.raises(ConfigurationError):
+        imu.ImuModel().simulate(1, -1.0, rng)
+    with pytest.raises(ConfigurationError):
+        imu.PostureClassifier(max_angle_deg=120.0)
+    with pytest.raises(ConfigurationError):
+        imu.ImuSample(accel=np.zeros(2), gyro=np.zeros(3))

@@ -1,0 +1,81 @@
+"""Current injector: safety envelope and load behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import injector
+from repro.errors import ConfigurationError, HardwareError
+
+
+def test_safety_limit_below_1khz_is_100ua():
+    assert injector.max_safe_current_ua(500.0) == 100.0
+    assert injector.max_safe_current_ua(1_000.0) == 100.0
+
+
+def test_safety_limit_scales_with_frequency():
+    assert injector.max_safe_current_ua(50_000.0) == pytest.approx(5_000.0)
+    assert injector.max_safe_current_ua(10_000.0) == pytest.approx(1_000.0)
+
+
+def test_safety_limit_caps_at_10ma():
+    assert injector.max_safe_current_ua(500_000.0) == 10_000.0
+
+
+def test_default_injector_is_safe():
+    source = injector.CurrentInjector()
+    assert source.amplitude_ua <= injector.max_safe_current_ua(
+        source.frequency_hz)
+
+
+def test_unsafe_amplitude_rejected():
+    with pytest.raises(HardwareError):
+        injector.CurrentInjector(frequency_hz=2_000.0, amplitude_ua=400.0)
+
+
+def test_frequency_range_enforced():
+    with pytest.raises(HardwareError):
+        injector.CurrentInjector(frequency_hz=500.0)
+    with pytest.raises(HardwareError):
+        injector.CurrentInjector(frequency_hz=200_000.0)
+
+
+@settings(max_examples=30)
+@given(freq=st.sampled_from(injector.PAPER_SWEEP_FREQUENCIES_HZ))
+def test_safe_for_every_sweep_frequency(freq):
+    source = injector.CurrentInjector.safe_for(freq)
+    assert source.frequency_hz == freq
+    assert source.amplitude_ua == pytest.approx(
+        0.8 * injector.max_safe_current_ua(freq))
+
+
+def test_with_frequency_revalidates():
+    source = injector.CurrentInjector(50_000.0, 4_000.0)
+    with pytest.raises(HardwareError):
+        source.with_frequency(10_000.0)  # limit there is 1000 uA
+
+
+def test_current_sags_into_high_impedance():
+    source = injector.CurrentInjector(output_impedance_ohm=1e5)
+    full = source.delivered_current_ua(0.0)
+    sagged = source.delivered_current_ua(50_000.0)
+    assert sagged < full
+    assert sagged == pytest.approx(full * 1e5 / (1e5 + 5e4))
+
+
+def test_developed_voltage_proportional_to_z():
+    source = injector.CurrentInjector(50_000.0, 400.0)
+    z = np.array([100.0, 200.0])
+    v = source.developed_voltage_mv(z)
+    assert v[1] == pytest.approx(2 * v[0], rel=1e-6)
+    # 400 uA across 100 ohm = 40 mV rms.
+    assert v[0] == pytest.approx(40.0, rel=0.01)
+
+
+def test_negative_impedance_rejected():
+    with pytest.raises(ConfigurationError):
+        injector.CurrentInjector().developed_voltage_mv(np.array([-1.0]))
+
+
+def test_sweep_frequencies_match_paper():
+    assert injector.PAPER_SWEEP_FREQUENCIES_HZ == (2e3, 10e3, 50e3, 100e3)

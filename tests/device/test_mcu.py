@@ -1,0 +1,68 @@
+"""Cortex-M3 cycle-cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import mcu
+from repro.errors import ConfigurationError
+from repro.rt.opcount import OpCounts
+
+
+def test_cycles_price_each_class():
+    costs = mcu.CortexM3Costs(overhead_factor=1.0)
+    assert costs.cycles(OpCounts(mac=10)) == pytest.approx(10 * costs.mac)
+    assert costs.cycles(OpCounts(div=2)) == pytest.approx(2 * costs.div)
+    assert costs.cycles(OpCounts()) == 0.0
+
+
+def test_overhead_factor_multiplies():
+    lean = mcu.CortexM3Costs(overhead_factor=1.0)
+    padded = mcu.CortexM3Costs(overhead_factor=1.5)
+    ops = OpCounts(mac=100, load=50)
+    assert padded.cycles(ops) == pytest.approx(1.5 * lean.cycles(ops))
+
+
+def test_cost_regimes_strictly_ordered():
+    """q15 < soft-float < soft-double for any nontrivial workload."""
+    ops = OpCounts(mac=100, mul=20, add=50, cmp=30, load=200, store=50)
+    q15 = mcu.CortexM3Costs().cycles(ops)
+    flt = mcu.CortexM3Costs.software_float().cycles(ops)
+    dbl = mcu.CortexM3Costs.software_double().cycles(ops)
+    assert q15 < flt < dbl
+
+
+def test_duty_cycle_formula():
+    model = mcu.McuModel(clock_hz=32e6,
+                         costs=mcu.CortexM3Costs(overhead_factor=1.0))
+    ops = OpCounts(add=1280)   # 1280 cycles per sample
+    # At 250 Hz: 320k cycles/s on 32 MHz -> 1 %.
+    assert model.duty_cycle(ops, 250.0) == pytest.approx(0.01)
+
+
+@settings(max_examples=30)
+@given(fs=st.floats(min_value=125.0, max_value=16000.0))
+def test_duty_scales_linearly_with_fs(fs):
+    model = mcu.McuModel()
+    ops = OpCounts(mac=100)
+    base = model.duty_cycle(ops, 250.0)
+    assert model.duty_cycle(ops, fs) == pytest.approx(base * fs / 250.0)
+
+
+def test_headroom_inverse_of_duty():
+    model = mcu.McuModel()
+    ops = OpCounts(mac=500, load=1000)
+    fs_max = model.headroom_fs(ops, max_duty=0.5)
+    assert model.duty_cycle(ops, fs_max) == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        mcu.McuModel(clock_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        mcu.CortexM3Costs(mac=-1.0)
+    with pytest.raises(ConfigurationError):
+        mcu.CortexM3Costs(overhead_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        mcu.McuModel().duty_cycle(OpCounts(mac=1), 0.0)
+    with pytest.raises(ConfigurationError):
+        mcu.McuModel().headroom_fs(OpCounts())

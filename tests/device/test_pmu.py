@@ -1,0 +1,83 @@
+"""Power-management policies and discharge simulation."""
+
+import numpy as np
+import pytest
+
+from repro.device import pmu
+from repro.errors import ConfigurationError
+
+
+def test_mode_selection_thresholds():
+    unit = pmu.PowerManagementUnit()
+    assert unit.select_mode(0.9).name == "continuous"
+    assert unit.select_mode(0.3).name == "periodic"
+    assert unit.select_mode(0.05).name == "low_power"
+
+
+def test_mode_currents_strictly_ordered():
+    unit = pmu.PowerManagementUnit()
+    continuous = unit.mode_current_ma(pmu.STANDARD_MODES["continuous"])
+    periodic = unit.mode_current_ma(pmu.STANDARD_MODES["periodic"])
+    low = unit.mode_current_ma(pmu.STANDARD_MODES["low_power"])
+    assert continuous > 10 * periodic > 10 * low > 0
+
+
+def test_fixed_continuous_discharge_matches_battery_life():
+    from repro.device.power import battery_life_hours
+    unit = pmu.PowerManagementUnit()
+    result = unit.simulate_discharge(step_hours=0.25, adaptive=False)
+    assert result.lifetime_hours == pytest.approx(battery_life_hours(),
+                                                  rel=0.01)
+
+
+def test_adaptive_policy_extends_lifetime():
+    unit = pmu.PowerManagementUnit()
+    fixed = unit.simulate_discharge(adaptive=False)
+    adaptive = unit.simulate_discharge(adaptive=True)
+    assert adaptive.lifetime_hours > 2 * fixed.lifetime_hours
+
+
+def test_adaptive_policy_passes_through_all_modes():
+    unit = pmu.PowerManagementUnit()
+    result = unit.simulate_discharge(adaptive=True)
+    assert {"continuous", "periodic", "low_power"} <= set(result.mode_names)
+
+
+def test_remaining_fraction_monotone():
+    unit = pmu.PowerManagementUnit()
+    result = unit.simulate_discharge(adaptive=True)
+    assert np.all(np.diff(result.remaining_fraction) <= 1e-12)
+    assert result.remaining_fraction[0] == 1.0
+    assert result.remaining_fraction[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_timeline_monotone():
+    unit = pmu.PowerManagementUnit()
+    result = unit.simulate_discharge(adaptive=True)
+    assert np.all(np.diff(result.timeline_hours) > 0)
+
+
+def test_custom_thresholds():
+    unit = pmu.PowerManagementUnit(periodic_threshold=0.8,
+                                   low_power_threshold=0.5)
+    assert unit.select_mode(0.75).name == "periodic"
+    assert unit.select_mode(0.45).name == "low_power"
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        pmu.PowerManagementUnit(battery_mah=0.0)
+    with pytest.raises(ConfigurationError):
+        pmu.PowerManagementUnit(periodic_threshold=0.1,
+                                low_power_threshold=0.5)
+    with pytest.raises(ConfigurationError):
+        pmu.PowerManagementUnit().select_mode(1.5)
+    with pytest.raises(ConfigurationError):
+        pmu.PowerManagementUnit().simulate_discharge(step_hours=0.0)
+    with pytest.raises(ConfigurationError):
+        pmu.OperatingMode("", {})
+    with pytest.raises(ConfigurationError):
+        pmu.OperatingMode("bad", {"mcu": 1.5})
+    with pytest.raises(ConfigurationError):
+        pmu.PowerManagementUnit(modes={"continuous":
+                                       pmu.STANDARD_MODES["continuous"]})

@@ -1,0 +1,91 @@
+"""Power model: Table I and the 106-hour claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import power
+from repro.errors import ConfigurationError
+
+
+def test_table_i_values_match_paper():
+    """Table I, verbatim."""
+    assert power.TABLE_I["ecg_chip"].active_ma == 0.400
+    assert power.TABLE_I["icg_chip"].active_ma == 0.900
+    assert power.TABLE_I["mcu"].active_ma == 10.500
+    assert power.TABLE_I["mcu"].standby_ma == 0.020
+    assert power.TABLE_I["radio"].active_ma == 11.000
+    assert power.TABLE_I["radio"].standby_ma == 0.002
+    assert power.TABLE_I["imu"].active_ma == 3.800
+
+
+def test_battery_life_reproduces_106_hours():
+    """The headline: 710 mAh at the paper's operating point ~= 106 h."""
+    hours = power.battery_life_hours()
+    assert hours == pytest.approx(106.0, abs=1.5)
+
+
+def test_battery_life_exceeds_four_days():
+    assert power.battery_life_hours() > 96.0
+
+
+def test_paper_operating_point_duties():
+    duties = power.paper_operating_point()
+    assert duties["mcu"] == 0.50
+    assert duties["radio"] == 0.01
+    assert duties["imu"] == 0.0
+    assert duties["ecg_chip"] == 1.0
+
+
+@settings(max_examples=40)
+@given(duty=st.floats(min_value=0.0, max_value=1.0))
+def test_average_current_interpolates(duty):
+    component = power.ComponentPower("x", active_ma=10.0, standby_ma=1.0)
+    avg = component.average_ma(duty)
+    assert 1.0 - 1e-12 <= avg <= 10.0 + 1e-12
+    assert avg == pytest.approx(1.0 + 9.0 * duty)
+
+
+def test_battery_life_decreases_with_mcu_duty():
+    budget = power.PowerBudget()
+    base = power.paper_operating_point()
+    lives = budget.sweep_mcu_duty(710.0, base, [0.1, 0.3, 0.5, 0.8, 1.0])
+    assert np.all(np.diff(lives) < 0)
+
+
+def test_imu_always_on_costs_a_day_plus():
+    duties = power.paper_operating_point()
+    duties["imu"] = 1.0
+    with_imu = power.battery_life_hours(duty_cycles=duties)
+    assert with_imu < 0.7 * power.battery_life_hours()
+
+
+def test_unknown_component_rejected():
+    budget = power.PowerBudget()
+    with pytest.raises(ConfigurationError):
+        budget.average_current_ma({"nonexistent": 0.5})
+
+
+def test_invalid_duty_rejected():
+    component = power.ComponentPower("x", 1.0)
+    with pytest.raises(ConfigurationError):
+        component.average_ma(1.5)
+
+
+def test_component_validation():
+    with pytest.raises(ConfigurationError):
+        power.ComponentPower("x", active_ma=-1.0)
+    with pytest.raises(ConfigurationError):
+        power.ComponentPower("x", active_ma=1.0, standby_ma=2.0)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        power.PowerBudget().battery_life_hours(0.0,
+                                               power.paper_operating_point())
+
+
+def test_all_off_rejected():
+    budget = power.PowerBudget()
+    with pytest.raises(ConfigurationError):
+        budget.battery_life_hours(710.0, {})

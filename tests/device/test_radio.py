@@ -1,0 +1,99 @@
+"""BLE radio model and report packets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import radio
+from repro.errors import ConfigurationError
+
+
+def test_packet_roundtrip():
+    packet = radio.ReportPacket(z0_ohm=430.123, lvet_s=0.301234,
+                                pep_s=0.098765, hr_bpm=67.5, sequence=42)
+    decoded = radio.ReportPacket.decode(packet.encode())
+    assert decoded.z0_ohm == pytest.approx(packet.z0_ohm, abs=1e-3)
+    assert decoded.lvet_s == pytest.approx(packet.lvet_s, abs=1e-6)
+    assert decoded.pep_s == pytest.approx(packet.pep_s, abs=1e-6)
+    assert decoded.hr_bpm == pytest.approx(packet.hr_bpm, abs=1e-3)
+    assert decoded.sequence == 42
+
+
+@settings(max_examples=50)
+@given(z0=st.floats(1.0, 2000.0), lvet=st.floats(0.1, 0.6),
+       pep=st.floats(0.04, 0.3), hr=st.floats(30.0, 220.0),
+       seq=st.integers(0, 100000))
+def test_packet_roundtrip_property(z0, lvet, pep, hr, seq):
+    packet = radio.ReportPacket(z0, lvet, pep, hr, seq)
+    decoded = radio.ReportPacket.decode(packet.encode())
+    assert decoded.z0_ohm == pytest.approx(z0, abs=1e-3)
+    assert decoded.sequence == seq
+
+
+def test_crc_detects_corruption():
+    payload = bytearray(radio.ReportPacket(25.0, 0.3, 0.1, 60.0).encode())
+    payload[3] ^= 0xFF
+    with pytest.raises(ConfigurationError):
+        radio.ReportPacket.decode(bytes(payload))
+
+
+def test_payload_size_constant():
+    packet = radio.ReportPacket(25.0, 0.3, 0.1, 60.0)
+    assert len(packet.encode()) == radio.ReportPacket.PAYLOAD_BYTES
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ConfigurationError):
+        radio.ReportPacket.decode(b"\x00" * 5)
+
+
+def test_report_duty_cycle_matches_paper():
+    """One report per beat (~1 Hz): duty must land near the paper's
+    0.1 % figure and below the 1 % budget."""
+    model = radio.BleRadioModel()
+    duty = model.report_duty_cycle(report_interval_s=1.0)
+    assert 0.0005 < duty < 0.01
+
+
+def test_raw_streaming_orders_of_magnitude_costlier():
+    model = radio.BleRadioModel()
+    report = model.report_duty_cycle(1.0)
+    streaming = model.raw_streaming_duty_cycle(fs=250.0, bytes_per_sample=2)
+    assert streaming > 5 * report
+
+
+def test_duty_cycle_monotone_in_interval():
+    model = radio.BleRadioModel()
+    assert model.report_duty_cycle(0.5) > model.report_duty_cycle(2.0)
+
+
+def test_duty_cycle_capped_at_one():
+    model = radio.BleRadioModel(air_rate_bps=1000.0)
+    assert model.raw_streaming_duty_cycle(16_000.0, 2) == 1.0
+
+
+def test_air_time_includes_overheads():
+    model = radio.BleRadioModel(air_rate_bps=1e6, overhead_bytes=14,
+                                event_overhead_s=0.001)
+    t = model.packet_air_time_s(22)
+    assert t == pytest.approx(8 * 36 / 1e6 + 0.001)
+
+
+def test_energy_per_report():
+    model = radio.BleRadioModel()
+    energy = model.energy_per_report_mj(tx_current_ma=11.0, supply_v=3.0)
+    assert energy > 0
+    # More payload, more energy.
+    assert model.energy_per_report_mj(11.0, 3.0, 200) > energy
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        radio.BleRadioModel(air_rate_bps=0.0)
+    with pytest.raises(ConfigurationError):
+        radio.BleRadioModel().report_duty_cycle(0.0)
+    with pytest.raises(ConfigurationError):
+        radio.BleRadioModel().packet_air_time_s(-1)
+    with pytest.raises(ConfigurationError):
+        radio.ReportPacket(25.0, 0.3, 0.1, 60.0, sequence=-1)
+    with pytest.raises(ConfigurationError):
+        radio.BleRadioModel().energy_per_report_mj(0.0)

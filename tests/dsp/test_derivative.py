@@ -1,0 +1,148 @@
+"""Derivatives, Savitzky-Golay, line fits and landmark search."""
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import derivative as d
+from repro.errors import ConfigurationError, SignalError
+
+FS = 250.0
+
+
+@pytest.mark.parametrize("window,poly,deriv", [
+    (9, 3, 1), (11, 4, 2), (11, 5, 3), (7, 2, 0),
+])
+def test_savgol_matches_scipy(window, poly, deriv):
+    x = np.random.default_rng(1).normal(size=300)
+    mine = d.savgol_derivative(x, FS, window, poly, deriv)
+    ref = ss.savgol_filter(x, window, poly, deriv=deriv, delta=1.0 / FS)
+    assert np.allclose(mine, ref, atol=1e-6 * max(1.0, np.abs(ref).max()))
+
+
+@settings(max_examples=30)
+@given(a=st.floats(-5, 5), b=st.floats(-5, 5), c=st.floats(-5, 5))
+def test_savgol_exact_on_quadratics(a, b, c):
+    """A quadratic's first derivative is recovered exactly."""
+    t = np.arange(100) / FS
+    x = a * t**2 + b * t + c
+    d1 = d.savgol_derivative(x, FS, 9, 3, 1)
+    assert np.allclose(d1, 2 * a * t + b, atol=1e-6 * (abs(a) + abs(b) + 1))
+
+
+def test_savgol_coefficients_match_scipy():
+    from scipy.signal import savgol_coeffs
+    mine = d.savgol_coefficients(11, 4, 2, delta=1.0 / FS)
+    ref = savgol_coeffs(11, 4, deriv=2, delta=1.0 / FS, use="dot")
+    # scipy's "dot" convention orders taps for direct dot products with
+    # the window; our correlation taps match it directly.
+    assert np.allclose(mine, ref, atol=1e-8 * np.abs(ref).max())
+
+
+def test_savgol_rejects_bad_window():
+    with pytest.raises(ConfigurationError):
+        d.savgol_coefficients(8, 3, 1)
+    with pytest.raises(ConfigurationError):
+        d.savgol_coefficients(9, 9, 1)
+    with pytest.raises(ConfigurationError):
+        d.savgol_coefficients(9, 3, 4)
+
+
+def test_savgol_signal_shorter_than_window():
+    with pytest.raises(SignalError):
+        d.savgol_derivative(np.ones(5), FS, 9, 3, 1)
+
+
+def test_central_difference_on_line():
+    t = np.arange(50) / FS
+    x = 3.0 * t + 1.0
+    d1 = d.central_difference(x, FS)
+    assert np.allclose(d1, 3.0, atol=1e-9)
+
+
+def test_central_difference_order_validation():
+    with pytest.raises(ConfigurationError):
+        d.central_difference(np.ones(10), FS, order=0)
+
+
+def test_smooth_derivative_dispatch():
+    x = np.sin(2 * np.pi * 2.0 * np.arange(500) / FS)
+    smooth = d.smooth_derivative(x, FS, order=1, smooth=True)
+    raw = d.smooth_derivative(x, FS, order=1, smooth=False)
+    expected = 2 * np.pi * 2.0 * np.cos(2 * np.pi * 2.0 * np.arange(500) / FS)
+    inner = slice(20, -20)
+    assert np.allclose(smooth[inner], expected[inner], atol=0.05)
+    assert np.allclose(raw[inner], expected[inner], atol=0.05)
+
+
+@settings(max_examples=30)
+@given(slope=st.floats(-10, 10).filter(lambda s: abs(s) > 1e-3),
+       intercept=st.floats(-10, 10))
+def test_fit_line_exact(slope, intercept):
+    t = np.linspace(0.0, 5.0, 40)
+    fitted_slope, fitted_intercept = d.fit_line(t, slope * t + intercept)
+    assert fitted_slope == pytest.approx(slope, rel=1e-9, abs=1e-9)
+    assert fitted_intercept == pytest.approx(intercept, rel=1e-6, abs=1e-6)
+
+
+def test_fit_line_x_intercept_roundtrip():
+    slope, intercept = 2.0, -4.0
+    assert d.line_x_intercept(slope, intercept) == pytest.approx(2.0)
+
+
+def test_line_x_intercept_horizontal_rejected():
+    with pytest.raises(SignalError):
+        d.line_x_intercept(0.0, 1.0)
+
+
+def test_fit_line_degenerate_abscissae():
+    with pytest.raises(SignalError):
+        d.fit_line(np.ones(5), np.arange(5.0))
+
+
+def test_zero_crossings_simple():
+    x = np.array([1.0, 0.5, -0.5, -1.0, 0.0, 2.0])
+    assert np.array_equal(d.zero_crossings(x), [1, 4])
+
+
+def test_zero_crossings_none():
+    assert d.zero_crossings(np.array([1.0, 2.0, 3.0])).size == 0
+
+
+def test_local_extrema_with_plateaus():
+    x = np.array([0.0, 1.0, 0.0, 2.0, 2.0, 1.0, 3.0])
+    assert np.array_equal(d.local_maxima(x), [1, 3])
+    x2 = np.array([3.0, 1.0, 2.0, 0.0, 0.0, 2.0])
+    assert np.array_equal(d.local_minima(x2), [1, 3])
+
+
+def test_local_extrema_edges():
+    x = np.array([5.0, 1.0, 2.0])
+    assert 0 in d.local_maxima(x, include_edges=True)
+    assert 0 not in d.local_maxima(x)
+
+
+def test_sign_pattern_positions_basic():
+    sig = np.concatenate([np.ones(5), -np.ones(5), np.ones(5), -np.ones(5)])
+    assert np.array_equal(d.sign_pattern_positions(sig, "+-+-"), [0])
+    assert np.array_equal(d.sign_pattern_positions(sig, "-+"), [5])
+
+
+def test_sign_pattern_tolerance_bridges_noise():
+    """Small ripples inside the tolerance band do not break a run."""
+    sig = np.array([1.0, 1.0, 0.01, -0.01, 1.0, -1.0, -1.0, 1.0, -1.0])
+    with_tol = d.sign_pattern_positions(sig, "+-+-", tol=0.05)
+    assert with_tol.size >= 1
+
+
+def test_sign_pattern_rejects_bad_pattern():
+    with pytest.raises(ConfigurationError):
+        d.sign_pattern_positions(np.ones(5), "+0-")
+    with pytest.raises(ConfigurationError):
+        d.sign_pattern_positions(np.ones(5), "")
+
+
+def test_sign_pattern_no_match():
+    sig = np.ones(10)
+    assert d.sign_pattern_positions(sig, "+-").size == 0

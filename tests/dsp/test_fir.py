@@ -1,0 +1,154 @@
+"""FIR design and zero-phase application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import fir
+from repro.errors import ConfigurationError, SignalError
+
+FS = 250.0
+
+
+def test_lowpass_dc_gain_is_one():
+    taps = fir.design_lowpass(32, 30.0, FS)
+    assert taps.sum() == pytest.approx(1.0)
+
+
+def test_lowpass_attenuates_stopband():
+    taps = fir.design_lowpass(64, 20.0, FS)
+    _, h = fir.frequency_response(taps, np.array([5.0, 60.0, 100.0]), FS)
+    assert abs(h[0]) > 0.95
+    assert abs(h[1]) < 0.05
+    assert abs(h[2]) < 0.05
+
+
+def test_highpass_nyquist_gain_is_one():
+    taps = fir.design_highpass(32, 30.0, FS)
+    _, h = fir.frequency_response(taps, np.array([FS / 2 - 1e-9]), FS)
+    assert abs(h[0]) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_highpass_blocks_dc():
+    # H(0) = sum of taps; windowing leaves a small residual (> 40 dB
+    # down for a Hamming design of this order).
+    taps = fir.design_highpass(64, 10.0, FS)
+    assert abs(taps.sum()) < 0.01
+
+
+def test_bandpass_centre_gain_is_one():
+    taps = fir.design_bandpass(32, 0.05, 40.0, FS)
+    centre = np.sqrt(0.05 * 40.0)
+    _, h = fir.frequency_response(taps, np.array([centre]), FS)
+    assert abs(h[0]) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_paper_bandpass_passes_qrs_band():
+    """The 32nd-order 0.05-40 Hz design must pass 5-20 Hz (QRS)."""
+    taps = fir.design_bandpass(32, 0.05, 40.0, FS)
+    freqs = np.array([5.0, 10.0, 20.0])
+    _, h = fir.frequency_response(taps, freqs, FS)
+    assert np.all(np.abs(h) > 0.8)
+
+
+def test_paper_bandpass_attenuates_powerline():
+    taps = fir.design_bandpass(32, 0.05, 40.0, FS)
+    _, h = fir.frequency_response(taps, np.array([50.0]), FS)
+    assert abs(h[0]) < 0.7  # modest order: partial but real attenuation
+
+
+def test_bandstop_notches_centre():
+    taps = fir.design_bandstop(128, 45.0, 55.0, FS)
+    _, h = fir.frequency_response(taps, np.array([50.0, 10.0]), FS)
+    assert abs(h[0]) < 0.12
+    assert abs(h[1]) > 0.9
+
+
+def test_bandstop_dc_gain_one():
+    taps = fir.design_bandstop(64, 40.0, 60.0, FS)
+    assert taps.sum() == pytest.approx(1.0)
+
+
+def test_odd_order_rejected():
+    with pytest.raises(ConfigurationError):
+        fir.design_lowpass(31, 20.0, FS)
+
+
+def test_cutoff_beyond_nyquist_rejected():
+    with pytest.raises(ConfigurationError):
+        fir.design_lowpass(32, 130.0, FS)
+
+
+def test_inverted_band_rejected():
+    with pytest.raises(ConfigurationError):
+        fir.design_bandpass(32, 40.0, 0.05, FS)
+
+
+def test_group_delay_linear_phase():
+    taps = fir.design_lowpass(32, 20.0, FS)
+    assert fir.group_delay(taps) == 16.0
+
+
+def test_apply_fir_is_causal_convolution():
+    taps = np.array([0.5, 0.5])
+    x = np.array([1.0, 0.0, 0.0, 2.0])
+    y = fir.apply_fir(taps, x)
+    assert np.allclose(y, [0.5, 0.5, 0.0, 1.0])
+
+
+def test_filtfilt_zero_phase_on_sine():
+    """A passband sine must come through with no phase shift."""
+    taps = fir.design_bandpass(32, 0.05, 40.0, FS)
+    t = np.arange(2000) / FS
+    x = np.sin(2 * np.pi * 10.0 * t)
+    y = fir.filtfilt_fir(taps, x)
+    centre = slice(500, 1500)
+    lag = np.argmax(np.correlate(y[centre], x[centre], "full")) - 999
+    assert lag == 0
+
+
+def test_filtfilt_magnitude_is_squared():
+    """Forward-backward doubles the attenuation in dB."""
+    taps = fir.design_lowpass(32, 20.0, FS)
+    t = np.arange(4000) / FS
+    x = np.sin(2 * np.pi * 45.0 * t)  # stopband-ish tone
+    y_once = fir.apply_fir(taps, x)
+    y_twice = fir.filtfilt_fir(taps, x)
+    mid = slice(1000, 3000)
+    gain_once = np.std(y_once[mid]) / np.std(x[mid])
+    gain_twice = np.std(y_twice[mid]) / np.std(x[mid])
+    assert gain_twice == pytest.approx(gain_once**2, rel=0.1)
+
+
+@settings(max_examples=25)
+@given(scale=st.floats(min_value=0.1, max_value=100.0),
+       offset=st.floats(min_value=-10.0, max_value=10.0))
+def test_filtfilt_linearity(scale, offset):
+    taps = fir.design_lowpass(16, 30.0, FS)
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=400)
+    base = fir.filtfilt_fir(taps, x)
+    scaled = fir.filtfilt_fir(taps, scale * x + offset)
+    # Unit-DC-gain filter: offset passes through, scaling is linear.
+    assert np.allclose(scaled, scale * base + offset, atol=1e-6 * scale + 1e-6)
+
+
+def test_filtfilt_preserves_length():
+    taps = fir.design_lowpass(32, 20.0, FS)
+    x = np.random.default_rng(0).normal(size=777)
+    assert fir.filtfilt_fir(taps, x).size == 777
+
+
+def test_apply_fir_rejects_2d():
+    with pytest.raises(SignalError):
+        fir.apply_fir(np.ones(3), np.zeros((4, 4)))
+
+
+def test_apply_fir_rejects_empty():
+    with pytest.raises(SignalError):
+        fir.apply_fir(np.ones(3), np.array([]))
+
+
+def test_frequency_response_needs_positive_fs():
+    with pytest.raises(ConfigurationError):
+        fir.frequency_response(np.ones(3), np.array([1.0]), -1.0)

@@ -1,0 +1,176 @@
+"""Butterworth design + SOS filtering against scipy oracles."""
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import iir
+from repro.errors import ConfigurationError, SignalError
+
+FS = 250.0
+
+
+@pytest.mark.parametrize("order", [1, 2, 3, 4, 6])
+def test_prototype_poles_match_scipy(order):
+    mine = iir.butter_prototype(order)
+    z_ref, p_ref, k_ref = ss.buttap(order)
+    assert np.allclose(sorted(mine.poles, key=lambda p: (p.real, p.imag)),
+                       sorted(p_ref, key=lambda p: (p.real, p.imag)),
+                       atol=1e-12)
+    assert mine.gain == pytest.approx(k_ref)
+    assert mine.zeros.size == 0
+
+
+@pytest.mark.parametrize("order,fc", [(2, 20.0), (4, 20.0), (5, 35.0)])
+def test_lowpass_response_matches_scipy(order, fc):
+    mine = iir.butter_lowpass(order, fc, FS)
+    ref = ss.butter(order, fc, btype="low", fs=FS, output="sos")
+    w = np.linspace(0.5, 124.0, 200)
+    _, h1 = iir.sos_frequency_response(mine, w, FS)
+    _, h2 = ss.sosfreqz(ref, w, fs=FS)
+    assert np.allclose(np.abs(h1), np.abs(h2), atol=1e-8)
+
+
+@pytest.mark.parametrize("order,fc", [(2, 0.8), (3, 5.0)])
+def test_highpass_response_matches_scipy(order, fc):
+    mine = iir.butter_highpass(order, fc, FS)
+    ref = ss.butter(order, fc, btype="high", fs=FS, output="sos")
+    w = np.linspace(0.1, 124.0, 200)
+    _, h1 = iir.sos_frequency_response(mine, w, FS)
+    _, h2 = ss.sosfreqz(ref, w, fs=FS)
+    assert np.allclose(np.abs(h1), np.abs(h2), atol=1e-8)
+
+
+def test_bandpass_response_matches_scipy():
+    mine = iir.butter_bandpass(2, 5.0, 15.0, FS)
+    ref = ss.butter(2, [5.0, 15.0], btype="band", fs=FS, output="sos")
+    w = np.linspace(0.5, 124.0, 300)
+    _, h1 = iir.sos_frequency_response(mine, w, FS)
+    _, h2 = ss.sosfreqz(ref, w, fs=FS)
+    assert np.allclose(np.abs(h1), np.abs(h2), atol=1e-8)
+
+
+def test_bandstop_response_matches_scipy():
+    mine = iir.butter_bandstop(2, 45.0, 55.0, FS)
+    ref = ss.butter(2, [45.0, 55.0], btype="bandstop", fs=FS, output="sos")
+    w = np.linspace(0.5, 124.0, 300)
+    _, h1 = iir.sos_frequency_response(mine, w, FS)
+    _, h2 = ss.sosfreqz(ref, w, fs=FS)
+    assert np.allclose(np.abs(h1), np.abs(h2), atol=1e-8)
+
+
+def test_all_poles_inside_unit_circle():
+    for sos in [iir.butter_lowpass(4, 20.0, FS),
+                iir.butter_highpass(3, 0.8, FS),
+                iir.butter_bandpass(3, 5.0, 15.0, FS)]:
+        for section in sos:
+            poles = np.roots(section[3:])
+            assert np.all(np.abs(poles) < 1.0)
+
+
+def test_sosfilt_matches_scipy():
+    sos = iir.butter_lowpass(4, 20.0, FS)
+    x = np.random.default_rng(3).normal(size=500)
+    mine = iir.sosfilt(sos, x)
+    ref = ss.sosfilt(sos, x)
+    assert np.allclose(mine, ref, atol=1e-10)
+
+
+def test_sosfilt_with_state_continuity():
+    """Filtering in two chunks with carried state equals one pass."""
+    sos = iir.butter_lowpass(4, 20.0, FS)
+    x = np.random.default_rng(4).normal(size=400)
+    whole = iir.sosfilt(sos, x)
+    zi = np.zeros((sos.shape[0], 2))
+    first, zf = iir.sosfilt(sos, x[:150], zi=zi)
+    second, _ = iir.sosfilt(sos, x[150:], zi=zf)
+    assert np.allclose(np.concatenate([first, second]), whole, atol=1e-10)
+
+
+def test_sosfiltfilt_matches_scipy():
+    sos_mine = iir.butter_lowpass(4, 20.0, FS)
+    sos_ref = ss.butter(4, 20.0, btype="low", fs=FS, output="sos")
+    x = np.random.default_rng(5).normal(size=600)
+    mine = iir.sosfiltfilt(sos_mine, x)
+    ref = ss.sosfiltfilt(sos_ref, x)
+    assert np.allclose(mine, ref, atol=1e-7)
+
+
+def test_sosfiltfilt_zero_phase_on_sine():
+    sos = iir.butter_lowpass(4, 20.0, FS)
+    t = np.arange(2000) / FS
+    x = np.sin(2 * np.pi * 5.0 * t)
+    y = iir.sosfiltfilt(sos, x)
+    centre = slice(500, 1500)
+    lag = np.argmax(np.correlate(y[centre], x[centre], "full")) - 999
+    assert lag == 0
+
+
+def test_sosfilt_zi_step_response_steady():
+    """With zi scaled by the step level, the output starts settled."""
+    sos = iir.butter_lowpass(4, 20.0, FS)
+    zi = iir.sosfilt_zi(sos)
+    level = 3.7
+    y, _ = iir.sosfilt(sos, np.full(100, level), zi=zi * level)
+    assert np.allclose(y, level, atol=1e-9)
+
+
+@settings(max_examples=20)
+@given(scale=st.floats(min_value=0.01, max_value=50.0))
+def test_sosfilt_homogeneity(scale):
+    sos = iir.butter_lowpass(2, 30.0, FS)
+    x = np.random.default_rng(11).normal(size=200)
+    assert np.allclose(iir.sosfilt(sos, scale * x),
+                       scale * iir.sosfilt(sos, x), atol=1e-9 * scale)
+
+
+def test_dc_gain_lowpass_unity():
+    sos = iir.butter_lowpass(4, 20.0, FS)
+    _, h = iir.sos_frequency_response(sos, np.array([1e-6]), FS)
+    assert abs(h[0]) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_zpk_to_sos_rejects_more_zeros_than_poles():
+    bad = iir.ZpkFilter(np.array([1.0, -1.0, 0.5]),
+                        np.array([0.2, 0.3]), 1.0)
+    with pytest.raises(ConfigurationError):
+        iir.zpk_to_sos(bad)
+
+
+def test_zpk_to_sos_rejects_unpaired_complex():
+    bad = iir.ZpkFilter(np.empty(0), np.array([0.5 + 0.2j, 0.4]), 1.0)
+    with pytest.raises(ConfigurationError):
+        iir.zpk_to_sos(bad)
+
+
+def test_invalid_orders_and_cutoffs():
+    with pytest.raises(ConfigurationError):
+        iir.butter_lowpass(0, 20.0, FS)
+    with pytest.raises(ConfigurationError):
+        iir.butter_lowpass(4, 0.0, FS)
+    with pytest.raises(ConfigurationError):
+        iir.butter_lowpass(4, 125.0, FS)
+    with pytest.raises(ConfigurationError):
+        iir.butter_bandpass(2, 15.0, 5.0, FS)
+
+
+def test_sosfilt_rejects_wrong_zi_shape():
+    sos = iir.butter_lowpass(4, 20.0, FS)
+    with pytest.raises(ConfigurationError):
+        iir.sosfilt(sos, np.zeros(10), zi=np.zeros((1, 2)))
+
+
+def test_sosfilt_rejects_empty_signal():
+    sos = iir.butter_lowpass(2, 20.0, FS)
+    with pytest.raises(SignalError):
+        iir.sosfilt(sos, np.array([]))
+
+
+def test_odd_order_bandpass_matches_scipy():
+    mine = iir.butter_bandpass(3, 1.0, 30.0, FS)
+    ref = ss.butter(3, [1.0, 30.0], btype="band", fs=FS, output="sos")
+    w = np.linspace(0.2, 124.0, 250)
+    _, h1 = iir.sos_frequency_response(mine, w, FS)
+    _, h2 = ss.sosfreqz(ref, w, fs=FS)
+    assert np.allclose(np.abs(h1), np.abs(h2), atol=1e-7)

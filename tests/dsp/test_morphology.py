@@ -1,0 +1,129 @@
+"""Grey-scale morphology: algebraic laws and ECG baseline behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp import morphology
+from repro.errors import ConfigurationError, SignalError
+
+signals = arrays(np.float64, st.integers(min_value=5, max_value=120),
+                 elements=st.floats(min_value=-100, max_value=100,
+                                    allow_nan=False))
+sizes = st.sampled_from([3, 5, 7, 9])
+
+
+@given(x=signals, size=sizes)
+def test_erosion_below_dilation(x, size):
+    eroded = morphology.erode(x, size)
+    dilated = morphology.dilate(x, size)
+    assert np.all(eroded <= x + 1e-12)
+    assert np.all(dilated >= x - 1e-12)
+    assert np.all(eroded <= dilated)
+
+
+@given(x=signals, size=sizes)
+def test_opening_anti_extensive_closing_extensive(x, size):
+    assert np.all(morphology.opening(x, size) <= x + 1e-12)
+    assert np.all(morphology.closing(x, size) >= x - 1e-12)
+
+
+@settings(max_examples=50)
+@given(x=signals, size=sizes)
+def test_opening_idempotent(x, size):
+    once = morphology.opening(x, size)
+    twice = morphology.opening(once, size)
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=50)
+@given(x=signals, size=sizes)
+def test_closing_idempotent(x, size):
+    once = morphology.closing(x, size)
+    twice = morphology.closing(once, size)
+    assert np.allclose(once, twice)
+
+
+@given(x=signals, size=sizes,
+       offset=st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_offset_equivariance(x, size, offset):
+    """Flat-element morphology commutes with constant offsets."""
+    assert np.allclose(morphology.erode(x + offset, size),
+                       morphology.erode(x, size) + offset)
+    assert np.allclose(morphology.dilate(x + offset, size),
+                       morphology.dilate(x, size) + offset)
+
+
+@given(x=signals, size=sizes)
+def test_duality_erode_dilate(x, size):
+    """Erosion of -x equals -dilation of x (grey-scale duality)."""
+    assert np.allclose(morphology.erode(-x, size),
+                       -morphology.dilate(x, size))
+
+
+def test_erode_is_window_minimum():
+    x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+    assert np.allclose(morphology.erode(x, 3), [1, 1, 1, 1, 1])
+
+
+def test_dilate_is_window_maximum():
+    x = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+    assert np.allclose(morphology.dilate(x, 3), [3, 4, 4, 5, 5])
+
+
+def test_size_one_is_identity():
+    x = np.array([2.0, -1.0, 7.0])
+    assert np.array_equal(morphology.erode(x, 1), x)
+    assert np.array_equal(morphology.dilate(x, 1), x)
+
+
+def test_even_size_rejected():
+    with pytest.raises(ConfigurationError):
+        morphology.erode(np.ones(10), 4)
+
+
+def test_empty_signal_rejected():
+    with pytest.raises(SignalError):
+        morphology.erode(np.array([]), 3)
+
+
+def test_default_element_lengths_scale_with_fs():
+    first_250, second_250 = morphology.default_element_lengths(250.0)
+    first_500, second_500 = morphology.default_element_lengths(500.0)
+    assert first_250 % 2 == 1 and second_250 % 2 == 1
+    assert second_250 > first_250
+    assert first_500 > first_250
+
+
+def test_baseline_estimation_removes_qrs_spikes():
+    """A spiky signal on a slow ramp: the baseline tracks the ramp."""
+    fs = 250.0
+    t = np.arange(int(10 * fs)) / fs
+    ramp = 0.3 * t
+    spikes = np.zeros_like(t)
+    for centre in np.arange(0.5, 9.5, 0.8):
+        spikes += 1.0 * np.exp(-((t - centre) ** 2) / (2 * 0.01**2))
+    baseline = morphology.estimate_baseline(ramp + spikes, fs)
+    # Baseline must be close to the ramp, far below the spike peaks.
+    inner = slice(int(fs), int(9 * fs))
+    assert np.max(np.abs(baseline[inner] - ramp[inner])) < 0.15
+
+
+def test_remove_baseline_centres_ecg(clean_recording):
+    ecg = clean_recording.channel("ecg") + 0.8  # gross DC offset
+    corrected = morphology.remove_baseline(ecg, clean_recording.fs)
+    # After correction the isoelectric level sits near zero.
+    assert abs(np.median(corrected)) < 0.05
+
+
+def test_baseline_of_flat_signal_is_itself():
+    x = np.full(100, 2.5)
+    baseline = morphology.estimate_baseline(x, 250.0)
+    assert np.allclose(baseline, 2.5)
+
+
+def test_custom_lengths_accepted():
+    x = np.random.default_rng(0).normal(size=300)
+    out = morphology.estimate_baseline(x, 250.0, lengths=(11, 17))
+    assert out.shape == x.shape

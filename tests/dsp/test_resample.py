@@ -1,0 +1,110 @@
+"""Resampling: rate conversion and beat-phase normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import resample
+from repro.errors import ConfigurationError, SignalError
+
+FS = 250.0
+
+
+def test_resample_to_length_preserves_endpoints():
+    x = np.array([1.0, 5.0, 2.0, 8.0])
+    y = resample.resample_to_length(x, 50)
+    assert y[0] == pytest.approx(1.0)
+    assert y[-1] == pytest.approx(8.0)
+    assert y.size == 50
+
+
+@settings(max_examples=30)
+@given(n_out=st.integers(min_value=2, max_value=400),
+       value=st.floats(-50, 50, allow_nan=False))
+def test_resample_to_length_constant(n_out, value):
+    y = resample.resample_to_length(np.full(17, value), n_out)
+    assert np.allclose(y, value)
+
+
+def test_resample_to_length_single_sample():
+    assert np.allclose(resample.resample_to_length(np.array([3.0]), 5), 3.0)
+
+
+def test_resample_to_length_rejects_short_output():
+    with pytest.raises(ConfigurationError):
+        resample.resample_to_length(np.ones(10), 1)
+
+
+def test_linear_resample_interpolates():
+    t_in = np.array([0.0, 1.0, 2.0])
+    x = np.array([0.0, 10.0, 20.0])
+    y = resample.linear_resample(x, t_in, np.array([0.5, 1.5]))
+    assert np.allclose(y, [5.0, 15.0])
+
+
+def test_linear_resample_requires_increasing_times():
+    with pytest.raises(SignalError):
+        resample.linear_resample(np.ones(3), np.array([0.0, 0.0, 1.0]),
+                                 np.array([0.5]))
+
+
+def test_decimate_preserves_low_frequency_tone():
+    t = np.arange(4000) / FS
+    x = np.sin(2 * np.pi * 5.0 * t)
+    y = resample.decimate(x, 2, FS)
+    t2 = np.arange(y.size) * 2 / FS
+    inner = slice(100, -100)
+    assert np.allclose(y[inner], np.sin(2 * np.pi * 5.0 * t2)[inner],
+                       atol=0.02)
+
+
+def test_decimate_removes_aliasing_tone():
+    """A tone above the new Nyquist must be attenuated, not aliased."""
+    t = np.arange(4000) / FS
+    x = np.sin(2 * np.pi * 100.0 * t)  # above 62.5 Hz new Nyquist
+    y = resample.decimate(x, 2, FS)
+    assert np.std(y[100:-100]) < 0.05
+
+
+def test_decimate_factor_one_is_copy():
+    x = np.random.default_rng(0).normal(size=100)
+    y = resample.decimate(x, 1, FS)
+    assert np.array_equal(x, y)
+    assert y is not x
+
+
+def test_decimate_rejects_bad_factor():
+    with pytest.raises(ConfigurationError):
+        resample.decimate(np.ones(100), 0, FS)
+    with pytest.raises(ConfigurationError):
+        resample.decimate(np.ones(100), 2.5, FS)
+
+
+def test_decimate_rejects_short_signal():
+    with pytest.raises(SignalError):
+        resample.decimate(np.ones(10), 4, FS)
+
+
+def test_resample_rate_downsample_length():
+    x = np.sin(2 * np.pi * 5.0 * np.arange(1000) / FS)
+    y = resample.resample_rate(x, FS, 125.0)
+    assert abs(y.size - 500) <= 2
+
+
+def test_resample_rate_upsample_preserves_tone():
+    t = np.arange(500) / FS
+    x = np.sin(2 * np.pi * 3.0 * t)
+    y = resample.resample_rate(x, FS, 1000.0)
+    t_up = np.arange(y.size) / 1000.0
+    assert np.allclose(y, np.sin(2 * np.pi * 3.0 * t_up), atol=0.01)
+
+
+def test_resample_rate_identity():
+    x = np.random.default_rng(1).normal(size=64)
+    y = resample.resample_rate(x, FS, FS)
+    assert np.array_equal(x, y)
+
+
+def test_resample_rate_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        resample.resample_rate(np.ones(10), 0.0, 100.0)

@@ -1,0 +1,119 @@
+"""Spectral estimation: power accounting and peak finding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import spectral
+from repro.errors import ConfigurationError, SignalError
+
+FS = 250.0
+
+
+def test_periodogram_peak_at_tone():
+    t = np.arange(2048) / FS
+    x = np.sin(2 * np.pi * 30.0 * t)
+    freqs, psd = spectral.periodogram(x, FS)
+    assert freqs[np.argmax(psd)] == pytest.approx(30.0, abs=0.2)
+
+
+def test_periodogram_power_of_sine():
+    """A unit sine has power 1/2; the integrated PSD must match."""
+    t = np.arange(4096) / FS
+    x = np.sin(2 * np.pi * 25.0 * t)
+    freqs, psd = spectral.periodogram(x, FS, window="hann")
+    assert spectral.total_power(freqs, psd) == pytest.approx(0.5, rel=0.05)
+
+
+def test_welch_reduces_variance():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=8192)
+    _, psd_single = spectral.periodogram(x, FS)
+    _, psd_welch = spectral.welch(x, FS, nperseg=512)
+    assert psd_welch.std() < psd_single.std()
+
+
+def test_welch_white_noise_flat_level():
+    """White noise with variance s^2 has PSD ~ s^2 / (fs/2)."""
+    rng = np.random.default_rng(1)
+    sigma = 2.0
+    x = sigma * rng.normal(size=65536)
+    freqs, psd = spectral.welch(x, FS, nperseg=1024)
+    expected = sigma**2 / (FS / 2.0)
+    inner = (freqs > 10) & (freqs < 110)
+    assert np.median(psd[inner]) == pytest.approx(expected, rel=0.1)
+
+
+def test_band_power_splits_total():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=4096)
+    freqs, psd = spectral.welch(x, FS, nperseg=512)
+    low = spectral.band_power(freqs, psd, 0.0, 60.0)
+    high = spectral.band_power(freqs, psd, 60.0, FS / 2.0)
+    total = spectral.total_power(freqs, psd)
+    assert low + high == pytest.approx(total, rel=0.02)
+
+
+def test_band_power_empty_band_is_zero():
+    freqs = np.linspace(0, 125, 100)
+    psd = np.ones(100)
+    assert spectral.band_power(freqs, psd, 200.0, 210.0) == 0.0
+
+
+def test_band_power_rejects_inverted_band():
+    freqs = np.linspace(0, 125, 100)
+    with pytest.raises(ConfigurationError):
+        spectral.band_power(freqs, np.ones(100), 50.0, 10.0)
+
+
+def test_band_power_rejects_mismatched_shapes():
+    with pytest.raises(SignalError):
+        spectral.band_power(np.ones(5), np.ones(6), 0.0, 1.0)
+
+
+def test_dominant_frequency_finds_tone():
+    t = np.arange(8192) / FS
+    x = 0.2 * np.sin(2 * np.pi * 7.0 * t) + 0.05 * np.sin(
+        2 * np.pi * 80.0 * t)
+    assert spectral.dominant_frequency(x, FS) == pytest.approx(7.0, abs=0.5)
+
+
+def test_dominant_frequency_band_restricted():
+    t = np.arange(8192) / FS
+    x = 1.0 * np.sin(2 * np.pi * 7.0 * t) + 0.5 * np.sin(2 * np.pi * 80.0 * t)
+    found = spectral.dominant_frequency(x, FS, low_hz=50.0, high_hz=120.0)
+    assert found == pytest.approx(80.0, abs=0.5)
+
+
+def test_dominant_frequency_empty_band_rejected():
+    with pytest.raises(SignalError):
+        spectral.dominant_frequency(np.ones(256), FS, low_hz=500.0,
+                                    high_hz=600.0)
+
+
+def test_respiration_rate_recoverable_from_impedance(device_recording):
+    """The respiration model's rate shows up in the z channel PSD."""
+    z = device_recording.channel("z")
+    rate = spectral.dominant_frequency(z - z.mean(), device_recording.fs,
+                                       low_hz=0.1, high_hz=0.6)
+    assert 0.1 < rate < 0.6
+
+
+@settings(max_examples=20)
+@given(scale=st.floats(min_value=0.1, max_value=10.0))
+def test_psd_scales_quadratically(scale):
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=1024)
+    _, psd1 = spectral.welch(x, FS, nperseg=256)
+    _, psd2 = spectral.welch(scale * x, FS, nperseg=256)
+    assert np.allclose(psd2, scale**2 * psd1, rtol=1e-9)
+
+
+def test_welch_invalid_params():
+    x = np.ones(100)
+    with pytest.raises(ConfigurationError):
+        spectral.welch(x, FS, nperseg=4)
+    with pytest.raises(ConfigurationError):
+        spectral.welch(x, FS, overlap=1.0)
+    with pytest.raises(ConfigurationError):
+        spectral.welch(x, -1.0)

@@ -1,0 +1,142 @@
+"""Wavelet transform: orthonormality, reconstruction, denoising."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import wavelet as wv
+from repro.errors import ConfigurationError, SignalError
+
+WAVELET_NAMES = sorted(wv.WAVELETS)
+
+
+@pytest.mark.parametrize("name", WAVELET_NAMES)
+def test_filters_are_orthonormal(name):
+    low = wv.WAVELETS[name]
+    assert np.sum(low**2) == pytest.approx(1.0, abs=1e-12)
+    assert np.sum(low) == pytest.approx(np.sqrt(2.0), abs=1e-12)
+    # Double-shift orthogonality.
+    for shift in range(2, low.size, 2):
+        assert np.dot(low[shift:], low[:-shift]) == pytest.approx(
+            0.0, abs=1e-12)
+
+
+@pytest.mark.parametrize("name", WAVELET_NAMES)
+@pytest.mark.parametrize("n", [64, 250, 1000])
+def test_single_level_perfect_reconstruction(name, n):
+    rng = np.random.default_rng(n)
+    x = rng.normal(size=n + n % 2)
+    approx, detail = wv.dwt(x, name)
+    assert approx.size == x.size // 2
+    reconstructed = wv.idwt(approx, detail, name)
+    assert np.allclose(reconstructed, x, atol=1e-10)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 1000), level=st.integers(1, 5),
+       name=st.sampled_from(WAVELET_NAMES))
+def test_multilevel_perfect_reconstruction(seed, level, name):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=300)
+    coefficients, original = wv.wavedec(x, name, level)
+    reconstructed = wv.waverec(coefficients, name, original)
+    assert np.allclose(reconstructed, x, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", WAVELET_NAMES)
+def test_energy_preservation(name):
+    """Orthonormal transform: coefficient energy equals signal energy
+    (exact when no padding is needed)."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=512)
+    coefficients, _ = wv.wavedec(x, name, 4)
+    energy = sum(float(np.sum(np.asarray(c) ** 2)) for c in coefficients)
+    assert energy == pytest.approx(float(np.sum(x**2)), rel=1e-9)
+
+
+def test_constant_signal_lives_in_approximation():
+    x = np.full(256, 3.0)
+    coefficients, _ = wv.wavedec(x, "db4", 3)
+    for detail in coefficients[1:]:
+        assert np.abs(detail).max() < 1e-9
+
+
+def test_denoise_improves_rmse(rng):
+    t = np.arange(2048) / 250.0
+    clean = np.sin(2 * np.pi * 3.0 * t) * np.exp(-((t - 4.0) ** 2))
+    noisy = clean + 0.3 * rng.standard_normal(t.size)
+    denoised = wv.denoise(noisy, "db4")
+    rmse_noisy = np.sqrt(np.mean((noisy - clean) ** 2))
+    rmse_denoised = np.sqrt(np.mean((denoised - clean) ** 2))
+    assert rmse_denoised < 0.6 * rmse_noisy
+
+
+def test_denoise_hard_keeps_large_coefficients(rng):
+    x = np.zeros(256)
+    x[100] = 10.0  # an isolated spike is signal under hard thresholding
+    denoised = wv.denoise(x + 0.01 * rng.standard_normal(256),
+                          "haar", mode="hard")
+    assert denoised[100] > 5.0
+
+
+def test_denoise_noise_only_shrinks_to_near_zero(rng):
+    noise = 0.5 * rng.standard_normal(1024)
+    denoised = wv.denoise(noise, "db4", mode="soft")
+    assert np.std(denoised) < 0.3 * np.std(noise)
+
+
+def test_suppress_low_frequency_removes_respiration():
+    t = np.arange(4096) / 250.0
+    cardiac = np.sin(2 * np.pi * 3.0 * t)
+    respiration = 2.0 * np.sin(2 * np.pi * 0.25 * t)
+    cleaned = wv.suppress_low_frequency(cardiac + respiration, 250.0, 0.8)
+    inner = slice(256, -256)
+    residual = cleaned[inner] - cardiac[inner]
+    assert np.sqrt(np.mean(residual**2)) < 0.25
+
+
+def test_suppress_preserves_cardiac_band():
+    t = np.arange(4096) / 250.0
+    cardiac = np.sin(2 * np.pi * 3.0 * t)
+    cleaned = wv.suppress_low_frequency(cardiac, 250.0, 0.8)
+    inner = slice(256, -256)
+    assert np.corrcoef(cleaned[inner], cardiac[inner])[0, 1] > 0.98
+
+
+def test_level_band_hz():
+    low, high = wv.level_band_hz(1, 250.0)
+    assert (low, high) == (62.5, 125.0)
+    low, high = wv.level_band_hz(7, 250.0)
+    assert high == pytest.approx(250.0 / 128.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        wv.dwt(np.ones(10), "sym8")
+    with pytest.raises(SignalError):
+        wv.dwt(np.ones(9), "haar")        # odd length
+    with pytest.raises(SignalError):
+        wv.wavedec(np.ones(4), "haar", 5)  # too deep
+    with pytest.raises(ConfigurationError):
+        wv.denoise(np.ones(64), mode="fuzzy")
+    with pytest.raises(ConfigurationError):
+        wv.suppress_low_frequency(np.ones(64), 250.0, 200.0)
+    with pytest.raises(SignalError):
+        wv.idwt(np.ones(4), np.ones(5), "haar")
+
+
+def test_wavelet_icg_conditioning_matches_filter_chain(clean_recording):
+    """Both conditioners must recover comparable landmark structure."""
+    from repro.icg.preprocessing import icg_from_impedance
+
+    z = clean_recording.channel("z")
+    fs = clean_recording.fs
+    filt = icg_from_impedance(z, fs, method="filter")
+    wave = icg_from_impedance(z, fs, method="wavelet")
+    c_times = clean_recording.annotation("c_times_s")
+    for c in c_times[2:6]:
+        idx = int(round(c * fs))
+        assert np.argmax(wave[idx - 20: idx + 20]) == pytest.approx(
+            20, abs=4)
+    inner = slice(int(2 * fs), int(-2 * fs))
+    assert np.corrcoef(filt[inner], wave[inner])[0, 1] > 0.9

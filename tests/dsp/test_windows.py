@@ -1,0 +1,100 @@
+"""Window functions: scipy oracles, symmetry, parameter validation."""
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+from hypothesis import given, strategies as st
+
+from repro.dsp import windows
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("name", ["hamming", "hann", "blackman",
+                                  "blackmanharris"])
+@pytest.mark.parametrize("n", [5, 32, 33, 128])
+def test_matches_scipy_symmetric(name, n):
+    mine = windows.get_window(name, n)
+    ref = ss.get_window(name, n, fftbins=False)
+    assert np.allclose(mine, ref, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ["hamming", "hann", "blackman"])
+@pytest.mark.parametrize("n", [16, 63])
+def test_matches_scipy_periodic(name, n):
+    mine = windows.get_window(name, n, periodic=True)
+    ref = ss.get_window(name, n, fftbins=True)
+    assert np.allclose(mine, ref, atol=1e-12)
+
+
+@pytest.mark.parametrize("beta", [0.0, 2.0, 8.6, 14.0])
+def test_kaiser_matches_scipy(beta):
+    mine = windows.kaiser(41, beta)
+    ref = ss.get_window(("kaiser", beta), 41, fftbins=False)
+    assert np.allclose(mine, ref, atol=1e-12)
+
+
+def test_kaiser_via_get_window_tuple():
+    mine = windows.get_window(("kaiser", 5.0), 21)
+    assert np.allclose(mine, windows.kaiser(21, 5.0))
+
+
+@given(n=st.integers(min_value=3, max_value=200))
+def test_symmetric_windows_are_symmetric(n):
+    for name in ("hamming", "hann", "blackman", "blackmanharris"):
+        w = windows.get_window(name, n)
+        assert np.allclose(w, w[::-1], atol=1e-12)
+
+
+@given(n=st.integers(min_value=1, max_value=100))
+def test_windows_bounded_by_one(n):
+    for name in ("hamming", "hann", "blackman"):
+        w = windows.get_window(name, n)
+        assert np.all(w <= 1.0 + 1e-12)
+        assert np.all(w >= -1e-12)
+
+
+def test_rectangular_is_ones():
+    assert np.array_equal(windows.rectangular(7), np.ones(7))
+
+
+def test_length_one_windows():
+    for name in ("hamming", "hann", "blackman", "blackmanharris"):
+        assert np.array_equal(windows.get_window(name, 1), np.ones(1))
+    assert np.array_equal(windows.kaiser(1, 8.0), np.ones(1))
+
+
+def test_kaiser_beta_regimes():
+    assert windows.kaiser_beta(10.0) == 0.0
+    assert 0.0 < windows.kaiser_beta(30.0) < windows.kaiser_beta(60.0)
+
+
+def test_kaiser_order_increases_with_attenuation():
+    low = windows.kaiser_order(30.0, 0.05)
+    high = windows.kaiser_order(80.0, 0.05)
+    assert high > low > 0
+
+
+def test_kaiser_order_rejects_bad_transition():
+    with pytest.raises(ConfigurationError):
+        windows.kaiser_order(60.0, 0.7)
+
+
+@pytest.mark.parametrize("bad_n", [0, -3, 2.5])
+def test_invalid_length_rejected(bad_n):
+    with pytest.raises(ConfigurationError):
+        windows.hamming(bad_n)
+
+
+def test_unknown_window_rejected():
+    with pytest.raises(ConfigurationError):
+        windows.get_window("tukey", 10)
+
+
+def test_unknown_parametric_window_rejected():
+    with pytest.raises(ConfigurationError):
+        windows.get_window(("chebwin", 100.0), 10)
+
+
+def test_kaiser_negative_beta_rejected():
+    with pytest.raises(ConfigurationError):
+        windows.kaiser(11, -1.0)

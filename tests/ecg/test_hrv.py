@@ -1,0 +1,85 @@
+"""RR-interval statistics and HR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecg import hrv
+from repro.errors import ConfigurationError, SignalError
+
+
+def test_rr_intervals_basic():
+    times = np.array([0.5, 1.5, 2.4, 3.5])
+    rr = hrv.rr_intervals(times)
+    assert np.allclose(rr, [1.0, 0.9, 1.1])
+
+
+def test_rr_intervals_drop_outliers():
+    times = np.array([0.5, 1.5, 1.6, 6.0, 7.0])  # 0.1 s and 4.4 s invalid
+    rr = hrv.rr_intervals(times)
+    assert np.allclose(rr, [1.0, 1.0])
+
+
+def test_mean_hr():
+    times = np.arange(0.0, 10.0, 0.75)
+    assert hrv.mean_heart_rate_bpm(times) == pytest.approx(80.0)
+
+
+def test_instantaneous_hr_series():
+    times = np.array([0.0, 1.0, 1.8])
+    inst = hrv.instantaneous_hr_bpm(times)
+    assert np.allclose(inst, [60.0, 75.0])
+
+
+def test_hrv_summary_statistics():
+    rng = np.random.default_rng(0)
+    rr = 0.8 + 0.02 * rng.standard_normal(200)
+    times = np.concatenate([[0.0], np.cumsum(rr)])
+    summary = hrv.hrv_summary(times)
+    assert summary.mean_hr_bpm == pytest.approx(75.0, rel=0.02)
+    assert summary.sdnn_ms == pytest.approx(20.0, rel=0.25)
+    assert summary.n_beats == 201
+    assert 0.0 <= summary.pnn50 <= 1.0
+
+
+def test_pnn50_on_alternans():
+    """Alternating 0.7/0.8 s RR: every successive difference is 100 ms."""
+    rr = np.tile([0.7, 0.8], 50)
+    times = np.concatenate([[0.0], np.cumsum(rr)])
+    summary = hrv.hrv_summary(times)
+    assert summary.pnn50 == pytest.approx(1.0)
+
+
+def test_recovers_subject_hr(device_recording):
+    times = device_recording.annotation("r_times_s")
+    hr = hrv.mean_heart_rate_bpm(times)
+    assert hr == pytest.approx(device_recording.meta["true_hr_bpm"],
+                               rel=0.01)
+
+
+def test_heart_rate_from_indices():
+    indices = np.arange(0, 2500, 250)
+    assert hrv.heart_rate_from_indices(indices, 250.0) == pytest.approx(
+        60.0)
+
+
+@settings(max_examples=30)
+@given(rr_s=st.floats(min_value=0.3, max_value=2.0),
+       n=st.integers(min_value=4, max_value=50))
+def test_constant_rr_zero_variability(rr_s, n):
+    times = np.arange(n) * rr_s
+    summary = hrv.hrv_summary(times)
+    assert summary.sdnn_ms == pytest.approx(0.0, abs=1e-6)
+    assert summary.rmssd_ms == pytest.approx(0.0, abs=1e-6)
+    assert summary.pnn50 == 0.0
+
+
+def test_validation():
+    with pytest.raises(SignalError):
+        hrv.rr_intervals(np.array([1.0]))
+    with pytest.raises(SignalError):
+        hrv.rr_intervals(np.array([2.0, 1.0]))
+    with pytest.raises(SignalError):
+        hrv.mean_heart_rate_bpm(np.array([0.0, 10.0]))  # only outlier RR
+    with pytest.raises(ConfigurationError):
+        hrv.heart_rate_from_indices(np.arange(10), -1.0)

@@ -1,0 +1,138 @@
+"""Pan-Tompkins QRS detection."""
+
+import numpy as np
+import pytest
+
+from repro.ecg import pan_tompkins, preprocessing
+from repro.errors import ConfigurationError, SignalError
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+FS = 250.0
+
+
+def _score(detected_s, truth_s, tolerance_s=0.06):
+    hits = sum(1 for t in truth_s
+               if np.any(np.abs(detected_s - t) < tolerance_s))
+    false_pos = sum(1 for d in detected_s
+                    if not np.any(np.abs(truth_s - d) < tolerance_s))
+    return hits, false_pos
+
+
+def test_perfect_detection_on_clean_ecg(clean_recording):
+    detector = pan_tompkins.PanTompkinsDetector(clean_recording.fs)
+    filtered = preprocessing.preprocess_ecg(clean_recording.channel("ecg"),
+                                            clean_recording.fs)
+    detected = detector.detect_times(filtered)
+    truth = clean_recording.annotation("r_times_s")
+    hits, false_pos = _score(detected, truth)
+    assert hits == truth.size
+    assert false_pos == 0
+
+
+@pytest.mark.parametrize("subject_index", [0, 2, 4])
+def test_detection_across_cohort(subject_index):
+    subject = default_cohort()[subject_index]
+    recording = synthesize_recording(subject, "device", 1,
+                                     SynthesisConfig(duration_s=16.0))
+    filtered = preprocessing.preprocess_ecg(recording.channel("ecg"),
+                                            recording.fs)
+    detected = pan_tompkins.detect_r_peaks(filtered, recording.fs) / \
+        recording.fs
+    truth = recording.annotation("r_times_s")
+    hits, false_pos = _score(np.asarray(detected), truth)
+    assert hits >= truth.size - 1     # first beat may fall in learning
+    assert false_pos == 0
+
+
+def test_detection_under_noise(clean_recording, rng):
+    """0.1 mV RMS broadband noise: sensitivity must stay high."""
+    ecg = clean_recording.channel("ecg") + 0.1 * rng.standard_normal(
+        clean_recording.n_samples)
+    filtered = preprocessing.preprocess_ecg(ecg, FS)
+    detected = pan_tompkins.detect_r_peaks(filtered, FS) / FS
+    truth = clean_recording.annotation("r_times_s")
+    hits, false_pos = _score(np.asarray(detected), truth)
+    assert hits >= truth.size - 2
+    assert false_pos <= 1
+
+
+def test_refractory_blocks_double_detection(clean_recording):
+    detector = pan_tompkins.PanTompkinsDetector(FS)
+    filtered = preprocessing.preprocess_ecg(clean_recording.channel("ecg"),
+                                            FS)
+    detected = detector.detect(filtered)
+    assert np.all(np.diff(detected) >= int(0.2 * FS))
+
+
+def test_tall_t_wave_discrimination(rng):
+    """Beats with exaggerated T waves must not double-count."""
+    from repro.synth.ecg_model import EcgBeatModel, WaveSpec, synthesize_ecg
+    waves = dict(EcgBeatModel().waves)
+    waves["T"] = WaveSpec(0.30, 0.55, 0.06, rr_scaled=True)
+    beat_times = np.arange(1.0, 14.0, 0.85)
+    ecg, _ = synthesize_ecg(beat_times, np.full(beat_times.size, 0.85),
+                            15.0, FS, EcgBeatModel(waves=waves))
+    detected = pan_tompkins.detect_r_peaks(ecg, FS) / FS
+    hits, false_pos = _score(np.asarray(detected), beat_times)
+    assert false_pos == 0
+    assert hits >= beat_times.size - 1
+
+
+def test_search_back_recovers_low_amplitude_beat():
+    """One attenuated beat mid-recording: search-back must find it."""
+    from repro.synth.ecg_model import EcgBeatModel, synthesize_ecg
+    beat_times = np.arange(1.0, 14.0, 0.8)
+    rr = np.full(beat_times.size, 0.8)
+    ecg, _ = synthesize_ecg(beat_times, rr, 15.0, FS, EcgBeatModel())
+    # Attenuate beat 7 to 35 %.
+    idx = int(beat_times[7] * FS)
+    window = slice(idx - int(0.1 * FS), idx + int(0.1 * FS))
+    ecg[window] *= 0.35
+    detected = pan_tompkins.detect_r_peaks(ecg, FS) / FS
+    assert np.any(np.abs(np.asarray(detected) - beat_times[7]) < 0.08)
+
+
+def test_intermediate_signals_exposed(clean_recording):
+    detector = pan_tompkins.PanTompkinsDetector(FS)
+    detector.detect(clean_recording.channel("ecg"))
+    assert detector.bandpassed is not None
+    assert detector.integrated is not None
+    assert detector.integrated.shape == (clean_recording.n_samples,)
+
+
+def test_detect_times_matches_indices(clean_recording):
+    detector = pan_tompkins.PanTompkinsDetector(FS)
+    ecg = clean_recording.channel("ecg")
+    idx = detector.detect(ecg)
+    times = pan_tompkins.PanTompkinsDetector(FS).detect_times(ecg)
+    assert np.allclose(times, idx / FS)
+
+
+def test_low_fs_rejected():
+    with pytest.raises(ConfigurationError):
+        pan_tompkins.PanTompkinsDetector(40.0)
+
+
+def test_band_above_nyquist_rejected():
+    with pytest.raises(ConfigurationError):
+        pan_tompkins.PanTompkinsDetector(
+            80.0, pan_tompkins.PanTompkinsConfig(band_hz=(5.0, 45.0)))
+
+
+def test_short_signal_rejected():
+    detector = pan_tompkins.PanTompkinsDetector(FS)
+    with pytest.raises(SignalError):
+        detector.detect(np.zeros(100))
+
+
+def test_2d_signal_rejected():
+    detector = pan_tompkins.PanTompkinsDetector(FS)
+    with pytest.raises(SignalError):
+        detector.detect(np.zeros((10, 10)))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        pan_tompkins.PanTompkinsConfig(band_hz=(15.0, 5.0))
+    with pytest.raises(ConfigurationError):
+        pan_tompkins.PanTompkinsConfig(refractory_s=-0.1)

@@ -1,0 +1,92 @@
+"""ECG signal-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ecg import quality
+from repro.errors import ConfigurationError, SignalError
+
+FS = 250.0
+
+
+def test_snr_higher_for_clean_signal(clean_recording, rng):
+    ecg = clean_recording.channel("ecg")
+    clean_snr = quality.snr_db(ecg, FS)
+    noisy_snr = quality.snr_db(
+        ecg + 0.1 * rng.standard_normal(ecg.size), FS)
+    assert clean_snr > noisy_snr + 10.0
+
+
+def test_flatline_detection():
+    signal = np.concatenate([np.zeros(int(4 * FS)),
+                             np.sin(np.arange(int(4 * FS)) * 0.3)])
+    fraction = quality.flatline_fraction(signal, FS)
+    assert fraction == pytest.approx(0.5, abs=0.1)
+
+
+def test_no_flatline_on_live_signal(clean_recording):
+    assert quality.flatline_fraction(clean_recording.channel("ecg"),
+                                     FS) == 0.0
+
+
+def test_clipping_detection():
+    t = np.arange(int(8 * FS)) / FS
+    signal = np.clip(2.0 * np.sin(2 * np.pi * 1.0 * t), -1.0, 1.0)
+    assert quality.clipping_fraction(signal) > 0.2
+
+
+def test_no_clipping_on_clean_signal(clean_recording):
+    assert quality.clipping_fraction(
+        clean_recording.channel("ecg")) < 0.05
+
+
+def test_constant_signal_counts_as_clipped():
+    assert quality.clipping_fraction(np.ones(100)) == 1.0
+
+
+def test_template_correlation_high_for_consistent_beats(
+        clean_recording, pipeline_result):
+    corr = quality.qrs_template_correlation(
+        clean_recording.channel("ecg"), FS,
+        (clean_recording.annotation("r_times_s") * FS).astype(int))
+    assert corr > 0.95
+
+
+def test_template_correlation_drops_with_artifacts(clean_recording, rng):
+    ecg = clean_recording.channel("ecg").copy()
+    r_indices = (clean_recording.annotation("r_times_s") * FS).astype(int)
+    # Corrupt half the beats with large noise bursts.
+    for r in r_indices[::2]:
+        ecg[r - 20: r + 20] += 2.0 * rng.standard_normal(40)
+    corr = quality.qrs_template_correlation(ecg, FS, r_indices)
+    assert corr < 0.9
+
+
+def test_template_needs_three_beats():
+    with pytest.raises(SignalError):
+        quality.qrs_template_correlation(np.ones(1000), FS,
+                                         np.array([100, 200]))
+
+
+def test_assess_quality_verdict(clean_recording):
+    r_indices = (clean_recording.annotation("r_times_s") * FS).astype(int)
+    verdict = quality.assess_quality(clean_recording.channel("ecg"), FS,
+                                     r_indices)
+    assert verdict.acceptable
+
+
+def test_assess_quality_rejects_garbage(rng):
+    noise = 0.01 * rng.standard_normal(int(16 * FS))
+    r_indices = np.arange(200, 3800, 220)
+    verdict = quality.assess_quality(noise, FS, r_indices)
+    assert not verdict.acceptable
+
+
+def test_snr_validation():
+    with pytest.raises(ConfigurationError):
+        quality.snr_db(np.ones(100), -1.0)
+
+
+def test_clipping_rail_fraction_validation():
+    with pytest.raises(ConfigurationError):
+        quality.clipping_fraction(np.arange(10.0), rail_fraction=0.3)

@@ -1,0 +1,36 @@
+"""Protocol configuration."""
+
+import pytest
+
+from repro.experiments import protocol
+from repro.errors import ConfigurationError
+
+
+def test_defaults_match_paper():
+    config = protocol.ProtocolConfig()
+    assert config.duration_s == 30.0
+    assert config.fs == 250.0
+    assert config.frequencies_hz == (2e3, 10e3, 50e3, 100e3)
+    assert config.positions == (1, 2, 3)
+
+
+def test_hemodynamics_constants():
+    assert protocol.HEMODYNAMICS_POSITIONS == (1, 2)
+    assert protocol.HEMODYNAMICS_FREQUENCY_HZ == 50_000.0
+
+
+def test_quick_config_is_valid_and_smaller():
+    config = protocol.ProtocolConfig().quick()
+    assert config.duration_s < 30.0
+    assert len(config.frequencies_hz) == 2
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        protocol.ProtocolConfig(duration_s=2.0)
+    with pytest.raises(ConfigurationError):
+        protocol.ProtocolConfig(frequencies_hz=())
+    with pytest.raises(ConfigurationError):
+        protocol.ProtocolConfig(frequencies_hz=(-5.0,))
+    with pytest.raises(ConfigurationError):
+        protocol.ProtocolConfig(positions=(1, 7))

@@ -1,0 +1,112 @@
+"""The study runner on a reduced (quick) protocol.
+
+The full-size protocol is exercised by the benchmarks; tests use two
+subjects, two frequencies and 12 s recordings to stay fast while
+covering every artefact derivation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.experiments import ProtocolConfig, run_study
+from repro.synth import default_cohort
+
+
+@pytest.fixture(scope="module")
+def quick_study():
+    cohort = default_cohort()[:2]
+    config = ProtocolConfig(duration_s=12.0,
+                            frequencies_hz=(10_000.0, 50_000.0))
+    return run_study(cohort=cohort, config=config)
+
+
+def test_all_recordings_analysed(quick_study):
+    assert len(quick_study.thoracic) == 2 * 2          # subjects x freqs
+    assert len(quick_study.device) == 2 * 3 * 2        # x positions
+
+
+def test_correlation_tables_complete(quick_study):
+    for position in (1, 2, 3):
+        table = quick_study.correlation_table(position)
+        assert set(table) == {1, 2}
+        for value in table.values():
+            assert -1.0 <= value <= 1.0
+
+
+def test_correlations_high(quick_study):
+    """Shape claim: device matches thoracic morphology (> 0.8 typical,
+    paper > 80 %)."""
+    values = [quick_study.correlation(sid, pos)
+              for sid in (1, 2) for pos in (1, 2, 3)]
+    assert np.mean(values) > 0.8
+
+
+def test_thoracic_mean_z_shape(quick_study):
+    series = quick_study.thoracic_mean_z()
+    assert set(series) == {10_000.0, 50_000.0}
+    # 10 kHz reads above 50 kHz (the Fig 6 peak at 10 kHz).
+    assert np.mean(series[10_000.0]) > np.mean(series[50_000.0])
+
+
+def test_device_mean_z_per_position(quick_study):
+    for position in (1, 2, 3):
+        series = quick_study.device_mean_z(position)
+        assert len(series[50_000.0]) == 2
+        assert all(z > 100.0 for z in series[50_000.0])
+
+
+def test_relative_errors_structure_and_bounds(quick_study):
+    errors = quick_study.relative_errors()
+    assert set(errors) == {"e21", "e23", "e31"}
+    for by_subject in errors.values():
+        for by_freq in by_subject.values():
+            for value in by_freq.values():
+                assert abs(value) < 0.20    # conclusion claim
+
+
+def test_error_ordering(quick_study):
+    """e21 largest, e31 smallest (Fig 8)."""
+    errors = quick_study.relative_errors()
+
+    def mean_error(name):
+        return np.mean([v for by_freq in errors[name].values()
+                        for v in by_freq.values()])
+
+    assert mean_error("e21") > mean_error("e23") > mean_error("e31") > 0
+
+
+def test_worst_case_error_under_20_percent(quick_study):
+    assert quick_study.worst_case_error() < 0.20
+
+
+def test_hemodynamics_table(quick_study):
+    table = quick_study.hemodynamics(1, frequency_hz=50_000.0)
+    cohort = {s.subject_id: s for s in default_cohort()[:2]}
+    for sid, entry in table.items():
+        subject = cohort[sid]
+        assert entry["hr_bpm"] == pytest.approx(subject.hr_bpm, rel=0.05)
+        assert entry["lvet_s"] == pytest.approx(subject.lvet_s, abs=0.08)
+        assert entry["pep_s"] == pytest.approx(subject.pep_s, abs=0.04)
+
+
+def test_hemodynamics_position_guard(quick_study):
+    with pytest.raises(ProtocolError):
+        quick_study.hemodynamics(3)
+
+
+def test_missing_recording_raises(quick_study):
+    with pytest.raises(ProtocolError):
+        quick_study.correlation(99, 1)
+    with pytest.raises(ProtocolError):
+        quick_study._device(1, 1, 123.0)
+
+
+def test_study_is_deterministic():
+    cohort = default_cohort()[:1]
+    config = ProtocolConfig(duration_s=12.0, frequencies_hz=(50_000.0,))
+    a = run_study(cohort=cohort, config=config)
+    b = run_study(cohort=cohort, config=config)
+    assert a.correlation(1, 1) == b.correlation(1, 1)
+    assert (a.device[(1, 1, 50_000.0)].mean_z0_ohm
+            == b.device[(1, 1, 50_000.0)].mean_z0_ohm)

@@ -1,0 +1,64 @@
+"""Table/figure text rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import tables
+
+
+def test_format_table_alignment():
+    out = tables.format_table(["a", "long_header"],
+                              [["1", "2"], ["333", "4"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "long_header" in lines[0]
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_format_table_title():
+    out = tables.format_table(["x"], [["1"]], title="My title")
+    assert out.splitlines()[0] == "My title"
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ConfigurationError):
+        tables.format_table(["a", "b"], [["1"]])
+
+
+def test_render_correlation_table():
+    out = tables.render_correlation_table({1: 0.9081, 2: 0.9471}, 1)
+    assert "TABLE II" in out
+    assert "Subject 1" in out
+    assert "0.9081" in out
+    assert "Correlation Coefficient" in out
+
+
+def test_render_correlation_table_numbers():
+    assert "TABLE III" in tables.render_correlation_table({1: 0.5}, 2)
+    assert "TABLE IV" in tables.render_correlation_table({1: 0.5}, 3)
+
+
+def test_render_mean_z_series():
+    series = {2000.0: [10.0, 11.0], 10000.0: [25.0, 26.0]}
+    out = tables.render_mean_z_series(series, "Fig 6")
+    assert "Fig 6" in out
+    assert "2" in out and "10" in out
+    assert "25.00" in out
+    assert "mean" in out
+
+
+def test_render_relative_errors():
+    errors = {name: {1: {2000.0: 0.05, 10000.0: 0.06}}
+              for name in ("e21", "e23", "e31")}
+    out = tables.render_relative_errors(errors)
+    assert "e21" in out and "e23" in out and "e31" in out
+    assert "+5.0%" in out
+
+
+def test_render_hemodynamics():
+    table = {1: {"lvet_s": 0.301, "pep_s": 0.092, "hr_bpm": 63.1}}
+    out = tables.render_hemodynamics(table, 1)
+    assert "301" in out
+    assert "92" in out
+    assert "63" in out
+    assert "Position 1" in out

@@ -1,0 +1,119 @@
+"""Beat ensemble averaging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.icg import ensemble
+
+FS = 250.0
+
+
+def _beat_train(n_beats=10, rr_samples=200, rng=None):
+    """A periodic signal with one Gaussian bump per beat."""
+    rng = rng or np.random.default_rng(0)
+    n = n_beats * rr_samples + 100
+    signal = np.zeros(n)
+    r_indices = np.arange(50, n - rr_samples, rr_samples)
+    t = np.arange(n)
+    for r in r_indices:
+        signal += np.exp(-((t - r - 60) ** 2) / (2 * 15.0**2))
+    return signal, r_indices
+
+
+def test_extract_beats_shape():
+    signal, r_indices = _beat_train()
+    beats = ensemble.extract_beats(signal, FS, r_indices, 100)
+    assert beats.shape == (r_indices.size - 1, 100)
+
+
+def test_ensemble_of_identical_beats_is_the_beat():
+    signal, r_indices = _beat_train()
+    result = ensemble.ensemble_average(signal, FS, r_indices)
+    assert result.n_used == result.n_total
+    single = ensemble.extract_beats(signal, FS, r_indices[:2], 100)[0]
+    assert np.allclose(result.waveform, single, atol=1e-6)
+
+
+def test_ensemble_suppresses_noise(rng):
+    signal, r_indices = _beat_train()
+    noisy = signal + 0.3 * rng.standard_normal(signal.size)
+    clean_result = ensemble.ensemble_average(signal, FS, r_indices)
+    noisy_result = ensemble.ensemble_average(noisy, FS, r_indices)
+    residual = noisy_result.waveform - clean_result.waveform
+    assert np.std(residual) < 0.15  # ~0.3 / sqrt(9)
+
+
+def test_outlier_beats_rejected(rng):
+    signal, r_indices = _beat_train(n_beats=12)
+    corrupted = signal.copy()
+    # Replace two beats with pure noise.
+    for r in r_indices[[3, 7]]:
+        corrupted[r: r + 200] = rng.standard_normal(200) * 2.0
+    result = ensemble.ensemble_average(corrupted, FS, r_indices)
+    assert result.n_used <= result.n_total - 2
+    assert result.rejection_fraction > 0.0
+
+
+def test_fallback_when_all_beats_rejected(rng):
+    """Pathological threshold: falls back to using all beats."""
+    signal, r_indices = _beat_train()
+    config = ensemble.EnsembleConfig(outlier_correlation=0.999999)
+    noisy = signal + 0.4 * rng.standard_normal(signal.size)
+    result = ensemble.ensemble_average(noisy, FS, r_indices, config)
+    assert result.n_used == result.n_total
+
+
+def test_phase_normalisation_handles_variable_rr():
+    rng = np.random.default_rng(2)
+    n = 3000
+    signal = np.zeros(n)
+    r_indices = [100]
+    while r_indices[-1] < n - 350:
+        r_indices.append(r_indices[-1] + rng.integers(180, 260))
+    r_indices = np.asarray(r_indices)
+    t = np.arange(n)
+    for lo, hi in zip(r_indices[:-1], r_indices[1:]):
+        centre = lo + 0.3 * (hi - lo)   # bump at fixed *phase*
+        signal += np.exp(-((t - centre) ** 2) / (2 * 10.0**2))
+    result = ensemble.ensemble_average(signal, FS, r_indices)
+    assert np.argmax(result.waveform) == pytest.approx(30, abs=3)
+
+
+def test_min_beats_enforced():
+    signal, r_indices = _beat_train(n_beats=3)
+    with pytest.raises(SignalError):
+        ensemble.ensemble_average(signal, FS, r_indices[:3])
+
+
+def test_extract_beats_needs_two_peaks():
+    with pytest.raises(SignalError):
+        ensemble.extract_beats(np.ones(100), FS, np.array([10]))
+
+
+def test_extract_beats_skips_out_of_range():
+    signal = np.ones(500)
+    beats = ensemble.extract_beats(signal, FS,
+                                   np.array([100, 300, 490, 700]), 50)
+    assert beats.shape[0] == 2  # the window past the end is dropped
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ensemble.EnsembleConfig(n_phase_samples=5)
+    with pytest.raises(ConfigurationError):
+        ensemble.EnsembleConfig(min_beats=1)
+    with pytest.raises(ConfigurationError):
+        ensemble.EnsembleConfig(outlier_correlation=1.0)
+
+
+def test_ensemble_on_recording(device_recording):
+    from repro.icg.preprocessing import icg_from_impedance
+    icg = icg_from_impedance(device_recording.channel("z"),
+                             device_recording.fs)
+    r_indices = (device_recording.annotation("r_times_s")
+                 * device_recording.fs).astype(int)
+    result = ensemble.ensemble_average(icg, device_recording.fs, r_indices)
+    assert result.waveform.size == 100
+    # The ensemble has a positive C wave in early systole.
+    assert result.waveform[:50].max() > 0

@@ -1,0 +1,189 @@
+"""Hemodynamic parameter estimation (LVET, PEP, SV, CO, TFC)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.icg import hemodynamics as hd
+from repro.icg.points import BeatPoints
+
+FS = 250.0
+
+
+def _points(pep_s=0.1, lvet_s=0.3, r=1000):
+    b = r + int(pep_s * FS)
+    x = b + int(lvet_s * FS)
+    return BeatPoints(r_index=r, c_index=b + 25, b_index=b, x_index=x,
+                      b0_index=b + 2.0, x0_index=x + 3,
+                      pattern_found=True)
+
+
+def test_systolic_intervals_means():
+    pts = [_points(0.10, 0.30, 1000), _points(0.12, 0.32, 1250)]
+    intervals = hd.systolic_intervals(pts, FS)
+    assert intervals.mean_pep_s == pytest.approx(0.11, abs=1e-9)
+    assert intervals.mean_lvet_s == pytest.approx(0.31, abs=1e-9)
+    assert intervals.n_beats == 2
+    assert intervals.pep_over_lvet == pytest.approx(0.11 / 0.31)
+
+
+def test_systolic_intervals_gating():
+    good = _points(0.10, 0.30)
+    bad = _points(0.10, 0.30)
+    # Forge an implausible beat: LVET of 0.8 s.
+    bad = BeatPoints(bad.r_index, bad.c_index, bad.b_index,
+                     bad.b_index + int(0.8 * FS), bad.b0_index,
+                     bad.x0_index, bad.pattern_found)
+    intervals = hd.systolic_intervals([good, bad], FS)
+    assert intervals.n_beats == 1
+
+
+def test_systolic_intervals_all_invalid_rejected():
+    bad = BeatPoints(1000, 1025, 1010, 1010 + int(0.9 * FS), 1012.0, 1300,
+                     False)
+    with pytest.raises(SignalError):
+        hd.systolic_intervals([bad], FS)
+
+
+def test_kubicek_formula():
+    sv = hd.kubicek_stroke_volume_ml(
+        z0_ohm=25.0, lvet_s=0.3, dzdt_max_ohm_s=1.2,
+        electrode_distance_cm=30.0, rho_ohm_cm=135.0)
+    expected = 135.0 * (30.0 / 25.0) ** 2 * 0.3 * 1.2
+    assert sv == pytest.approx(expected)
+    assert 40.0 < sv < 120.0  # physiological
+
+
+def test_sramek_bernstein_formula():
+    sv = hd.sramek_bernstein_stroke_volume_ml(
+        z0_ohm=25.0, lvet_s=0.3, dzdt_max_ohm_s=1.2, height_cm=175.0)
+    expected = (0.17 * 175.0) ** 3 / 4.25 * 0.3 * 1.2 / 25.0
+    assert sv == pytest.approx(expected)
+    assert 40.0 < sv < 120.0
+
+
+def test_sv_increases_with_lvet_and_amplitude():
+    base = hd.kubicek_stroke_volume_ml(25.0, 0.30, 1.2, 30.0)
+    longer = hd.kubicek_stroke_volume_ml(25.0, 0.35, 1.2, 30.0)
+    stronger = hd.kubicek_stroke_volume_ml(25.0, 0.30, 1.5, 30.0)
+    assert longer > base
+    assert stronger > base
+
+
+def test_sv_decreases_with_z0():
+    low = hd.kubicek_stroke_volume_ml(20.0, 0.3, 1.2, 30.0)
+    high = hd.kubicek_stroke_volume_ml(30.0, 0.3, 1.2, 30.0)
+    assert low > high
+
+
+def test_thoracic_fluid_content():
+    assert hd.thoracic_fluid_content(25.0) == pytest.approx(40.0)
+    # Fluid accumulation (lower Z0) raises TFC — the CHF warning trend.
+    assert hd.thoracic_fluid_content(20.0) > hd.thoracic_fluid_content(30.0)
+
+
+def test_estimator_per_beat():
+    icg = np.zeros(2000)
+    p = _points(0.10, 0.30)
+    icg[p.c_index] = 1.2
+    estimator = hd.HemodynamicsEstimator(FS, z0_ohm=25.0, height_cm=175.0)
+    beat = estimator.estimate_beat(p, rr_s=0.8, icg=icg)
+    assert beat.hr_bpm == pytest.approx(75.0)
+    assert beat.pep_s == pytest.approx(0.10, abs=1e-9)
+    assert beat.sv_kubicek_ml > 0
+    assert beat.co_kubicek_l_min == pytest.approx(
+        beat.sv_kubicek_ml * 75.0 / 1000.0)
+
+
+def test_estimator_estimate_all():
+    icg = np.zeros(3000)
+    pts = [_points(0.1, 0.3, 500), _points(0.1, 0.3, 700),
+           _points(0.1, 0.3, 900)]
+    for p in pts:
+        icg[p.c_index] = 1.0
+    estimator = hd.HemodynamicsEstimator(FS, 25.0, 175.0)
+    beats = estimator.estimate_all(pts, icg)
+    assert len(beats) == 2
+    assert beats[0].hr_bpm == pytest.approx(60.0 / (200 / FS))
+
+
+def test_z0_calibration_scales_kubicek_inverse_square():
+    icg = np.zeros(2000)
+    p = _points()
+    icg[p.c_index] = 0.4
+    base = hd.HemodynamicsEstimator(FS, 430.0, 175.0)
+    calibrated = base.with_calibration(0.5, 1.0)
+    ratio = (calibrated.estimate_beat(p, 0.8, icg).sv_kubicek_ml
+             / base.estimate_beat(p, 0.8, icg).sv_kubicek_ml)
+    assert ratio == pytest.approx(4.0)   # (1/0.5)^2
+
+
+def test_dzdt_calibration_scales_sv_linearly():
+    icg = np.zeros(2000)
+    p = _points()
+    icg[p.c_index] = 0.4
+    base = hd.HemodynamicsEstimator(FS, 430.0, 175.0)
+    calibrated = base.with_calibration(1.0, 3.0)
+    assert (calibrated.estimate_beat(p, 0.8, icg).sv_kubicek_ml
+            == pytest.approx(3.0 * base.estimate_beat(p, 0.8,
+                                                      icg).sv_kubicek_ml))
+    assert (calibrated.estimate_beat(p, 0.8, icg).sv_sramek_ml
+            == pytest.approx(3.0 * base.estimate_beat(p, 0.8,
+                                                      icg).sv_sramek_ml))
+
+
+def test_device_pathway_calibration_recovers_thoracic_sv():
+    """Mapping measured hand-to-hand (Z0, dZ/dt) onto the thoracic
+    scale with the two pathway factors reproduces the thoracic SV."""
+    icg_thor = np.zeros(2000)
+    p = _points()
+    icg_thor[p.c_index] = 1.2
+    thoracic = hd.HemodynamicsEstimator(FS, 25.0, 175.0)
+    sv_thor = thoracic.estimate_beat(p, 0.8, icg_thor).sv_kubicek_ml
+
+    coupling = 0.32
+    icg_dev = np.zeros(2000)
+    icg_dev[p.c_index] = 1.2 * coupling
+    device = hd.HemodynamicsEstimator(
+        FS, 430.0, 175.0, z0_calibration=25.0 / 430.0,
+        dzdt_calibration=1.0 / coupling)
+    sv_dev = device.estimate_beat(p, 0.8, icg_dev).sv_kubicek_ml
+    assert sv_dev == pytest.approx(sv_thor, rel=1e-9)
+
+
+def test_estimator_rejects_negative_dzdt():
+    icg = np.zeros(2000)  # C value is 0 -> invalid
+    estimator = hd.HemodynamicsEstimator(FS, 25.0, 175.0)
+    with pytest.raises(SignalError):
+        estimator.estimate_beat(_points(), 0.8, icg)
+
+
+def test_formula_validation():
+    with pytest.raises(ConfigurationError):
+        hd.kubicek_stroke_volume_ml(0.0, 0.3, 1.2, 30.0)
+    with pytest.raises(ConfigurationError):
+        hd.kubicek_stroke_volume_ml(25.0, 0.3, -1.2, 30.0)
+    with pytest.raises(ConfigurationError):
+        hd.sramek_bernstein_stroke_volume_ml(25.0, 0.3, 1.2, 0.0)
+    with pytest.raises(ConfigurationError):
+        hd.sramek_bernstein_stroke_volume_ml(25.0, 0.3, 1.2, 175.0,
+                                             delta=-1.0)
+    with pytest.raises(ConfigurationError):
+        hd.thoracic_fluid_content(0.0)
+
+
+def test_estimator_validation():
+    with pytest.raises(ConfigurationError):
+        hd.HemodynamicsEstimator(-1.0, 25.0, 175.0)
+    with pytest.raises(ConfigurationError):
+        hd.HemodynamicsEstimator(FS, 25.0, 175.0, z0_calibration=0.0)
+    with pytest.raises(ConfigurationError):
+        hd.HemodynamicsEstimator(FS, 25.0, 175.0, dzdt_calibration=-1.0)
+    estimator = hd.HemodynamicsEstimator(FS, 25.0, 175.0)
+    with pytest.raises(ConfigurationError):
+        estimator.estimate_beat(_points(), -0.5, np.zeros(2000))
+
+
+def test_default_electrode_distance_is_017_height():
+    estimator = hd.HemodynamicsEstimator(FS, 25.0, 175.0)
+    assert estimator.electrode_distance_cm == pytest.approx(0.17 * 175.0)

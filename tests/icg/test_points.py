@@ -1,0 +1,195 @@
+"""ICG characteristic-point detection — the paper's core algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.ecg import detect_r_peaks, preprocess_ecg
+from repro.errors import ConfigurationError, DetectionError, SignalError
+from repro.icg import points as points_mod
+from repro.icg.preprocessing import icg_from_impedance
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+FS = 250.0
+
+
+@pytest.fixture(scope="module")
+def detected(clean_recording_module):
+    rec = clean_recording_module
+    icg = icg_from_impedance(rec.channel("z"), rec.fs)
+    r_peaks = detect_r_peaks(preprocess_ecg(rec.channel("ecg"), rec.fs),
+                             rec.fs)
+    pts, failures = points_mod.detect_all_points(icg, rec.fs, r_peaks)
+    return rec, icg, pts, failures
+
+
+@pytest.fixture(scope="module")
+def clean_recording_module():
+    subject = default_cohort()[1]
+    config = SynthesisConfig(duration_s=16.0, include_motion=False,
+                             include_powerline=False, include_noise=False)
+    return synthesize_recording(subject, "thoracic", 1, config)
+
+
+def _nearest_error_ms(detected_times, truth_times):
+    return np.array([
+        (d - truth_times[np.argmin(np.abs(truth_times - d))]) * 1000.0
+        for d in detected_times])
+
+
+def test_all_beats_detected(detected):
+    rec, _, pts, failures = detected
+    assert len(failures) == 0
+    assert len(pts) >= rec.annotation("r_times_s").size - 2
+
+
+def test_c_point_accuracy(detected):
+    rec, _, pts, _ = detected
+    errors = _nearest_error_ms(np.array([p.c_index for p in pts]) / FS,
+                               rec.annotation("c_times_s"))
+    assert np.abs(errors.mean()) < 6.0
+    assert errors.std() < 8.0
+
+
+def test_b_point_accuracy(detected):
+    """B within the tolerance band reported for B-detectors in the
+    literature (~15 ms bias, ~20 ms dispersion)."""
+    rec, _, pts, _ = detected
+    errors = _nearest_error_ms(np.array([p.b_index for p in pts]) / FS,
+                               rec.annotation("b_times_s"))
+    assert np.abs(errors.mean()) < 16.0
+    assert errors.std() < 22.0
+
+
+def test_x0_initial_estimate_accuracy(detected):
+    rec, _, pts, _ = detected
+    errors = _nearest_error_ms(np.array([p.x0_index for p in pts]) / FS,
+                               rec.annotation("x_times_s"))
+    assert np.abs(errors.mean()) < 16.0
+
+
+def test_x_refinement_is_earlier_than_x0(detected):
+    """The paper's X (3rd-derivative minimum) precedes the trough X0."""
+    _, _, pts, _ = detected
+    assert all(p.x_index <= p.x0_index for p in pts)
+
+
+def test_point_ordering_invariant(detected):
+    _, _, pts, _ = detected
+    for p in pts:
+        assert p.r_index < p.b_index < p.c_index < p.x_index
+
+
+def test_intervals_physiological(detected):
+    rec, _, pts, _ = detected
+    peps = np.array([p.pep_s(FS) for p in pts])
+    lvets = np.array([p.lvet_s(FS) for p in pts])
+    assert np.all((peps > 0.04) & (peps < 0.2))
+    assert np.all((lvets > 0.15) & (lvets < 0.45))
+    # Mean close to ground truth (definitional offsets documented).
+    assert abs(peps.mean() - rec.meta["true_pep_s"]) < 0.03
+    assert abs(lvets.mean() - rec.meta["true_lvet_s"]) < 0.06
+
+
+def test_device_recording_still_analysable():
+    subject = default_cohort()[1]
+    rec = synthesize_recording(subject, "device", 1,
+                               SynthesisConfig(duration_s=16.0))
+    icg = icg_from_impedance(rec.channel("z"), rec.fs)
+    r_peaks = detect_r_peaks(preprocess_ecg(rec.channel("ecg"), rec.fs),
+                             rec.fs)
+    pts, failures = points_mod.detect_all_points(icg, rec.fs, r_peaks)
+    assert len(pts) >= 0.7 * (r_peaks.size - 1)
+
+
+def test_rt_window_strategy_matches_global_on_clean(detected):
+    """With a healthy T wave the Carvalho RT-window X0 lands near the
+    paper's global X0."""
+    rec, icg, pts_global, _ = detected
+    r_peaks = np.array([p.r_index for p in pts_global]
+                       + [pts_global[-1].x0_index + 100])
+    t_peaks = rec.annotation("t_peak_times_s")
+    rt = []
+    for p in pts_global:
+        r_time = p.r_index / FS
+        nearest_t = t_peaks[np.argmin(np.abs(t_peaks - r_time - 0.3))]
+        rt.append(max(0.15, nearest_t - r_time))
+    config = points_mod.PointConfig(x_strategy="rt_window")
+    agree = 0
+    for k, p in enumerate(pts_global):
+        try:
+            alt = points_mod.detect_beat_points(
+                icg, FS, p.r_index,
+                p.r_index + int((r_peaks[k + 1] - r_peaks[k])),
+                config, rt_interval_s=rt[k])
+        except DetectionError:
+            continue
+        if abs(alt.x0_index - p.x0_index) <= int(0.04 * FS):
+            agree += 1
+    assert agree >= 0.6 * len(pts_global)
+
+
+def test_rt_window_requires_rt_interval(detected):
+    _, icg, pts, _ = detected
+    config = points_mod.PointConfig(x_strategy="rt_window")
+    with pytest.raises(DetectionError):
+        points_mod.detect_beat_points(icg, FS, pts[0].r_index,
+                                      pts[1].r_index, config)
+
+
+def test_detect_beat_rejects_bad_window(detected):
+    _, icg, _, _ = detected
+    with pytest.raises(DetectionError):
+        points_mod.detect_beat_points(icg, FS, 100, 120)  # < 250 ms
+    with pytest.raises(DetectionError):
+        points_mod.detect_beat_points(icg, FS, 500, 400)
+
+
+def test_detect_beat_on_flat_signal_fails():
+    flat = np.zeros(1000)
+    with pytest.raises(DetectionError):
+        points_mod.detect_beat_points(flat, FS, 0, 500)
+
+
+def test_detect_beat_on_negative_signal_fails():
+    negative = -np.abs(np.sin(np.arange(1000) * 0.05)) - 0.1
+    with pytest.raises(DetectionError):
+        points_mod.detect_beat_points(negative, FS, 0, 500)
+
+
+def test_detect_all_collects_failures(detected):
+    _, icg, _, _ = detected
+    # Garbage R peaks: windows of 60 samples are too short.
+    r = np.arange(0, 600, 60)
+    pts, failures = points_mod.detect_all_points(icg, FS, r)
+    assert len(pts) == 0
+    assert len(failures) == r.size - 1
+
+
+def test_detect_all_needs_two_peaks(detected):
+    _, icg, _, _ = detected
+    with pytest.raises(SignalError):
+        points_mod.detect_all_points(icg, FS, np.array([100]))
+
+
+def test_rt_intervals_length_validated(detected):
+    _, icg, _, _ = detected
+    with pytest.raises(ConfigurationError):
+        points_mod.detect_all_points(icg, FS, np.array([0, 300, 600]),
+                                     rt_intervals_s=np.array([0.3]))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        points_mod.PointConfig(line_fit_low=0.9, line_fit_high=0.5)
+    with pytest.raises(ConfigurationError):
+        points_mod.PointConfig(x_strategy="nonsense")
+    with pytest.raises(ConfigurationError):
+        points_mod.PointConfig(rt_window_factor=0.9)
+
+
+def test_beat_points_interval_helpers():
+    p = points_mod.BeatPoints(r_index=1000, c_index=1060, b_index=1025,
+                              x_index=1100, b0_index=1030.5, x0_index=1105,
+                              pattern_found=False)
+    assert p.pep_s(FS) == pytest.approx(0.1)
+    assert p.lvet_s(FS) == pytest.approx(0.3)

@@ -1,0 +1,86 @@
+"""ICG conditioning chain."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import spectral
+from repro.icg import preprocessing
+from repro.errors import ConfigurationError
+
+FS = 250.0
+
+
+def test_lowpass_removes_high_frequency(rng):
+    t = np.arange(int(20 * FS)) / FS
+    signal = np.sin(2 * np.pi * 3.0 * t)
+    noisy = signal + 0.5 * np.sin(2 * np.pi * 45.0 * t)
+    filtered = preprocessing.lowpass(noisy, FS)
+    inner = slice(int(FS), int(-FS))
+    assert np.allclose(filtered[inner], signal[inner], atol=0.05)
+
+
+def test_lowpass_zero_phase():
+    t = np.arange(int(20 * FS)) / FS
+    x = np.sin(2 * np.pi * 4.0 * t)
+    y = preprocessing.lowpass(x, FS)
+    centre = slice(1000, 4000)
+    lag = np.argmax(np.correlate(y[centre], x[centre], "full")) - 2999
+    assert lag == 0
+
+
+def test_highpass_removes_respiration():
+    t = np.arange(int(30 * FS)) / FS
+    cardiac = np.sin(2 * np.pi * 3.0 * t)
+    respiration = 2.0 * np.sin(2 * np.pi * 0.25 * t)
+    conditioned = preprocessing.condition_icg(cardiac + respiration, FS)
+    freqs, psd = spectral.welch(conditioned, FS, nperseg=2048)
+    resp_power = spectral.band_power(freqs, psd, 0.1, 0.45)
+    cardiac_power = spectral.band_power(freqs, psd, 2.5, 3.5)
+    assert cardiac_power > 50 * resp_power
+
+
+def test_highpass_disabled_via_none():
+    config = preprocessing.IcgFilterConfig(highpass_hz=None)
+    t = np.arange(int(10 * FS)) / FS
+    x = np.sin(2 * np.pi * 0.25 * t)
+    passed = preprocessing.highpass(x, FS, config)
+    assert np.allclose(passed, x)
+
+
+def test_icg_from_impedance_recovers_derivative(clean_recording):
+    """-dZ/dt of the synthetic Z must match the annotated landmarks:
+    the max of the conditioned ICG sits at the C time."""
+    icg = preprocessing.icg_from_impedance(clean_recording.channel("z"),
+                                           clean_recording.fs)
+    c_times = clean_recording.annotation("c_times_s")
+    for c in c_times[1:4]:
+        idx = int(round(c * FS))
+        window = icg[idx - 50: idx + 50]
+        assert np.argmax(window) == pytest.approx(50, abs=3)
+
+
+def test_icg_amplitude_preserved(clean_recording):
+    """Conditioning preserves the C amplitude within a few percent."""
+    icg = preprocessing.icg_from_impedance(clean_recording.channel("z"),
+                                           clean_recording.fs)
+    coupling = clean_recording.meta["cardiac_coupling"]
+    c_indices = (clean_recording.annotation("c_times_s") * FS).astype(int)
+    c_values = icg[c_indices[1:-1]]
+    # Subject dzdt_max with beat jitter; compare against the mean level.
+    expected = clean_recording.meta["true_z0_ohm"] * 0 + coupling
+    assert np.median(c_values) == pytest.approx(
+        1.15 * coupling, rel=0.15)  # subject 2: dzdt_max = 1.15
+
+
+def test_cutoff_above_nyquist_rejected():
+    with pytest.raises(ConfigurationError):
+        preprocessing.lowpass(np.ones(100), 30.0)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        preprocessing.IcgFilterConfig(cutoff_hz=-5.0)
+    with pytest.raises(ConfigurationError):
+        preprocessing.IcgFilterConfig(highpass_hz=25.0)  # above low-pass
+    with pytest.raises(ConfigurationError):
+        preprocessing.IcgFilterConfig(order=0)

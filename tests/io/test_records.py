@@ -1,0 +1,135 @@
+"""Recording container and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.io import Recording
+
+
+def _recording():
+    return Recording(
+        fs=250.0,
+        signals={"ecg": np.sin(np.arange(1000) * 0.1),
+                 "z": 25.0 + 0.1 * np.cos(np.arange(1000) * 0.05)},
+        annotations={"r_times_s": np.array([0.5, 1.5, 2.5]),
+                     "pep_beats_s": np.array([0.1, 0.11, 0.09])},
+        meta={"subject_id": 3, "setup": "device", "position": 2,
+              "true_hr_bpm": 60.0},
+    )
+
+
+def test_basic_properties():
+    rec = _recording()
+    assert rec.n_samples == 1000
+    assert rec.duration_s == pytest.approx(4.0)
+    assert rec.time_s[1] == pytest.approx(1.0 / 250.0)
+
+
+def test_channel_access():
+    rec = _recording()
+    assert rec.channel("ecg").size == 1000
+    with pytest.raises(SignalError):
+        rec.channel("missing")
+
+
+def test_annotation_access():
+    rec = _recording()
+    assert rec.annotation("r_times_s").size == 3
+    with pytest.raises(SignalError):
+        rec.annotation("missing")
+
+
+def test_channel_length_mismatch_rejected():
+    with pytest.raises(SignalError):
+        Recording(250.0, {"a": np.ones(10), "b": np.ones(11)})
+
+
+def test_empty_or_2d_channel_rejected():
+    with pytest.raises(SignalError):
+        Recording(250.0, {"a": np.array([])})
+    with pytest.raises(SignalError):
+        Recording(250.0, {"a": np.ones((4, 4))})
+
+
+def test_no_channels_rejected():
+    with pytest.raises(ConfigurationError):
+        Recording(250.0, {})
+
+
+def test_nonscalar_meta_rejected():
+    with pytest.raises(ConfigurationError):
+        Recording(250.0, {"a": np.ones(5)}, meta={"bad": [1, 2, 3]})
+
+
+def test_invalid_fs_rejected():
+    with pytest.raises(ConfigurationError):
+        Recording(0.0, {"a": np.ones(5)})
+
+
+def test_with_channel_is_copy():
+    rec = _recording()
+    extended = rec.with_channel("icg", np.zeros(1000))
+    assert "icg" in extended.signals
+    assert "icg" not in rec.signals
+
+
+def test_slice_time_shifts_event_annotations():
+    rec = _recording()
+    sliced = rec.slice_time(1.0, 3.0)
+    assert sliced.n_samples == 500
+    assert np.allclose(sliced.annotation("r_times_s"), [0.5, 1.5])
+    # Non-time annotations kept verbatim.
+    assert sliced.annotation("pep_beats_s").size == 3
+
+
+def test_slice_time_validation():
+    rec = _recording()
+    with pytest.raises(ConfigurationError):
+        rec.slice_time(2.0, 1.0)
+    with pytest.raises(SignalError):
+        rec.slice_time(3.999, 4.0)
+
+
+def test_save_load_roundtrip(tmp_path):
+    rec = _recording()
+    path = rec.save(tmp_path / "test_rec.npz")
+    loaded = Recording.load(path)
+    assert loaded.fs == rec.fs
+    for name in rec.signals:
+        assert np.allclose(loaded.channel(name), rec.channel(name))
+    for name in rec.annotations:
+        assert np.allclose(loaded.annotation(name), rec.annotation(name))
+    assert loaded.meta["subject_id"] == 3
+    assert loaded.meta["setup"] == "device"
+    assert loaded.meta["true_hr_bpm"] == 60.0
+
+
+def test_save_appends_npz_suffix(tmp_path):
+    rec = _recording()
+    path = rec.save(tmp_path / "bare_name")
+    assert str(path).endswith(".npz")
+    assert path.exists()
+    assert Recording.load(tmp_path / "bare_name").fs == 250.0
+
+
+def test_load_missing_file_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        Recording.load(tmp_path / "nope.npz")
+
+
+def test_export_csv(tmp_path):
+    rec = _recording()
+    path = rec.export_csv(tmp_path / "rec.csv")
+    table = np.loadtxt(path, delimiter=",", skiprows=1)
+    assert table.shape == (1000, 3)  # time + 2 channels
+    with open(path) as handle:
+        header = handle.readline().strip()
+    assert header == "time_s,ecg,z"
+
+
+def test_synthesized_recording_roundtrip(tmp_path, device_recording):
+    path = device_recording.save(tmp_path / "synth.npz")
+    loaded = Recording.load(path)
+    assert np.allclose(loaded.channel("z"), device_recording.channel("z"))
+    assert loaded.meta["injection_frequency_hz"] == 50_000.0

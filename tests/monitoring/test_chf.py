@@ -1,0 +1,124 @@
+"""CHF decompensation monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitoring import (
+    ChfMonitor,
+    DecompensationScenario,
+    WeightMonitor,
+    simulate_decompensation_course,
+)
+from repro.synth import default_cohort
+
+
+@pytest.fixture(scope="module")
+def decompensation_course():
+    subject = default_cohort()[3]
+    scenario = DecompensationScenario()
+    rng = np.random.default_rng(42)
+    return scenario, simulate_decompensation_course(subject, scenario, rng)
+
+
+def _stable_course(seed):
+    scenario = DecompensationScenario(
+        z0_drop_fraction=0.0, lvet_drop_fraction=0.0,
+        dzdt_drop_fraction=0.0, pep_rise_fraction=0.0, hr_rise_bpm=0.0,
+        weight_gain_kg=1e-9)
+    return simulate_decompensation_course(
+        default_cohort()[seed % 5], scenario, np.random.default_rng(seed))
+
+
+def test_course_structure(decompensation_course):
+    scenario, course = decompensation_course
+    assert len(course) == scenario.n_days
+    # Z0 falls, TFC rises, LVET falls, HR rises after the onset.
+    before = course[: scenario.onset_day - 2]
+    after = course[-5:]
+    assert np.mean([m.z0_ohm for m in after]) < np.mean(
+        [m.z0_ohm for m in before])
+    assert np.mean([m.tfc for m in after]) > np.mean(
+        [m.tfc for m in before])
+    assert np.mean([m.lvet_s for m in after]) < np.mean(
+        [m.lvet_s for m in before])
+    assert np.mean([m.hr_bpm for m in after]) > np.mean(
+        [m.hr_bpm for m in before])
+
+
+def test_weight_lags_fluid(decompensation_course):
+    scenario, course = decompensation_course
+    mid = scenario.onset_day + scenario.ramp_days // 2
+    # Fluid severity leads weight severity at mid-ramp.
+    assert scenario.severity(mid) > scenario.weight_severity(mid)
+
+
+def test_icg_alert_fires_shortly_after_onset(decompensation_course):
+    scenario, course = decompensation_course
+    alert_day = ChfMonitor().run(course)
+    assert scenario.onset_day < alert_day <= scenario.onset_day + 10
+
+
+def test_icg_alert_precedes_weight_alert(decompensation_course):
+    """The paper's introduction claim, quantified."""
+    _, course = decompensation_course
+    icg_day = ChfMonitor().run(course)
+    weight_day = WeightMonitor().run(course)
+    assert icg_day > 0
+    assert weight_day == -1 or weight_day > icg_day + 3
+
+
+@pytest.mark.parametrize("seed", [100, 101, 102])
+def test_no_false_alarms_on_stable_course(seed):
+    course = _stable_course(seed)
+    assert ChfMonitor().run(course) == -1
+    assert WeightMonitor().run(course) == -1
+
+
+def test_persistence_rule_suppresses_single_spikes(decompensation_course):
+    _, course = decompensation_course
+    monitor = ChfMonitor(persistence_days=3)
+    # Feed stable days, then ONE wildly bad measurement, then stable.
+    stable = course[:15]
+    for measurement in stable:
+        monitor.update(measurement)
+    bad = stable[-1]
+    spiked = type(bad)(day=bad.day + 1, z0_ohm=bad.z0_ohm * 0.5,
+                       lvet_s=bad.lvet_s * 0.7, pep_s=bad.pep_s * 1.3,
+                       hr_bpm=bad.hr_bpm + 30,
+                       dzdt_max_ohm_s=bad.dzdt_max_ohm_s,
+                       weight_kg=bad.weight_kg)
+    monitor.update(spiked)
+    assert not monitor.alert
+
+
+def test_risk_history_recorded(decompensation_course):
+    _, course = decompensation_course
+    monitor = ChfMonitor()
+    monitor.run(course)
+    assert len(monitor.risk_history) >= 20
+
+
+def test_tfc_property():
+    from repro.monitoring import DailyMeasurement
+    m = DailyMeasurement(day=0, z0_ohm=400.0, lvet_s=0.3, pep_s=0.1,
+                         hr_bpm=60.0, dzdt_max_ohm_s=1.0, weight_kg=80.0)
+    assert m.tfc == pytest.approx(2.5)
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigurationError):
+        DecompensationScenario(onset_day=50, n_days=40)
+    with pytest.raises(ConfigurationError):
+        DecompensationScenario(ramp_days=0)
+    with pytest.raises(ConfigurationError):
+        DecompensationScenario(z0_drop_fraction=0.9)
+
+
+def test_monitor_validation():
+    with pytest.raises(ConfigurationError):
+        ChfMonitor(threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        ChfMonitor(persistence_days=0)
+    with pytest.raises(ConfigurationError):
+        WeightMonitor(gain_threshold_kg=0.0)

@@ -1,0 +1,78 @@
+"""Respiration-rate extraction from device signals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.monitoring import (
+    fuse_rate_estimates,
+    respiration_rate_from_impedance,
+    respiration_rate_from_rr,
+)
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+
+@pytest.fixture(scope="module")
+def long_recording():
+    subject = default_cohort()[0]   # resp rate 0.24 Hz
+    return subject, synthesize_recording(
+        subject, "device", 1, SynthesisConfig(duration_s=30.0))
+
+
+def test_impedance_estimate_matches_truth(long_recording):
+    subject, recording = long_recording
+    rate = respiration_rate_from_impedance(recording.channel("z"),
+                                           recording.fs)
+    assert rate == pytest.approx(subject.resp_rate_hz, abs=0.05)
+
+
+def test_rsa_estimate_matches_truth(long_recording):
+    subject, recording = long_recording
+    rate = respiration_rate_from_rr(recording.annotation("r_times_s"))
+    assert rate == pytest.approx(subject.resp_rate_hz, abs=0.05)
+
+
+def test_estimates_fuse(long_recording):
+    subject, recording = long_recording
+    fused = fuse_rate_estimates(
+        respiration_rate_from_impedance(recording.channel("z"),
+                                        recording.fs),
+        respiration_rate_from_rr(recording.annotation("r_times_s")))
+    assert fused == pytest.approx(subject.resp_rate_hz, abs=0.05)
+
+
+def test_works_across_subjects():
+    for subject in default_cohort()[1:3]:
+        recording = synthesize_recording(
+            subject, "thoracic", 1, SynthesisConfig(duration_s=30.0))
+        rate = respiration_rate_from_impedance(recording.channel("z"),
+                                               recording.fs)
+        assert rate == pytest.approx(subject.resp_rate_hz, abs=0.06)
+
+
+def test_fusion_rejects_disagreement():
+    with pytest.raises(SignalError):
+        fuse_rate_estimates(0.2, 0.5)
+
+
+def test_fusion_validates_inputs():
+    with pytest.raises(ConfigurationError):
+        fuse_rate_estimates(-0.1, 0.2)
+
+
+def test_impedance_band_validation(long_recording):
+    _, recording = long_recording
+    with pytest.raises(ConfigurationError):
+        respiration_rate_from_impedance(recording.channel("z"),
+                                        recording.fs,
+                                        band_hz=(0.01, 0.5))
+    with pytest.raises(SignalError):
+        respiration_rate_from_impedance(np.ones(100), 250.0)
+
+
+def test_rsa_needs_enough_beats():
+    with pytest.raises(SignalError):
+        respiration_rate_from_rr(np.arange(5) * 0.8)
+    with pytest.raises(SignalError):
+        respiration_rate_from_rr(np.array([0.0, 0.5, 0.4, 1.0, 1.5, 2.0,
+                                           2.5, 3.0, 3.5]))

@@ -1,0 +1,92 @@
+"""Trend machinery: aggregation, Theil-Sen, tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.monitoring import (
+    TrendTracker,
+    aggregate_daily,
+    theil_sen_slope,
+)
+
+
+def test_aggregate_daily_medians():
+    days = [0, 0, 0, 1, 1]
+    values = [10.0, 11.0, 100.0, 5.0, 7.0]
+    summaries = aggregate_daily(days, values)
+    assert summaries[0].median == pytest.approx(11.0)   # outlier-proof
+    assert summaries[0].n_measurements == 3
+    assert summaries[1].median == pytest.approx(6.0)
+
+
+def test_aggregate_daily_drops_nonfinite():
+    summaries = aggregate_daily([0, 0, 1], [1.0, np.nan, 2.0])
+    assert summaries[0].n_measurements == 1
+    assert summaries[1].median == 2.0
+
+
+def test_aggregate_daily_validation():
+    with pytest.raises(SignalError):
+        aggregate_daily([], [])
+    with pytest.raises(SignalError):
+        aggregate_daily([0, 1], [1.0])
+    with pytest.raises(SignalError):
+        aggregate_daily([0], [np.inf])
+
+
+@settings(max_examples=40)
+@given(slope=st.floats(-5.0, 5.0), intercept=st.floats(-10.0, 10.0))
+def test_theil_sen_exact_on_lines(slope, intercept):
+    x = np.arange(20.0)
+    estimated = theil_sen_slope(x, slope * x + intercept)
+    assert estimated == pytest.approx(slope, abs=1e-9)
+
+
+def test_theil_sen_robust_to_outliers():
+    x = np.arange(30.0)
+    y = 2.0 * x
+    y[5] += 500.0
+    y[17] -= 300.0
+    assert theil_sen_slope(x, y) == pytest.approx(2.0, abs=0.05)
+
+
+def test_theil_sen_validation():
+    with pytest.raises(SignalError):
+        theil_sen_slope([1.0], [2.0])
+    with pytest.raises(SignalError):
+        theil_sen_slope([1.0, 1.0], [2.0, 3.0])
+
+
+def test_tracker_flat_series_scores_zero(rng):
+    tracker = TrendTracker()
+    scores = [tracker.update(10.0 + 0.01 * rng.standard_normal())
+              for _ in range(30)]
+    assert max(abs(s) for s in scores[10:]) < 3.0
+
+
+def test_tracker_detects_step_change(rng):
+    tracker = TrendTracker(baseline_days=10.0)
+    for _ in range(20):
+        tracker.update(10.0 + 0.05 * rng.standard_normal())
+    scores = [tracker.update(11.0 + 0.05 * rng.standard_normal())
+              for _ in range(5)]
+    assert max(scores) > 3.0
+
+
+def test_tracker_warmup_is_silent():
+    tracker = TrendTracker(warmup_updates=5)
+    scores = [tracker.update(v) for v in (1.0, 99.0, 1.0, 99.0, 1.0)]
+    assert scores == [0.0] * 5
+
+
+def test_tracker_validation():
+    with pytest.raises(ConfigurationError):
+        TrendTracker(baseline_days=0.5)
+    with pytest.raises(ConfigurationError):
+        TrendTracker(scale_floor=0.0)
+    with pytest.raises(ConfigurationError):
+        TrendTracker(warmup_updates=0)
+    with pytest.raises(SignalError):
+        TrendTracker().update(np.nan)

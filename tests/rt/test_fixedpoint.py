@@ -1,0 +1,78 @@
+"""Q-format fixed point: round-trips, saturation, DSP-op semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rt import fixedpoint as fp
+
+
+@settings(max_examples=100)
+@given(x=st.floats(min_value=-0.999, max_value=0.999),
+       q=st.sampled_from([7, 15, 31]))
+def test_roundtrip_error_bounded(x, q):
+    recovered = float(fp.quantize(x, q))
+    assert abs(recovered - x) <= 2.0**-q
+
+
+def test_saturation_at_bounds():
+    assert fp.to_fixed(1.5, fp.Q15) == 2**15 - 1
+    assert fp.to_fixed(-1.5, fp.Q15) == -(2**15)
+    assert float(fp.from_fixed(fp.to_fixed(1.5, fp.Q15), fp.Q15)) < 1.0
+
+
+@settings(max_examples=60)
+@given(x=st.floats(-0.99, 0.99), y=st.floats(-0.99, 0.99))
+def test_quantize_monotone(x, y):
+    if x <= y:
+        assert fp.quantize(x, fp.Q15) <= fp.quantize(y, fp.Q15)
+
+
+def test_array_conversion():
+    values = np.array([-0.5, 0.0, 0.25])
+    fixed = fp.to_fixed(values, fp.Q15)
+    assert fixed.dtype == np.int64
+    assert np.allclose(fp.from_fixed(fixed, fp.Q15), values, atol=2**-15)
+
+
+def test_saturating_add():
+    near_max = 2**15 - 10
+    assert fp.saturating_add(near_max, 100, fp.Q15) == 2**15 - 1
+    assert fp.saturating_add(-(2**15) + 5, -100, fp.Q15) == -(2**15)
+    assert fp.saturating_add(100, 200, fp.Q15) == 300
+
+
+@settings(max_examples=60)
+@given(a=st.floats(-0.9, 0.9), b=st.floats(-0.9, 0.9))
+def test_saturating_multiply_approximates_product(a, b):
+    fa, fb = fp.to_fixed(a, fp.Q15), fp.to_fixed(b, fp.Q15)
+    product = fp.from_fixed(fp.saturating_multiply(int(fa), int(fb),
+                                                   fp.Q15), fp.Q15)
+    assert float(product) == pytest.approx(a * b, abs=3 * 2.0**-15)
+
+
+def test_multiply_saturates():
+    big = fp.to_fixed(0.999, fp.Q15)
+    # 0.999 * 0.999 fits; -1 * -1 would overflow to +1 which saturates.
+    min_val = -(2**15)
+    assert fp.saturating_multiply(min_val, min_val, fp.Q15) == 2**15 - 1
+
+
+def test_q15_filter_accuracy_on_paper_fir():
+    """Quantizing the paper's FIR taps to Q15 keeps the response
+    close: max tap error bounded by one LSB."""
+    from repro.dsp.fir import design_bandpass
+    taps = design_bandpass(32, 0.05, 40.0, 250.0)
+    scale = np.abs(taps).max() * 1.01
+    quantized = fp.quantize(taps / scale, fp.Q15) * scale
+    assert np.max(np.abs(quantized - taps)) <= scale * 2.0**-15 + 1e-12
+
+
+def test_invalid_q_rejected():
+    with pytest.raises(ConfigurationError):
+        fp.to_fixed(0.5, 0)
+    with pytest.raises(ConfigurationError):
+        fp.to_fixed(0.5, 63)
+    with pytest.raises(ConfigurationError):
+        fp.saturating_add(1, 2, -1)

@@ -1,0 +1,89 @@
+"""Ring buffer: FIFO semantics, model-based property test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, SignalError
+from repro.rt.ringbuffer import RingBuffer
+
+
+def test_push_and_recent():
+    buffer = RingBuffer(4)
+    for value in (1.0, 2.0, 3.0):
+        buffer.push(value)
+    assert len(buffer) == 3
+    assert np.allclose(buffer.recent(3), [1.0, 2.0, 3.0])
+    assert np.allclose(buffer.recent(2), [2.0, 3.0])
+
+
+def test_wraparound_evicts_oldest():
+    buffer = RingBuffer(3)
+    buffer.extend([1, 2, 3, 4, 5])
+    assert len(buffer) == 3
+    assert buffer.is_full
+    assert np.allclose(buffer.recent(3), [3.0, 4.0, 5.0])
+    assert buffer.total_pushed == 5
+
+
+def test_age_indexing():
+    buffer = RingBuffer(5)
+    buffer.extend([10, 20, 30])
+    assert buffer[0] == 30.0
+    assert buffer[1] == 20.0
+    assert buffer[2] == 10.0
+
+
+def test_age_beyond_window_rejected():
+    buffer = RingBuffer(5)
+    buffer.push(1.0)
+    with pytest.raises(SignalError):
+        buffer[1]
+    with pytest.raises(SignalError):
+        buffer[-1]
+
+
+def test_over_read_rejected():
+    buffer = RingBuffer(5)
+    buffer.extend([1, 2])
+    with pytest.raises(SignalError):
+        buffer.recent(3)
+
+
+def test_recent_zero_is_empty():
+    buffer = RingBuffer(3)
+    buffer.push(1.0)
+    assert buffer.recent(0).size == 0
+
+
+def test_clear_resets_window_not_counter():
+    buffer = RingBuffer(3)
+    buffer.extend([1, 2, 3])
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.total_pushed == 3
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigurationError):
+        RingBuffer(0)
+    with pytest.raises(ConfigurationError):
+        RingBuffer(-1)
+
+
+@settings(max_examples=60)
+@given(capacity=st.integers(min_value=1, max_value=16),
+       values=st.lists(st.floats(-1e6, 1e6, allow_nan=False),
+                       min_size=0, max_size=80))
+def test_model_based_fifo(capacity, values):
+    """The ring buffer behaves exactly like a bounded list tail."""
+    buffer = RingBuffer(capacity)
+    model: list = []
+    for value in values:
+        buffer.push(value)
+        model.append(value)
+        tail = model[-capacity:]
+        assert len(buffer) == len(tail)
+        assert np.allclose(buffer.recent(len(tail)), tail)
+        for age in range(len(tail)):
+            assert buffer[age] == tail[-1 - age]

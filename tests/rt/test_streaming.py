@@ -1,0 +1,138 @@
+"""Streaming kernels equal their offline counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import fir as fir_mod
+from repro.dsp import iir as iir_mod
+from repro.dsp import morphology
+from repro.errors import ConfigurationError
+from repro.rt import streaming
+
+FS = 250.0
+
+
+def _stream(kernel, x):
+    return np.array([kernel.process(v) for v in x])
+
+
+def test_streaming_fir_equals_offline():
+    taps = fir_mod.design_bandpass(32, 0.05, 40.0, FS)
+    x = np.random.default_rng(0).normal(size=400)
+    offline = fir_mod.apply_fir(taps, x)
+    online = _stream(streaming.StreamingFir(taps), x)
+    assert np.allclose(online, offline, atol=1e-10)
+
+
+def test_streaming_fir_delay_property():
+    taps = fir_mod.design_lowpass(32, 30.0, FS)
+    assert streaming.StreamingFir(taps).delay_samples == 16.0
+
+
+def test_streaming_biquad_equals_offline():
+    sos = iir_mod.butter_lowpass(4, 20.0, FS)
+    x = np.random.default_rng(1).normal(size=400)
+    offline = iir_mod.sosfilt(sos, x)
+    online = _stream(streaming.StreamingBiquadCascade(sos), x)
+    assert np.allclose(online, offline, atol=1e-10)
+
+
+def test_streaming_biquad_validates_sos():
+    with pytest.raises(ConfigurationError):
+        streaming.StreamingBiquadCascade(np.ones((2, 5)))
+    bad = iir_mod.butter_lowpass(2, 20.0, FS).copy()
+    bad[0, 3] = 2.0
+    with pytest.raises(ConfigurationError):
+        streaming.StreamingBiquadCascade(bad)
+
+
+def test_moving_window_integrator_equals_convolution():
+    width = 37
+    x = np.random.default_rng(2).normal(size=300)
+    kernel = np.ones(width) / width
+    offline = np.convolve(x, kernel, mode="full")[: x.size]
+    online = _stream(streaming.MovingWindowIntegrator(width), x)
+    assert np.allclose(online, offline, atol=1e-10)
+
+
+def test_streaming_extreme_equals_offline_morphology():
+    """Lemire wedge output equals erosion/dilation up to the centring
+    delay of the offline (centred) operator."""
+    size = 9
+    x = np.random.default_rng(3).normal(size=200)
+    eroded = morphology.erode(x, size)
+    dilated = morphology.dilate(x, size)
+    stream_min = _stream(streaming.StreamingExtreme(size, "min"), x)
+    stream_max = _stream(streaming.StreamingExtreme(size, "max"), x)
+    delay = size // 2
+    # Causal output at n covers window [n-size+1, n]; centred output at
+    # n-delay covers the same window.
+    assert np.allclose(stream_min[size - 1:], eroded[delay: x.size - delay])
+    assert np.allclose(stream_max[size - 1:], dilated[delay: x.size - delay])
+
+
+def test_streaming_morphology_baseline_tracks_offline():
+    fs = FS
+    t = np.arange(int(8 * fs)) / fs
+    signal = 0.5 * np.sin(2 * np.pi * 0.2 * t)
+    for centre in np.arange(0.5, 7.5, 0.8):
+        signal += np.exp(-((t - centre) ** 2) / (2 * 0.01**2))
+    first, second = morphology.default_element_lengths(fs)
+    offline = morphology.estimate_baseline(signal, fs)
+    kernel = streaming.StreamingMorphologyBaseline(first, second)
+    online = _stream(kernel, signal)
+    delay = int(kernel.delay_samples)
+    aligned = online[delay:]
+    reference = offline[: aligned.size]
+    inner = slice(int(fs), aligned.size - int(fs))
+    assert np.sqrt(np.mean((aligned[inner] - reference[inner])**2)) < 0.08
+
+
+def test_streaming_derivative_matches_stencil():
+    x = np.random.default_rng(4).normal(size=50)
+    online = _stream(streaming.StreamingDerivative(), x)
+    padded = np.concatenate([np.zeros(4), x])
+    expected = (2 * padded[4:] + padded[3:-1] - padded[1:-3]
+                - 2 * padded[:-4]) / 8.0
+    assert np.allclose(online, expected)
+
+
+def test_streaming_square():
+    kernel = streaming.StreamingSquare()
+    assert kernel.process(-3.0) == 9.0
+    assert kernel.process(0.5) == 0.25
+
+
+def test_every_kernel_reports_ops():
+    taps = fir_mod.design_lowpass(32, 30.0, FS)
+    sos = iir_mod.butter_lowpass(4, 20.0, FS)
+    kernels = [
+        streaming.StreamingFir(taps),
+        streaming.StreamingBiquadCascade(sos),
+        streaming.MovingWindowIntegrator(37),
+        streaming.StreamingExtreme(9, "min"),
+        streaming.StreamingMorphologyBaseline(9, 13),
+        streaming.StreamingDerivative(),
+        streaming.StreamingSquare(),
+    ]
+    for kernel in kernels:
+        ops = kernel.ops_per_sample()
+        assert ops.total() > 0
+
+
+def test_fir_ops_scale_with_taps():
+    few = streaming.StreamingFir(np.ones(8)).ops_per_sample()
+    many = streaming.StreamingFir(np.ones(64)).ops_per_sample()
+    assert many.mac == 8 * few.mac
+
+
+def test_extreme_invalid_mode():
+    with pytest.raises(ConfigurationError):
+        streaming.StreamingExtreme(5, "median")
+    with pytest.raises(ConfigurationError):
+        streaming.StreamingExtreme(0, "min")
+
+
+def test_integrator_invalid_width():
+    with pytest.raises(ConfigurationError):
+        streaming.MovingWindowIntegrator(0)

@@ -1,0 +1,142 @@
+"""Respiration, motion and noise generators."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import spectral
+from repro.synth import motion, noise, respiration
+from repro.errors import ConfigurationError
+
+FS = 250.0
+
+
+# --- respiration -----------------------------------------------------------
+
+def test_respiration_rate_recovered(rng):
+    model = respiration.RespirationModel(rate_hz=0.3, rate_variability=0.02)
+    wave = respiration.respiration_wave(model, 120.0, FS, rng)
+    rate = spectral.dominant_frequency(wave, FS, low_hz=0.05, high_hz=1.0)
+    assert rate == pytest.approx(0.3, abs=0.08)
+
+
+def test_respiration_zero_mean(rng):
+    model = respiration.RespirationModel()
+    wave = respiration.respiration_wave(model, 60.0, FS, rng)
+    assert abs(wave.mean()) < 1e-9
+
+
+def test_respiration_band_limits_enforced():
+    with pytest.raises(ConfigurationError):
+        respiration.RespirationModel(rate_hz=3.0)   # above the 2 Hz band
+    with pytest.raises(ConfigurationError):
+        respiration.RespirationModel(rate_hz=0.01)  # below 0.04 Hz
+
+
+def test_respiration_depth_varies(rng):
+    model = respiration.RespirationModel(depth_variability=0.3)
+    wave = respiration.respiration_wave(model, 120.0, FS, rng)
+    # Per-cycle peaks should differ when depth variability is on.
+    from repro.dsp.derivative import local_maxima
+    peaks = wave[local_maxima(wave)]
+    big_peaks = peaks[peaks > 0.3]
+    assert big_peaks.std() > 0.02
+
+
+def test_respiration_validation():
+    with pytest.raises(ConfigurationError):
+        respiration.RespirationModel(ie_ratio=0.05)
+    with pytest.raises(ConfigurationError):
+        respiration.RespirationModel(rate_variability=0.9)
+
+
+# --- motion ---------------------------------------------------------------
+
+def test_motion_rms_close_to_requested(rng):
+    model = motion.MotionModel(tremor_rms=0.5, burst_rate_hz=0.0)
+    trace = motion.motion_artifact(model, 60.0, FS, rng)
+    assert np.sqrt(np.mean(trace**2)) == pytest.approx(0.5, rel=0.05)
+
+
+def test_motion_band_limited(rng):
+    model = motion.MotionModel(tremor_rms=1.0, burst_rate_hz=0.0,
+                               band_hz=(0.5, 8.0))
+    trace = motion.motion_artifact(model, 120.0, FS, rng)
+    freqs, psd = spectral.welch(trace, FS, nperseg=2048)
+    in_band = spectral.band_power(freqs, psd, 0.5, 8.0)
+    out_band = spectral.band_power(freqs, psd, 20.0, 125.0)
+    assert in_band > 20 * out_band
+
+
+def test_bursts_add_energy(rng):
+    quiet = motion.MotionModel(tremor_rms=0.1, burst_rate_hz=0.0)
+    bursty = motion.MotionModel(tremor_rms=0.1, burst_rate_hz=1.0,
+                                burst_amplitude=5.0)
+    t_quiet = motion.motion_artifact(quiet, 60.0, FS,
+                                     np.random.default_rng(3))
+    t_bursty = motion.motion_artifact(bursty, 60.0, FS,
+                                      np.random.default_rng(3))
+    assert np.abs(t_bursty).max() > 3 * np.abs(t_quiet).max()
+
+
+def test_position_motion_model_scaling():
+    base = motion.position_motion_model(1, 0.01)
+    outstretched = motion.position_motion_model(2, 0.01)
+    hanging = motion.position_motion_model(3, 0.01)
+    assert outstretched.tremor_rms > base.tremor_rms
+    assert hanging.tremor_rms > outstretched.tremor_rms * 0.9
+
+
+def test_position_motion_model_invalid_position():
+    with pytest.raises(ConfigurationError):
+        motion.position_motion_model(7, 0.01)
+
+
+def test_motion_validation():
+    with pytest.raises(ConfigurationError):
+        motion.MotionModel(band_hz=(5.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        motion.MotionModel(tremor_rms=-1.0)
+
+
+# --- noise ----------------------------------------------------------------
+
+def test_white_noise_rms(rng):
+    trace = noise.white_noise(2.0, 50_000, rng)
+    assert np.sqrt(np.mean(trace**2)) == pytest.approx(2.0, rel=0.02)
+
+
+def test_pink_noise_spectrum_slope(rng):
+    trace = noise.pink_noise(1.0, 2**16, rng)
+    freqs, psd = spectral.welch(trace, 1.0, nperseg=4096)
+    band = (freqs > 0.01) & (freqs < 0.4)
+    slope = np.polyfit(np.log10(freqs[band]), np.log10(psd[band]), 1)[0]
+    assert slope == pytest.approx(-1.0, abs=0.25)
+
+
+def test_pink_noise_rms(rng):
+    trace = noise.pink_noise(0.7, 4096, rng)
+    assert np.sqrt(np.mean(trace**2)) == pytest.approx(0.7, rel=1e-6)
+
+
+def test_powerline_fundamental_peak(rng):
+    model = noise.PowerlineModel(frequency_hz=50.0, amplitude=1.0)
+    trace = noise.powerline_interference(model, 30.0, FS, rng)
+    peak = spectral.dominant_frequency(trace, FS, low_hz=30.0)
+    assert peak == pytest.approx(50.0, abs=0.5)
+
+
+def test_powerline_harmonics_skipped_above_nyquist(rng):
+    model = noise.PowerlineModel(frequency_hz=50.0, n_harmonics=4)
+    trace = noise.powerline_interference(model, 5.0, FS, rng)
+    assert np.all(np.isfinite(trace))  # 250 Hz harmonic silently dropped
+
+
+def test_noise_validation(rng):
+    with pytest.raises(ConfigurationError):
+        noise.white_noise(-1.0, 10, rng)
+    with pytest.raises(ConfigurationError):
+        noise.pink_noise(1.0, 1, rng)
+    with pytest.raises(ConfigurationError):
+        noise.PowerlineModel(frequency_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        noise.PowerlineModel(n_harmonics=0)

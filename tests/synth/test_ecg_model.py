@@ -1,0 +1,108 @@
+"""Synthetic ECG generation."""
+
+import numpy as np
+import pytest
+
+from repro.synth import ecg_model
+from repro.errors import ConfigurationError
+
+FS = 250.0
+
+
+def _single_beat(rr=0.9):
+    beat_times = np.array([1.0])
+    rr_arr = np.array([rr])
+    ecg, t_peaks = ecg_model.synthesize_ecg(beat_times, rr_arr, 3.0, FS)
+    return ecg, t_peaks
+
+
+def test_r_peak_at_requested_time():
+    ecg, _ = _single_beat()
+    peak_time = np.argmax(ecg) / FS
+    assert peak_time == pytest.approx(1.0, abs=1.5 / FS)
+
+
+def test_r_amplitude_matches_template():
+    ecg, _ = _single_beat()
+    assert ecg.max() == pytest.approx(1.10, abs=0.05)
+
+
+def test_t_peak_after_r():
+    _, t_peaks = _single_beat()
+    assert 0.2 < t_peaks[0] - 1.0 < 0.45
+
+
+def test_t_peak_scales_with_rr():
+    _, t_short = _single_beat(rr=0.6)
+    _, t_long = _single_beat(rr=1.1)
+    assert t_long[0] - 1.0 > t_short[0] - 1.0
+
+
+def test_beat_morphology_has_pqrst():
+    """P and T are positive bumps, Q and S negative dips near R."""
+    ecg, _ = _single_beat()
+    r = int(round(1.0 * FS))
+    p_window = ecg[r - int(0.25 * FS): r - int(0.10 * FS)]
+    q_window = ecg[r - int(0.05 * FS): r - 2]
+    s_window = ecg[r + 2: r + int(0.06 * FS)]
+    t_window = ecg[r + int(0.15 * FS): r + int(0.45 * FS)]
+    assert p_window.max() > 0.05
+    assert q_window.min() < -0.05
+    assert s_window.min() < -0.1
+    assert t_window.max() > 0.2
+
+
+def test_multiple_beats_superpose():
+    beat_times = np.array([0.8, 1.7, 2.6])
+    rr = np.array([0.9, 0.9, 0.9])
+    ecg, t_peaks = ecg_model.synthesize_ecg(beat_times, rr, 4.0, FS)
+    assert t_peaks.shape == (3,)
+    for bt in beat_times:
+        window = ecg[int((bt - 0.05) * FS): int((bt + 0.05) * FS)]
+        assert window.max() > 0.9
+
+
+def test_quiet_outside_beats():
+    ecg, _ = _single_beat()
+    assert np.abs(ecg[: int(0.4 * FS)]).max() < 0.02
+
+
+def test_beat_near_edge_does_not_crash():
+    beat_times = np.array([0.05, 2.95])
+    rr = np.array([0.9, 0.9])
+    ecg, _ = ecg_model.synthesize_ecg(beat_times, rr, 3.0, FS)
+    assert np.all(np.isfinite(ecg))
+
+
+def test_custom_template_flat_t():
+    waves = dict(ecg_model.EcgBeatModel().waves)
+    waves["T"] = ecg_model.WaveSpec(0.31, 0.0, 0.055, rr_scaled=True)
+    model = ecg_model.EcgBeatModel(waves=waves)
+    beat_times, rr = np.array([1.0]), np.array([0.9])
+    ecg, _ = ecg_model.synthesize_ecg(beat_times, rr, 3.0, FS, model)
+    t_window = ecg[int(1.2 * FS): int(1.45 * FS)]
+    assert np.abs(t_window).max() < 0.05
+
+
+def test_template_requires_r_wave():
+    with pytest.raises(ConfigurationError):
+        ecg_model.EcgBeatModel(waves={"P": ecg_model.WaveSpec(-0.1, 0.1,
+                                                              0.02)})
+
+
+def test_template_requires_t_for_offset():
+    model = ecg_model.EcgBeatModel(
+        waves={"R": ecg_model.WaveSpec(0.0, 1.0, 0.011)})
+    with pytest.raises(ConfigurationError):
+        model.t_peak_offset(0.9)
+
+
+def test_mismatched_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        ecg_model.synthesize_ecg(np.array([1.0]), np.array([0.9, 0.8]),
+                                 3.0, FS)
+    with pytest.raises(ConfigurationError):
+        ecg_model.synthesize_ecg(np.array([1.0]), np.array([0.9]),
+                                 -1.0, FS)
+    with pytest.raises(ConfigurationError):
+        ecg_model.WaveSpec(0.0, 1.0, -0.01)

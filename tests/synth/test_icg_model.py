@@ -1,0 +1,157 @@
+"""Synthetic ICG: landmark exactness and integral properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._compat import trapezoid
+from repro.synth import icg_model
+from repro.errors import ConfigurationError
+
+FS = 250.0
+
+
+def _one_beat(pep=0.10, lvet=0.30, amp=1.2, **kwargs):
+    beat_times = np.array([1.0])
+    icg, lm = icg_model.synthesize_icg(beat_times, pep, lvet, amp, 3.0,
+                                       FS, **kwargs)
+    return icg, lm
+
+
+def test_landmark_times_by_construction():
+    icg, lm = _one_beat(pep=0.10, lvet=0.30)
+    assert lm["b_times_s"][0] == pytest.approx(1.10)
+    assert lm["x_times_s"][0] == pytest.approx(1.40)
+    shape = icg_model.IcgBeatShape()
+    assert lm["c_times_s"][0] == pytest.approx(
+        1.10 + shape.c_time_fraction * 0.30)
+
+
+def test_c_is_beat_maximum():
+    icg, lm = _one_beat()
+    c_index = int(round(lm["c_times_s"][0] * FS))
+    window = icg[int(1.0 * FS): int(2.0 * FS)]
+    assert icg[c_index] == pytest.approx(window.max(), rel=1e-6)
+    assert icg[c_index] == pytest.approx(1.2, rel=1e-3)
+
+
+def test_x_is_deepest_minimum_right_of_c():
+    icg, lm = _one_beat()
+    c_index = int(round(lm["c_times_s"][0] * FS))
+    x_index = int(round(lm["x_times_s"][0] * FS))
+    right = icg[c_index: int(2.2 * FS)]
+    assert icg[x_index] == pytest.approx(right.min(), rel=1e-3)
+
+
+def test_x_amplitude_fraction():
+    shape = icg_model.IcgBeatShape()
+    icg, lm = _one_beat(amp=1.0)
+    x_index = int(round(lm["x_times_s"][0] * FS))
+    assert icg[x_index] == pytest.approx(-shape.x_amplitude_fraction,
+                                         abs=0.02)
+
+
+def test_flat_before_a_wave():
+    icg, lm = _one_beat()
+    quiet = icg[: int(0.7 * FS)]
+    assert np.abs(quiet).max() < 1e-6
+
+
+def test_zero_slope_at_b_onset():
+    icg, lm = _one_beat()
+    b_index = int(round(lm["b_times_s"][0] * FS))
+    local_slope = (icg[b_index + 1] - icg[b_index - 1]) * FS / 2.0
+    # The A-wave tail contributes a tiny slope; the C upstroke slope is
+    # two orders of magnitude larger.
+    upstroke = np.max(np.diff(icg) * FS)
+    assert abs(local_slope) < 0.05 * upstroke
+
+
+def test_beat_integrates_to_zero_with_correction():
+    icg, lm = _one_beat(zero_mean_per_beat=True)
+    area = trapezoid(icg, dx=1.0 / FS)
+    assert abs(area) < 5e-3
+
+
+def test_beat_integral_nonzero_without_correction():
+    icg, _ = _one_beat(zero_mean_per_beat=False)
+    area = trapezoid(icg, dx=1.0 / FS)
+    assert abs(area) > 1e-2
+
+
+def test_correction_plateau_shallower_than_x_trough():
+    """The diastolic recovery must never rival X0 (regression test for
+    the detection bug it once caused)."""
+    icg, lm = _one_beat()
+    x_index = int(round(lm["x_times_s"][0] * FS))
+    after = icg[x_index + int(0.12 * FS):]
+    assert after.min() > icg[x_index] * 0.6
+
+
+def test_per_beat_parameter_arrays():
+    beat_times = np.array([0.8, 1.8])
+    icg, lm = icg_model.synthesize_icg(
+        beat_times, np.array([0.09, 0.12]), np.array([0.28, 0.32]),
+        np.array([1.0, 1.4]), 3.2, FS)
+    assert lm["b_times_s"][0] == pytest.approx(0.89)
+    assert lm["b_times_s"][1] == pytest.approx(1.92)
+    assert lm["x_times_s"][1] == pytest.approx(1.92 + 0.32)
+
+
+def test_integrate_to_impedance_round_trip():
+    """d/dt of the integrated impedance recovers -ICG."""
+    icg, _ = _one_beat()
+    z = icg_model.integrate_to_impedance(icg, FS, z0_ohm=25.0)
+    recovered = -np.gradient(z, 1.0 / FS)
+    inner = slice(5, -5)
+    assert np.allclose(recovered[inner], icg[inner], atol=0.02)
+
+
+def test_integrate_starts_at_z0():
+    icg, _ = _one_beat()
+    z = icg_model.integrate_to_impedance(icg, FS, z0_ohm=430.0)
+    assert z[0] == pytest.approx(430.0)
+
+
+def test_impedance_returns_to_baseline_each_beat():
+    beat_times = np.arange(0.8, 9.0, 0.9)
+    icg, _ = icg_model.synthesize_icg(beat_times, 0.10, 0.30, 1.2, 10.0, FS)
+    z = icg_model.integrate_to_impedance(icg, FS, z0_ohm=25.0)
+    # Sample Z just before each beat: drift across beats must be tiny.
+    probes = [z[int((bt - 0.15) * FS)] for bt in beat_times]
+    assert np.max(np.abs(np.diff(probes))) < 0.02
+
+
+@settings(max_examples=25)
+@given(pep=st.floats(0.06, 0.18), lvet=st.floats(0.2, 0.4),
+       amp=st.floats(0.3, 3.0))
+def test_landmarks_consistent_for_any_physiology(pep, lvet, amp):
+    beat_times = np.array([1.0])
+    icg, lm = icg_model.synthesize_icg(beat_times, pep, lvet, amp, 3.0, FS)
+    b, c, x = (lm["b_times_s"][0], lm["c_times_s"][0], lm["x_times_s"][0])
+    assert b < c < x
+    assert x - b == pytest.approx(lvet, abs=1e-9)
+    assert b - 1.0 == pytest.approx(pep, abs=1e-9)
+    c_index = int(round(c * FS))
+    assert icg[c_index] > 0.9 * amp
+
+
+def test_shape_validation():
+    with pytest.raises(ConfigurationError):
+        icg_model.IcgBeatShape(c_time_fraction=0.8, zero_time_fraction=0.6)
+    with pytest.raises(ConfigurationError):
+        icg_model.IcgBeatShape(x_amplitude_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        icg_model.IcgBeatShape(o_delay_s=-0.1)
+
+
+def test_input_validation():
+    with pytest.raises(ConfigurationError):
+        icg_model.synthesize_icg(np.array([]), 0.1, 0.3, 1.0, 3.0, FS)
+    with pytest.raises(ConfigurationError):
+        icg_model.synthesize_icg(np.array([1.0]), -0.1, 0.3, 1.0, 3.0, FS)
+    with pytest.raises(ConfigurationError):
+        icg_model.synthesize_icg(np.array([1.0]), np.array([0.1, 0.2]),
+                                 0.3, 1.0, 3.0, FS)
+    with pytest.raises(ConfigurationError):
+        icg_model.integrate_to_impedance(np.array([]), FS, 25.0)

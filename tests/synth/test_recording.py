@@ -1,0 +1,117 @@
+"""The full recording assembler."""
+
+import numpy as np
+import pytest
+
+from repro.synth import SynthesisConfig, synthesize_recording
+from repro.errors import ConfigurationError
+
+
+def test_channels_and_length(device_recording):
+    assert set(device_recording.signals) == {"ecg", "z"}
+    assert device_recording.n_samples == int(16.0 * 250.0)
+
+
+def test_ground_truth_annotations_present(device_recording):
+    for name in ("r_times_s", "t_peak_times_s", "b_times_s", "c_times_s",
+                 "x_times_s", "pep_beats_s", "lvet_beats_s", "rr_beats_s"):
+        assert device_recording.annotation(name).size > 0
+
+
+def test_landmark_ordering(device_recording):
+    r = device_recording.annotation("r_times_s")
+    b = device_recording.annotation("b_times_s")
+    c = device_recording.annotation("c_times_s")
+    x = device_recording.annotation("x_times_s")
+    assert np.all(b > r)
+    assert np.all(c > b)
+    assert np.all(x > c)
+
+
+def test_metadata_complete(device_recording, subject):
+    meta = device_recording.meta
+    assert meta["subject_id"] == subject.subject_id
+    assert meta["setup"] == "device"
+    assert meta["position"] == 1
+    assert meta["injection_frequency_hz"] == 50_000.0
+    assert 0 < meta["cardiac_coupling"] < 1
+    assert 0 < meta["contact_quality"] <= 1
+
+
+def test_determinism(subject, short_config):
+    a = synthesize_recording(subject, "device", 2, short_config)
+    b = synthesize_recording(subject, "device", 2, short_config)
+    assert np.array_equal(a.channel("z"), b.channel("z"))
+    assert np.array_equal(a.channel("ecg"), b.channel("ecg"))
+
+
+def test_different_positions_differ(subject, short_config):
+    a = synthesize_recording(subject, "device", 1, short_config)
+    b = synthesize_recording(subject, "device", 2, short_config)
+    assert not np.array_equal(a.channel("z"), b.channel("z"))
+    assert b.meta["true_z0_ohm"] > a.meta["true_z0_ohm"]
+
+
+def test_thoracic_vs_device_scale(subject, short_config):
+    thoracic = synthesize_recording(subject, "thoracic", 1, short_config)
+    device = synthesize_recording(subject, "device", 1, short_config)
+    assert device.meta["true_z0_ohm"] > 10 * thoracic.meta["true_z0_ohm"]
+    assert device.meta["cardiac_coupling"] < thoracic.meta[
+        "cardiac_coupling"]
+
+
+def test_z_mean_close_to_true_z0(device_recording):
+    z = device_recording.channel("z")
+    assert np.mean(z) == pytest.approx(device_recording.meta["true_z0_ohm"],
+                                       rel=0.01)
+
+
+def test_low_frequency_injection_attenuates_cardiac(subject):
+    low = synthesize_recording(
+        subject, "device", 1,
+        SynthesisConfig(duration_s=12.0, injection_frequency_hz=2_000.0))
+    high = synthesize_recording(
+        subject, "device", 1,
+        SynthesisConfig(duration_s=12.0, injection_frequency_hz=50_000.0))
+    assert low.meta["cardiac_coupling"] < 0.5 * high.meta["cardiac_coupling"]
+    assert low.meta["true_z0_ohm"] < high.meta["true_z0_ohm"]
+
+
+def test_artifact_switches_reduce_variance(subject):
+    clean_config = SynthesisConfig(duration_s=12.0,
+                                   include_respiration=False,
+                                   include_motion=False,
+                                   include_noise=False,
+                                   include_powerline=False)
+    noisy_config = SynthesisConfig(duration_s=12.0)
+    clean = synthesize_recording(subject, "device", 3, clean_config)
+    noisy = synthesize_recording(subject, "device", 3, noisy_config)
+    clean_z = clean.channel("z")
+    noisy_z = noisy.channel("z")
+    assert noisy_z.std() > clean_z.std()
+
+
+def test_true_hemodynamics_recorded(device_recording, subject):
+    assert device_recording.meta["true_pep_s"] == pytest.approx(
+        subject.pep_s, abs=0.01)
+    assert device_recording.meta["true_lvet_s"] == pytest.approx(
+        subject.lvet_s, abs=0.01)
+    assert device_recording.meta["true_hr_bpm"] == pytest.approx(
+        subject.hr_bpm, rel=0.05)
+
+
+def test_invalid_setup_rejected(subject):
+    with pytest.raises(ConfigurationError):
+        synthesize_recording(subject, "wrist", 1)
+
+
+def test_too_short_recording_rejected(subject):
+    with pytest.raises(ConfigurationError):
+        SynthesisConfig(duration_s=-1.0)
+
+
+def test_custom_rng_overrides_subject_stream(subject, short_config):
+    rng = np.random.default_rng(42)
+    a = synthesize_recording(subject, "device", 1, short_config, rng=rng)
+    b = synthesize_recording(subject, "device", 1, short_config)
+    assert not np.array_equal(a.channel("z"), b.channel("z"))

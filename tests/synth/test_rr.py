@@ -1,0 +1,88 @@
+"""RR-interval generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import rr
+from repro.errors import ConfigurationError
+
+
+def test_mean_rr_matches_hr():
+    model = rr.RRModel(mean_hr_bpm=75.0)
+    assert model.mean_rr_s == pytest.approx(0.8)
+
+
+def test_series_mean_close_to_target(rng):
+    model = rr.RRModel(mean_hr_bpm=60.0)
+    series = rr.generate_rr_series(model, 300, rng)
+    assert series.mean() == pytest.approx(1.0, rel=0.03)
+
+
+def test_series_within_clip_bounds(rng):
+    model = rr.RRModel(mean_hr_bpm=70.0, jitter_fraction=0.15)
+    series = rr.generate_rr_series(model, 500, rng)
+    mean_rr = model.mean_rr_s
+    assert np.all(series >= 0.85 * mean_rr - 1e-12)
+    assert np.all(series <= 1.15 * mean_rr + 1e-12)
+
+
+def test_rsa_produces_respiratory_modulation(rng):
+    """With only RSA on, the RR series oscillates at the breathing
+    rate."""
+    model = rr.RRModel(mean_hr_bpm=60.0, rsa_fraction=0.05,
+                       mayer_fraction=0.0, jitter_fraction=0.0,
+                       respiration_rate_hz=0.25)
+    series = rr.generate_rr_series(model, 120, rng)
+    spread = series.max() - series.min()
+    assert 0.05 < spread / series.mean() <= 0.12
+
+
+def test_deterministic_given_rng():
+    model = rr.RRModel()
+    a = rr.generate_rr_series(model, 50, np.random.default_rng(9))
+    b = rr.generate_rr_series(model, 50, np.random.default_rng(9))
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=30)
+@given(hr=st.floats(min_value=40.0, max_value=180.0),
+       n=st.integers(min_value=1, max_value=100))
+def test_series_always_positive(hr, n):
+    model = rr.RRModel(mean_hr_bpm=hr)
+    series = rr.generate_rr_series(model, n, np.random.default_rng(0))
+    assert series.shape == (n,)
+    assert np.all(series > 0)
+
+
+def test_beat_times_cumulative():
+    times = rr.rr_to_beat_times(np.array([1.0, 0.9, 1.1]), first_beat_s=0.5)
+    assert np.allclose(times, [0.5, 1.5, 2.4])
+
+
+def test_beat_times_strictly_increasing(rng):
+    model = rr.RRModel()
+    series = rr.generate_rr_series(model, 100, rng)
+    times = rr.rr_to_beat_times(series)
+    assert np.all(np.diff(times) > 0)
+
+
+def test_invalid_model_rejected():
+    with pytest.raises(ConfigurationError):
+        rr.RRModel(mean_hr_bpm=20.0)
+    with pytest.raises(ConfigurationError):
+        rr.RRModel(rsa_fraction=0.5)
+    with pytest.raises(ConfigurationError):
+        rr.RRModel(respiration_rate_hz=0.0)
+
+
+def test_invalid_series_inputs_rejected(rng):
+    model = rr.RRModel()
+    with pytest.raises(ConfigurationError):
+        rr.generate_rr_series(model, 0, rng)
+    with pytest.raises(ConfigurationError):
+        rr.rr_to_beat_times(np.array([1.0, -0.5]))
+    with pytest.raises(ConfigurationError):
+        rr.rr_to_beat_times(np.array([]))
+    with pytest.raises(ConfigurationError):
+        rr.rr_to_beat_times(np.array([1.0]), first_beat_s=-1.0)

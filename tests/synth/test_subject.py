@@ -1,0 +1,117 @@
+"""Subject profiles and the default cohort."""
+
+import numpy as np
+import pytest
+
+from repro.synth import subject as subject_mod
+from repro.errors import ConfigurationError
+
+
+def test_default_cohort_has_five_subjects():
+    cohort = subject_mod.default_cohort()
+    assert [s.subject_id for s in cohort] == [1, 2, 3, 4, 5]
+
+
+def test_cohort_structure_matches_tables():
+    """Subject 3 has the best contact; subject 5 degrades in position 3."""
+    cohort = {s.subject_id: s for s in subject_mod.default_cohort()}
+    contacts = {sid: s.contact_quality for sid, s in cohort.items()}
+    assert contacts[3] == max(contacts.values())
+    s5 = cohort[5]
+    assert s5.effective_contact(3) < 0.7 * s5.effective_contact(1)
+
+
+def test_geometry_derivation(subject):
+    geometry = subject.geometry
+    assert geometry.height_m == subject.height_m
+    assert geometry.weight_kg == subject.weight_kg
+
+
+def test_rr_model_binds_vitals(subject):
+    model = subject.rr_model()
+    assert model.mean_hr_bpm == subject.hr_bpm
+    assert model.respiration_rate_hz == subject.resp_rate_hz
+
+
+def test_effective_contact_clipped():
+    profile = subject_mod.SubjectProfile(
+        subject_id=9, age_years=30, height_m=1.8, weight_kg=75.0,
+        body_fat_fraction=0.2, hr_bpm=60.0, pep_s=0.1, lvet_s=0.3,
+        contact_quality=0.1, position_contact={1: 0.01, 2: 1.0, 3: 1.0})
+    assert profile.effective_contact(1) == pytest.approx(0.05)
+
+
+def test_rng_for_deterministic_and_context_sensitive(subject):
+    a = subject.rng_for("device", 1, 50_000).normal(size=4)
+    b = subject.rng_for("device", 1, 50_000).normal(size=4)
+    c = subject.rng_for("device", 2, 50_000).normal(size=4)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_rng_differs_between_subjects(cohort):
+    a = cohort[0].rng_for("device", 1).normal(size=4)
+    b = cohort[1].rng_for("device", 1).normal(size=4)
+    assert not np.array_equal(a, b)
+
+
+def test_validation_rejects_nonphysiological():
+    base = dict(subject_id=1, age_years=30, height_m=1.8, weight_kg=75.0,
+                body_fat_fraction=0.2, hr_bpm=60.0, pep_s=0.1, lvet_s=0.3)
+    with pytest.raises(ConfigurationError):
+        subject_mod.SubjectProfile(**{**base, "pep_s": 0.4})
+    with pytest.raises(ConfigurationError):
+        subject_mod.SubjectProfile(**{**base, "lvet_s": 0.1})
+    with pytest.raises(ConfigurationError):
+        subject_mod.SubjectProfile(**{**base, "subject_id": 0})
+    with pytest.raises(ConfigurationError):
+        subject_mod.SubjectProfile(**{**base, "contact_quality": 1.2})
+    with pytest.raises(ConfigurationError):
+        subject_mod.SubjectProfile(**{**base, "height_m": 0.5})
+    with pytest.raises(ConfigurationError):
+        subject_mod.SubjectProfile(
+            **{**base, "position_contact": {1: 1.0, 2: 1.0}})
+
+
+def test_unknown_position_rejected(subject):
+    with pytest.raises(ConfigurationError):
+        subject.effective_contact(9)
+
+
+def test_random_cohort_size_and_ids():
+    cohort = subject_mod.random_cohort(8)
+    assert len(cohort) == 8
+    assert [s.subject_id for s in cohort] == list(range(1, 9))
+
+
+def test_random_cohort_deterministic():
+    a = subject_mod.random_cohort(4, np.random.default_rng(3))
+    b = subject_mod.random_cohort(4, np.random.default_rng(3))
+    assert [s.seed for s in a] == [s.seed for s in b]
+    assert [s.hr_bpm for s in a] == [s.hr_bpm for s in b]
+
+
+def test_random_cohort_all_profiles_valid():
+    """Construction validates; every subject must survive it and be
+    synthesizable."""
+    from repro.synth import SynthesisConfig, synthesize_recording
+    cohort = subject_mod.random_cohort(20, np.random.default_rng(9))
+    for s in cohort[:3]:
+        rec = synthesize_recording(s, "device", 1,
+                                   SynthesisConfig(duration_s=10.0))
+        assert rec.n_samples > 0
+
+
+def test_random_cohort_lvet_tracks_hr():
+    """Weissler regression: faster hearts eject for less time."""
+    cohort = subject_mod.random_cohort(60, np.random.default_rng(11))
+    hr = np.array([s.hr_bpm for s in cohort])
+    lvet = np.array([s.lvet_s for s in cohort])
+    assert np.corrcoef(hr, lvet)[0, 1] < -0.5
+
+
+def test_random_cohort_validation():
+    with pytest.raises(ConfigurationError):
+        subject_mod.random_cohort(0)
+    with pytest.raises(ConfigurationError):
+        subject_mod.random_cohort(2.5)

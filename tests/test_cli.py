@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+def test_measure_prints_payload(capsys):
+    code = cli.main(["measure", "--subject", "3", "--duration", "12"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Z0" in out and "LVET" in out and "PEP" in out and "HR" in out
+    assert "Subject 3" in out
+
+
+def test_measure_thoracic_setup(capsys):
+    code = cli.main(["measure", "--setup", "thoracic", "--duration",
+                     "12"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "thoracic" in out
+
+
+def test_power_reports_106_hours(capsys):
+    code = cli.main(["power"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "106" in out
+
+
+def test_monitor_reports_alert_days(capsys):
+    code = cli.main(["monitor", "--days", "40", "--onset", "20",
+                     "--seed", "7"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "alert" in out
+    assert "onset day 20" in out
+
+
+def test_study_quick_renders_tables(capsys):
+    code = cli.main(["study", "--quick"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "TABLE II" in out
+    assert "Fig 6" in out
+    assert "Overall correlation" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["frobnicate"])
+
+
+def test_invalid_subject_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["measure", "--subject", "9"])
+
+
+def test_parser_help_lists_commands():
+    parser = cli.build_parser()
+    help_text = parser.format_help()
+    for command in ("measure", "study", "power", "monitor"):
+        assert command in help_text

@@ -1,0 +1,53 @@
+"""Every example script must run end-to-end and produce its report.
+
+The examples double as living documentation; a broken example is a
+broken promise to the first-time user, so they are executed (not just
+imported) as part of the suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+#: A fragment each example's output must contain (proves the script got
+#: to its conclusion, not merely that it didn't crash early).
+EXPECTED_OUTPUT = {
+    "quickstart": "ground truth",
+    "position_study": "correlation",
+    "battery_planning": "Battery life",
+    "streaming_firmware": "CPU duty",
+    "cardiac_output": "Sramek",
+    "carrier_demodulation": "Demodulated envelope",
+    "chf_monitoring": "ICG multi-parameter alert",
+    "body_composition": "ECW fraction",
+}
+
+
+def _load_and_run(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_every_example_is_covered():
+    """A new example must register its expected output fragment."""
+    assert set(EXAMPLES) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_to_completion(name, capsys):
+    _load_and_run(name)
+    out = capsys.readouterr().out
+    assert EXPECTED_OUTPUT[name] in out
+    assert len(out.splitlines()) >= 5

@@ -1,0 +1,128 @@
+"""Failure injection: the pipeline under realistic acquisition faults.
+
+A point-of-care device sees everything: grip released mid-measurement,
+amplifier saturation, skipped beats, connector pops.  The chain must
+degrade *gracefully* — keep analysing the good parts, gate out the
+bad, and never report garbage as physiology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BeatToBeatPipeline
+from repro.ecg.quality import assess_quality, clipping_fraction, flatline_fraction
+from repro.errors import SignalError
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+FS = 250.0
+
+
+@pytest.fixture(scope="module")
+def base_recording():
+    subject = default_cohort()[1]
+    return synthesize_recording(
+        subject, "thoracic", 1,
+        SynthesisConfig(duration_s=20.0, include_motion=False,
+                        include_powerline=False))
+
+
+def _process(ecg, z):
+    return BeatToBeatPipeline(FS).process(ecg, z)
+
+
+def test_mid_recording_dropout(base_recording):
+    """2 s of lost contact (flatline on both channels): the remaining
+    beats are still analysed and HR stays near truth."""
+    ecg = base_recording.channel("ecg").copy()
+    z = base_recording.channel("z").copy()
+    lo, hi = int(8 * FS), int(10 * FS)
+    ecg[lo:hi] = ecg[lo]
+    z[lo:hi] = z[lo]
+    result = _process(ecg, z)
+    # Dropout is visible to the quality gate.
+    assert flatline_fraction(ecg, FS) > 0.05
+    # The good segments still produce physiological numbers.
+    assert result.mean_pep_s == pytest.approx(
+        base_recording.meta["true_pep_s"], abs=0.04)
+    assert 0.15 < result.mean_lvet_s < 0.45
+
+
+def test_amplifier_saturation(base_recording):
+    """Hard clipping of the ECG: detection survives, quality flags it."""
+    ecg = np.clip(base_recording.channel("ecg"), -0.4, 0.6)
+    z = base_recording.channel("z")
+    result = _process(ecg, z)
+    truth = base_recording.annotation("r_times_s")
+    assert result.r_peak_times_s.size >= truth.size - 3
+    assert clipping_fraction(ecg) > 0.01
+
+
+def test_skipped_beat_arrhythmia(base_recording):
+    """One suppressed QRS (blocked beat): the long RR window spans two
+    cycles; the detector must not fabricate a beat and the intervals
+    from other beats stay clean."""
+    ecg = base_recording.channel("ecg").copy()
+    truth = base_recording.annotation("r_times_s")
+    victim = truth[6]
+    lo = int((victim - 0.25) * FS)
+    hi = int((victim + 0.35) * FS)
+    ecg[lo:hi] = np.linspace(ecg[lo], ecg[hi], hi - lo)  # excise the beat
+    result = _process(ecg, base_recording.channel("z"))
+    detected = result.r_peak_times_s
+    # No spurious extra detections (search-back may legitimately claim
+    # a residual ICG deflection, but never more peaks than real beats),
+    # and the intervals from intact beats stay clean.
+    assert detected.size <= truth.size
+    assert result.mean_pep_s == pytest.approx(
+        base_recording.meta["true_pep_s"], abs=0.04)
+
+
+def test_electrode_pop_transient(base_recording):
+    """A large step transient on Z (connector pop) corrupts at most the
+    beats it touches."""
+    z = base_recording.channel("z").copy()
+    pop_at = int(11.3 * FS)
+    z[pop_at:] += 0.8   # step change of 0.8 ohm
+    result = _process(base_recording.channel("ecg"), z)
+    # Gated intervals remain physiological.
+    assert 0.04 < result.mean_pep_s < 0.2
+    assert 0.15 < result.mean_lvet_s < 0.45
+    # Most beats still analysed.
+    truth = base_recording.annotation("r_times_s")
+    assert result.n_beats_detected >= truth.size - 4
+
+
+def test_wrong_channel_order_is_caught(base_recording):
+    """Feeding Z as ECG (a classic wiring bug) must not silently
+    produce physiology: either detection fails or quality rejects."""
+    ecg = base_recording.channel("ecg")
+    z = base_recording.channel("z")
+    try:
+        result = _process(z - np.mean(z), 25.0 + ecg)
+    except SignalError:
+        return
+    verdict = assess_quality(z - np.mean(z), FS, result.r_peak_indices)
+    assert not verdict.acceptable
+
+
+def test_all_zero_impedance_fails_loudly(base_recording):
+    ecg = base_recording.channel("ecg")
+    with pytest.raises(SignalError):
+        _process(ecg, np.zeros(ecg.size))
+
+
+def test_nan_burst_does_not_propagate_silently(base_recording):
+    """NaNs from a DMA glitch: the pipeline must not return NaN
+    physiology without any signal of trouble."""
+    z = base_recording.channel("z").copy()
+    z[1000:1010] = np.nan
+    ecg = base_recording.channel("ecg")
+    try:
+        result = _process(ecg, z)
+    except (SignalError, ValueError):
+        return  # loud failure is acceptable
+    # If it returns, the summary must be finite (NaNs were gated out)
+    # or explicitly non-finite Z0 (visible to the caller).
+    summary = result.summary()
+    assert not np.isfinite(summary["z0_ohm"]) or np.isfinite(
+        summary["pep_s"])

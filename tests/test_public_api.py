@@ -1,0 +1,77 @@
+"""Public API contract: exports resolve, everything is documented.
+
+These guards keep the library honest as it grows: every name in an
+``__all__`` must exist, every public callable must carry a docstring,
+and the top-level convenience surface must stay importable.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = [m.name for m in pkgutil.walk_packages(repro.__path__,
+                                                     "repro.")]
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = [
+        name for name in getattr(module, "__all__", [])
+        if callable(getattr(module, name, None))
+        and not inspect.getdoc(getattr(module, name))
+    ]
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_modules_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+def test_top_level_surface():
+    """The names the README quickstart relies on."""
+    for name in ("BeatToBeatPipeline", "Recording", "default_cohort",
+                 "random_cohort", "synthesize_recording", "run_study",
+                 "ReproError"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+
+def test_exceptions_form_a_hierarchy():
+    from repro import (
+        ConfigurationError,
+        DetectionError,
+        HardwareError,
+        ProtocolError,
+        ReproError,
+        SignalError,
+    )
+
+    for exc in (ConfigurationError, SignalError, DetectionError,
+                HardwareError, ProtocolError):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
