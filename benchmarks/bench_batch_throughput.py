@@ -1,0 +1,107 @@
+"""Cohort throughput: serial vs cached vs threaded batch execution.
+
+The stage-graph refactor exists to make cohort workloads cheap: filter
+designs are memoized per ``(fs, config)`` and recordings fan out over
+the batch executor.  This bench measures recordings/sec for
+
+* ``serial-cold``  — one pipeline per recording, each with a fresh
+  design cache (the pre-refactor cost model: every recording redesigns
+  every filter);
+* ``serial-warm``  — one shared cache, serial loop (the refactor's
+  cache win by itself);
+* ``batch-threads``— the executor with ``n_jobs`` worker threads on
+  the shared cache.
+
+It asserts the structural claims (a warm second pass performs zero
+filter designs; batch output is bit-identical to the serial loop) and
+writes both the rendered table and a machine-readable JSON summary
+under ``benchmarks/results/``.
+"""
+
+import json
+import time
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.core import BeatToBeatPipeline, FilterDesignCache, process_batch
+from repro.experiments import format_table
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+N_JOBS = 4
+
+
+def _cohort_recordings():
+    config = SynthesisConfig(duration_s=20.0)
+    return [
+        synthesize_recording(subject, setup, position, config)
+        for subject in default_cohort()
+        for setup, position in (("device", 1), ("thoracic", 1))
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_batch_throughput(benchmark, results_dir):
+    recordings = _cohort_recordings()
+
+    def serial_cold():
+        return [
+            BeatToBeatPipeline(r.fs, cache=FilterDesignCache())
+            .process_recording(r)
+            for r in recordings
+        ]
+
+    warm_cache = FilterDesignCache()
+
+    def serial_warm():
+        return process_batch(recordings, n_jobs=1, cache=warm_cache)
+
+    cold_results, cold_s = _timed(serial_cold)
+    warm_results, warm_s = _timed(serial_warm)
+    designs_after_first = warm_cache.misses
+    # Second warm pass: every design must come from the cache.
+    (warm_results, warm_s) = _timed(serial_warm)
+    assert warm_cache.misses == designs_after_first, \
+        "filters were re-designed on a repeated (fs, config) run"
+
+    batch_results, batch_s = _timed(
+        lambda: benchmark.pedantic(
+            lambda: process_batch(recordings, n_jobs=N_JOBS,
+                                  cache=warm_cache),
+            rounds=1, iterations=1))
+
+    # Parallel fan-out is bit-identical to the serial loop.
+    for serial, threaded in zip(cold_results, batch_results):
+        assert np.array_equal(serial.r_peak_indices,
+                              threaded.r_peak_indices)
+        assert np.array_equal(serial.pep_s, threaded.pep_s)
+        assert np.array_equal(serial.icg, threaded.icg)
+
+    n = len(recordings)
+    summary = {
+        "n_recordings": n,
+        "duration_s_each": 20.0,
+        "n_jobs": N_JOBS,
+        "serial_cold": {"seconds": cold_s, "rec_per_s": n / cold_s},
+        "serial_warm": {"seconds": warm_s, "rec_per_s": n / warm_s},
+        "batch_threads": {"seconds": batch_s, "rec_per_s": n / batch_s},
+        "cache": warm_cache.stats(),
+    }
+    (results_dir / "batch_throughput.json").write_text(
+        json.dumps(summary, indent=2) + "\n")
+
+    rows = [
+        [name, f"{entry['seconds']:.2f}", f"{entry['rec_per_s']:.2f}"]
+        for name, entry in summary.items()
+        if isinstance(entry, dict) and "seconds" in entry
+    ]
+    table = format_table(
+        ["mode", "time (s)", "recordings/s"], rows,
+        title=f"Batch throughput: {n} x 20 s recordings "
+              f"(n_jobs={N_JOBS})")
+    save_artifact(results_dir, "batch_throughput", table)

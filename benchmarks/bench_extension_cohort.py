@@ -19,7 +19,8 @@ def test_larger_cohort_study(benchmark, results_dir):
     config = ProtocolConfig(duration_s=20.0)
 
     study = benchmark.pedantic(run_study,
-                               kwargs={"cohort": cohort, "config": config},
+                               kwargs={"cohort": cohort, "config": config,
+                                       "n_jobs": 4},
                                rounds=1, iterations=1)
 
     correlations = np.array([

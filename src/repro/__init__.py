@@ -34,7 +34,13 @@ Subpackage map (one per subsystem):
 - :mod:`repro.io` — recording containers and persistence.
 """
 
-from repro.core import BeatToBeatPipeline, PipelineConfig, PipelineResult
+from repro.core import (
+    BeatToBeatPipeline,
+    FilterDesignCache,
+    PipelineConfig,
+    PipelineResult,
+    process_batch,
+)
 from repro.errors import (
     ConfigurationError,
     DetectionError,
@@ -58,6 +64,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "BeatToBeatPipeline", "PipelineConfig", "PipelineResult",
+    "FilterDesignCache", "process_batch",
     "Recording",
     "SubjectProfile", "default_cohort", "random_cohort",
     "SynthesisConfig", "synthesize_recording",

@@ -1,12 +1,14 @@
 """Command-line interface: the device experience in a terminal.
 
-Four subcommands cover the workflows a user of the real device (or a
+Five subcommands cover the workflows a user of the real device (or a
 reviewer of the paper) would want:
 
 * ``measure`` — one touch measurement for a cohort subject, reporting
   the paper's payload (Z0, LVET, PEP, HR);
-* ``study`` — run the evaluation protocol and print Tables II-IV plus
-  the figure series;
+* ``cohort`` — batch-measure every cohort subject through the parallel
+  executor and print one payload row per subject;
+* ``study`` — run the evaluation protocol (optionally with ``--jobs``
+  fan-out) and print Tables II-IV plus the figure series;
 * ``power`` — the Table I battery bookkeeping;
 * ``monitor`` — a simulated CHF decompensation course with alerts.
 
@@ -20,11 +22,12 @@ import sys
 
 import numpy as np
 
-from repro.core import BeatToBeatPipeline
+from repro.core import BeatToBeatPipeline, process_batch
 from repro.device.power import PowerBudget, battery_life_hours, paper_operating_point
 from repro.errors import ReproError
 from repro.experiments import (
     ProtocolConfig,
+    render_batch_summary,
     render_correlation_table,
     render_hemodynamics,
     render_mean_z_series,
@@ -64,11 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--frequency-khz", type=float, default=50.0,
                          help="injection frequency in kHz")
 
+    cohort = commands.add_parser(
+        "cohort", help="batch-measure the whole cohort through the "
+                       "parallel executor")
+    cohort.add_argument("--position", type=int, default=1,
+                        choices=(1, 2, 3), help="arm position")
+    cohort.add_argument("--setup", default="device",
+                        choices=("device", "thoracic"))
+    cohort.add_argument("--duration", type=float, default=30.0,
+                        help="recording length in seconds")
+    cohort.add_argument("--jobs", type=int, default=1,
+                        help="worker threads (-1 = one per CPU)")
+
     study = commands.add_parser(
         "study", help="run the evaluation protocol (Tables II-IV, "
                       "Figs 6-9)")
     study.add_argument("--quick", action="store_true",
                        help="reduced protocol (12 s, 2 frequencies)")
+    study.add_argument("--jobs", type=int, default=1,
+                       help="worker threads (-1 = one per CPU)")
 
     commands.add_parser("power", help="Table I battery bookkeeping")
 
@@ -103,6 +120,22 @@ def _cmd_measure(args) -> int:
     return 0
 
 
+def _cmd_cohort(args) -> int:
+    cohort = default_cohort()
+    config = SynthesisConfig(duration_s=args.duration)
+    recordings = [
+        synthesize_recording(subject, args.setup, args.position, config)
+        for subject in cohort
+    ]
+    results = process_batch(recordings, n_jobs=args.jobs)
+    print(render_batch_summary(
+        results,
+        labels=[f"Subject {subject.subject_id}" for subject in cohort],
+        title=(f"Cohort batch: {args.setup}, position {args.position}, "
+               f"{args.duration:.0f} s")))
+    return 0
+
+
 def _cmd_study(args) -> int:
     config = ProtocolConfig()
     if args.quick:
@@ -111,7 +144,7 @@ def _cmd_study(args) -> int:
           f"{len(config.positions)} positions, "
           f"{len(config.frequencies_hz)} frequencies, "
           f"{config.duration_s:.0f} s each ...")
-    study = run_study(config=config)
+    study = run_study(config=config, n_jobs=args.jobs)
     for position in config.positions:
         print()
         print(render_correlation_table(study.correlation_table(position),
@@ -172,6 +205,7 @@ def _cmd_monitor(args) -> int:
 
 _COMMANDS = {
     "measure": _cmd_measure,
+    "cohort": _cmd_cohort,
     "study": _cmd_study,
     "power": _cmd_power,
     "monitor": _cmd_monitor,

@@ -1,9 +1,38 @@
-"""The paper's primary contribution: the beat-to-beat pipeline."""
+"""The paper's primary contribution: the beat-to-beat pipeline.
 
+The chain is a stage graph (:mod:`repro.core.stages`) exchanging a
+:class:`~repro.core.context.BeatContext`, with filter designs memoized
+by :mod:`repro.core.cache` and cohort fan-out provided by
+:mod:`repro.core.executor`.  :class:`BeatToBeatPipeline` is the
+single-recording facade over that machinery.
+"""
+
+from repro.core.cache import FilterDesignCache, default_design_cache
+from repro.core.config import PipelineConfig
+from repro.core.context import BeatContext
+from repro.core.executor import parallel_map, process_batch
 from repro.core.pipeline import (
     BeatToBeatPipeline,
-    PipelineConfig,
     PipelineResult,
+    result_from_context,
+)
+from repro.core.stages import (
+    EcgConditionStage,
+    HemodynamicsStage,
+    IcgConditionStage,
+    PointDetectionStage,
+    RPeakStage,
+    Stage,
+    StageGraph,
+    default_stage_graph,
 )
 
-__all__ = ["BeatToBeatPipeline", "PipelineConfig", "PipelineResult"]
+__all__ = [
+    "BeatToBeatPipeline", "PipelineConfig", "PipelineResult",
+    "BeatContext", "result_from_context",
+    "Stage", "StageGraph", "default_stage_graph",
+    "EcgConditionStage", "RPeakStage", "IcgConditionStage",
+    "PointDetectionStage", "HemodynamicsStage",
+    "FilterDesignCache", "default_design_cache",
+    "process_batch", "parallel_map",
+]

@@ -1,0 +1,164 @@
+"""Memoized filter designs, keyed by ``(fs, config)``.
+
+Every run of the Fig 3 chain needs the same small set of designs: the
+ECG band-pass FIR taps, the ICG low-/high-pass Butterworth sections and
+the Pan-Tompkins band-pass plus moving-window-integration kernel.
+Designing them is pure — a deterministic function of the sampling rate
+and a frozen config — yet the monolithic pipeline used to redo the
+work for every recording.  Cohort workloads (five subjects, three
+positions, four frequencies) paid the full design cost dozens of times
+over.
+
+:class:`FilterDesignCache` memoizes each design under a
+``(kind, fs, config)`` key.  Config dataclasses are frozen, hence
+hashable, so the key is exact: any parameter change produces a fresh
+design, identical parameters share one.  Cached arrays are marked
+read-only before they are handed out, so a stage can never corrupt a
+design another pipeline is using concurrently.  All operations are
+thread-safe — the batch executor shares one cache across workers.
+
+A process-wide default instance is shared by every pipeline that does
+not bring its own (:func:`default_design_cache`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Optional
+
+import numpy as np
+
+from repro.ecg.pan_tompkins import (
+    PanTompkinsConfig,
+    design_mwi_kernel,
+    design_qrs_bandpass_sos,
+)
+from repro.ecg.preprocessing import EcgFilterConfig, design_ecg_fir
+from repro.icg.preprocessing import (
+    IcgFilterConfig,
+    design_highpass_sos,
+    design_lowpass_sos,
+)
+
+__all__ = ["FilterDesignCache", "default_design_cache"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+class FilterDesignCache:
+    """Thread-safe memo table for filter designs.
+
+    Use the typed entry points (:meth:`ecg_fir_taps`,
+    :meth:`icg_lowpass_sos`, ...) from pipeline code; :meth:`get` is the
+    generic escape hatch for future stages with their own designs.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # -- generic memoization ------------------------------------------------
+
+    def get(self, key: Hashable, builder: Callable[[], np.ndarray],
+            ) -> np.ndarray:
+        """The design under ``key``, building (and freezing) it once.
+
+        An unhashable key (a config carrying a list-valued field, say)
+        falls back to building without memoization rather than failing
+        — caching is an optimisation, never a requirement.
+        """
+        try:
+            with self._lock:
+                if key in self._store:
+                    self._hits += 1
+                    return self._store[key]
+        except TypeError:
+            return builder()
+        # Build outside the lock: designs are deterministic, so a rare
+        # duplicate build is harmless and cheaper than serialising all
+        # design work.
+        value = builder()
+        if isinstance(value, np.ndarray):
+            value = _frozen(value)
+        with self._lock:
+            if key in self._store:
+                return self._store[key]
+            self._misses += 1
+            self._store[key] = value
+            return value
+
+    # -- typed entry points (the Fig 3 designs) -----------------------------
+
+    def ecg_fir_taps(self, fs: float,
+                     config: EcgFilterConfig) -> np.ndarray:
+        """Taps of the paper's 0.05-40 Hz zero-phase ECG FIR."""
+        return self.get(("ecg_fir", float(fs), config),
+                        lambda: design_ecg_fir(fs, config))
+
+    def icg_lowpass_sos(self, fs: float,
+                        config: IcgFilterConfig) -> np.ndarray:
+        """SOS of the ICG 20 Hz low-pass Butterworth."""
+        return self.get(("icg_lp", float(fs), config),
+                        lambda: design_lowpass_sos(fs, config))
+
+    def icg_highpass_sos(self, fs: float, config: IcgFilterConfig,
+                         ) -> Optional[np.ndarray]:
+        """SOS of the ICG 0.8 Hz high-pass; ``None`` when disabled."""
+        if config.highpass_hz is None:
+            return None
+        return self.get(("icg_hp", float(fs), config),
+                        lambda: design_highpass_sos(fs, config))
+
+    def pan_tompkins_sos(self, fs: float,
+                         config: PanTompkinsConfig) -> np.ndarray:
+        """SOS of the Pan-Tompkins ~5-15 Hz QRS band-pass."""
+        return self.get(("pt_bp", float(fs), config),
+                        lambda: design_qrs_bandpass_sos(fs, config))
+
+    def mwi_kernel(self, fs: float,
+                   config: PanTompkinsConfig) -> np.ndarray:
+        """Moving-window-integration kernel (150 ms boxcar)."""
+        return self.get(("pt_mwi", float(fs), config),
+                        lambda: design_mwi_kernel(fs, config))
+
+    # -- introspection / management -----------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the table."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to run a design."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and entry count, for benches and logs."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "entries": len(self._store)}
+
+    def clear(self) -> None:
+        """Drop every design and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_DEFAULT_CACHE = FilterDesignCache()
+
+
+def default_design_cache() -> FilterDesignCache:
+    """The process-wide shared cache used when a pipeline is built
+    without an explicit one."""
+    return _DEFAULT_CACHE

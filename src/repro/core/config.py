@@ -1,0 +1,38 @@
+"""Pipeline-wide configuration.
+
+:class:`PipelineConfig` bundles the per-stage configurations of the
+paper's Fig 3 chain into one frozen (hence hashable) object.  Being
+hashable matters: the filter-design cache (:mod:`repro.core.cache`)
+keys memoized FIR taps and Butterworth sections by ``(fs, config)``,
+so two pipelines sharing a configuration also share every design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ecg.pan_tompkins import PanTompkinsConfig
+from repro.ecg.preprocessing import EcgFilterConfig
+from repro.icg.points import PointConfig
+from repro.icg.preprocessing import IcgFilterConfig
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All stage configurations in one bundle (paper defaults)."""
+
+    ecg: EcgFilterConfig = field(default_factory=EcgFilterConfig)
+    icg: IcgFilterConfig = field(default_factory=IcgFilterConfig)
+    points: PointConfig = field(default_factory=PointConfig)
+    pan_tompkins: PanTompkinsConfig = field(
+        default_factory=PanTompkinsConfig)
+    #: Subject height for the Sramek-Bernstein stroke volume (cm);
+    #: ``None`` skips SV/CO estimation.
+    height_cm: Optional[float] = None
+    #: Pathway calibrations for the SV formulas (1.0 = thoracic); see
+    #: :class:`repro.icg.hemodynamics.HemodynamicsEstimator`.
+    z0_calibration: float = 1.0
+    dzdt_calibration: float = 1.0

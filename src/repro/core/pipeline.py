@@ -13,45 +13,33 @@ published processing chain:
 5. hemodynamic parameters: Z0, HR, PEP, LVET (the radio payload of
    Section V) plus stroke volume / cardiac output estimates.
 
-This offline pipeline is the reference implementation; the streaming
-firmware model in :mod:`repro.device.firmware` mirrors it causally and
-is tested for agreement against it.
+Since the stage-graph refactor, :class:`BeatToBeatPipeline` is a thin
+facade: the chain itself lives in :mod:`repro.core.stages` as five
+composable stages exchanging a :class:`~repro.core.context.BeatContext`,
+with filter designs memoized in :mod:`repro.core.cache` and cohort
+fan-out in :mod:`repro.core.executor`.  This offline pipeline is the
+reference implementation; the streaming firmware model in
+:mod:`repro.device.firmware` mirrors it causally and is tested for
+agreement against it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from repro.bioimpedance.analysis import mean_impedance
-from repro.ecg.pan_tompkins import PanTompkinsConfig, PanTompkinsDetector
-from repro.ecg.preprocessing import EcgFilterConfig, preprocess_ecg
-from repro.errors import ConfigurationError, SignalError
-from repro.icg.hemodynamics import HemodynamicsEstimator, systolic_intervals
-from repro.icg.points import PointConfig, detect_all_points
-from repro.icg.preprocessing import IcgFilterConfig, icg_from_impedance
+from repro.core.cache import FilterDesignCache, default_design_cache
+from repro.core.config import PipelineConfig
+from repro.core.context import BeatContext
+from repro.core.stages import RPeakStage, StageGraph, default_stage_graph
+from repro.ecg.pan_tompkins import PanTompkinsDetector
+from repro.errors import ConfigurationError
 from repro.io.records import Recording
 
-__all__ = ["PipelineConfig", "PipelineResult", "BeatToBeatPipeline"]
-
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """All stage configurations in one bundle (paper defaults)."""
-
-    ecg: EcgFilterConfig = field(default_factory=EcgFilterConfig)
-    icg: IcgFilterConfig = field(default_factory=IcgFilterConfig)
-    points: PointConfig = field(default_factory=PointConfig)
-    pan_tompkins: PanTompkinsConfig = field(
-        default_factory=PanTompkinsConfig)
-    #: Subject height for the Sramek-Bernstein stroke volume (cm);
-    #: ``None`` skips SV/CO estimation.
-    height_cm: float = None
-    #: Pathway calibrations for the SV formulas (1.0 = thoracic); see
-    #: :class:`repro.icg.hemodynamics.HemodynamicsEstimator`.
-    z0_calibration: float = 1.0
-    dzdt_calibration: float = 1.0
+__all__ = ["PipelineConfig", "PipelineResult", "BeatToBeatPipeline",
+           "result_from_context"]
 
 
 @dataclass(frozen=True)
@@ -97,16 +85,68 @@ class PipelineResult:
         }
 
 
-class BeatToBeatPipeline:
-    """Reference implementation of the paper's processing chain."""
+def result_from_context(ctx: BeatContext) -> PipelineResult:
+    """Assemble a :class:`PipelineResult` from a fully-run context."""
+    intervals = ctx.require("intervals")
+    r_peaks = ctx.require("r_peak_indices")
+    return PipelineResult(
+        fs=ctx.fs,
+        r_peak_indices=r_peaks,
+        r_peak_times_s=r_peaks / ctx.fs,
+        points=ctx.require("points"),
+        failures=ctx.failures if ctx.failures is not None else [],
+        pep_s=intervals.pep_s,
+        lvet_s=intervals.lvet_s,
+        hr_bpm=ctx.require("hr_bpm"),
+        z0_ohm=ctx.require("z0_ohm"),
+        beat_hemodynamics=(ctx.beat_hemodynamics
+                           if ctx.beat_hemodynamics is not None else []),
+        ecg_filtered=ctx.require("ecg_filtered"),
+        icg=ctx.require("icg"),
+    )
 
-    def __init__(self, fs: float, config: PipelineConfig = None) -> None:
+
+class BeatToBeatPipeline:
+    """Facade over the stage graph, bound to one sampling rate.
+
+    Parameters
+    ----------
+    fs:
+        Sampling rate of the recordings this pipeline will process.
+    config:
+        Stage configurations (paper defaults when omitted).
+    cache:
+        Filter-design cache; the process-wide shared cache when
+        omitted, so repeated pipelines with the same ``(fs, config)``
+        never redo a design.
+    graph:
+        The stage graph to run; the published Fig 3 chain when omitted.
+    """
+
+    def __init__(self, fs: float,
+                 config: Optional[PipelineConfig] = None,
+                 cache: Optional[FilterDesignCache] = None,
+                 graph: Optional[StageGraph] = None) -> None:
         if fs <= 0:
             raise ConfigurationError("fs must be positive")
         self.fs = float(fs)
         self.config = config or PipelineConfig()
-        self._pan_tompkins = PanTompkinsDetector(self.fs,
-                                                 self.config.pan_tompkins)
+        self.cache = (cache if cache is not None
+                      else default_design_cache())
+        self.graph = graph or default_stage_graph()
+        # Construct a detector eagerly when the graph uses one: it
+        # validates fs/band-edge combinations at build time (as the
+        # monolithic pipeline did) and warms the QRS designs in the
+        # cache.  Graphs with an alternative QRS stage skip this.
+        self._pan_tompkins = None
+        if any(isinstance(stage, RPeakStage)
+               for stage in self.graph.stages):
+            self._pan_tompkins = PanTompkinsDetector(
+                self.fs, self.config.pan_tompkins,
+                bandpass_sos=self.cache.pan_tompkins_sos(
+                    self.fs, self.config.pan_tompkins),
+                mwi_kernel=self.cache.mwi_kernel(
+                    self.fs, self.config.pan_tompkins))
 
     def process_recording(self, recording: Recording) -> PipelineResult:
         """Run the full chain on a :class:`Recording` with ``ecg`` and
@@ -120,50 +160,12 @@ class BeatToBeatPipeline:
 
     def process(self, ecg, z) -> PipelineResult:
         """Run the full chain on raw ECG (mV) and impedance (ohm)."""
-        ecg = np.asarray(ecg, dtype=float)
-        z = np.asarray(z, dtype=float)
-        if ecg.shape != z.shape or ecg.ndim != 1:
-            raise SignalError(
-                "ecg and z must be 1-D arrays of equal length")
+        ctx = self.run_context(ecg, z)
+        return result_from_context(ctx)
 
-        ecg_filtered = preprocess_ecg(ecg, self.fs, self.config.ecg)
-        r_peaks = self._pan_tompkins.detect(ecg_filtered)
-        if r_peaks.size < 2:
-            raise SignalError(
-                "fewer than two R peaks detected; cannot delimit beats")
-
-        icg = icg_from_impedance(z, self.fs, self.config.icg)
-        points, failures = detect_all_points(icg, self.fs, r_peaks,
-                                             self.config.points)
-        if not points:
-            raise SignalError(
-                f"no ICG beats could be analysed "
-                f"({len(failures)} failures)")
-        intervals = systolic_intervals(points, self.fs)
-
-        z0 = mean_impedance(z)
-        rr = np.diff(r_peaks) / self.fs
-        hr = float(60.0 / rr.mean())
-
-        hemodynamics = []
-        if self.config.height_cm is not None:
-            estimator = HemodynamicsEstimator(
-                self.fs, z0, self.config.height_cm,
-                z0_calibration=self.config.z0_calibration,
-                dzdt_calibration=self.config.dzdt_calibration)
-            hemodynamics = estimator.estimate_all(points, icg)
-
-        return PipelineResult(
-            fs=self.fs,
-            r_peak_indices=r_peaks,
-            r_peak_times_s=r_peaks / self.fs,
-            points=points,
-            failures=failures,
-            pep_s=intervals.pep_s,
-            lvet_s=intervals.lvet_s,
-            hr_bpm=hr,
-            z0_ohm=z0,
-            beat_hemodynamics=hemodynamics,
-            ecg_filtered=ecg_filtered,
-            icg=icg,
-        )
+    def run_context(self, ecg, z) -> BeatContext:
+        """Run the stage graph and return the raw context (for callers
+        needing intermediate fields beyond :class:`PipelineResult`)."""
+        ctx = BeatContext.from_signals(ecg, z, self.fs, self.config,
+                                       self.cache)
+        return self.graph.run(ctx)

@@ -14,6 +14,8 @@ extensive/anti-extensive near the boundaries.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 from repro.errors import ConfigurationError, SignalError
@@ -112,7 +114,8 @@ def default_element_lengths(fs: float) -> tuple:
     return max(first, 3), max(second, 3)
 
 
-def estimate_baseline(x, fs: float, lengths: tuple = None) -> np.ndarray:
+def estimate_baseline(x, fs: float,
+                      lengths: Optional[Tuple[int, int]] = None) -> np.ndarray:
     """Estimate baseline wander by an opening followed by a closing.
 
     Matches the paper's description: "It first applies an erosion
@@ -127,7 +130,8 @@ def estimate_baseline(x, fs: float, lengths: tuple = None) -> np.ndarray:
     return closing(opening(x, first), second)
 
 
-def remove_baseline(x, fs: float, lengths: tuple = None) -> np.ndarray:
+def remove_baseline(x, fs: float,
+                    lengths: Optional[Tuple[int, int]] = None) -> np.ndarray:
     """Baseline-corrected signal: ``x - estimate_baseline(x)``."""
     x = _as_signal(x)
     return x - estimate_baseline(x, fs, lengths)

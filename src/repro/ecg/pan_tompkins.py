@@ -22,13 +22,15 @@ within a +-60 ms window so downstream PEP measurements are exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.dsp import iir as _iir
 from repro.errors import ConfigurationError, SignalError
 
-__all__ = ["PanTompkinsConfig", "PanTompkinsDetector", "detect_r_peaks"]
+__all__ = ["PanTompkinsConfig", "PanTompkinsDetector", "detect_r_peaks",
+           "design_qrs_bandpass_sos", "design_mwi_kernel"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,30 @@ class PanTompkinsConfig:
                 raise ConfigurationError(f"{name} must be positive")
 
 
+def design_qrs_bandpass_sos(fs: float,
+                            config: Optional[PanTompkinsConfig] = None,
+                            ) -> np.ndarray:
+    """SOS of the ~5-15 Hz QRS band-pass for ``(fs, config)``.
+
+    The canonical design expression — the detector's constructor and
+    the pipeline's filter-design cache both call this, so the two can
+    never drift apart.
+    """
+    config = config or PanTompkinsConfig()
+    low, high = config.band_hz
+    return _iir.butter_bandpass(2, low, high, fs)
+
+
+def design_mwi_kernel(fs: float,
+                      config: Optional[PanTompkinsConfig] = None,
+                      ) -> np.ndarray:
+    """Moving-window-integration kernel (150 ms boxcar) for
+    ``(fs, config)`` (canonical, as :func:`design_qrs_bandpass_sos`)."""
+    config = config or PanTompkinsConfig()
+    width = max(1, int(round(config.integration_window_s * fs)))
+    return np.ones(width) / width
+
+
 class PanTompkinsDetector:
     """Stateful detector bound to a sampling rate.
 
@@ -61,7 +87,10 @@ class PanTompkinsDetector:
     firmware model re-uses them for its operation counting.
     """
 
-    def __init__(self, fs: float, config: PanTompkinsConfig = None) -> None:
+    def __init__(self, fs: float,
+                 config: Optional[PanTompkinsConfig] = None,
+                 bandpass_sos: Optional[np.ndarray] = None,
+                 mwi_kernel: Optional[np.ndarray] = None) -> None:
         if fs < 60.0:
             raise ConfigurationError(
                 f"Pan-Tompkins needs fs >= 60 Hz to resolve QRS energy, "
@@ -72,7 +101,13 @@ class PanTompkinsDetector:
         if high >= self.fs / 2.0:
             raise ConfigurationError(
                 f"band upper edge {high} Hz must sit below fs/2")
-        self._sos = _iir.butter_bandpass(2, low, high, self.fs)
+        # Pre-designed band-pass sections / MWI kernel (e.g. from the
+        # pipeline's filter-design cache) skip the design work; they
+        # must match (fs, config) — the caller owns that invariant.
+        self._sos = (bandpass_sos if bandpass_sos is not None
+                     else design_qrs_bandpass_sos(self.fs, self.config))
+        self._mwi_kernel = (mwi_kernel if mwi_kernel is not None
+                            else design_mwi_kernel(self.fs, self.config))
         self.bandpassed = None
         self.integrated = None
 
@@ -89,9 +124,7 @@ class PanTompkinsDetector:
                 - 2.0 * padded[:-4]) / 8.0
 
     def _integrate(self, x: np.ndarray) -> np.ndarray:
-        width = max(1, int(round(self.config.integration_window_s * self.fs)))
-        kernel = np.ones(width) / width
-        return np.convolve(x, kernel, mode="full")[: x.size]
+        return np.convolve(x, self._mwi_kernel, mode="full")[: x.size]
 
     # --- thresholding ------------------------------------------------------
 
@@ -265,6 +298,6 @@ def _rr_is_regular(rr: int, rr_selective: list) -> bool:
 
 
 def detect_r_peaks(ecg, fs: float,
-                   config: PanTompkinsConfig = None) -> np.ndarray:
+                   config: Optional[PanTompkinsConfig] = None) -> np.ndarray:
     """Convenience wrapper: R-peak sample indices via Pan-Tompkins."""
     return PanTompkinsDetector(fs, config).detect(ecg)

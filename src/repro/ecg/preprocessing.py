@@ -20,6 +20,7 @@ the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -27,8 +28,8 @@ from repro.dsp import fir as _fir
 from repro.dsp import morphology as _morphology
 from repro.errors import ConfigurationError
 
-__all__ = ["EcgFilterConfig", "remove_baseline_wander", "bandpass",
-           "preprocess_ecg"]
+__all__ = ["EcgFilterConfig", "design_ecg_fir", "remove_baseline_wander",
+           "bandpass", "preprocess_ecg"]
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ class EcgFilterConfig:
     #: Structuring-element lengths in seconds for the morphological
     #: baseline estimator (opening, closing); ``None`` derives them from
     #: the sampling rate (0.2 s / 0.3 s per Sun et al.).
-    morphology_lengths_s: tuple = None
+    morphology_lengths_s: Optional[Tuple[float, float]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.low_cut_hz < self.high_cut_hz:
@@ -63,31 +64,53 @@ class EcgFilterConfig:
         return tuple(lengths)
 
 
+def design_ecg_fir(fs: float,
+                   config: Optional[EcgFilterConfig] = None) -> np.ndarray:
+    """Taps of the band-pass FIR for ``(fs, config)``.
+
+    The canonical design expression — both the direct filtering path
+    and the pipeline's filter-design cache call this, so the two can
+    never drift apart.
+    """
+    config = config or EcgFilterConfig()
+    return _fir.design_bandpass(config.fir_order, config.low_cut_hz,
+                                config.high_cut_hz, fs,
+                                window=config.window)
+
+
 def remove_baseline_wander(ecg, fs: float,
-                           config: EcgFilterConfig = None) -> np.ndarray:
+                           config: Optional[EcgFilterConfig] = None,
+                           ) -> np.ndarray:
     """Morphological baseline correction (stage 1 of the paper chain)."""
     config = config or EcgFilterConfig()
     return _morphology.remove_baseline(ecg, fs,
                                        config.morphology_lengths(fs))
 
 
-def bandpass(ecg, fs: float, config: EcgFilterConfig = None) -> np.ndarray:
-    """Zero-phase FIR band-pass (stage 2 of the paper chain)."""
+def bandpass(ecg, fs: float, config: Optional[EcgFilterConfig] = None,
+             taps: Optional[np.ndarray] = None) -> np.ndarray:
+    """Zero-phase FIR band-pass (stage 2 of the paper chain).
+
+    Pre-designed ``taps`` (e.g. from the pipeline's filter-design
+    cache) skip the windowed-sinc design; they must match ``(fs,
+    config)`` — the caller owns that invariant.
+    """
     config = config or EcgFilterConfig()
     if config.high_cut_hz >= fs / 2.0:
         raise ConfigurationError(
             f"high cut-off {config.high_cut_hz} Hz does not fit below "
             f"fs/2 = {fs / 2.0} Hz")
-    taps = _fir.design_bandpass(config.fir_order, config.low_cut_hz,
-                                config.high_cut_hz, fs,
-                                window=config.window)
+    if taps is None:
+        taps = design_ecg_fir(fs, config)
     return _fir.filtfilt_fir(taps, ecg)
 
 
 def preprocess_ecg(ecg, fs: float,
-                   config: EcgFilterConfig = None) -> np.ndarray:
+                   config: Optional[EcgFilterConfig] = None,
+                   taps: Optional[np.ndarray] = None) -> np.ndarray:
     """Full paper chain: morphological baseline removal, then the
-    zero-phase 0.05-40 Hz FIR band-pass."""
+    zero-phase 0.05-40 Hz FIR band-pass (``taps`` as in
+    :func:`bandpass`)."""
     config = config or EcgFilterConfig()
     corrected = remove_baseline_wander(ecg, fs, config)
-    return bandpass(corrected, fs, config)
+    return bandpass(corrected, fs, config, taps=taps)

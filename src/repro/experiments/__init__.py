@@ -14,6 +14,7 @@ from repro.experiments.study import (
 )
 from repro.experiments.tables import (
     format_table,
+    render_batch_summary,
     render_correlation_table,
     render_hemodynamics,
     render_mean_z_series,
@@ -26,4 +27,5 @@ __all__ = [
     "RecordingAnalysis", "StudyResult", "run_study", "analyse_recording",
     "format_table", "render_correlation_table", "render_mean_z_series",
     "render_relative_errors", "render_hemodynamics",
+    "render_batch_summary",
 ]

@@ -21,6 +21,7 @@ the thoracic signal" — and is documented in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -28,8 +29,10 @@ from repro.bioimpedance.analysis import (
     pearson_correlation,
     position_relative_errors,
 )
-from repro.ecg.pan_tompkins import PanTompkinsDetector
-from repro.ecg.preprocessing import preprocess_ecg
+from repro.core.cache import FilterDesignCache, default_design_cache
+from repro.core.context import BeatContext
+from repro.core.executor import parallel_map
+from repro.core.stages import default_stage_graph
 from repro.errors import ProtocolError
 from repro.experiments.protocol import (
     HEMODYNAMICS_FREQUENCY_HZ,
@@ -37,14 +40,16 @@ from repro.experiments.protocol import (
     ProtocolConfig,
 )
 from repro.icg.ensemble import EnsembleConfig, ensemble_average
-from repro.icg.points import detect_all_points
-from repro.icg.preprocessing import icg_from_impedance
 from repro.icg.hemodynamics import systolic_intervals
 from repro.synth.recording import SynthesisConfig, synthesize_recording
 from repro.synth.subject import default_cohort
 
 __all__ = ["RecordingAnalysis", "StudyResult", "run_study",
            "analyse_recording"]
+
+#: The study needs the chain only through point detection; ensemble
+#: statistics and NaN-tolerant interval summaries are derived here.
+_ANALYSIS_GRAPH = default_stage_graph().upto("point_detection")
 
 
 @dataclass(frozen=True)
@@ -64,16 +69,25 @@ class RecordingAnalysis:
     n_failures: int
 
 
-def analyse_recording(recording) -> RecordingAnalysis:
-    """Run the detection chain on one recording and summarise it."""
+def analyse_recording(recording,
+                      cache: Optional[FilterDesignCache] = None,
+                      ) -> RecordingAnalysis:
+    """Run the detection chain on one recording and summarise it.
+
+    Uses the stage graph through point detection — the same code path
+    as :class:`~repro.core.pipeline.BeatToBeatPipeline` — with filter
+    designs shared through ``cache`` (the process-wide default when
+    omitted), so a cohort pays each design once.
+    """
     fs = recording.fs
-    ecg = recording.channel("ecg")
     z = recording.channel("z")
-    filtered = preprocess_ecg(ecg, fs)
-    r_peaks = PanTompkinsDetector(fs).detect(filtered)
-    icg = icg_from_impedance(z, fs)
+    ctx = BeatContext.from_signals(recording.channel("ecg"), z, fs,
+                                   cache=cache)
+    ctx = _ANALYSIS_GRAPH.run(ctx)
+    r_peaks = ctx.r_peak_indices
+    icg = ctx.icg
     ensemble = ensemble_average(icg, fs, r_peaks, EnsembleConfig())
-    points, failures = detect_all_points(icg, fs, r_peaks)
+    points, failures = ctx.points, ctx.failures
     if points:
         intervals = systolic_intervals(points, fs)
         mean_pep = intervals.mean_pep_s
@@ -228,31 +242,49 @@ class StudyResult:
         return self.thoracic[key]
 
 
-def run_study(cohort=None, config: ProtocolConfig = None,
-              verbose: bool = False) -> StudyResult:
+def run_study(cohort=None, config: Optional[ProtocolConfig] = None,
+              verbose: bool = False, n_jobs: Optional[int] = 1,
+              cache: Optional[FilterDesignCache] = None) -> StudyResult:
     """Simulate and analyse the complete protocol.
 
     Every recording is deterministic (seeded per subject/setup/
-    position/frequency), so repeated runs produce identical tables.
+    position/frequency), so repeated runs produce identical tables —
+    including with ``n_jobs > 1``, which fans the per-recording
+    synthesis + analysis jobs out over the batch executor's thread
+    pool.  All jobs share one filter-design ``cache`` (the process-wide
+    default when omitted): the whole protocol designs each filter once.
     """
     cohort = cohort if cohort is not None else default_cohort()
     config = config or ProtocolConfig()
+    if cache is None:
+        cache = default_design_cache()
     result = StudyResult(config=config,
                          subject_ids=[s.subject_id for s in cohort])
+    jobs = []   # (store, key, subject, setup, position, synth_config)
     for subject in cohort:
         for freq in config.frequencies_hz:
             synth = SynthesisConfig(duration_s=config.duration_s,
                                     fs=config.fs,
                                     injection_frequency_hz=freq)
-            recording = synthesize_recording(subject, "thoracic", 1, synth)
-            result.thoracic[(subject.subject_id, float(freq))] = (
-                analyse_recording(recording))
+            jobs.append(("thoracic",
+                         (subject.subject_id, float(freq)),
+                         subject, "thoracic", 1, synth))
             for position in config.positions:
-                recording = synthesize_recording(subject, "device",
-                                                 position, synth)
-                key = (subject.subject_id, position, float(freq))
-                result.device[key] = analyse_recording(recording)
-                if verbose:
-                    print(f"analysed subject {subject.subject_id} "
-                          f"pos {position} f={freq / 1000:.0f} kHz")
+                jobs.append(("device",
+                             (subject.subject_id, position, float(freq)),
+                             subject, "device", position, synth))
+
+    def run_job(job):
+        store, key, subject, setup, position, synth = job
+        recording = synthesize_recording(subject, setup, position, synth)
+        analysis = analyse_recording(recording, cache=cache)
+        if verbose and store == "device":
+            print(f"analysed subject {subject.subject_id} "
+                  f"pos {position} "
+                  f"f={synth.injection_frequency_hz / 1000:.0f} kHz")
+        return store, key, analysis
+
+    for store, key, analysis in parallel_map(run_job, jobs,
+                                             n_jobs=n_jobs):
+        getattr(result, store)[key] = analysis
     return result

@@ -7,6 +7,8 @@ Tables II-IV), making paper-vs-measured comparison mechanical.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -17,10 +19,11 @@ __all__ = [
     "render_mean_z_series",
     "render_relative_errors",
     "render_hemodynamics",
+    "render_batch_summary",
 ]
 
 
-def format_table(headers, rows, title: str = None) -> str:
+def format_table(headers, rows, title: Optional[str] = None) -> str:
     """Monospace table with a header rule; values are pre-formatted
     strings."""
     headers = [str(h) for h in headers]
@@ -100,3 +103,34 @@ def render_hemodynamics(table: dict, position: int) -> str:
     return format_table(
         ["Subject", "LVET (ms)", "PEP (ms)", "HR (bpm)"], rows,
         title=f"Fig 9: characteristic ICG parameters, Position {position}")
+
+
+def render_batch_summary(results: Sequence,
+                         labels: Optional[Sequence[str]] = None,
+                         title: str = "Batch measurement summary") -> str:
+    """One row of radio payload per batch-executor result.
+
+    ``results`` are :class:`~repro.core.pipeline.PipelineResult`
+    objects (what :func:`repro.core.executor.process_batch` returns);
+    ``labels`` name each row (defaults to the batch index).
+    """
+    results = list(results)
+    if labels is None:
+        labels = [f"#{i + 1}" for i in range(len(results))]
+    if len(labels) != len(results):
+        raise ConfigurationError(
+            f"{len(labels)} labels for {len(results)} results")
+    rows = []
+    for label, result in zip(labels, results):
+        summary = result.summary()
+        rows.append([
+            str(label),
+            f"{summary['z0_ohm']:.1f}",
+            f"{summary['lvet_s'] * 1000:.0f}",
+            f"{summary['pep_s'] * 1000:.0f}",
+            f"{summary['hr_bpm']:.0f}",
+            f"{result.n_beats_detected}",
+        ])
+    return format_table(
+        ["Recording", "Z0 (ohm)", "LVET (ms)", "PEP (ms)", "HR (bpm)",
+         "beats"], rows, title=title)

@@ -20,6 +20,7 @@ calibration factor — see :meth:`HemodynamicsEstimator.with_calibration`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -178,7 +179,7 @@ class HemodynamicsEstimator:
     """
 
     def __init__(self, fs: float, z0_ohm: float, height_cm: float,
-                 electrode_distance_cm: float = None,
+                 electrode_distance_cm: Optional[float] = None,
                  z0_calibration: float = 1.0,
                  dzdt_calibration: float = 1.0) -> None:
         if fs <= 0:

@@ -29,6 +29,7 @@ meaningless without polynomial smoothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -116,8 +117,8 @@ def _window_derivative(window_s: float, fs: float) -> int:
 
 
 def detect_beat_points(icg, fs: float, r_index: int, next_r_index: int,
-                       config: PointConfig = None,
-                       rt_interval_s: float = None) -> BeatPoints:
+                       config: Optional[PointConfig] = None,
+                       rt_interval_s: Optional[float] = None) -> BeatPoints:
     """Detect B, C, X within one beat (R peak to next R peak).
 
     Raises :class:`DetectionError` when the beat cannot be analysed
@@ -296,7 +297,7 @@ def _first_zero_cross_left(d1: np.ndarray, start: int, stop: int,
 
 
 def detect_all_points(icg, fs: float, r_indices,
-                      config: PointConfig = None,
+                      config: Optional[PointConfig] = None,
                       rt_intervals_s=None) -> tuple:
     """Detect points for every beat delimited by consecutive R peaks.
 

@@ -20,6 +20,7 @@ demodulated impedance Z(t) and differentiates digitally.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -27,7 +28,8 @@ from repro.dsp import derivative as _derivative
 from repro.dsp import iir as _iir
 from repro.errors import ConfigurationError
 
-__all__ = ["IcgFilterConfig", "lowpass", "highpass", "condition_icg",
+__all__ = ["IcgFilterConfig", "design_lowpass_sos", "design_highpass_sos",
+           "lowpass", "highpass", "condition_icg",
            "condition_icg_wavelet", "icg_from_impedance"]
 
 
@@ -41,7 +43,7 @@ class IcgFilterConfig:
 
     cutoff_hz: float = 20.0
     order: int = 4
-    highpass_hz: float = 0.8
+    highpass_hz: Optional[float] = 0.8
     highpass_order: int = 2
 
     def __post_init__(self) -> None:
@@ -56,31 +58,69 @@ class IcgFilterConfig:
                     f"got {self.highpass_hz}")
 
 
-def lowpass(icg, fs: float, config: IcgFilterConfig = None) -> np.ndarray:
-    """Zero-phase low-pass Butterworth at 20 Hz (paper Section IV-A.2)."""
+def design_lowpass_sos(fs: float,
+                       config: Optional[IcgFilterConfig] = None,
+                       ) -> np.ndarray:
+    """SOS of the low-pass Butterworth for ``(fs, config)``.
+
+    The canonical design expression shared by the direct filtering
+    path and the pipeline's filter-design cache.
+    """
+    config = config or IcgFilterConfig()
+    return _iir.butter_lowpass(config.order, config.cutoff_hz, fs)
+
+
+def design_highpass_sos(fs: float,
+                        config: Optional[IcgFilterConfig] = None,
+                        ) -> Optional[np.ndarray]:
+    """SOS of the respiratory high-pass for ``(fs, config)``; ``None``
+    when the high-pass is disabled (canonical, as
+    :func:`design_lowpass_sos`)."""
+    config = config or IcgFilterConfig()
+    if config.highpass_hz is None:
+        return None
+    return _iir.butter_highpass(config.highpass_order,
+                                config.highpass_hz, fs)
+
+
+def lowpass(icg, fs: float, config: Optional[IcgFilterConfig] = None,
+            sos: Optional[np.ndarray] = None) -> np.ndarray:
+    """Zero-phase low-pass Butterworth at 20 Hz (paper Section IV-A.2).
+
+    A pre-designed ``sos`` (e.g. from the pipeline's filter-design
+    cache) skips the Butterworth design; it must match ``(fs, config)``
+    — the caller owns that invariant.
+    """
     config = config or IcgFilterConfig()
     if config.cutoff_hz >= fs / 2.0:
         raise ConfigurationError(
             f"cut-off {config.cutoff_hz} Hz does not fit below fs/2 "
             f"= {fs / 2.0} Hz")
-    sos = _iir.butter_lowpass(config.order, config.cutoff_hz, fs)
+    if sos is None:
+        sos = design_lowpass_sos(fs, config)
     return _iir.sosfiltfilt(sos, icg)
 
 
-def highpass(icg, fs: float, config: IcgFilterConfig = None) -> np.ndarray:
-    """Zero-phase high-pass at the ICG band's 0.8 Hz lower edge."""
+def highpass(icg, fs: float, config: Optional[IcgFilterConfig] = None,
+             sos: Optional[np.ndarray] = None) -> np.ndarray:
+    """Zero-phase high-pass at the ICG band's 0.8 Hz lower edge
+    (``sos`` as in :func:`lowpass`)."""
     config = config or IcgFilterConfig()
     if config.highpass_hz is None:
         return np.asarray(icg, dtype=float).copy()
-    sos = _iir.butter_highpass(config.highpass_order, config.highpass_hz, fs)
+    if sos is None:
+        sos = design_highpass_sos(fs, config)
     return _iir.sosfiltfilt(sos, icg)
 
 
 def condition_icg(icg, fs: float,
-                  config: IcgFilterConfig = None) -> np.ndarray:
+                  config: Optional[IcgFilterConfig] = None,
+                  lowpass_sos: Optional[np.ndarray] = None,
+                  highpass_sos: Optional[np.ndarray] = None) -> np.ndarray:
     """Full ICG conditioning: 20 Hz low-pass plus 0.8 Hz high-pass."""
     config = config or IcgFilterConfig()
-    return highpass(lowpass(icg, fs, config), fs, config)
+    return highpass(lowpass(icg, fs, config, sos=lowpass_sos), fs,
+                    config, sos=highpass_sos)
 
 
 def condition_icg_wavelet(icg, fs: float, cutoff_low_hz: float = 0.8,
@@ -103,15 +143,20 @@ def condition_icg_wavelet(icg, fs: float, cutoff_low_hz: float = 0.8,
 
 
 def icg_from_impedance(z, fs: float,
-                       config: IcgFilterConfig = None,
-                       method: str = "filter") -> np.ndarray:
+                       config: Optional[IcgFilterConfig] = None,
+                       method: str = "filter",
+                       lowpass_sos: Optional[np.ndarray] = None,
+                       highpass_sos: Optional[np.ndarray] = None,
+                       ) -> np.ndarray:
     """Compute the conditioned ICG from a measured impedance trace.
 
     ``ICG = -dZ/dt`` (central difference), then the conditioning chain:
     ``method="filter"`` (the paper's zero-phase filters, default) or
     ``method="wavelet"`` (the related-work alternative).
     Differentiation amplifies high-frequency noise, which is precisely
-    why the conditioning follows immediately.
+    why the conditioning follows immediately.  Pre-designed sections
+    (``lowpass_sos``/``highpass_sos``, filter method only) skip the
+    Butterworth designs as in :func:`lowpass`.
     """
     if method not in ("filter", "wavelet"):
         raise ConfigurationError(
@@ -121,4 +166,5 @@ def icg_from_impedance(z, fs: float,
         config = config or IcgFilterConfig()
         return condition_icg_wavelet(
             -dz, fs, cutoff_low_hz=config.highpass_hz or 0.8)
-    return condition_icg(-dz, fs, config)
+    return condition_icg(-dz, fs, config, lowpass_sos=lowpass_sos,
+                         highpass_sos=highpass_sos)

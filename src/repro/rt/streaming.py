@@ -13,6 +13,7 @@ downstream beat timing can be compensated.
 from __future__ import annotations
 
 from collections import deque
+from typing import Optional
 
 import numpy as np
 
@@ -210,7 +211,7 @@ class StreamingMorphologyBaseline:
 class StreamingDerivative:
     """Pan-Tompkins five-point derivative, causal."""
 
-    def __init__(self, fs: float = None) -> None:
+    def __init__(self, fs: Optional[float] = None) -> None:
         self._history = RingBuffer(5)
         for _ in range(5):
             self._history.push(0.0)

@@ -1,0 +1,105 @@
+"""Filter-design cache: hit behavior, key discrimination, safety."""
+
+import numpy as np
+import pytest
+
+from repro.core import FilterDesignCache
+from repro.core.cache import default_design_cache
+from repro.dsp import fir as _fir
+from repro.dsp import iir as _iir
+from repro.ecg.pan_tompkins import PanTompkinsConfig
+from repro.ecg.preprocessing import EcgFilterConfig
+from repro.icg.preprocessing import IcgFilterConfig
+
+FS = 250.0
+
+
+@pytest.fixture()
+def cache():
+    return FilterDesignCache()
+
+
+def test_first_lookup_is_a_miss_second_a_hit(cache):
+    config = EcgFilterConfig()
+    first = cache.ecg_fir_taps(FS, config)
+    assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1}
+    second = cache.ecg_fir_taps(FS, config)
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert second is first   # same object, no re-design
+
+
+def test_cached_designs_match_direct_design(cache):
+    ecg = EcgFilterConfig()
+    icg = IcgFilterConfig()
+    pt = PanTompkinsConfig()
+    assert np.array_equal(
+        cache.ecg_fir_taps(FS, ecg),
+        _fir.design_bandpass(ecg.fir_order, ecg.low_cut_hz,
+                             ecg.high_cut_hz, FS, window=ecg.window))
+    assert np.array_equal(
+        cache.icg_lowpass_sos(FS, icg),
+        _iir.butter_lowpass(icg.order, icg.cutoff_hz, FS))
+    assert np.array_equal(
+        cache.icg_highpass_sos(FS, icg),
+        _iir.butter_highpass(icg.highpass_order, icg.highpass_hz, FS))
+    assert np.array_equal(
+        cache.pan_tompkins_sos(FS, pt),
+        _iir.butter_bandpass(2, *pt.band_hz, FS))
+    width = int(round(pt.integration_window_s * FS))
+    assert np.array_equal(cache.mwi_kernel(FS, pt),
+                          np.ones(width) / width)
+
+
+def test_distinct_fs_or_config_get_distinct_entries(cache):
+    base = IcgFilterConfig()
+    a = cache.icg_lowpass_sos(250.0, base)
+    b = cache.icg_lowpass_sos(500.0, base)
+    c = cache.icg_lowpass_sos(250.0, IcgFilterConfig(cutoff_hz=15.0))
+    assert cache.misses == 3 and cache.hits == 0
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_disabled_highpass_returns_none_without_caching(cache):
+    config = IcgFilterConfig(highpass_hz=None)
+    assert cache.icg_highpass_sos(FS, config) is None
+    assert len(cache) == 0
+
+
+def test_cached_arrays_are_read_only(cache):
+    taps = cache.ecg_fir_taps(FS, EcgFilterConfig())
+    with pytest.raises(ValueError):
+        taps[0] = 1.0
+
+
+def test_clear_resets_entries_and_counters(cache):
+    cache.ecg_fir_taps(FS, EcgFilterConfig())
+    cache.ecg_fir_taps(FS, EcgFilterConfig())
+    cache.clear()
+    assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_generic_get_builds_once(cache):
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return np.arange(3.0)
+
+    first = cache.get(("custom", 1.0), builder)
+    second = cache.get(("custom", 1.0), builder)
+    assert len(calls) == 1
+    assert first is second
+
+
+def test_unhashable_config_falls_back_to_uncached_design(cache):
+    """A list-valued config field worked before the cache existed; it
+    must keep working (just without memoization)."""
+    config = EcgFilterConfig(morphology_lengths_s=[0.2, 0.3])
+    taps = cache.ecg_fir_taps(FS, config)
+    assert np.array_equal(taps, cache.ecg_fir_taps(FS, config))
+    assert len(cache) == 0   # never stored
+
+
+def test_default_cache_is_process_wide_singleton():
+    assert default_design_cache() is default_design_cache()

@@ -1,0 +1,143 @@
+"""Batch executor: parity with the serial loop, ordering, fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeatToBeatPipeline,
+    FilterDesignCache,
+    parallel_map,
+    process_batch,
+)
+from repro.core.executor import resolve_n_jobs
+from repro.errors import ConfigurationError
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+FS = 250.0
+
+
+@pytest.fixture(scope="module")
+def batch_recordings():
+    """Six recordings across subjects/setups (one shared fs)."""
+    cohort = default_cohort()
+    config = SynthesisConfig(duration_s=12.0, fs=FS)
+    recordings = [
+        synthesize_recording(subject, "thoracic", 1, config)
+        for subject in cohort[:3]
+    ]
+    recordings += [
+        synthesize_recording(subject, "device", 2, config)
+        for subject in cohort[:3]
+    ]
+    return recordings
+
+
+def _assert_results_identical(batch, serial):
+    assert len(batch) == len(serial)
+    for got, want in zip(batch, serial):
+        assert np.array_equal(got.r_peak_indices, want.r_peak_indices)
+        assert np.array_equal(got.ecg_filtered, want.ecg_filtered)
+        assert np.array_equal(got.icg, want.icg)
+        assert np.array_equal(got.pep_s, want.pep_s)
+        assert np.array_equal(got.lvet_s, want.lvet_s)
+        assert got.z0_ohm == want.z0_ohm
+        assert got.hr_bpm == want.hr_bpm
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_batch_identical_to_serial_loop(batch_recordings, n_jobs):
+    """The acceptance criterion: bitwise-equal arrays per recording,
+    serial or parallel."""
+    serial = [
+        BeatToBeatPipeline(r.fs, cache=FilterDesignCache())
+        .process_recording(r)
+        for r in batch_recordings
+    ]
+    batch = process_batch(batch_recordings, n_jobs=n_jobs,
+                          cache=FilterDesignCache())
+    _assert_results_identical(batch, serial)
+
+
+def test_batch_preserves_input_order(batch_recordings):
+    results = process_batch(batch_recordings, n_jobs=3,
+                            cache=FilterDesignCache())
+    for recording, result in zip(batch_recordings, results):
+        assert result.fs == recording.fs
+        assert result.z0_ohm == pytest.approx(
+            recording.meta["true_z0_ohm"], rel=0.05)
+
+
+def test_batch_shares_one_design_set(batch_recordings):
+    cache = FilterDesignCache()
+    process_batch(batch_recordings, cache=cache)
+    # Five designs total for the whole cohort, not five per recording.
+    assert len(cache) == 5
+    assert cache.misses == 5
+
+
+def test_batch_handles_mixed_sampling_rates():
+    subject = default_cohort()[1]
+    recordings = [
+        synthesize_recording(subject, "thoracic", 1,
+                             SynthesisConfig(duration_s=12.0, fs=fs,
+                                             include_motion=False,
+                                             include_powerline=False))
+        for fs in (125.0, 250.0)
+    ]
+    cache = FilterDesignCache()
+    results = process_batch(recordings, n_jobs=2, cache=cache)
+    assert [r.fs for r in results] == [125.0, 250.0]
+    assert len(cache) == 10   # one design set per sampling rate
+
+
+def test_empty_batch_returns_empty_list():
+    assert process_batch([], cache=FilterDesignCache()) == []
+
+
+def test_batch_propagates_processing_errors(batch_recordings):
+    from repro.errors import SignalError
+    from repro.io import Recording
+
+    n = int(8 * FS)
+    flat = Recording(FS, {"ecg": np.zeros(n), "z": np.full(n, 25.0)})
+    with pytest.raises(SignalError):
+        process_batch([batch_recordings[0], flat],
+                      cache=FilterDesignCache())
+
+
+def test_parallel_map_matches_serial_map():
+    items = list(range(20))
+    assert parallel_map(lambda v: v * v, items, n_jobs=4) == [
+        v * v for v in items]
+
+
+def test_parallel_map_propagates_exceptions():
+    def boom(v):
+        raise RuntimeError(f"job {v}")
+
+    with pytest.raises(RuntimeError):
+        parallel_map(boom, [1, 2, 3], n_jobs=2)
+
+
+def test_resolve_n_jobs():
+    assert resolve_n_jobs(3) == 3
+    assert resolve_n_jobs(None) >= 1
+    assert resolve_n_jobs(-1) >= 1
+    for bad in (0, -2, 1.5, "two"):
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs(bad)
+
+
+def test_study_parallel_matches_serial():
+    """run_study(n_jobs=2) reproduces the serial tables exactly."""
+    from repro.experiments import ProtocolConfig, run_study
+
+    config = ProtocolConfig().quick()
+    serial = run_study(config=config, n_jobs=1,
+                       cache=FilterDesignCache())
+    threaded = run_study(config=config, n_jobs=2,
+                         cache=FilterDesignCache())
+    for position in config.positions:
+        assert (serial.correlation_table(position)
+                == threaded.correlation_table(position))
+    assert serial.worst_case_error() == threaded.worst_case_error()

@@ -1,0 +1,159 @@
+"""Stage graph: decomposition, parity with the monolithic chain."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeatContext,
+    BeatToBeatPipeline,
+    EcgConditionStage,
+    FilterDesignCache,
+    HemodynamicsStage,
+    IcgConditionStage,
+    PipelineConfig,
+    PointDetectionStage,
+    RPeakStage,
+    Stage,
+    StageGraph,
+    default_stage_graph,
+)
+from repro.ecg.pan_tompkins import PanTompkinsDetector
+from repro.ecg.preprocessing import preprocess_ecg
+from repro.errors import ConfigurationError, SignalError
+from repro.icg.hemodynamics import systolic_intervals
+from repro.icg.points import detect_all_points
+from repro.icg.preprocessing import icg_from_impedance
+
+
+@pytest.fixture(scope="module")
+def signals(thoracic_recording):
+    return (thoracic_recording.channel("ecg"),
+            thoracic_recording.channel("z"), thoracic_recording.fs)
+
+
+def _fresh_context(signals):
+    ecg, z, fs = signals
+    return BeatContext.from_signals(ecg, z, fs,
+                                    cache=FilterDesignCache())
+
+
+def test_default_graph_has_the_fig3_chain():
+    graph = default_stage_graph()
+    assert graph.stage_names == ("ecg_condition", "r_peaks",
+                                 "icg_condition", "point_detection",
+                                 "hemodynamics")
+    for stage in graph.stages:
+        assert isinstance(stage, Stage)
+
+
+def test_graph_matches_monolithic_chain_bitwise(signals):
+    """The stage graph reproduces the pre-refactor pipeline exactly:
+    same filters, same detections, sample for sample."""
+    ecg, z, fs = signals
+    ctx = default_stage_graph().run(_fresh_context(signals))
+
+    # The monolithic chain, spelled out as pipeline.process() used to.
+    ecg_filtered = preprocess_ecg(ecg, fs)
+    r_peaks = PanTompkinsDetector(fs).detect(ecg_filtered)
+    icg = icg_from_impedance(z, fs)
+    points, failures = detect_all_points(icg, fs, r_peaks)
+    intervals = systolic_intervals(points, fs)
+
+    assert np.array_equal(ctx.ecg_filtered, ecg_filtered)
+    assert np.array_equal(ctx.r_peak_indices, r_peaks)
+    assert np.array_equal(ctx.icg, icg)
+    assert [p.b_index for p in ctx.points] == [p.b_index for p in points]
+    assert [p.x_index for p in ctx.points] == [p.x_index for p in points]
+    assert ctx.failures == failures
+    assert np.array_equal(ctx.intervals.pep_s, intervals.pep_s)
+    assert np.array_equal(ctx.intervals.lvet_s, intervals.lvet_s)
+
+
+def test_facade_equals_graph_output(signals, thoracic_recording):
+    ecg, z, fs = signals
+    result = BeatToBeatPipeline(
+        fs, cache=FilterDesignCache()).process_recording(
+        thoracic_recording)
+    ctx = default_stage_graph().run(_fresh_context(signals))
+    assert np.array_equal(result.ecg_filtered, ctx.ecg_filtered)
+    assert np.array_equal(result.r_peak_indices, ctx.r_peak_indices)
+    assert np.array_equal(result.icg, ctx.icg)
+    assert result.z0_ohm == ctx.z0_ohm
+    assert result.hr_bpm == ctx.hr_bpm
+
+
+def test_partial_graph_fills_only_its_fields(signals):
+    graph = default_stage_graph().upto("point_detection")
+    ctx = graph.run(_fresh_context(signals))
+    assert ctx.points is not None and ctx.failures is not None
+    assert ctx.intervals is None and ctx.z0_ohm is None
+
+
+def test_upto_unknown_stage_rejected():
+    with pytest.raises(ConfigurationError):
+        default_stage_graph().upto("nonexistent")
+
+
+def test_out_of_order_graph_fails_loudly(signals):
+    """R-peak detection before ECG conditioning has no input."""
+    graph = StageGraph([RPeakStage()])
+    with pytest.raises(SignalError):
+        graph.run(_fresh_context(signals))
+
+
+def test_duplicate_stage_names_rejected():
+    with pytest.raises(ConfigurationError):
+        StageGraph([EcgConditionStage(), EcgConditionStage()])
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ConfigurationError):
+        StageGraph([])
+
+
+def test_hemodynamics_stage_requires_analysable_beats(signals):
+    ctx = _fresh_context(signals)
+    ctx.points, ctx.failures = [], [(0, "synthetic failure")]
+    ctx.r_peak_indices = np.array([0, 250])
+    ctx.icg = np.zeros_like(ctx.z)
+    with pytest.raises(SignalError):
+        HemodynamicsStage().run(ctx)
+
+
+def test_stages_use_the_context_cache(signals):
+    ctx = _fresh_context(signals)
+    graph = StageGraph([EcgConditionStage(), RPeakStage(),
+                        IcgConditionStage(), PointDetectionStage()])
+    graph.run(ctx)
+    stats = ctx.cache.stats()
+    assert stats["entries"] == 5   # FIR, PT sos, MWI, ICG lp + hp
+    assert stats["misses"] == 5
+
+
+def test_custom_graph_skips_pan_tompkins_validation():
+    """A graph without an RPeakStage must not trip Pan-Tompkins
+    constraints (e.g. fs < 60 Hz) at facade build time."""
+    graph = StageGraph([EcgConditionStage(), IcgConditionStage()])
+    pipeline = BeatToBeatPipeline(50.0, cache=FilterDesignCache(),
+                                  graph=graph)
+    assert pipeline._pan_tompkins is None
+    with pytest.raises(ConfigurationError):
+        BeatToBeatPipeline(50.0, cache=FilterDesignCache())
+
+
+def test_custom_stage_slots_into_the_graph(signals):
+    """The seam future detector variants plug into."""
+
+    class NegatingIcgStage:
+        name = "icg_condition"
+
+        def run(self, ctx):
+            ctx.icg = -icg_from_impedance(ctx.z, ctx.fs, ctx.config.icg)
+            return ctx
+
+    stages = list(default_stage_graph().stages)
+    stages[2] = NegatingIcgStage()
+    ctx = StageGraph(stages[:3]).run(_fresh_context(signals))
+    reference = default_stage_graph().upto("icg_condition").run(
+        _fresh_context(signals))
+    assert np.array_equal(ctx.icg, -reference.icg)

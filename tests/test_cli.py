@@ -21,6 +21,16 @@ def test_measure_thoracic_setup(capsys):
     assert "thoracic" in out
 
 
+def test_cohort_batch_prints_payload_rows(capsys):
+    code = cli.main(["cohort", "--duration", "12", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for column in ("Z0", "LVET", "PEP", "HR"):
+        assert column in out
+    for sid in range(1, 6):
+        assert f"Subject {sid}" in out
+
+
 def test_power_reports_106_hours(capsys):
     code = cli.main(["power"])
     out = capsys.readouterr().out
@@ -59,5 +69,5 @@ def test_invalid_subject_rejected():
 def test_parser_help_lists_commands():
     parser = cli.build_parser()
     help_text = parser.format_help()
-    for command in ("measure", "study", "power", "monitor"):
+    for command in ("measure", "cohort", "study", "power", "monitor"):
         assert command in help_text
