@@ -1,0 +1,302 @@
+"""Perf-regression harness: throughput trajectory points and gating.
+
+Measures, for a synthetic cohort, recordings/sec of
+
+* the *filtering kernel layer* of one recording (every SOS/FIR
+  application the chain performs) with the scalar reference kernels
+  vs the vectorized ones — the headline speedup of the vectorized
+  DSP layer;
+* the *end-to-end pipeline* under both kernel backends;
+* the *batch executor* serially, over threads and over processes.
+
+Two entry points:
+
+* ``python benchmarks/perf_regression.py [--quick] --output out.json``
+  measures and writes a summary (``--write-baseline`` additionally
+  refreshes the committed trajectory file, e.g. ``BENCH_PR2.json``);
+* ``... --baseline BENCH_PR2.json`` compares the fresh measurement
+  against the committed trajectory point and exits non-zero when any
+  gated recordings/sec figure regressed more than ``--tolerance``
+  (default 30 %) — the CI perf job.
+
+The pytest bench ``bench_batch_throughput.py`` imports the measurement
+helpers from here so both views can never drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:     # standalone invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (                                   # noqa: E402
+    BeatToBeatPipeline,
+    FilterDesignCache,
+    PipelineConfig,
+    process_batch,
+)
+from repro.dsp import fir as _fir                          # noqa: E402
+from repro.dsp import iir as _iir                          # noqa: E402
+from repro.icg.preprocessing import icg_from_impedance     # noqa: E402
+from repro.synth import (                                  # noqa: E402
+    SynthesisConfig,
+    default_cohort,
+    synthesize_recording,
+)
+
+#: Keys (dotted paths into the summary) gated by the regression check.
+GATED_METRICS = (
+    "kernels.vectorized_rec_per_s",
+    "pipeline.vectorized_rec_per_s",
+    "batch.threads_rec_per_s",
+    "batch.process_rec_per_s",
+)
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def cohort_recordings(quick: bool = False):
+    """The bench cohort: device + thoracic per subject.
+
+    Full mode uses all five subjects at 20 s; quick mode (CI) three
+    subjects at 8 s.
+    """
+    subjects = default_cohort()
+    if quick:
+        subjects = subjects[:3]
+        duration = 8.0
+    else:
+        duration = 20.0
+    config = SynthesisConfig(duration_s=duration)
+    recordings = [
+        synthesize_recording(subject, setup, 1, config)
+        for subject in subjects
+        for setup in ("device", "thoracic")
+    ]
+    return recordings, duration
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def filter_workload(recording, cache: FilterDesignCache,
+                    config: PipelineConfig):
+    """All filter applications one recording triggers, as a thunk.
+
+    This is the kernel layer in isolation: the ICG conditioning chain
+    (zero-phase low-/high-pass Butterworth), the zero-phase ECG FIR,
+    the Pan-Tompkins band-pass and the MWI convolution — with designs
+    pre-warmed so only *application* cost is measured.
+    """
+    fs = float(recording.fs)
+    ecg = recording.channel("ecg")
+    z = recording.channel("z")
+    taps = cache.ecg_fir_taps(fs, config.ecg)
+    lowpass = cache.icg_lowpass_sos(fs, config.icg)
+    highpass = cache.icg_highpass_sos(fs, config.icg)
+    qrs_sos = cache.pan_tompkins_sos(fs, config.pan_tompkins)
+    mwi = cache.mwi_kernel(fs, config.pan_tompkins)
+
+    def run():
+        icg_from_impedance(z, fs, config.icg, lowpass_sos=lowpass,
+                           highpass_sos=highpass)
+        bandpassed = _fir.filtfilt_fir(taps, ecg)
+        qrs = _iir.sosfilt(qrs_sos, bandpassed)
+        _fir.apply_fir(mwi, qrs ** 2)
+
+    return run
+
+
+def measure(quick: bool = False, n_jobs: int = 4,
+            include_batch: bool = True) -> dict:
+    """One trajectory point: kernel, pipeline and batch throughput.
+
+    ``include_batch=False`` skips the (comparatively slow) executor
+    measurements — the pytest bench takes its own batch timings and
+    splices them in rather than running the cohort twice.
+    """
+    recordings, duration = cohort_recordings(quick)
+    n = len(recordings)
+    config = PipelineConfig()
+    cache = FilterDesignCache()
+    probe = recordings[0]
+
+    # -- kernel layer: scalar reference vs vectorized -------------------
+    kernel_run = filter_workload(probe, cache, config)
+    with _iir.use_sosfilt_backend("reference"):
+        scalar_kernel_s = _best_of(kernel_run)
+    vector_kernel_s = _best_of(kernel_run)
+
+    # -- end-to-end pipeline under both kernel backends -----------------
+    pipeline = BeatToBeatPipeline(probe.fs, config, cache=cache)
+    single = lambda: pipeline.process_recording(probe)  # noqa: E731
+    with _iir.use_sosfilt_backend("reference"):
+        scalar_pipe_s = _best_of(single)
+    vector_pipe_s = _best_of(single)
+
+    summary = {
+        "mode": "quick" if quick else "full",
+        "n_recordings": n,
+        "duration_s_each": duration,
+        "n_jobs": n_jobs,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": {
+            "scalar_rec_per_s": 1.0 / scalar_kernel_s,
+            "vectorized_rec_per_s": 1.0 / vector_kernel_s,
+            "speedup": scalar_kernel_s / vector_kernel_s,
+        },
+        "pipeline": {
+            "scalar_rec_per_s": 1.0 / scalar_pipe_s,
+            "vectorized_rec_per_s": 1.0 / vector_pipe_s,
+            "speedup": scalar_pipe_s / vector_pipe_s,
+        },
+    }
+
+    if include_batch:
+        # -- batch executor: serial vs threads vs processes -------------
+        serial_s = _best_of(
+            lambda: process_batch(recordings, config, n_jobs=1,
+                                  cache=cache),
+            repeats=2)
+        threads_s = _best_of(
+            lambda: process_batch(recordings, config, n_jobs=n_jobs,
+                                  cache=cache),
+            repeats=2)
+        process_s = _best_of(
+            lambda: process_batch(recordings, config, n_jobs=n_jobs,
+                                  backend="process"),
+            repeats=2)
+        summary["batch"] = {
+            "serial_rec_per_s": n / serial_s,
+            "threads_rec_per_s": n / threads_s,
+            "process_rec_per_s": n / process_s,
+            "thread_scaling": serial_s / threads_s,
+            "process_scaling": serial_s / process_s,
+        }
+
+    summary["cache"] = cache.stats()
+    return summary
+
+
+def _lookup(summary: dict, dotted: str):
+    value = summary
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def compare(current: dict, baseline: dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> list:
+    """Gated metrics that regressed beyond ``tolerance``.
+
+    Returns ``(metric, current, baseline)`` triples; empty means pass.
+    Metrics missing from either side are skipped (a new baseline field
+    must not fail every older checkout).
+    """
+    regressions = []
+    for metric in GATED_METRICS:
+        now = _lookup(current, metric)
+        then = _lookup(baseline, metric)
+        if now is None or then is None or then <= 0:
+            continue
+        if now < (1.0 - tolerance) * then:
+            regressions.append((metric, now, then))
+    return regressions
+
+
+def render(summary: dict) -> str:
+    """Human-readable view of one trajectory point."""
+    k, p, b = summary["kernels"], summary["pipeline"], summary["batch"]
+    lines = [
+        f"Perf trajectory ({summary['mode']}: {summary['n_recordings']} "
+        f"x {summary['duration_s_each']:.0f} s recordings, "
+        f"n_jobs={summary['n_jobs']}, cpus={summary['cpu_count']})",
+        f"  filter kernels : scalar {k['scalar_rec_per_s']:8.1f} rec/s"
+        f" | vectorized {k['vectorized_rec_per_s']:8.1f} rec/s"
+        f" | speedup {k['speedup']:5.1f}x",
+        f"  full pipeline  : scalar {p['scalar_rec_per_s']:8.1f} rec/s"
+        f" | vectorized {p['vectorized_rec_per_s']:8.1f} rec/s"
+        f" | speedup {p['speedup']:5.1f}x",
+        f"  batch executor : serial {b['serial_rec_per_s']:8.1f} rec/s"
+        f" | threads {b['threads_rec_per_s']:8.1f} rec/s"
+        f" | processes {b['process_rec_per_s']:8.1f} rec/s",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure batch/kernel throughput and gate "
+                    "regressions against a committed baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced cohort (CI mode)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the batch measurements")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed trajectory JSON to gate against")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the fresh summary here")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        help="write/refresh a trajectory file with "
+                             "both quick and full summaries")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional rec/s regression")
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        point = {"pr": 2,
+                 "quick": measure(quick=True, n_jobs=args.jobs),
+                 "full": measure(quick=False, n_jobs=args.jobs)}
+        args.write_baseline.write_text(json.dumps(point, indent=2) + "\n")
+        print(render(point["full"]))
+        print(f"baseline written to {args.write_baseline}")
+        return 0
+
+    summary = measure(quick=args.quick, n_jobs=args.jobs)
+    print(render(summary))
+    if args.output:
+        args.output.write_text(json.dumps(summary, indent=2) + "\n")
+    if args.baseline is None:
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    # Trajectory files hold both modes; bare summaries are compared
+    # directly.
+    baseline = baseline.get(summary["mode"], baseline)
+    regressions = compare(summary, baseline, tolerance=args.tolerance)
+    if regressions:
+        print(f"\nREGRESSION (> {args.tolerance * 100:.0f} % below "
+              f"baseline {args.baseline}):")
+        for metric, now, then in regressions:
+            print(f"  {metric}: {now:.1f} rec/s vs baseline "
+                  f"{then:.1f} rec/s")
+        return 1
+    print(f"\nwithin {args.tolerance * 100:.0f} % of baseline "
+          f"{args.baseline}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

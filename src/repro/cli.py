@@ -1,16 +1,19 @@
 """Command-line interface: the device experience in a terminal.
 
-Five subcommands cover the workflows a user of the real device (or a
+Six subcommands cover the workflows a user of the real device (or a
 reviewer of the paper) would want:
 
 * ``measure`` — one touch measurement for a cohort subject, reporting
   the paper's payload (Z0, LVET, PEP, HR);
 * ``cohort`` — batch-measure every cohort subject through the parallel
-  executor and print one payload row per subject;
-* ``study`` — run the evaluation protocol (optionally with ``--jobs``
-  fan-out) and print Tables II-IV plus the figure series;
+  executor (``--jobs``/``--backend``) and print one payload row per
+  subject;
+* ``study`` — run the evaluation protocol (optionally with ``--jobs``/
+  ``--backend`` fan-out) and print Tables II-IV plus the figure series;
 * ``power`` — the Table I battery bookkeeping;
-* ``monitor`` — a simulated CHF decompensation course with alerts.
+* ``monitor`` — a simulated CHF decompensation course with alerts;
+* ``cache-stats`` — exercise a small cohort and report the filter-
+  design and DSP-kernel cache hit rates (capacity planning).
 
 Run ``python -m repro.cli <command> --help`` for options.
 """
@@ -23,6 +26,8 @@ import sys
 import numpy as np
 
 from repro.core import BeatToBeatPipeline, process_batch
+from repro.core.cache import cache_statistics
+from repro.core.executor import BACKENDS
 from repro.device.power import PowerBudget, battery_life_hours, paper_operating_point
 from repro.errors import ReproError
 from repro.experiments import (
@@ -77,7 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     cohort.add_argument("--duration", type=float, default=30.0,
                         help="recording length in seconds")
     cohort.add_argument("--jobs", type=int, default=1,
-                        help="worker threads (-1 = one per CPU)")
+                        help="workers (-1 = one per CPU)")
+    cohort.add_argument("--backend", default="thread", choices=BACKENDS,
+                        help="fan-out backend: threads share one design "
+                             "cache, processes scale with cores")
 
     study = commands.add_parser(
         "study", help="run the evaluation protocol (Tables II-IV, "
@@ -85,9 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--quick", action="store_true",
                        help="reduced protocol (12 s, 2 frequencies)")
     study.add_argument("--jobs", type=int, default=1,
-                       help="worker threads (-1 = one per CPU)")
+                       help="workers (-1 = one per CPU)")
+    study.add_argument("--backend", default="thread", choices=BACKENDS,
+                       help="fan-out backend: threads share one design "
+                            "cache, processes scale with cores")
 
     commands.add_parser("power", help="Table I battery bookkeeping")
+
+    cache_stats = commands.add_parser(
+        "cache-stats", help="filter-design / DSP-kernel cache hit rates "
+                            "after a sample cohort run")
+    cache_stats.add_argument("--duration", type=float, default=10.0,
+                             help="seconds per sample recording")
 
     monitor = commands.add_parser(
         "monitor", help="simulated CHF decompensation course")
@@ -127,7 +144,8 @@ def _cmd_cohort(args) -> int:
         synthesize_recording(subject, args.setup, args.position, config)
         for subject in cohort
     ]
-    results = process_batch(recordings, n_jobs=args.jobs)
+    results = process_batch(recordings, n_jobs=args.jobs,
+                            backend=args.backend)
     print(render_batch_summary(
         results,
         labels=[f"Subject {subject.subject_id}" for subject in cohort],
@@ -144,7 +162,8 @@ def _cmd_study(args) -> int:
           f"{len(config.positions)} positions, "
           f"{len(config.frequencies_hz)} frequencies, "
           f"{config.duration_s:.0f} s each ...")
-    study = run_study(config=config, n_jobs=args.jobs)
+    study = run_study(config=config, n_jobs=args.jobs,
+                      backend=args.backend)
     for position in config.positions:
         print()
         print(render_correlation_table(study.correlation_table(position),
@@ -203,12 +222,37 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_cache_stats(args) -> int:
+    """Run a small cohort through the shared caches and report their
+    hit/miss counters — the capacity-planning numbers (how much design
+    work a warm process saves per recording)."""
+    cohort = default_cohort()
+    config = SynthesisConfig(duration_s=args.duration)
+    recordings = [
+        synthesize_recording(subject, "device", 1, config)
+        for subject in cohort
+    ]
+    process_batch(recordings)          # default process-wide caches
+    process_batch(recordings)          # warm second pass
+    stats = cache_statistics()
+    print(f"Cache statistics after 2 x {len(recordings)} recordings "
+          f"({args.duration:.0f} s each):")
+    for name, entry in stats.items():
+        lookups = entry["hits"] + entry["misses"]
+        rate = entry["hits"] / lookups if lookups else 0.0
+        print(f"  {name:8s}: {entry['entries']:3d} entries, "
+              f"{entry['hits']:5d} hits / {entry['misses']:3d} misses "
+              f"({rate * 100:5.1f} % hit rate)")
+    return 0
+
+
 _COMMANDS = {
     "measure": _cmd_measure,
     "cohort": _cmd_cohort,
     "study": _cmd_study,
     "power": _cmd_power,
     "monitor": _cmd_monitor,
+    "cache-stats": _cmd_cache_stats,
 }
 
 

@@ -7,10 +7,19 @@ by :mod:`repro.core.cache` and cohort fan-out provided by
 single-recording facade over that machinery.
 """
 
-from repro.core.cache import FilterDesignCache, default_design_cache
+from repro.core.cache import (
+    FilterDesignCache,
+    cache_statistics,
+    default_design_cache,
+)
 from repro.core.config import PipelineConfig
 from repro.core.context import BeatContext
-from repro.core.executor import parallel_map, process_batch
+from repro.core.executor import (
+    BACKENDS,
+    parallel_map,
+    process_batch,
+    resolve_backend,
+)
 from repro.core.pipeline import (
     BeatToBeatPipeline,
     PipelineResult,
@@ -33,6 +42,6 @@ __all__ = [
     "Stage", "StageGraph", "default_stage_graph",
     "EcgConditionStage", "RPeakStage", "IcgConditionStage",
     "PointDetectionStage", "HemodynamicsStage",
-    "FilterDesignCache", "default_design_cache",
-    "process_batch", "parallel_map",
+    "FilterDesignCache", "default_design_cache", "cache_statistics",
+    "process_batch", "parallel_map", "resolve_backend", "BACKENDS",
 ]

@@ -23,11 +23,12 @@ not bring its own (:func:`default_design_cache`).
 
 from __future__ import annotations
 
-import threading
-from typing import Callable, Hashable, Optional
+from typing import Optional
 
 import numpy as np
 
+from repro.dsp import iir as _iir
+from repro.dsp.kernels import KernelCache, default_kernel_cache
 from repro.ecg.pan_tompkins import (
     PanTompkinsConfig,
     design_mwi_kernel,
@@ -40,57 +41,21 @@ from repro.icg.preprocessing import (
     design_lowpass_sos,
 )
 
-__all__ = ["FilterDesignCache", "default_design_cache"]
+__all__ = ["FilterDesignCache", "default_design_cache",
+           "cache_statistics"]
 
 
-def _frozen(array: np.ndarray) -> np.ndarray:
-    array.setflags(write=False)
-    return array
-
-
-class FilterDesignCache:
+class FilterDesignCache(KernelCache):
     """Thread-safe memo table for filter designs.
 
-    Use the typed entry points (:meth:`ecg_fir_taps`,
-    :meth:`icg_lowpass_sos`, ...) from pipeline code; :meth:`get` is the
-    generic escape hatch for future stages with their own designs.
+    The generic memoization core — lock, hit/miss counters,
+    build-outside-the-lock :meth:`get` with the unhashable-key
+    fallback, read-only values — is inherited from the DSP layer's
+    :class:`~repro.dsp.kernels.KernelCache`; this class adds the typed
+    design entry points (:meth:`ecg_fir_taps`,
+    :meth:`icg_lowpass_sos`, ...) pipeline code calls.  :meth:`get`
+    remains the escape hatch for future stages with their own designs.
     """
-
-    def __init__(self) -> None:
-        self._store: dict = {}
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-
-    # -- generic memoization ------------------------------------------------
-
-    def get(self, key: Hashable, builder: Callable[[], np.ndarray],
-            ) -> np.ndarray:
-        """The design under ``key``, building (and freezing) it once.
-
-        An unhashable key (a config carrying a list-valued field, say)
-        falls back to building without memoization rather than failing
-        — caching is an optimisation, never a requirement.
-        """
-        try:
-            with self._lock:
-                if key in self._store:
-                    self._hits += 1
-                    return self._store[key]
-        except TypeError:
-            return builder()
-        # Build outside the lock: designs are deterministic, so a rare
-        # duplicate build is harmless and cheaper than serialising all
-        # design work.
-        value = builder()
-        if isinstance(value, np.ndarray):
-            value = _frozen(value)
-        with self._lock:
-            if key in self._store:
-                return self._store[key]
-            self._misses += 1
-            self._store[key] = value
-            return value
 
     # -- typed entry points (the Fig 3 designs) -----------------------------
 
@@ -126,33 +91,17 @@ class FilterDesignCache:
         return self.get(("pt_mwi", float(fs), config),
                         lambda: design_mwi_kernel(fs, config))
 
-    # -- introspection / management -----------------------------------------
+    def respiration_lowpass_sos(self, fs: float,
+                                cutoff_hz: float,
+                                order: int = 4) -> np.ndarray:
+        """SOS of the respiration-rate cardiac-rejection low-pass.
 
-    @property
-    def hits(self) -> int:
-        """Lookups served from the table."""
-        return self._hits
-
-    @property
-    def misses(self) -> int:
-        """Lookups that had to run a design."""
-        return self._misses
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-    def stats(self) -> dict:
-        """Hit/miss counters and entry count, for benches and logs."""
-        with self._lock:
-            return {"hits": self._hits, "misses": self._misses,
-                    "entries": len(self._store)}
-
-    def clear(self) -> None:
-        """Drop every design and reset the counters."""
-        with self._lock:
-            self._store.clear()
-            self._hits = 0
-            self._misses = 0
+        The monitoring/HRV analysis path designs this once per
+        ``(fs, cutoff)`` instead of once per trend sample."""
+        return self.get(("resp_lp", float(fs), float(cutoff_hz),
+                         int(order)),
+                        lambda: _iir.butter_lowpass(order, cutoff_hz,
+                                                    fs))
 
 
 _DEFAULT_CACHE = FilterDesignCache()
@@ -162,3 +111,16 @@ def default_design_cache() -> FilterDesignCache:
     """The process-wide shared cache used when a pipeline is built
     without an explicit one."""
     return _DEFAULT_CACHE
+
+
+def cache_statistics() -> dict:
+    """Hit/miss counters of both process-wide caches.
+
+    ``designs`` is the filter-design cache above; ``kernels`` is the
+    DSP-layer application-kernel cache (blocked SOS scan matrices,
+    Savitzky-Golay projections, anti-alias taps — see
+    :mod:`repro.dsp.kernels`).  This is the capacity-planning view the
+    ``repro cache-stats`` subcommand renders.
+    """
+    return {"designs": default_design_cache().stats(),
+            "kernels": default_kernel_cache().stats()}

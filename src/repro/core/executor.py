@@ -4,11 +4,20 @@ The paper's evaluation is inherently a batch workload: five subjects
 times three positions times four injection frequencies, plus thoracic
 references.  :func:`process_batch` runs the stage graph over many
 recordings, sharing one filter-design cache (so the cohort pays each
-design exactly once) and optionally fanning work out over a thread
-pool.  Results are returned in input order and are bit-identical to a
-serial ``process_recording`` loop — every stage is a pure function of
-``(signals, fs, config)``, so execution order cannot change a single
-sample.
+design exactly once) and optionally fanning work out over a pool of
+workers.  Results are returned in input order and are bit-identical to
+a serial ``process_recording`` loop — every stage is a pure function
+of ``(signals, fs, config)``, so execution order cannot change a
+single sample.
+
+Two pool backends are available.  ``backend="thread"`` shares one
+design cache between workers and costs nothing to start, but the
+pure-python portions of the chain hold the GIL, so it mainly overlaps
+the numpy-released sections.  ``backend="process"`` fans out over a
+``ProcessPoolExecutor`` — recordings and results are plain picklable
+dataclasses — and buys real multi-core scaling; each worker process
+keeps its own process-local design cache (a handful of small arrays,
+rebuilt once per worker, not once per recording).
 
 :func:`parallel_map` is the underlying ordered fan-out helper; the
 study runner uses it to parallelise synthesis + analysis jobs that do
@@ -18,7 +27,8 @@ not reduce to a plain pipeline call.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.core.cache import FilterDesignCache, default_design_cache
@@ -26,7 +36,11 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import BeatToBeatPipeline
 from repro.errors import ConfigurationError
 
-__all__ = ["process_batch", "parallel_map", "resolve_n_jobs"]
+__all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
+           "resolve_backend", "will_parallelize", "BACKENDS"]
+
+#: Supported fan-out backends.
+BACKENDS = ("thread", "process")
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -44,24 +58,68 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalise a backend request (``None`` means ``"thread"``)."""
+    if backend is None:
+        return "thread"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+def will_parallelize(n_jobs: Optional[int], n_items: int) -> bool:
+    """Whether a fan-out call actually spawns a pool.
+
+    The single definition of the serial-fallback predicate —
+    :func:`parallel_map`, :func:`process_batch` and the study runner
+    all consult it, so "will this fork" can never drift between them.
+    """
+    return resolve_n_jobs(n_jobs) > 1 and n_items > 1
+
+
 def parallel_map(fn: Callable, items: Sequence,
-                 n_jobs: Optional[int] = 1) -> list:
-    """``[fn(item) for item in items]``, optionally over a thread pool.
+                 n_jobs: Optional[int] = 1,
+                 backend: Optional[str] = "thread") -> list:
+    """``[fn(item) for item in items]``, optionally over a worker pool.
 
     Output order always matches input order; exceptions propagate to
-    the caller exactly as in the serial loop.
+    the caller exactly as in the serial loop.  ``backend="process"``
+    fans out over a ``ProcessPoolExecutor`` — ``fn``, the items and
+    the results must then be picklable (module-level functions or
+    :func:`functools.partial` over one, not lambdas or closures).
     """
     items = list(items)
     n_jobs = resolve_n_jobs(n_jobs)
-    if n_jobs == 1 or len(items) <= 1:
+    backend = resolve_backend(backend)
+    if not will_parallelize(n_jobs, len(items)):
         return [fn(item) for item in items]
-    with ThreadPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
+    pool_cls = (ProcessPoolExecutor if backend == "process"
+                else ThreadPoolExecutor)
+    with pool_cls(max_workers=min(n_jobs, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+#: Process-local pipeline memo for the process backend: one pipeline
+#: per ``(fs, config)`` per worker, each backed by the worker's own
+#: process-wide design cache.
+_WORKER_PIPELINES: dict = {}
+
+
+def _process_recording_job(recording, config: Optional[PipelineConfig]):
+    """Top-level worker body for ``backend="process"`` (picklable)."""
+    key = (float(recording.fs), config)
+    pipeline = _WORKER_PIPELINES.get(key)
+    if pipeline is None:
+        pipeline = BeatToBeatPipeline(float(recording.fs), config)
+        _WORKER_PIPELINES[key] = pipeline
+    return pipeline.process_recording(recording)
 
 
 def process_batch(recordings, config: Optional[PipelineConfig] = None,
                   n_jobs: Optional[int] = 1,
-                  cache: Optional[FilterDesignCache] = None) -> list:
+                  cache: Optional[FilterDesignCache] = None,
+                  backend: Optional[str] = "thread") -> list:
     """Run the full pipeline over many recordings.
 
     Parameters
@@ -73,17 +131,27 @@ def process_batch(recordings, config: Optional[PipelineConfig] = None,
     config:
         Shared stage configuration (paper defaults when omitted).
     n_jobs:
-        Worker threads; ``1`` runs serially, ``-1``/``None`` uses one
+        Worker count; ``1`` runs serially, ``-1``/``None`` uses one
         per CPU.
     cache:
         Filter-design cache shared by every worker; the process-wide
-        default when omitted.
+        default when omitted.  Only meaningful for the thread backend
+        — process workers cannot share a lock-protected cache and use
+        their own process-local default instead.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  Threads share one
+        design cache but serialise the GIL-bound stages; processes
+        scale with cores at the cost of pickling recordings/results.
 
     Returns the list of :class:`~repro.core.pipeline.PipelineResult`
     in input order, identical to ``[pipeline.process_recording(r) for r
     in recordings]``.
     """
     recordings = list(recordings)
+    backend = resolve_backend(backend)
+    if backend == "process" and will_parallelize(n_jobs, len(recordings)):
+        return parallel_map(partial(_process_recording_job, config=config),
+                            recordings, n_jobs=n_jobs, backend="process")
     if cache is None:
         cache = default_design_cache()
     # Build pipelines up front (serially) so workers share ready-made,

@@ -1,0 +1,43 @@
+"""Shared signal validation and padding helpers for the DSP layer.
+
+Every DSP module used to carry its own copy of the 1-D signal check
+and the odd-reflection padding that zero-phase filtering relies on;
+they now live here once.  The helpers are intentionally tiny — this
+module must stay import-free of the rest of the package so any DSP
+module (and the kernel cache) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["as_signal", "odd_reflect_pad"]
+
+
+def as_signal(x) -> np.ndarray:
+    """Validate and return ``x`` as a non-empty 1-D float array."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
+    if x.size == 0:
+        raise SignalError("signal is empty")
+    return x
+
+
+def odd_reflect_pad(x: np.ndarray, pad: int) -> np.ndarray:
+    """Odd reflection about the end points, as used by filtfilt.
+
+    Each edge is extended by ``pad`` samples of the signal mirrored and
+    negated around the edge value, which keeps both the level and the
+    slope continuous — the padding that suppresses forward-backward
+    filtering transients.
+    """
+    if pad == 0:
+        return x
+    if x.size < 2:
+        raise SignalError("signal too short for reflective padding")
+    left = 2.0 * x[0] - x[pad:0:-1]
+    right = 2.0 * x[-1] - x[-2: -pad - 2: -1]
+    return np.concatenate([left, x, right])

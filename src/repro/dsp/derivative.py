@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dsp._signal import as_signal as _as_signal
+from repro.dsp.kernels import savgol_kernel
 from repro.errors import ConfigurationError, SignalError
 
 __all__ = [
@@ -27,15 +29,6 @@ __all__ = [
     "local_maxima",
     "sign_pattern_positions",
 ]
-
-
-def _as_signal(x) -> np.ndarray:
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
-    if x.size == 0:
-        raise SignalError("signal is empty")
-    return x
 
 
 def central_difference(x, fs: float = 1.0, order: int = 1) -> np.ndarray:
@@ -78,13 +71,11 @@ def savgol_coefficients(window: int, polyorder: int, deriv: int = 0,
         raise ConfigurationError(
             f"derivative order ({deriv}) exceeds polyorder ({polyorder})"
         )
-    half = window // 2
-    # Design matrix of centred sample offsets.
-    offsets = np.arange(-half, half + 1, dtype=float)
-    vander = np.vander(offsets, polyorder + 1, increasing=True)
     # Least-squares projection onto polynomial coefficients; row `deriv`
-    # times deriv! gives the derivative at the centre point.
-    proj = np.linalg.pinv(vander)
+    # times deriv! gives the derivative at the centre point.  The
+    # pseudo-inverse is shared through the kernel cache — point
+    # detection calls this once per beat with the same (window, poly).
+    proj = savgol_kernel(window, polyorder)
     factorial = 1.0
     for i in range(2, deriv + 1):
         factorial *= i
@@ -112,10 +103,9 @@ def savgol_derivative(x, fs: float, window: int, polyorder: int,
     core = np.correlate(x, taps, mode="valid")
     out = np.empty_like(x)
     out[half: x.size - half] = core
-    # Edge handling: evaluate the end-window polynomial fits off-centre.
-    offsets = np.arange(window, dtype=float) - half
-    vander = np.vander(offsets, polyorder + 1, increasing=True)
-    proj = np.linalg.pinv(vander)
+    # Edge handling: evaluate the end-window polynomial fits off-centre
+    # (same cached projection as the interior taps).
+    proj = savgol_kernel(window, polyorder)
     factorial = 1.0
     for i in range(2, deriv + 1):
         factorial *= i

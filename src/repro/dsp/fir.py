@@ -16,7 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dsp import windows as _windows
-from repro.errors import ConfigurationError, SignalError
+from repro.dsp._signal import as_signal as _as_signal
+from repro.dsp._signal import odd_reflect_pad as _odd_reflect_pad
+from repro.errors import ConfigurationError
 
 __all__ = [
     "design_lowpass",
@@ -27,7 +29,17 @@ __all__ = [
     "filtfilt_fir",
     "group_delay",
     "frequency_response",
+    "FFT_CROSSOVER_TAPS",
 ]
+
+#: Tap count above which the FFT convolution path beats direct
+#: ``np.convolve``.  Measured on the target interpreter (numpy 2.x,
+#: signals of 2k-32k samples): direct wins clearly through ~129 taps,
+#: the two trade places around 257, and FFT wins beyond.  Kernels this
+#: long appear in the high-rate device modes (e.g. the 150 ms
+#: Pan-Tompkins integration window at fs >= ~1.7 kHz) and the
+#: resampler's anti-alias filters.
+FFT_CROSSOVER_TAPS = 256
 
 
 def _validate_order(order: int) -> int:
@@ -135,48 +147,62 @@ def design_bandstop(order: int, low_hz: float, high_hz: float, fs: float,
     return taps / taps.sum()  # unit DC gain
 
 
-def _as_signal(x) -> np.ndarray:
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
-    if x.size == 0:
-        raise SignalError("signal is empty")
-    return x
+def _fft_convolve(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Causal convolution via one real FFT of the next power-of-two
+    length, truncated to the input length."""
+    full = x.size + taps.size - 1
+    nfft = 1 << (full - 1).bit_length()
+    spectrum = np.fft.rfft(x, nfft) * np.fft.rfft(taps, nfft)
+    return np.fft.irfft(spectrum, nfft)[: x.size]
 
 
-def apply_fir(taps: np.ndarray, x) -> np.ndarray:
-    """Causal FIR filtering (direct convolution, same length as input)."""
-    x = _as_signal(x)
+def _check_taps(taps) -> np.ndarray:
     taps = np.asarray(taps, dtype=float)
     if taps.ndim != 1 or taps.size == 0:
         raise ConfigurationError("taps must be a non-empty 1-D array")
+    return taps
+
+
+def _resolve_method(method: str, taps: np.ndarray, x: np.ndarray) -> str:
+    if method not in ("auto", "direct", "fft"):
+        raise ConfigurationError(
+            f"method must be 'auto', 'direct' or 'fft', got {method!r}")
+    if method != "auto":
+        return method
+    return ("fft" if taps.size >= FFT_CROSSOVER_TAPS
+            and x.size > taps.size else "direct")
+
+
+def apply_fir(taps: np.ndarray, x, method: str = "auto") -> np.ndarray:
+    """Causal FIR filtering (same length as input).
+
+    ``method`` selects the convolution path: ``"direct"``
+    (``np.convolve``), ``"fft"`` (overlap-free single real FFT), or
+    ``"auto"`` (default) which switches to FFT above the measured
+    :data:`FFT_CROSSOVER_TAPS` crossover.  Both paths agree to
+    ~1e-13 relative accuracy (asserted at 1e-9 by the parity suite).
+    """
+    x = _as_signal(x)
+    taps = _check_taps(taps)
+    if _resolve_method(method, taps, x) == "fft":
+        return _fft_convolve(x, taps)
     return np.convolve(x, taps, mode="full")[: x.size]
 
 
-def _odd_reflect_pad(x: np.ndarray, pad: int) -> np.ndarray:
-    """Odd reflection about the end points, as used by filtfilt."""
-    if pad == 0:
-        return x
-    if x.size < 2:
-        raise SignalError("signal too short for reflective padding")
-    left = 2.0 * x[0] - x[pad:0:-1]
-    right = 2.0 * x[-1] - x[-2: -pad - 2: -1]
-    return np.concatenate([left, x, right])
-
-
-def filtfilt_fir(taps: np.ndarray, x) -> np.ndarray:
+def filtfilt_fir(taps: np.ndarray, x, method: str = "auto") -> np.ndarray:
     """Zero-phase FIR filtering (forward pass then reversed pass).
 
     The effective magnitude response is ``|H(f)|^2`` and the phase is
     exactly zero; edges are handled by odd reflection padding of three
-    filter lengths, mirroring common practice.
+    filter lengths, mirroring common practice.  ``method`` is the
+    convolution path, as in :func:`apply_fir`.
     """
     x = _as_signal(x)
-    taps = np.asarray(taps, dtype=float)
+    taps = _check_taps(taps)
     pad = min(3 * taps.size, x.size - 1)
     padded = _odd_reflect_pad(x, pad)
-    forward = np.convolve(padded, taps, mode="full")[: padded.size]
-    backward = np.convolve(forward[::-1], taps, mode="full")[: padded.size]
+    forward = apply_fir(taps, padded, method=method)
+    backward = apply_fir(taps, forward[::-1], method=method)
     result = backward[::-1]
     # Each pass delays by (ntaps-1)/2 on average; for linear-phase taps the
     # two passes cancel exactly, so plain unpadding recovers alignment.

@@ -1,0 +1,189 @@
+"""Precomputed application kernels for the vectorized DSP hot paths.
+
+The filter *designs* (Butterworth sections, FIR taps) are memoized by
+:mod:`repro.core.cache`; this module plays the same role one layer
+below, for the *application* kernels that make filtering array-speed:
+
+* the blocked state-space scan matrices that solve a biquad's order-2
+  pole recurrence ``block`` samples at a time (:func:`pole_block_kernel`
+  — the heart of the vectorized :func:`repro.dsp.iir.sosfilt`);
+* Savitzky-Golay convolution taps and edge projection matrices
+  (:func:`savgol_kernel`), whose pseudo-inverse used to be recomputed
+  for every beat of every recording;
+* any other pure array valued by key through the generic
+  :meth:`KernelCache.get`, e.g. the resampler's anti-alias designs.
+
+The cache lives in the DSP layer (not ``repro.core``) so the low-level
+filter routines can use it without importing upward;
+``repro.core.cache`` re-exposes its counters next to the design-cache
+statistics for the ``repro cache-stats`` capacity-planning view.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "KernelCache",
+    "default_kernel_cache",
+    "pole_block_kernel",
+    "savgol_kernel",
+    "DEFAULT_BLOCK",
+]
+
+#: Samples advanced per Python-level iteration of the blocked scan.
+#: Chosen empirically: large enough that interpreter overhead per
+#: sample is negligible, small enough that the O(n * block) flops of
+#: the triangular matmul stay cheap next to numpy's call overhead.
+DEFAULT_BLOCK = 64
+
+
+def _freeze(value):
+    """Mark cached arrays read-only so no caller can corrupt a kernel
+    another thread is using."""
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif isinstance(value, tuple):
+        for item in value:
+            if isinstance(item, np.ndarray):
+                item.setflags(write=False)
+    return value
+
+
+class KernelCache:
+    """Thread-safe memo table for application kernels.
+
+    Mirrors the design cache's contract: deterministic builders, exact
+    hashable keys, read-only values, and hit/miss counters for capacity
+    planning.  Unhashable keys fall back to building without
+    memoization — caching is an optimisation, never a requirement.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable, builder: Callable[[], object]):
+        """The kernel under ``key``, building (and freezing) it once."""
+        try:
+            with self._lock:
+                if key in self._store:
+                    self._hits += 1
+                    return self._store[key]
+        except TypeError:
+            return builder()
+        # Build outside the lock: kernels are deterministic, so a rare
+        # duplicate build is harmless and cheaper than serialising all
+        # builds behind one mutex.
+        value = _freeze(builder())
+        with self._lock:
+            if key in self._store:
+                return self._store[key]
+            self._misses += 1
+            self._store[key] = value
+            return value
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the table."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to run a builder."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and entry count, for benches and logs."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "entries": len(self._store)}
+
+    def clear(self) -> None:
+        """Drop every kernel and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_DEFAULT_CACHE = KernelCache()
+
+
+def default_kernel_cache() -> KernelCache:
+    """The process-wide kernel cache shared by the DSP hot paths."""
+    return _DEFAULT_CACHE
+
+
+def _build_pole_block(a1: float, a2: float, block: int):
+    """Scan matrices for ``y[n] = f[n] - a1 y[n-1] - a2 y[n-2]``.
+
+    ``h`` is the impulse response of the all-pole part ``1 / A(z)``;
+    the blocked solution over ``block`` samples is then
+
+        ``y = H @ f  +  G @ [y_prev1, y_prev2]``
+
+    with ``H`` the lower-triangular Toeplitz matrix of ``h`` (the
+    within-block particular response) and ``G`` the pair of
+    initial-condition responses — equivalently, the first companion-
+    matrix powers ``A^1 ... A^block`` of the recurrence laid out as the
+    two columns each power contributes to the block's output.
+    """
+    h = np.empty(block + 1)
+    h[0] = 1.0
+    h[1] = -a1
+    for n in range(2, block + 1):
+        h[n] = -a1 * h[n - 1] - a2 * h[n - 2]
+    idx = np.arange(block)
+    lag = idx[:, None] - idx[None, :]
+    H = np.where(lag >= 0, h[np.clip(lag, 0, block)], 0.0)
+    # Response to y[-1] = 1 is h shifted by one; to y[-2] = 1 is -a2 h.
+    G = np.column_stack([h[1: block + 1], -a2 * h[:block]])
+    return H, G
+
+
+def pole_block_kernel(a1: float, a2: float,
+                      block: int = DEFAULT_BLOCK) -> tuple:
+    """Cached ``(H, G)`` scan matrices for a biquad's pole recurrence.
+
+    Keyed exactly by the denominator coefficients and block length, so
+    forward and backward :func:`~repro.dsp.iir.sosfiltfilt` passes —
+    and every recording sharing a filter design — reuse one kernel.
+    """
+    if block < 2:
+        raise ValueError(f"block length must be >= 2, got {block}")
+    key = ("pole_block", float(a1), float(a2), int(block))
+    return default_kernel_cache().get(
+        key, lambda: _build_pole_block(float(a1), float(a2), int(block)))
+
+
+def _build_savgol(window: int, polyorder: int):
+    """Least-squares projection of a centred ``window`` onto polynomial
+    coefficients (rows = increasing powers)."""
+    half = window // 2
+    offsets = np.arange(-half, half + 1, dtype=float)
+    vander = np.vander(offsets, polyorder + 1, increasing=True)
+    return np.linalg.pinv(vander)
+
+
+def savgol_kernel(window: int, polyorder: int) -> np.ndarray:
+    """Cached Savitzky-Golay projection matrix for ``(window,
+    polyorder)``.
+
+    Row ``d`` (times ``d!`` and the sample-spacing power) is the
+    ``d``-th-derivative convolution tap set; the full matrix also
+    serves the edge-window polynomial fits.  The pseudo-inverse behind
+    it used to be recomputed per beat — the second-hottest kernel in a
+    recording after the SOS loop.
+    """
+    key = ("savgol_proj", int(window), int(polyorder))
+    return default_kernel_cache().get(
+        key, lambda: _build_savgol(int(window), int(polyorder)))

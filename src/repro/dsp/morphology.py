@@ -18,7 +18,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SignalError
+from repro.dsp._signal import as_signal as _as_signal
+from repro.errors import ConfigurationError
 
 __all__ = [
     "erode",
@@ -29,15 +30,6 @@ __all__ = [
     "remove_baseline",
     "default_element_lengths",
 ]
-
-
-def _as_signal(x) -> np.ndarray:
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
-    if x.size == 0:
-        raise SignalError("signal is empty")
-    return x
 
 
 def _check_size(size: int) -> int:

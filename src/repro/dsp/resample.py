@@ -15,6 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dsp import fir as _fir
+from repro.dsp._signal import as_signal as _as_signal
+from repro.dsp.kernels import default_kernel_cache
 from repro.errors import ConfigurationError, SignalError
 
 __all__ = [
@@ -25,13 +27,16 @@ __all__ = [
 ]
 
 
-def _as_signal(x) -> np.ndarray:
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
-    if x.size == 0:
-        raise SignalError("signal is empty")
-    return x
+def _antialias_taps(order: int, cutoff_hz: float, fs: float) -> np.ndarray:
+    """Anti-alias low-pass design, memoized in the DSP kernel cache.
+
+    Rate conversion is a per-recording operation in the sampling-rate
+    study and the ensemble/beat-matrix paths; the 64th-order design was
+    redone for every call although it only depends on ``(order,
+    cutoff, fs)``."""
+    key = ("antialias_fir", int(order), float(cutoff_hz), float(fs))
+    return default_kernel_cache().get(
+        key, lambda: _fir.design_lowpass(order, cutoff_hz, fs))
 
 
 def linear_resample(x, times_in, times_out) -> np.ndarray:
@@ -75,7 +80,7 @@ def decimate(x, factor: int, fs: float) -> np.ndarray:
     if factor == 1:
         return x.copy()
     new_nyquist = fs / (2.0 * factor)
-    taps = _fir.design_lowpass(64, 0.8 * new_nyquist, fs)
+    taps = _antialias_taps(64, 0.8 * new_nyquist, fs)
     if x.size <= taps.size:
         raise SignalError(
             f"signal of {x.size} samples too short to decimate by {factor}"
@@ -99,7 +104,7 @@ def resample_rate(x, fs_in: float, fs_out: float) -> np.ndarray:
     duration = (x.size - 1) / fs_in
     n_out = max(2, int(round(duration * fs_out)) + 1)
     if fs_out < fs_in:
-        taps = _fir.design_lowpass(64, 0.45 * fs_out, fs_in)
+        taps = _antialias_taps(64, 0.45 * fs_out, fs_in)
         if x.size > taps.size:
             x = _fir.filtfilt_fir(taps, x)
     times_in = np.arange(x.size) / fs_in

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro._compat import trapezoid
 from repro.dsp import windows as _windows
+from repro.dsp._signal import as_signal as _as_signal
 from repro.errors import ConfigurationError, SignalError
 
 __all__ = [
@@ -20,15 +21,6 @@ __all__ = [
     "total_power",
     "dominant_frequency",
 ]
-
-
-def _as_signal(x) -> np.ndarray:
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1:
-        raise SignalError(f"expected a 1-D signal, got shape {x.shape}")
-    if x.size == 0:
-        raise SignalError("signal is empty")
-    return x
 
 
 def periodogram(x, fs: float, window="hann", detrend: bool = True):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dsp._signal import as_signal as _as_signal
 from repro.errors import ConfigurationError, SignalError
 
 __all__ = [
@@ -63,13 +64,6 @@ def _filters(wavelet: str):
     # Quadrature mirror: g[k] = (-1)^k h[N-1-k].
     high = low[::-1] * (-1.0) ** np.arange(low.size)
     return low, high
-
-
-def _as_signal(x) -> np.ndarray:
-    x = np.asarray(x, dtype=float)
-    if x.ndim != 1 or x.size == 0:
-        raise SignalError("expected a non-empty 1-D signal")
-    return x
 
 
 def _periodic_convolve_decimate(x: np.ndarray, taps: np.ndarray,

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dsp import fir as _fir
 from repro.dsp import iir as _iir
 from repro.errors import ConfigurationError, SignalError
 
@@ -124,7 +125,10 @@ class PanTompkinsDetector:
                 - 2.0 * padded[:-4]) / 8.0
 
     def _integrate(self, x: np.ndarray) -> np.ndarray:
-        return np.convolve(x, self._mwi_kernel, mode="full")[: x.size]
+        # The MWI is a plain FIR pass; routing it through apply_fir
+        # picks up the FFT path when the window is long (high-rate
+        # device modes push the 150 ms kernel past the crossover).
+        return _fir.apply_fir(self._mwi_kernel, x)
 
     # --- thresholding ------------------------------------------------------
 

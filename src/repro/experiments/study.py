@@ -21,6 +21,7 @@ the thoracic signal" — and is documented in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 import numpy as np
@@ -31,7 +32,11 @@ from repro.bioimpedance.analysis import (
 )
 from repro.core.cache import FilterDesignCache, default_design_cache
 from repro.core.context import BeatContext
-from repro.core.executor import parallel_map
+from repro.core.executor import (
+    parallel_map,
+    resolve_backend,
+    will_parallelize,
+)
 from repro.core.stages import default_stage_graph
 from repro.errors import ProtocolError
 from repro.experiments.protocol import (
@@ -242,20 +247,42 @@ class StudyResult:
         return self.thoracic[key]
 
 
+def _run_study_job(job, cache: Optional[FilterDesignCache] = None,
+                   verbose: bool = False):
+    """One protocol job: synthesize a recording, run the detection
+    chain, summarise.  Module-level so the process backend can pickle
+    it (``cache=None`` makes each worker use its process-local default
+    design cache)."""
+    store, key, subject, setup, position, synth = job
+    recording = synthesize_recording(subject, setup, position, synth)
+    analysis = analyse_recording(recording, cache=cache)
+    if verbose and store == "device":
+        print(f"analysed subject {subject.subject_id} "
+              f"pos {position} "
+              f"f={synth.injection_frequency_hz / 1000:.0f} kHz")
+    return store, key, analysis
+
+
 def run_study(cohort=None, config: Optional[ProtocolConfig] = None,
               verbose: bool = False, n_jobs: Optional[int] = 1,
-              cache: Optional[FilterDesignCache] = None) -> StudyResult:
+              cache: Optional[FilterDesignCache] = None,
+              backend: Optional[str] = "thread") -> StudyResult:
     """Simulate and analyse the complete protocol.
 
     Every recording is deterministic (seeded per subject/setup/
     position/frequency), so repeated runs produce identical tables —
     including with ``n_jobs > 1``, which fans the per-recording
-    synthesis + analysis jobs out over the batch executor's thread
-    pool.  All jobs share one filter-design ``cache`` (the process-wide
-    default when omitted): the whole protocol designs each filter once.
+    synthesis + analysis jobs out over the batch executor
+    (``backend="thread"`` or ``"process"``, as in
+    :func:`repro.core.executor.parallel_map`).  Thread workers share
+    one filter-design ``cache`` (the process-wide default when
+    omitted), so the whole protocol designs each filter once; process
+    workers each keep a process-local cache — designs are paid once
+    per worker, and the GIL-bound analysis scales with cores.
     """
     cohort = cohort if cohort is not None else default_cohort()
     config = config or ProtocolConfig()
+    backend = resolve_backend(backend)
     if cache is None:
         cache = default_design_cache()
     result = StudyResult(config=config,
@@ -274,17 +301,16 @@ def run_study(cohort=None, config: Optional[ProtocolConfig] = None,
                              (subject.subject_id, position, float(freq)),
                              subject, "device", position, synth))
 
-    def run_job(job):
-        store, key, subject, setup, position, synth = job
-        recording = synthesize_recording(subject, setup, position, synth)
-        analysis = analyse_recording(recording, cache=cache)
-        if verbose and store == "device":
-            print(f"analysed subject {subject.subject_id} "
-                  f"pos {position} "
-                  f"f={synth.injection_frequency_hz / 1000:.0f} kHz")
-        return store, key, analysis
-
+    # The design cache holds a lock and cannot cross process
+    # boundaries; when processes will actually fork (parallel_map runs
+    # serially for one worker or one job), workers fall back to their
+    # own process-local default instead.
+    will_fork = (backend == "process"
+                 and will_parallelize(n_jobs, len(jobs)))
+    job_cache = None if will_fork else cache
+    run_job = partial(_run_study_job, cache=job_cache, verbose=verbose)
     for store, key, analysis in parallel_map(run_job, jobs,
-                                             n_jobs=n_jobs):
+                                             n_jobs=n_jobs,
+                                             backend=backend):
         getattr(result, store)[key] = analysis
     return result

@@ -9,8 +9,11 @@ one of the natural follow-ons to the paper's future work.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.core.cache import FilterDesignCache, default_design_cache
 from repro.dsp import iir as _iir
 from repro.dsp import spectral as _spectral
 from repro.errors import ConfigurationError, SignalError
@@ -26,13 +29,18 @@ RESPIRATION_BAND_HZ = (0.04, 2.0)
 
 
 def respiration_rate_from_impedance(z, fs: float,
-                                    band_hz: tuple = (0.08, 0.7)) -> float:
+                                    band_hz: tuple = (0.08, 0.7),
+                                    cache: Optional[FilterDesignCache]
+                                    = None) -> float:
     """Breathing rate (Hz) from the raw impedance channel.
 
     The cardiac component is removed with a zero-phase low-pass at the
     band's upper edge, then the dominant PSD peak inside the band is
     taken.  The search band defaults to 5-42 breaths/min (resting to
-    brisk), inside the paper's 0.04-2 Hz artifact band.
+    brisk), inside the paper's 0.04-2 Hz artifact band.  The low-pass
+    design comes from the filter-design ``cache`` (the process-wide
+    default when omitted), so trend monitors analysing many days of
+    measurements pay it once.
     """
     z = np.asarray(z, dtype=float)
     if z.ndim != 1 or z.size == 0:
@@ -45,7 +53,9 @@ def respiration_rate_from_impedance(z, fs: float,
     if z.size < int(3.0 / low * fs / 4):
         raise SignalError(
             "impedance trace too short to resolve the requested band")
-    sos = _iir.butter_lowpass(4, min(2.0 * high, 0.45 * fs), fs)
+    if cache is None:
+        cache = default_design_cache()
+    sos = cache.respiration_lowpass_sos(fs, min(2.0 * high, 0.45 * fs))
     slow = _iir.sosfiltfilt(sos, z - z.mean())
     return _spectral.dominant_frequency(slow, fs, low_hz=low, high_hz=high)
 

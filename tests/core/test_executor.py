@@ -9,7 +9,7 @@ from repro.core import (
     parallel_map,
     process_batch,
 )
-from repro.core.executor import resolve_n_jobs
+from repro.core.executor import resolve_backend, resolve_n_jobs
 from repro.errors import ConfigurationError
 from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
 
@@ -119,6 +119,55 @@ def test_parallel_map_propagates_exceptions():
         parallel_map(boom, [1, 2, 3], n_jobs=2)
 
 
+def test_batch_process_backend_identical_to_serial(batch_recordings):
+    """The process pool returns the same bits as the serial loop —
+    recordings and results round-trip through pickling unchanged."""
+    serial = [
+        BeatToBeatPipeline(r.fs, cache=FilterDesignCache())
+        .process_recording(r)
+        for r in batch_recordings
+    ]
+    forked = process_batch(batch_recordings, n_jobs=2,
+                           backend="process")
+    _assert_results_identical(forked, serial)
+
+
+def test_batch_process_backend_preserves_order(batch_recordings):
+    results = process_batch(batch_recordings, n_jobs=2,
+                            backend="process")
+    for recording, result in zip(batch_recordings, results):
+        assert result.fs == recording.fs
+
+
+def test_batch_process_backend_serial_fallback(batch_recordings):
+    """n_jobs=1 with the process backend must not spawn a pool."""
+    serial = process_batch(batch_recordings[:2], n_jobs=1,
+                           backend="process",
+                           cache=FilterDesignCache())
+    want = process_batch(batch_recordings[:2], n_jobs=1,
+                         cache=FilterDesignCache())
+    _assert_results_identical(serial, want)
+
+
+def _square(value):
+    return value * value
+
+
+def test_parallel_map_process_backend():
+    items = list(range(12))
+    assert parallel_map(_square, items, n_jobs=2,
+                        backend="process") == [v * v for v in items]
+
+
+def test_resolve_backend():
+    assert resolve_backend(None) == "thread"
+    assert resolve_backend("thread") == "thread"
+    assert resolve_backend("process") == "process"
+    for bad in ("fork", "greenlet", 3):
+        with pytest.raises(ConfigurationError):
+            resolve_backend(bad)
+
+
 def test_resolve_n_jobs():
     assert resolve_n_jobs(3) == 3
     assert resolve_n_jobs(None) >= 1
@@ -129,15 +178,20 @@ def test_resolve_n_jobs():
 
 
 def test_study_parallel_matches_serial():
-    """run_study(n_jobs=2) reproduces the serial tables exactly."""
+    """run_study(n_jobs=2) reproduces the serial tables exactly,
+    whichever pool backend fans the jobs out."""
     from repro.experiments import ProtocolConfig, run_study
 
     config = ProtocolConfig().quick()
-    serial = run_study(config=config, n_jobs=1,
+    cohort = default_cohort()[:2]
+    serial = run_study(cohort=cohort, config=config, n_jobs=1,
                        cache=FilterDesignCache())
-    threaded = run_study(config=config, n_jobs=2,
+    threaded = run_study(cohort=cohort, config=config, n_jobs=2,
                          cache=FilterDesignCache())
-    for position in config.positions:
-        assert (serial.correlation_table(position)
-                == threaded.correlation_table(position))
-    assert serial.worst_case_error() == threaded.worst_case_error()
+    forked = run_study(cohort=cohort, config=config, n_jobs=2,
+                       backend="process")
+    for study in (threaded, forked):
+        for position in config.positions:
+            assert (serial.correlation_table(position)
+                    == study.correlation_table(position))
+        assert serial.worst_case_error() == study.worst_case_error()

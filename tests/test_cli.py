@@ -31,6 +31,28 @@ def test_cohort_batch_prints_payload_rows(capsys):
         assert f"Subject {sid}" in out
 
 
+def test_cohort_process_backend(capsys):
+    code = cli.main(["cohort", "--duration", "12", "--jobs", "2",
+                     "--backend", "process"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for sid in range(1, 6):
+        assert f"Subject {sid}" in out
+
+
+def test_cohort_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        cli.main(["cohort", "--backend", "greenlet"])
+
+
+def test_cache_stats_reports_hit_rates(capsys):
+    code = cli.main(["cache-stats", "--duration", "8"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "designs" in out and "kernels" in out
+    assert "hit rate" in out
+
+
 def test_power_reports_106_hours(capsys):
     code = cli.main(["power"])
     out = capsys.readouterr().out
@@ -69,5 +91,6 @@ def test_invalid_subject_rejected():
 def test_parser_help_lists_commands():
     parser = cli.build_parser()
     help_text = parser.format_help()
-    for command in ("measure", "cohort", "study", "power", "monitor"):
+    for command in ("measure", "cohort", "study", "power", "monitor",
+                    "cache-stats"):
         assert command in help_text
