@@ -104,7 +104,9 @@ def test_batch_throughput(benchmark, results_dir):
     # the whole cohort a second time.
     n = len(recordings)
     trajectory = perf_regression.measure(n_jobs=N_JOBS,
-                                         include_batch=False)
+                                         include_batch=False,
+                                         include_streaming=False,
+                                         cohort=(recordings, duration))
     trajectory["batch"] = {
         "serial_rec_per_s": n / warm_s,
         "threads_rec_per_s": n / batch_s,
@@ -127,9 +129,10 @@ def test_batch_throughput(benchmark, results_dir):
         "cache": warm_cache.stats(),
         "trajectory": trajectory,
     }
-    # The committed BENCH_PR2.json baseline is refreshed only by an
-    # explicit `perf_regression.py --write-baseline` — a bench run on
-    # an arbitrary machine must never silently loosen the CI gate.
+    # The committed trajectory baselines (BENCH_PR*.json) are
+    # refreshed only by an explicit `perf_regression.py
+    # --write-baseline` — a bench run on an arbitrary machine must
+    # never silently loosen the CI gate.
     (results_dir / "batch_throughput.json").write_text(
         json.dumps(summary, indent=2) + "\n")
 

@@ -30,8 +30,13 @@ Subpackage map (one per subsystem):
 - :mod:`repro.synth` — subject and recording synthesis;
 - :mod:`repro.device` — hardware models and the firmware simulator;
 - :mod:`repro.rt` — streaming kernels with operation counting;
-- :mod:`repro.experiments` — the protocol and study runner;
-- :mod:`repro.io` — recording containers and persistence.
+- :mod:`repro.experiments` — the protocol, study runner and shard
+  partition/merge layer;
+- :mod:`repro.ingest` — streaming ingest: chunked sources, the
+  simulated device fleet, the bounded work queue and the streaming
+  executor;
+- :mod:`repro.io` — recording containers, shard artifacts and
+  persistence.
 """
 
 from repro.core import (

@@ -1,7 +1,8 @@
 """Command-line interface: the device experience in a terminal.
 
-Six subcommands cover the workflows a user of the real device (or a
-reviewer of the paper) would want:
+The subcommands cover the workflows a user of the real device (or a
+reviewer of the paper, or an operator of the simulated fleet) would
+want:
 
 * ``measure`` — one touch measurement for a cohort subject, reporting
   the paper's payload (Z0, LVET, PEP, HR);
@@ -9,11 +10,19 @@ reviewer of the paper) would want:
   executor (``--jobs``/``--backend``) and print one payload row per
   subject;
 * ``study`` — run the evaluation protocol (optionally with ``--jobs``/
-  ``--backend`` fan-out) and print Tables II-IV plus the figure series;
+  ``--backend`` fan-out) and print Tables II-IV plus the figure
+  series; ``--shards K --shard-index i --out shard.npz`` runs one
+  machine's slice instead and writes the shard artifact;
+* ``merge`` — merge shard artifacts back into the full study report;
+* ``ingest`` — stream a simulated N-device fleet through the bounded
+  work queue and the streaming executor, one payload row per session
+  plus the queue's backpressure statistics;
 * ``power`` — the Table I battery bookkeeping;
 * ``monitor`` — a simulated CHF decompensation course with alerts;
 * ``cache-stats`` — exercise a small cohort and report the filter-
-  design and DSP-kernel cache hit rates (capacity planning).
+  design and DSP-kernel cache hit rates (capacity planning);
+  ``--backend process`` additionally reports each worker's
+  process-local rebuild counts.
 
 Run ``python -m repro.cli <command> --help`` for options.
 """
@@ -27,18 +36,23 @@ import numpy as np
 
 from repro.core import BeatToBeatPipeline, process_batch
 from repro.core.cache import cache_statistics
-from repro.core.executor import BACKENDS
+from repro.core.executor import BACKENDS, process_worker_cache_stats
 from repro.device.power import PowerBudget, battery_life_hours, paper_operating_point
 from repro.errors import ReproError
 from repro.experiments import (
     ProtocolConfig,
+    StudyShard,
+    merge_shards,
     render_batch_summary,
     render_correlation_table,
     render_hemodynamics,
     render_mean_z_series,
     render_relative_errors,
     run_study,
+    run_study_shard,
 )
+from repro.ingest import DeviceFleet, FleetConfig, StreamingExecutor
+from repro.io import load_shard, save_shard
 from repro.monitoring import (
     ChfMonitor,
     DecompensationScenario,
@@ -89,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = commands.add_parser(
         "study", help="run the evaluation protocol (Tables II-IV, "
-                      "Figs 6-9)")
+                      "Figs 6-9), whole or one shard of it")
     study.add_argument("--quick", action="store_true",
                        help="reduced protocol (12 s, 2 frequencies)")
     study.add_argument("--jobs", type=int, default=1,
@@ -97,6 +111,38 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--backend", default="thread", choices=BACKENDS,
                        help="fan-out backend: threads share one design "
                             "cache, processes scale with cores")
+    study.add_argument("--shards", type=int, default=1,
+                       help="total shard count of a distributed run")
+    study.add_argument("--shard-index", type=int, default=0,
+                       help="which shard this machine executes (0-based)")
+    study.add_argument("--out", default=None,
+                       help="write the shard artifact here (.npz; "
+                            "required when --shards > 1)")
+
+    merge = commands.add_parser(
+        "merge", help="merge study shard artifacts into the full "
+                      "report")
+    merge.add_argument("shards", nargs="+",
+                       help="the .npz artifacts of every shard 0..K-1")
+
+    ingest = commands.add_parser(
+        "ingest", help="stream a simulated device fleet through the "
+                       "bounded work queue")
+    ingest.add_argument("--devices", type=int, default=8,
+                        help="number of concurrent simulated devices")
+    ingest.add_argument("--duration", type=float, default=30.0,
+                        help="recording length per device, seconds")
+    ingest.add_argument("--chunk", type=float, default=2.0,
+                        help="chunk length a device transmits, seconds")
+    ingest.add_argument("--jobs", type=int, default=2,
+                        help="finalize-pool workers")
+    ingest.add_argument("--backend", default="thread", choices=BACKENDS,
+                        help="finalize backend (as in process_batch)")
+    ingest.add_argument("--max-chunks", type=int, default=64,
+                        help="queue bound: buffered chunks before the "
+                             "producer blocks (backpressure)")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="fleet seed (device parameters + jitter)")
 
     commands.add_parser("power", help="Table I battery bookkeeping")
 
@@ -105,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "after a sample cohort run")
     cache_stats.add_argument("--duration", type=float, default=10.0,
                              help="seconds per sample recording")
+    cache_stats.add_argument("--backend", default="thread",
+                             choices=BACKENDS,
+                             help="process: also report each pool "
+                                  "worker's process-local rebuild "
+                                  "counts")
+    cache_stats.add_argument("--jobs", type=int, default=2,
+                             help="workers for the sample batch")
 
     monitor = commands.add_parser(
         "monitor", help="simulated CHF decompensation course")
@@ -154,16 +207,8 @@ def _cmd_cohort(args) -> int:
     return 0
 
 
-def _cmd_study(args) -> int:
-    config = ProtocolConfig()
-    if args.quick:
-        config = config.quick()
-    print(f"Running protocol: {len(default_cohort())} subjects, "
-          f"{len(config.positions)} positions, "
-          f"{len(config.frequencies_hz)} frequencies, "
-          f"{config.duration_s:.0f} s each ...")
-    study = run_study(config=config, n_jobs=args.jobs,
-                      backend=args.backend)
+def _render_study(study, config) -> None:
+    """Print Tables II-IV and the figure series of a study result."""
     for position in config.positions:
         print()
         print(render_correlation_table(study.correlation_table(position),
@@ -189,6 +234,97 @@ def _cmd_study(args) -> int:
     print(f"\nOverall correlation: {study.mean_correlation():.3f} "
           f"(paper ~0.85); worst error "
           f"{study.worst_case_error() * 100:.1f} % (paper < 20 %)")
+
+
+def _cmd_study(args) -> int:
+    config = ProtocolConfig()
+    if args.quick:
+        config = config.quick()
+    if args.shards < 1 or not 0 <= args.shard_index < args.shards:
+        print(f"error: need 0 <= shard-index < shards, got "
+              f"{args.shard_index}/{args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        if args.out is None:
+            print("error: --shards > 1 requires --out for the shard "
+                  "artifact", file=sys.stderr)
+            return 2
+        shard = run_study_shard(config=config, n_shards=args.shards,
+                                shard_index=args.shard_index,
+                                n_jobs=args.jobs, backend=args.backend)
+        path = save_shard(shard, args.out)
+        print(f"Shard {args.shard_index}/{args.shards}: "
+              f"{shard.n_jobs_done} of {shard.n_jobs_total} protocol "
+              f"jobs analysed")
+        print(f"Artifact written to {path}")
+        # Suggest sibling artifact names when the user's --out embeds
+        # the shard index; otherwise stay generic — guessing wrong
+        # filenames would invite a failing copy-paste.
+        token = str(args.shard_index)
+        if str(args.out).count(token) == 1:
+            siblings = " ".join(str(args.out).replace(token, str(i))
+                                for i in range(args.shards))
+            print(f"Merge with: repro merge {siblings}")
+        else:
+            print(f"Merge with: repro merge <all {args.shards} shard "
+                  f"artifacts>")
+        return 0
+    print(f"Running protocol: {len(default_cohort())} subjects, "
+          f"{len(config.positions)} positions, "
+          f"{len(config.frequencies_hz)} frequencies, "
+          f"{config.duration_s:.0f} s each ...")
+    study = run_study(config=config, n_jobs=args.jobs,
+                      backend=args.backend)
+    _render_study(study, config)
+    if args.out:
+        shard = StudyShard(
+            config=config, subject_ids=list(study.subject_ids),
+            n_shards=1, shard_index=0,
+            n_jobs_total=len(study.device) + len(study.thoracic),
+            device=study.device, thoracic=study.thoracic)
+        path = save_shard(shard, args.out)
+        print(f"Study artifact written to {path}")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    shards = [load_shard(path) for path in args.shards]
+    study = merge_shards(shards)
+    print(f"Merged {len(shards)} shard(s): "
+          f"{len(study.device) + len(study.thoracic)} analyses, "
+          f"{len(study.subject_ids)} subjects")
+    _render_study(study, study.config)
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    fleet = DeviceFleet(FleetConfig(n_devices=args.devices,
+                                    duration_s=args.duration,
+                                    chunk_s=args.chunk,
+                                    seed=args.seed))
+    executor = StreamingExecutor(n_workers=args.jobs,
+                                 finalize_backend=args.backend,
+                                 max_chunks=args.max_chunks)
+    print(f"Ingesting {args.devices} devices x {args.duration:.0f} s "
+          f"({args.chunk:.1f} s chunks, queue bound "
+          f"{args.max_chunks} chunks, {args.jobs} finalize "
+          f"worker(s)) ...")
+    results = executor.run(fleet)
+    for session_id in sorted(results):
+        session = results[session_id]
+        summary = session.result.summary()
+        meta = session.recording.meta
+        print(f"  {session_id}: subject "
+              f"{int(meta['subject_id'])} pos {int(meta['position'])} | "
+              f"Z0 {summary['z0_ohm']:7.1f} ohm | "
+              f"LVET {summary['lvet_s'] * 1000:4.0f} ms | "
+              f"PEP {summary['pep_s'] * 1000:3.0f} ms | "
+              f"HR {summary['hr_bpm']:5.1f} bpm | "
+              f"{session.n_chunks} chunks")
+    stats = executor.last_queue_stats.as_dict()
+    print(f"Queue: {stats['total_put']} chunks through, peak depth "
+          f"{stats['peak_depth']} ({stats['peak_bytes']} bytes), "
+          f"{stats['blocked_puts']} backpressure stalls")
     return 0
 
 
@@ -222,27 +358,41 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _render_cache_table(stats: dict, indent: str = "  ") -> None:
+    for name, entry in stats.items():
+        lookups = entry["hits"] + entry["misses"]
+        rate = entry["hits"] / lookups if lookups else 0.0
+        print(f"{indent}{name:8s}: {entry['entries']:3d} entries, "
+              f"{entry['hits']:5d} hits / {entry['misses']:3d} misses "
+              f"({rate * 100:5.1f} % hit rate)")
+
+
 def _cmd_cache_stats(args) -> int:
     """Run a small cohort through the shared caches and report their
     hit/miss counters — the capacity-planning numbers (how much design
-    work a warm process saves per recording)."""
+    work a warm process saves per recording).  Under
+    ``--backend process`` the pool workers' process-local caches are
+    invisible to this process, so each worker ships a snapshot home
+    with its job batch and the per-worker rebuild counts (misses) are
+    reported too."""
     cohort = default_cohort()
     config = SynthesisConfig(duration_s=args.duration)
     recordings = [
         synthesize_recording(subject, "device", 1, config)
         for subject in cohort
     ]
-    process_batch(recordings)          # default process-wide caches
-    process_batch(recordings)          # warm second pass
-    stats = cache_statistics()
+    process_batch(recordings, n_jobs=args.jobs, backend=args.backend)
+    process_batch(recordings, n_jobs=args.jobs, backend=args.backend)
     print(f"Cache statistics after 2 x {len(recordings)} recordings "
-          f"({args.duration:.0f} s each):")
-    for name, entry in stats.items():
-        lookups = entry["hits"] + entry["misses"]
-        rate = entry["hits"] / lookups if lookups else 0.0
-        print(f"  {name:8s}: {entry['entries']:3d} entries, "
-              f"{entry['hits']:5d} hits / {entry['misses']:3d} misses "
-              f"({rate * 100:5.1f} % hit rate)")
+          f"({args.duration:.0f} s each, backend={args.backend}):")
+    _render_cache_table(cache_statistics())
+    if args.backend == "process":
+        workers = process_worker_cache_stats()
+        print(f"Per-worker process-local caches ({len(workers)} "
+              f"worker(s), rebuilds = misses):")
+        for pid in sorted(workers):
+            print(f"  worker pid {pid}:")
+            _render_cache_table(workers[pid], indent="    ")
     return 0
 
 
@@ -250,6 +400,8 @@ _COMMANDS = {
     "measure": _cmd_measure,
     "cohort": _cmd_cohort,
     "study": _cmd_study,
+    "merge": _cmd_merge,
+    "ingest": _cmd_ingest,
     "power": _cmd_power,
     "monitor": _cmd_monitor,
     "cache-stats": _cmd_cache_stats,

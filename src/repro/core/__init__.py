@@ -16,8 +16,12 @@ from repro.core.config import PipelineConfig
 from repro.core.context import BeatContext
 from repro.core.executor import (
     BACKENDS,
+    IpcStats,
+    job_batches,
+    last_ipc_stats,
     parallel_map,
     process_batch,
+    process_worker_cache_stats,
     resolve_backend,
 )
 from repro.core.pipeline import (
@@ -33,6 +37,7 @@ from repro.core.stages import (
     RPeakStage,
     Stage,
     StageGraph,
+    WaveletIcgConditionStage,
     default_stage_graph,
 )
 
@@ -41,7 +46,10 @@ __all__ = [
     "BeatContext", "result_from_context",
     "Stage", "StageGraph", "default_stage_graph",
     "EcgConditionStage", "RPeakStage", "IcgConditionStage",
-    "PointDetectionStage", "HemodynamicsStage",
+    "WaveletIcgConditionStage", "PointDetectionStage",
+    "HemodynamicsStage",
     "FilterDesignCache", "default_design_cache", "cache_statistics",
     "process_batch", "parallel_map", "resolve_backend", "BACKENDS",
+    "job_batches", "IpcStats", "last_ipc_stats",
+    "process_worker_cache_stats",
 ]

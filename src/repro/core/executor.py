@@ -14,10 +14,18 @@ Two pool backends are available.  ``backend="thread"`` shares one
 design cache between workers and costs nothing to start, but the
 pure-python portions of the chain hold the GIL, so it mainly overlaps
 the numpy-released sections.  ``backend="process"`` fans out over a
-``ProcessPoolExecutor`` — recordings and results are plain picklable
-dataclasses — and buys real multi-core scaling; each worker process
-keeps its own process-local design cache (a handful of small arrays,
-rebuilt once per worker, not once per recording).
+``ProcessPoolExecutor`` and buys real multi-core scaling.  The process
+backend is organised as a small work-queue: the item list is split
+into contiguous *job batches* (:func:`job_batches`), the shared
+callable — typically a ``partial`` closing over the pipeline config —
+is shipped **once per worker** through the pool initializer rather
+than re-pickled with every job, and each batch returns its results
+together with a snapshot of the worker's process-local cache counters.
+:func:`last_ipc_stats` reports what one fan-out actually shipped
+(checked by the executor tests), and
+:func:`process_worker_cache_stats` exposes the per-worker design/DSP
+cache rebuild counts that ``repro cache-stats --backend process``
+renders.
 
 :func:`parallel_map` is the underlying ordered fan-out helper; the
 study runner uses it to parallelise synthesis + analysis jobs that do
@@ -27,20 +35,33 @@ not reduce to a plain pipeline call.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Optional, Sequence
 
-from repro.core.cache import FilterDesignCache, default_design_cache
+from repro.core.cache import (
+    FilterDesignCache,
+    cache_statistics,
+    default_design_cache,
+)
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import BeatToBeatPipeline
 from repro.errors import ConfigurationError
 
 __all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
-           "resolve_backend", "will_parallelize", "BACKENDS"]
+           "resolve_backend", "will_parallelize", "BACKENDS",
+           "job_batches", "IpcStats", "last_ipc_stats",
+           "process_worker_cache_stats", "process_recording_job"]
 
 #: Supported fan-out backends.
 BACKENDS = ("thread", "process")
+
+#: Contiguous batches handed to each process worker per fan-out —
+#: more than one per worker for mild load balancing, few enough that
+#: per-submission IPC stays negligible.
+BATCHES_PER_WORKER = 2
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -78,6 +99,146 @@ def will_parallelize(n_jobs: Optional[int], n_items: int) -> bool:
     return resolve_n_jobs(n_jobs) > 1 and n_items > 1
 
 
+def job_batches(items: Sequence, n_batches: int) -> list:
+    """Split ``items`` into ``<= n_batches`` contiguous, order-
+    preserving batches of near-equal size (never empty).
+
+    Concatenating the batches reproduces ``items`` exactly — the
+    property that keeps batched fan-out bit-identical to the serial
+    loop.  The shard partitioner in :mod:`repro.experiments.sharding`
+    is the cross-machine sibling of this single-machine splitter.
+    """
+    items = list(items)
+    if n_batches < 1:
+        raise ConfigurationError("n_batches must be >= 1")
+    n_batches = min(n_batches, len(items))
+    if n_batches == 0:
+        return []
+    size, remainder = divmod(len(items), n_batches)
+    batches, start = [], 0
+    for index in range(n_batches):
+        stop = start + size + (1 if index < remainder else 0)
+        batches.append(items[start:stop])
+        start = stop
+    return batches
+
+
+# -- process-backend work queue ------------------------------------------
+
+#: Worker-side state installed by the pool initializer: the shared
+#: callable arrives once per worker, jobs ship only their items.
+_WORKER_SHARED: dict = {}
+
+#: Process-local pipeline memo for the process backend: one pipeline
+#: per ``(fs, config)`` per worker, each backed by the worker's own
+#: process-wide design cache.
+_WORKER_PIPELINES: dict = {}
+
+
+def _pool_initializer(payload: bytes) -> None:
+    """Install the shared callable in a worker (runs once per worker).
+
+    The callable travels pre-pickled so the parent can meter exactly
+    what crosses the boundary; unpickling here is what the per-job
+    ``partial`` scheme used to pay on every single job.
+    """
+    _WORKER_SHARED["fn"] = pickle.loads(payload)
+
+
+def _run_shared_batch(payload: bytes) -> tuple:
+    """Worker body: apply the shared callable to one job batch.
+
+    The batch arrives pre-pickled — the parent serialises each batch
+    exactly once, both to meter the IPC honestly and to ship it (the
+    same scheme as the initializer's shared callable).  Returns the
+    batch results plus a snapshot of this worker's process-local
+    cache counters — the statistics are otherwise invisible to the
+    parent process.
+    """
+    fn = _WORKER_SHARED["fn"]
+    results = [fn(item) for item in pickle.loads(payload)]
+    return results, (os.getpid(), cache_statistics())
+
+
+@dataclass(frozen=True)
+class IpcStats:
+    """What one process-backend fan-out shipped over the pipe.
+
+    ``shared_fn_bytes`` counts the shared callable's pickle — paid
+    once per *worker* via the initializer, not once per job (the
+    pre-refactor cost was ``n_jobs * shared_fn_bytes``).
+    ``payload_bytes`` is the pickled size of every job batch actually
+    submitted.
+    """
+
+    n_items: int
+    n_submissions: int
+    n_workers: int
+    shared_fn_bytes: int
+    payload_bytes: int
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Total bytes shipped: per-worker shared state + batches."""
+        return self.n_workers * self.shared_fn_bytes + self.payload_bytes
+
+    @property
+    def legacy_bytes(self) -> int:
+        """What the per-job ``partial`` scheme would have shipped for
+        the same work (shared callable re-pickled with every item)."""
+        return self.n_items * self.shared_fn_bytes + self.payload_bytes
+
+
+_LAST_IPC_STATS: list = [None]
+_LAST_WORKER_CACHE_STATS: dict = {}
+
+
+def last_ipc_stats() -> Optional[IpcStats]:
+    """IPC accounting of the most recent process-backend fan-out in
+    this process (``None`` before any has run)."""
+    return _LAST_IPC_STATS[0]
+
+
+def process_worker_cache_stats() -> dict:
+    """Per-worker cache counters of the most recent process-backend
+    fan-out: ``{pid: {"designs": {...}, "kernels": {...}}}``.
+
+    Process workers keep process-local caches the parent cannot see;
+    each job batch returns a snapshot, and the latest snapshot per
+    worker wins.  This is what ``repro cache-stats --backend process``
+    reports (the per-worker ``misses`` are the rebuild counts).
+    """
+    return dict(_LAST_WORKER_CACHE_STATS)
+
+
+def _parallel_map_process(fn: Callable, items: list, n_jobs: int) -> list:
+    """Batched process fan-out with the shared callable hoisted into
+    the worker initializer; records IPC and worker-cache stats."""
+    n_workers = min(n_jobs, len(items))
+    batches = job_batches(items, n_workers * BATCHES_PER_WORKER)
+    shared = pickle.dumps(fn)
+    payload_bytes = 0
+    results: list = []
+    _LAST_WORKER_CACHE_STATS.clear()
+    with ProcessPoolExecutor(max_workers=n_workers,
+                             initializer=_pool_initializer,
+                             initargs=(shared,)) as pool:
+        futures = []
+        for batch in batches:
+            payload = pickle.dumps(batch)
+            payload_bytes += len(payload)
+            futures.append(pool.submit(_run_shared_batch, payload))
+        for future in futures:
+            batch_results, (pid, stats) = future.result()
+            results.extend(batch_results)
+            _LAST_WORKER_CACHE_STATS[pid] = stats
+    _LAST_IPC_STATS[0] = IpcStats(
+        n_items=len(items), n_submissions=len(batches),
+        n_workers=n_workers, shared_fn_bytes=len(shared),
+        payload_bytes=payload_bytes)
+    return results
+
+
 def parallel_map(fn: Callable, items: Sequence,
                  n_jobs: Optional[int] = 1,
                  backend: Optional[str] = "thread") -> list:
@@ -87,27 +248,28 @@ def parallel_map(fn: Callable, items: Sequence,
     the caller exactly as in the serial loop.  ``backend="process"``
     fans out over a ``ProcessPoolExecutor`` — ``fn``, the items and
     the results must then be picklable (module-level functions or
-    :func:`functools.partial` over one, not lambdas or closures).
+    :func:`functools.partial` over one, not lambdas or closures).  The
+    process backend ships ``fn`` once per worker via the pool
+    initializer and submits contiguous job batches, so a shared config
+    closed over by a ``partial`` is pickled ``n_workers`` times per
+    fan-out instead of once per item (see :func:`last_ipc_stats`).
     """
     items = list(items)
     n_jobs = resolve_n_jobs(n_jobs)
     backend = resolve_backend(backend)
     if not will_parallelize(n_jobs, len(items)):
         return [fn(item) for item in items]
-    pool_cls = (ProcessPoolExecutor if backend == "process"
-                else ThreadPoolExecutor)
-    with pool_cls(max_workers=min(n_jobs, len(items))) as pool:
+    if backend == "process":
+        return _parallel_map_process(fn, items, n_jobs)
+    with ThreadPoolExecutor(max_workers=min(n_jobs, len(items))) as pool:
         return list(pool.map(fn, items))
 
 
-#: Process-local pipeline memo for the process backend: one pipeline
-#: per ``(fs, config)`` per worker, each backed by the worker's own
-#: process-wide design cache.
-_WORKER_PIPELINES: dict = {}
-
-
-def _process_recording_job(recording, config: Optional[PipelineConfig]):
-    """Top-level worker body for ``backend="process"`` (picklable)."""
+def process_recording_job(recording,
+                          config: Optional[PipelineConfig] = None):
+    """Run the full chain on one recording with a process-local
+    pipeline memo (picklable — the worker body of the process backend,
+    also reused by the streaming executor's finalize step)."""
     key = (float(recording.fs), config)
     pipeline = _WORKER_PIPELINES.get(key)
     if pipeline is None:
@@ -141,7 +303,9 @@ def process_batch(recordings, config: Optional[PipelineConfig] = None,
     backend:
         ``"thread"`` (default) or ``"process"``.  Threads share one
         design cache but serialise the GIL-bound stages; processes
-        scale with cores at the cost of pickling recordings/results.
+        scale with cores — the shared config ships once per worker and
+        recordings travel in contiguous job batches (the work-queue
+        scheme of :func:`parallel_map`).
 
     Returns the list of :class:`~repro.core.pipeline.PipelineResult`
     in input order, identical to ``[pipeline.process_recording(r) for r
@@ -150,7 +314,7 @@ def process_batch(recordings, config: Optional[PipelineConfig] = None,
     recordings = list(recordings)
     backend = resolve_backend(backend)
     if backend == "process" and will_parallelize(n_jobs, len(recordings)):
-        return parallel_map(partial(_process_recording_job, config=config),
+        return parallel_map(partial(process_recording_job, config=config),
                             recordings, n_jobs=n_jobs, backend="process")
     if cache is None:
         cache = default_design_cache()

@@ -44,6 +44,7 @@ __all__ = [
     "EcgConditionStage",
     "RPeakStage",
     "IcgConditionStage",
+    "WaveletIcgConditionStage",
     "PointDetectionStage",
     "HemodynamicsStage",
     "StageGraph",
@@ -115,6 +116,29 @@ class IcgConditionStage:
             ctx.z, ctx.fs, config,
             lowpass_sos=ctx.cache.icg_lowpass_sos(ctx.fs, config),
             highpass_sos=ctx.cache.icg_highpass_sos(ctx.fs, config))
+        return ctx
+
+
+class WaveletIcgConditionStage:
+    """Wavelet alternative to :class:`IcgConditionStage` — a one-line
+    swap in the stage graph.
+
+    Conditions via VisuShrink denoising plus approximation-band
+    suppression (the related-work methods of the paper's refs
+    [15]-[17], see
+    :func:`repro.icg.preprocessing.condition_icg_wavelet`) instead of
+    the 20 Hz low-pass / 0.8 Hz high-pass chain.  It shares the stage
+    name ``icg_condition`` so graphs, ``upto`` truncation and
+    downstream stages are untouched by the swap; only ``ctx.icg``'s
+    provenance changes.
+    """
+
+    name = "icg_condition"
+
+    def run(self, ctx: BeatContext) -> BeatContext:
+        """Fill ``icg`` from the raw impedance trace via wavelets."""
+        ctx.icg = icg_from_impedance(ctx.z, ctx.fs, ctx.config.icg,
+                                     method="wavelet")
         return ctx
 
 
@@ -206,12 +230,25 @@ class StageGraph:
         return StageGraph(self.stages[: names.index(name) + 1])
 
 
-def default_stage_graph() -> StageGraph:
-    """The published Fig 3 chain as a stage graph."""
+def default_stage_graph(icg_conditioner: str = "filter") -> StageGraph:
+    """The published Fig 3 chain as a stage graph.
+
+    ``icg_conditioner`` selects the ICG conditioning box:
+    ``"filter"`` (the paper's zero-phase chain, default) or
+    ``"wavelet"`` (the related-work
+    :class:`WaveletIcgConditionStage`) — the one-line swap the stage
+    architecture exists for.
+    """
+    conditioners = {"filter": IcgConditionStage,
+                    "wavelet": WaveletIcgConditionStage}
+    if icg_conditioner not in conditioners:
+        raise ConfigurationError(
+            f"icg_conditioner must be one of "
+            f"{sorted(conditioners)}, got {icg_conditioner!r}")
     return StageGraph((
         EcgConditionStage(),
         RPeakStage(),
-        IcgConditionStage(),
+        conditioners[icg_conditioner](),
         PointDetectionStage(),
         HemodynamicsStage(),
     ))

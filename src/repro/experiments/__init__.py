@@ -6,11 +6,19 @@ from repro.experiments.protocol import (
     POSITIONS,
     ProtocolConfig,
 )
+from repro.experiments.sharding import (
+    StudyShard,
+    merge_shards,
+    partition_jobs,
+    run_study_shard,
+)
 from repro.experiments.study import (
     RecordingAnalysis,
     StudyResult,
     analyse_recording,
+    execute_study_jobs,
     run_study,
+    study_jobs,
 )
 from repro.experiments.tables import (
     format_table,
@@ -25,6 +33,8 @@ __all__ = [
     "ProtocolConfig", "POSITIONS", "HEMODYNAMICS_POSITIONS",
     "HEMODYNAMICS_FREQUENCY_HZ",
     "RecordingAnalysis", "StudyResult", "run_study", "analyse_recording",
+    "study_jobs", "execute_study_jobs",
+    "StudyShard", "partition_jobs", "run_study_shard", "merge_shards",
     "format_table", "render_correlation_table", "render_mean_z_series",
     "render_relative_errors", "render_hemodynamics",
     "render_batch_summary",

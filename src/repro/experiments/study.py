@@ -50,7 +50,7 @@ from repro.synth.recording import SynthesisConfig, synthesize_recording
 from repro.synth.subject import default_cohort
 
 __all__ = ["RecordingAnalysis", "StudyResult", "run_study",
-           "analyse_recording"]
+           "analyse_recording", "study_jobs", "execute_study_jobs"]
 
 #: The study needs the chain only through point detection; ensemble
 #: statistics and NaN-tolerant interval summaries are derived here.
@@ -263,6 +263,58 @@ def _run_study_job(job, cache: Optional[FilterDesignCache] = None,
     return store, key, analysis
 
 
+def study_jobs(cohort, config: ProtocolConfig) -> list:
+    """The protocol's flat, deterministic job list.
+
+    One tuple ``(store, key, subject, setup, position, synth_config)``
+    per recording, in canonical order (subject-major, then frequency,
+    thoracic before the three device positions).  Every consumer of
+    the protocol — :func:`run_study`, the shard runner in
+    :mod:`repro.experiments.sharding`, the benches — derives its work
+    from this single definition, so a shard partition can never drift
+    from the serial run.
+    """
+    jobs = []
+    for subject in cohort:
+        for freq in config.frequencies_hz:
+            synth = SynthesisConfig(duration_s=config.duration_s,
+                                    fs=config.fs,
+                                    injection_frequency_hz=freq)
+            jobs.append(("thoracic",
+                         (subject.subject_id, float(freq)),
+                         subject, "thoracic", 1, synth))
+            for position in config.positions:
+                jobs.append(("device",
+                             (subject.subject_id, position, float(freq)),
+                             subject, "device", position, synth))
+    return jobs
+
+
+def execute_study_jobs(jobs, verbose: bool = False,
+                       n_jobs: Optional[int] = 1,
+                       cache: Optional[FilterDesignCache] = None,
+                       backend: Optional[str] = "thread") -> list:
+    """Run protocol jobs through the batch executor.
+
+    Returns ``(store, key, analysis)`` triples in job order.  Each job
+    is a pure function of its tuple (synthesis is seeded per
+    subject/setup/position/frequency), so the output is identical
+    however the jobs are partitioned or fanned out.
+    """
+    backend = resolve_backend(backend)
+    if cache is None:
+        cache = default_design_cache()
+    # The design cache holds a lock and cannot cross process
+    # boundaries; when processes will actually fork (parallel_map runs
+    # serially for one worker or one job), workers fall back to their
+    # own process-local default instead.
+    will_fork = (backend == "process"
+                 and will_parallelize(n_jobs, len(jobs)))
+    job_cache = None if will_fork else cache
+    run_job = partial(_run_study_job, cache=job_cache, verbose=verbose)
+    return parallel_map(run_job, jobs, n_jobs=n_jobs, backend=backend)
+
+
 def run_study(cohort=None, config: Optional[ProtocolConfig] = None,
               verbose: bool = False, n_jobs: Optional[int] = 1,
               cache: Optional[FilterDesignCache] = None,
@@ -279,38 +331,18 @@ def run_study(cohort=None, config: Optional[ProtocolConfig] = None,
     omitted), so the whole protocol designs each filter once; process
     workers each keep a process-local cache — designs are paid once
     per worker, and the GIL-bound analysis scales with cores.
+
+    For cross-machine runs, :mod:`repro.experiments.sharding` executes
+    any deterministic partition of the same job list and merges the
+    shard artifacts into this exact result.
     """
     cohort = cohort if cohort is not None else default_cohort()
     config = config or ProtocolConfig()
-    backend = resolve_backend(backend)
-    if cache is None:
-        cache = default_design_cache()
     result = StudyResult(config=config,
                          subject_ids=[s.subject_id for s in cohort])
-    jobs = []   # (store, key, subject, setup, position, synth_config)
-    for subject in cohort:
-        for freq in config.frequencies_hz:
-            synth = SynthesisConfig(duration_s=config.duration_s,
-                                    fs=config.fs,
-                                    injection_frequency_hz=freq)
-            jobs.append(("thoracic",
-                         (subject.subject_id, float(freq)),
-                         subject, "thoracic", 1, synth))
-            for position in config.positions:
-                jobs.append(("device",
-                             (subject.subject_id, position, float(freq)),
-                             subject, "device", position, synth))
-
-    # The design cache holds a lock and cannot cross process
-    # boundaries; when processes will actually fork (parallel_map runs
-    # serially for one worker or one job), workers fall back to their
-    # own process-local default instead.
-    will_fork = (backend == "process"
-                 and will_parallelize(n_jobs, len(jobs)))
-    job_cache = None if will_fork else cache
-    run_job = partial(_run_study_job, cache=job_cache, verbose=verbose)
-    for store, key, analysis in parallel_map(run_job, jobs,
-                                             n_jobs=n_jobs,
-                                             backend=backend):
+    jobs = study_jobs(cohort, config)
+    for store, key, analysis in execute_study_jobs(
+            jobs, verbose=verbose, n_jobs=n_jobs, cache=cache,
+            backend=backend):
         getattr(result, store)[key] = analysis
     return result

@@ -1,0 +1,40 @@
+"""Streaming ingest: chunked session sources, a simulated device
+fleet, a bounded work queue with backpressure, and the streaming
+executor that drains it into the stage graph.
+
+The offline executor (:mod:`repro.core.executor`) consumes fully
+materialized recording lists; nothing there models data *arriving*.
+This package does: a :class:`~repro.ingest.chunks.SessionSource`
+yields :class:`~repro.ingest.chunks.RecordingChunk` objects over
+(simulated) time, a :class:`~repro.ingest.fleet.DeviceFleet` simulates
+N concurrent touch devices feeding a
+:class:`~repro.ingest.workqueue.BoundedWorkQueue`, and a
+:class:`~repro.ingest.streaming.StreamingExecutor` drains the queue —
+conditioning each chunk causally as it lands (the vectorized
+counterpart of the :mod:`repro.rt` kernels, pinned against them by
+tests) and running the offline stage graph on the assembled session so
+streaming results are bit-identical to ``process_batch``.
+"""
+
+from repro.ingest.chunks import (
+    RecordingChunk,
+    RecordingSource,
+    SessionAssembler,
+    SessionSource,
+    chunk_recording,
+)
+from repro.ingest.fleet import DeviceFleet, FleetConfig, SimulatedDevice
+from repro.ingest.streaming import (
+    CausalIcgConditioner,
+    SessionResult,
+    StreamingExecutor,
+)
+from repro.ingest.workqueue import BoundedWorkQueue, QueueStats
+
+__all__ = [
+    "RecordingChunk", "SessionSource", "RecordingSource",
+    "SessionAssembler", "chunk_recording",
+    "DeviceFleet", "FleetConfig", "SimulatedDevice",
+    "BoundedWorkQueue", "QueueStats",
+    "StreamingExecutor", "SessionResult", "CausalIcgConditioner",
+]

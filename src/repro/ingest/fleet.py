@@ -1,0 +1,194 @@
+"""A simulated fleet of concurrent touch devices.
+
+The paper's system is one device on one wrist; the production target
+is a service ingesting many such devices at once (Kusche et al.'s
+multichannel real-time bioimpedance hardware is exactly this fleet,
+one channel per subject).  :class:`DeviceFleet` models N concurrent
+devices, each a :class:`SimulatedDevice` with its own subject, arm
+position, sampling rate, chunk cadence, start offset and link jitter.
+Recordings come from the physiological synthesizer
+(:func:`repro.synth.recording.synthesize_recording`), so every
+session's ground truth is known; chunks from all devices interleave in
+simulated arrival order, which is what the streaming executor and the
+ingest bench consume.
+
+Everything is deterministic given the fleet seed: device parameters,
+link jitter and the synthesized signals all derive from seeded
+generators, so a fleet run is exactly reproducible — the property the
+streaming-vs-offline parity tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ingest.chunks import RecordingChunk, chunk_recording
+from repro.io.records import Recording
+from repro.synth.recording import SynthesisConfig, synthesize_recording
+from repro.synth.subject import default_cohort
+
+__all__ = ["SimulatedDevice", "FleetConfig", "DeviceFleet"]
+
+
+@dataclass(frozen=True)
+class SimulatedDevice:
+    """One touch device of the fleet.
+
+    ``session_id`` doubles as the device identity; a device produces
+    exactly one session per fleet run (re-run the fleet for the next
+    measurement round).
+    """
+
+    session_id: str
+    subject_index: int          # index into the fleet's cohort
+    position: int               # arm position 1-3
+    fs: float
+    duration_s: float
+    chunk_s: float
+    start_offset_s: float       # when the user initiates the touch
+    jitter_s: float             # link-delay jitter std, seconds
+    injection_frequency_hz: float = 50_000.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of a simulated fleet.
+
+    Device parameters are drawn deterministically from ``seed``:
+    subjects round-robin through the cohort, positions cycle 1-3,
+    start offsets spread uniformly over ``stagger_s`` and each link
+    gets its own jitter scale.  ``fs_choices`` lets part of the fleet
+    run at a different rate (the executor builds one pipeline per
+    rate, as the batch path does).
+    """
+
+    n_devices: int = 8
+    duration_s: float = 30.0
+    chunk_s: float = 2.0
+    fs_choices: tuple = (250.0,)
+    stagger_s: float = 5.0
+    jitter_s: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ConfigurationError("a fleet needs >= 1 device")
+        if self.duration_s <= 0 or self.chunk_s <= 0:
+            raise ConfigurationError(
+                "duration_s and chunk_s must be positive")
+        if not self.fs_choices or any(fs <= 0 for fs in self.fs_choices):
+            raise ConfigurationError("fs_choices must be positive rates")
+        if self.stagger_s < 0 or self.jitter_s < 0:
+            raise ConfigurationError(
+                "stagger_s and jitter_s must be non-negative")
+
+
+class DeviceFleet:
+    """N concurrent simulated devices, yielding interleaved chunks.
+
+    Iterating a fleet produces every device's chunks merged by
+    simulated arrival time (ties broken by device id then sequence,
+    so the order is total and reproducible).  Note the producer-side
+    memory shape: the arrival-order merge primes every device's
+    stream at the first ``next()``, so all N recordings are
+    synthesized (and memoized) up front — producer memory is
+    O(n_devices x duration).  The downstream *queue* bounds how far
+    the producer runs ahead of the consumers (chunk buffering), not
+    the synthesis working set; a deployment ingesting real radios has
+    no such set, the synthesizer here stands in for the outside
+    world.
+    """
+
+    def __init__(self, config: Optional[FleetConfig] = None,
+                 cohort=None) -> None:
+        self.config = config or FleetConfig()
+        self.cohort = list(cohort) if cohort is not None else default_cohort()
+        if not self.cohort:
+            raise ConfigurationError("fleet cohort must not be empty")
+        self.devices = self._build_devices()
+        self._recordings: dict = {}
+
+    def _build_devices(self) -> tuple:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        devices = []
+        for i in range(cfg.n_devices):
+            devices.append(SimulatedDevice(
+                session_id=f"device-{i:03d}",
+                subject_index=i % len(self.cohort),
+                position=1 + i % 3,
+                fs=float(cfg.fs_choices[i % len(cfg.fs_choices)]),
+                duration_s=cfg.duration_s,
+                chunk_s=cfg.chunk_s,
+                start_offset_s=float(rng.uniform(0.0, cfg.stagger_s)),
+                jitter_s=cfg.jitter_s,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            ))
+        return tuple(devices)
+
+    def synthesize(self, device: SimulatedDevice) -> Recording:
+        """The full recording a device will stream (ground truth
+        attached), rendered deterministically from the device seed.
+
+        Memoized per device: synthesis is pure, so re-iterating a
+        fleet (or comparing a streamed run against the offline batch,
+        as the bench does) must not pay it twice.
+        """
+        cached = self._recordings.get(device.session_id)
+        if cached is not None:
+            return cached
+        subject = self.cohort[device.subject_index]
+        config = SynthesisConfig(
+            duration_s=device.duration_s, fs=device.fs,
+            injection_frequency_hz=device.injection_frequency_hz)
+        recording = synthesize_recording(subject, "device",
+                                         device.position, config)
+        meta = dict(recording.meta)
+        meta["session_id"] = device.session_id
+        recording = Recording(recording.fs, recording.signals,
+                              recording.annotations, meta)
+        self._recordings[device.session_id] = recording
+        return recording
+
+    def _device_stream(self, order: int, device: SimulatedDevice):
+        """One device's keyed chunk stream with monotonic arrivals.
+
+        An ordered link delivers chunks in sequence no matter how the
+        delays jitter, so each arrival stamp is clamped to be no
+        earlier than its predecessor's — the stream is sorted by
+        construction and merges without re-sorting.
+        """
+        recording = self.synthesize(device)
+        jitter = np.random.default_rng(device.seed ^ 0x5EED)
+        previous = 0.0
+        for chunk in chunk_recording(recording, device.session_id,
+                                     device.chunk_s,
+                                     start_s=device.start_offset_s,
+                                     jitter=jitter,
+                                     jitter_s=device.jitter_s):
+            arrival = max(previous, chunk.arrival_s)
+            previous = arrival
+            if arrival != chunk.arrival_s:
+                chunk = replace(chunk, arrival_s=arrival)
+            yield arrival, order, chunk.seq, chunk
+
+    def __iter__(self) -> Iterator[RecordingChunk]:
+        """All devices' chunks, merged by simulated arrival time
+        (ties broken by device order then sequence, so the interleave
+        is total and reproducible)."""
+        streams = [self._device_stream(order, device)
+                   for order, device in enumerate(self.devices)]
+        for _, _, _, chunk in heapq.merge(*streams):
+            yield chunk
+
+    @property
+    def total_recording_s(self) -> float:
+        """Sum of all devices' recording durations (for throughput
+        accounting: recordings/sec = n_devices / wall time)."""
+        return sum(device.duration_s for device in self.devices)

@@ -1,5 +1,6 @@
-"""Recording containers and persistence."""
+"""Recording containers, shard artifacts and persistence."""
 
 from repro.io.records import Recording
+from repro.io.shards import load_shard, save_shard
 
-__all__ = ["Recording"]
+__all__ = ["Recording", "save_shard", "load_shard"]

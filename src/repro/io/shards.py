@@ -1,0 +1,138 @@
+"""On-disk persistence of study shards.
+
+A :class:`~repro.experiments.sharding.StudyShard` is the artifact a
+machine ships after running its slice of the protocol; this module
+round-trips it losslessly through a single compressed ``.npz`` (the
+same container :class:`~repro.io.records.Recording` uses, no pickle).
+Every float travels as float64 and every array verbatim, so a
+save/load round trip changes no bits and the merged study stays
+bit-identical to the serial run.
+
+The layout is flat key/value: shard coordinates and protocol identity
+under ``shard::``/``config::``, then one ``device::{i}::field`` /
+``thoracic::{i}::field`` group per analysis, where ``i`` is the
+shard-local insertion index (preserved on load, so a shard also
+round-trips its own ordering).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# The experiment-layer types are imported lazily inside the functions:
+# the io package sits below repro.core/repro.experiments in the import
+# graph (recordings are used by the pipeline), so a module-level import
+# here would be circular.
+
+__all__ = ["save_shard", "load_shard"]
+
+_SCHEMA = 1
+
+#: Scalar fields of one analysis, in serialisation order.  The
+#: ensemble waveform is the only array field and travels separately.
+_SCALAR_FIELDS = ("subject_id", "setup", "position", "frequency_hz",
+                  "mean_z0_ohm", "mean_pep_s", "mean_lvet_s", "hr_bpm",
+                  "n_beats", "n_failures")
+
+
+def save_shard(shard, path) -> Path:
+    """Serialise a shard to ``path`` (``.npz`` appended when missing);
+    returns the real file location."""
+    payload = {
+        "schema": np.asarray(_SCHEMA),
+        "shard::n_shards": np.asarray(shard.n_shards),
+        "shard::shard_index": np.asarray(shard.shard_index),
+        "shard::n_jobs_total": np.asarray(shard.n_jobs_total),
+        "shard::subject_ids": np.asarray(shard.subject_ids, dtype=int),
+        "config::duration_s": np.asarray(shard.config.duration_s),
+        "config::fs": np.asarray(shard.config.fs),
+        "config::frequencies_hz": np.asarray(shard.config.frequencies_hz,
+                                             dtype=float),
+        "config::positions": np.asarray(shard.config.positions,
+                                        dtype=int),
+    }
+    for store in ("device", "thoracic"):
+        for index, analysis in enumerate(getattr(shard, store).values()):
+            prefix = f"{store}::{index:05d}::"
+            for name in _SCALAR_FIELDS:
+                payload[prefix + name] = np.asarray(
+                    getattr(analysis, name))
+            payload[prefix + "ensemble_beat"] = analysis.ensemble_beat
+    path = Path(path)
+    np.savez_compressed(path, **payload)
+    return path if str(path).endswith(".npz") else Path(f"{path}.npz")
+
+
+def _load_analysis(data, prefix: str):
+    from repro.experiments.study import RecordingAnalysis
+
+    fields = {}
+    for name in _SCALAR_FIELDS:
+        value = data[prefix + name].item()
+        fields[name] = value
+    return RecordingAnalysis(
+        subject_id=int(fields["subject_id"]),
+        setup=str(fields["setup"]),
+        position=int(fields["position"]),
+        frequency_hz=float(fields["frequency_hz"]),
+        mean_z0_ohm=float(fields["mean_z0_ohm"]),
+        ensemble_beat=data[prefix + "ensemble_beat"],
+        mean_pep_s=float(fields["mean_pep_s"]),
+        mean_lvet_s=float(fields["mean_lvet_s"]),
+        hr_bpm=float(fields["hr_bpm"]),
+        n_beats=int(fields["n_beats"]),
+        n_failures=int(fields["n_failures"]),
+    )
+
+
+def load_shard(path):
+    """Load a shard previously written by :func:`save_shard`; returns
+    a :class:`~repro.experiments.sharding.StudyShard`."""
+    from repro.experiments.protocol import ProtocolConfig
+    from repro.experiments.sharding import StudyShard
+
+    path = Path(path)
+    if not path.exists():
+        alt = path.with_name(path.name + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise ConfigurationError(f"no shard file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        if int(data["schema"]) != _SCHEMA:
+            raise ConfigurationError(
+                f"unsupported shard schema {int(data['schema'])} "
+                f"(this build reads schema {_SCHEMA})")
+        config = ProtocolConfig(
+            duration_s=float(data["config::duration_s"]),
+            fs=float(data["config::fs"]),
+            frequencies_hz=tuple(
+                float(f) for f in data["config::frequencies_hz"]),
+            positions=tuple(int(p) for p in data["config::positions"]),
+        )
+        shard = StudyShard(
+            config=config,
+            subject_ids=[int(s) for s in data["shard::subject_ids"]],
+            n_shards=int(data["shard::n_shards"]),
+            shard_index=int(data["shard::shard_index"]),
+            n_jobs_total=int(data["shard::n_jobs_total"]),
+        )
+        groups: dict = {}
+        for key in data.files:
+            parts = key.split("::")
+            if len(parts) == 3 and parts[0] in ("device", "thoracic"):
+                groups.setdefault((parts[0], parts[1]), parts[0])
+        for (store, index) in sorted(groups):
+            prefix = f"{store}::{index}::"
+            analysis = _load_analysis(data, prefix)
+            if store == "device":
+                key = (analysis.subject_id, analysis.position,
+                       analysis.frequency_hz)
+            else:
+                key = (analysis.subject_id, analysis.frequency_hz)
+            getattr(shard, store)[key] = analysis
+    return shard

@@ -1,4 +1,8 @@
-"""Batch executor: parity with the serial loop, ordering, fan-out."""
+"""Batch executor: parity with the serial loop, ordering, fan-out,
+job batching and IPC accounting."""
+
+import pickle
+from functools import partial
 
 import numpy as np
 import pytest
@@ -9,7 +13,14 @@ from repro.core import (
     parallel_map,
     process_batch,
 )
-from repro.core.executor import resolve_backend, resolve_n_jobs
+from repro.core.executor import (
+    job_batches,
+    last_ipc_stats,
+    process_recording_job,
+    process_worker_cache_stats,
+    resolve_backend,
+    resolve_n_jobs,
+)
 from repro.errors import ConfigurationError
 from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
 
@@ -175,6 +186,69 @@ def test_resolve_n_jobs():
     for bad in (0, -2, 1.5, "two"):
         with pytest.raises(ConfigurationError):
             resolve_n_jobs(bad)
+
+
+def test_job_batches_preserve_order_and_partition():
+    items = list(range(23))
+    for n_batches in (1, 2, 5, 23, 40):
+        batches = job_batches(items, n_batches)
+        assert [i for batch in batches for i in batch] == items
+        assert all(batches)                       # never empty
+        sizes = [len(b) for b in batches]
+        assert max(sizes) - min(sizes) <= 1       # near-equal
+    assert job_batches([], 3) == []
+    with pytest.raises(ConfigurationError):
+        job_batches(items, 0)
+
+
+def test_process_backend_pickles_config_once_per_worker(batch_recordings):
+    """The chunked-IPC fix: the shared config/partial is hoisted into
+    the worker initializer, so it crosses the pipe once per *worker*,
+    not once per job — asserted via the executor's pickle-size
+    counter."""
+    from repro.core import PipelineConfig
+
+    config = PipelineConfig()
+    n_workers = 2
+    process_batch(batch_recordings, config, n_jobs=n_workers,
+                  backend="process")
+    stats = last_ipc_stats()
+    assert stats is not None
+    assert stats.n_items == len(batch_recordings)
+    assert stats.n_workers == n_workers
+
+    # The shared callable (partial closing over the config) ships with
+    # the initializer — its pickle is paid n_workers times, where the
+    # legacy per-job scheme paid it once per item.
+    shared_bytes = len(pickle.dumps(partial(process_recording_job,
+                                            config=config)))
+    assert stats.shared_fn_bytes == shared_bytes
+    assert stats.n_workers < stats.n_items
+    assert stats.shipped_bytes < stats.legacy_bytes
+
+    # Job payloads carry recordings only: their pickled size must not
+    # grow by a per-job config copy.
+    recordings_bytes = sum(len(pickle.dumps(r))
+                           for r in batch_recordings)
+    per_job_config_cost = stats.n_items * shared_bytes
+    assert stats.payload_bytes < recordings_bytes + per_job_config_cost
+    # Batching: far fewer submissions than items.
+    assert stats.n_submissions <= 2 * n_workers < stats.n_items
+
+
+def test_process_backend_reports_worker_cache_stats(batch_recordings):
+    """Each worker's process-local cache counters come home with its
+    job batches — the numbers `repro cache-stats --backend process`
+    renders (misses = per-worker design rebuilds)."""
+    process_batch(batch_recordings, n_jobs=2, backend="process")
+    workers = process_worker_cache_stats()
+    assert 1 <= len(workers) <= 2
+    for stats in workers.values():
+        assert set(stats) == {"designs", "kernels"}
+        # Every worker that processed a recording rebuilt the designs
+        # at least once (they cannot see the parent's cache).
+        assert stats["designs"]["misses"] >= 1
+        assert stats["designs"]["entries"] >= 1
 
 
 def test_study_parallel_matches_serial():

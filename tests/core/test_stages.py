@@ -157,3 +157,54 @@ def test_custom_stage_slots_into_the_graph(signals):
     reference = default_stage_graph().upto("icg_condition").run(
         _fresh_context(signals))
     assert np.array_equal(ctx.icg, -reference.icg)
+
+
+# -- the wavelet conditioning variant ------------------------------------
+
+
+def test_wavelet_variant_is_a_one_line_swap(signals):
+    """default_stage_graph("wavelet") swaps exactly one box; names,
+    truncation and downstream stages are untouched."""
+    from repro.core import WaveletIcgConditionStage
+
+    graph = default_stage_graph("wavelet")
+    assert graph.stage_names == default_stage_graph().stage_names
+    assert isinstance(graph.stages[2], WaveletIcgConditionStage)
+    assert isinstance(graph.stages[2], Stage)
+    with pytest.raises(ConfigurationError):
+        default_stage_graph("fourier")
+
+
+def test_wavelet_stage_matches_functional_conditioner(signals):
+    """Stage parity: the graph box computes exactly what the
+    functional wavelet conditioner computes."""
+    ctx = default_stage_graph("wavelet").upto("icg_condition").run(
+        _fresh_context(signals))
+    ecg, z, fs = signals
+    want = icg_from_impedance(z, fs, method="wavelet")
+    assert np.array_equal(ctx.icg, want)
+
+
+def test_wavelet_variant_parity_with_default_conditioner(signals):
+    """Benchmark parity: the wavelet box is the related-work
+    *alternative*, not a clone — it must still track the default
+    conditioner's waveform closely and support beat detection
+    end-to-end through the unchanged downstream stages."""
+    from repro.bioimpedance.analysis import pearson_correlation
+
+    filt = default_stage_graph().run(_fresh_context(signals))
+    wave = default_stage_graph("wavelet").run(_fresh_context(signals))
+    assert pearson_correlation(filt.icg, wave.icg) > 0.7
+    assert len(wave.points) >= 3
+    assert wave.hr_bpm == pytest.approx(filt.hr_bpm)   # same R peaks
+    # Interval estimates stay physiological through the swap.
+    assert 0.1 < wave.intervals.mean_lvet_s < 0.5
+
+
+def test_wavelet_variant_through_the_pipeline_facade(signals):
+    ecg, z, fs = signals
+    pipeline = BeatToBeatPipeline(fs, cache=FilterDesignCache(),
+                                  graph=default_stage_graph("wavelet"))
+    result = pipeline.process(ecg, z)
+    assert result.n_beats_detected >= 3
+    assert np.isfinite(result.z0_ohm)

@@ -1,0 +1,136 @@
+"""Bounded work queue: FIFO, backpressure, close semantics, stats."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ingest import BoundedWorkQueue
+
+
+class _Item:
+    def __init__(self, nbytes=100):
+        self.nbytes = nbytes
+
+
+def test_fifo_order():
+    queue = BoundedWorkQueue(max_items=10)
+    for value in range(5):
+        queue.put(value)
+    queue.close()
+    assert [queue.get() for _ in range(5)] == list(range(5))
+    assert queue.get() is None
+
+
+def test_requires_a_bound():
+    with pytest.raises(ConfigurationError):
+        BoundedWorkQueue(max_items=None, max_bytes=None)
+    with pytest.raises(ConfigurationError):
+        BoundedWorkQueue(max_items=0)
+    with pytest.raises(ConfigurationError):
+        BoundedWorkQueue(max_bytes=0)
+
+
+def test_put_blocks_until_space_and_counts_backpressure():
+    queue = BoundedWorkQueue(max_items=2)
+    queue.put(1)
+    queue.put(2)
+    released = threading.Event()
+
+    def producer():
+        queue.put(3)                      # must block: queue is full
+        released.set()
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not released.is_set()
+    assert queue.get() == 1               # frees a slot
+    thread.join(timeout=2.0)
+    assert released.is_set()
+    assert queue.stats.blocked_puts == 1
+    assert queue.stats.peak_depth == 2
+
+
+def test_byte_bound_applies_backpressure():
+    queue = BoundedWorkQueue(max_items=None, max_bytes=250)
+    queue.put(_Item(100))
+    queue.put(_Item(100))                 # 200 bytes buffered
+    done = threading.Event()
+
+    def producer():
+        queue.put(_Item(100))             # 300 > 250: blocks
+        done.set()
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not done.is_set()
+    queue.get()
+    thread.join(timeout=2.0)
+    assert done.is_set()
+    assert queue.stats.peak_bytes <= 250
+
+
+def test_oversized_item_enters_empty_queue():
+    """A single item larger than max_bytes must not deadlock — it is
+    admitted alone (the bound caps *buffering*, not item size)."""
+    queue = BoundedWorkQueue(max_items=None, max_bytes=50)
+    queue.put(_Item(400))
+    assert len(queue) == 1
+    assert queue.get().nbytes == 400
+
+
+def test_close_drains_then_signals_none():
+    queue = BoundedWorkQueue(max_items=10)
+    queue.put("a")
+    queue.close()
+    assert queue.closed
+    assert queue.get() == "a"
+    assert queue.get() is None
+    with pytest.raises(ConfigurationError):
+        queue.put("b")
+
+
+def test_get_timeout_returns_none():
+    queue = BoundedWorkQueue(max_items=4)
+    start = time.perf_counter()
+    assert queue.get(timeout=0.05) is None
+    assert time.perf_counter() - start < 1.0
+
+
+def test_concurrent_producers_consumers_conserve_items():
+    queue = BoundedWorkQueue(max_items=4)
+    n_producers, per_producer = 4, 50
+    consumed = []
+    lock = threading.Lock()
+
+    def produce(base):
+        for i in range(per_producer):
+            queue.put(base + i)
+
+    def consume():
+        while True:
+            item = queue.get()
+            if item is None:
+                return
+            with lock:
+                consumed.append(item)
+
+    producers = [threading.Thread(target=produce,
+                                  args=(1000 * p,), daemon=True)
+                 for p in range(n_producers)]
+    consumers = [threading.Thread(target=consume, daemon=True)
+                 for _ in range(3)]
+    for thread in producers + consumers:
+        thread.start()
+    for thread in producers:
+        thread.join(timeout=10.0)
+    queue.close()
+    for thread in consumers:
+        thread.join(timeout=10.0)
+    assert len(consumed) == n_producers * per_producer
+    assert len(set(consumed)) == len(consumed)
+    assert queue.stats.peak_depth <= 4
+    assert queue.stats.total_got == queue.stats.total_put

@@ -1,0 +1,87 @@
+"""Shard artifact persistence: lossless round trip, merge after
+reload, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ProtocolConfig,
+    merge_shards,
+    run_study,
+    run_study_shard,
+)
+from repro.io import load_shard, save_shard
+from repro.synth import default_cohort
+
+CONFIG = ProtocolConfig().quick()
+COHORT = default_cohort()[:2]
+
+
+@pytest.fixture(scope="module")
+def shard():
+    return run_study_shard(cohort=COHORT, config=CONFIG, n_shards=2,
+                           shard_index=1)
+
+
+def test_round_trip_is_lossless(shard, tmp_path):
+    path = save_shard(shard, tmp_path / "shard1.npz")
+    loaded = load_shard(path)
+    assert loaded.n_shards == shard.n_shards
+    assert loaded.shard_index == shard.shard_index
+    assert loaded.n_jobs_total == shard.n_jobs_total
+    assert loaded.subject_ids == shard.subject_ids
+    assert loaded.config == shard.config
+    for store in ("device", "thoracic"):
+        original = getattr(shard, store)
+        rebuilt = getattr(loaded, store)
+        assert list(rebuilt) == list(original)
+        for key in original:
+            a, b = original[key], rebuilt[key]
+            assert np.array_equal(a.ensemble_beat, b.ensemble_beat)
+            assert a.setup == b.setup
+            assert a.mean_z0_ohm == b.mean_z0_ohm
+            assert a.hr_bpm == b.hr_bpm
+            assert (a.mean_pep_s == b.mean_pep_s
+                    or (np.isnan(a.mean_pep_s)
+                        and np.isnan(b.mean_pep_s)))
+
+
+def test_bare_name_gets_npz_suffix(shard, tmp_path):
+    path = save_shard(shard, tmp_path / "bare")
+    assert str(path).endswith(".npz")
+    assert load_shard(tmp_path / "bare").shard_index == shard.shard_index
+
+
+def test_reloaded_shards_merge_to_the_serial_study(tmp_path):
+    serial = run_study(cohort=COHORT, config=CONFIG)
+    paths = [
+        save_shard(run_study_shard(cohort=COHORT, config=CONFIG,
+                                   n_shards=2, shard_index=i),
+                   tmp_path / f"s{i}.npz")
+        for i in range(2)
+    ]
+    merged = merge_shards([load_shard(p) for p in paths])
+    assert list(merged.device) == list(serial.device)
+    for key in serial.device:
+        assert np.array_equal(merged.device[key].ensemble_beat,
+                              serial.device[key].ensemble_beat)
+    for position in CONFIG.positions:
+        assert (merged.correlation_table(position)
+                == serial.correlation_table(position))
+    assert merged.worst_case_error() == serial.worst_case_error()
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_shard(tmp_path / "nope.npz")
+
+
+def test_unsupported_schema_raises(shard, tmp_path):
+    path = save_shard(shard, tmp_path / "future.npz")
+    with np.load(path, allow_pickle=False) as data:
+        payload = {k: data[k] for k in data.files}
+    payload["schema"] = np.asarray(999)
+    np.savez_compressed(path, **payload)
+    with pytest.raises(ConfigurationError):
+        load_shard(path)

@@ -94,3 +94,71 @@ def test_parser_help_lists_commands():
     for command in ("measure", "cohort", "study", "power", "monitor",
                     "cache-stats"):
         assert command in help_text
+
+
+def test_ingest_streams_a_fleet(capsys):
+    code = cli.main(["ingest", "--devices", "3", "--duration", "8",
+                     "--chunk", "1", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for device in ("device-000", "device-001", "device-002"):
+        assert device in out
+    assert "backpressure" in out
+    assert "Queue:" in out
+
+
+def test_ingest_process_finalize_backend(capsys):
+    code = cli.main(["ingest", "--devices", "2", "--duration", "8",
+                     "--chunk", "2", "--jobs", "2", "--backend",
+                     "process"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "device-001" in out
+
+
+def test_sharded_study_and_merge_roundtrip(tmp_path, capsys):
+    for index in range(2):
+        code = cli.main(["study", "--quick", "--shards", "2",
+                         "--shard-index", str(index), "--out",
+                         str(tmp_path / f"shard{index}.npz")])
+        assert code == 0
+    capsys.readouterr()
+    code = cli.main(["merge", str(tmp_path / "shard0.npz"),
+                     str(tmp_path / "shard1.npz")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "TABLE III" in out
+    assert "Overall correlation" in out
+
+
+def test_study_shards_require_out(capsys):
+    code = cli.main(["study", "--quick", "--shards", "2",
+                     "--shard-index", "0"])
+    assert code == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_study_rejects_bad_shard_index(capsys):
+    code = cli.main(["study", "--quick", "--shards", "2",
+                     "--shard-index", "5", "--out", "x.npz"])
+    assert code == 2
+
+
+def test_merge_rejects_incomplete_shard_set(tmp_path, capsys):
+    code = cli.main(["study", "--quick", "--shards", "2",
+                     "--shard-index", "0", "--out",
+                     str(tmp_path / "only.npz")])
+    assert code == 0
+    capsys.readouterr()
+    code = cli.main(["merge", str(tmp_path / "only.npz")])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cache_stats_process_backend_reports_workers(capsys):
+    code = cli.main(["cache-stats", "--duration", "8", "--backend",
+                     "process", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Per-worker process-local caches" in out
+    assert "worker pid" in out

@@ -25,6 +25,7 @@ EXPECTED_OUTPUT = {
     "carrier_demodulation": "Demodulated envelope",
     "chf_monitoring": "ICG multi-parameter alert",
     "body_composition": "ECW fraction",
+    "device_fleet": "bit-identical",
 }
 
 
