@@ -33,6 +33,14 @@ Two entry points:
 
 The pytest bench ``bench_batch_throughput.py`` imports the measurement
 helpers from here so both views can never drift apart.
+
+Timing estimators: full mode keeps best-of-N (a noise floor on
+dedicated hardware); quick mode — the CI gate on contended 1-2 vCPU
+runners — first runs a :func:`calibration_spin` (bring the governor/
+BLAS/caches to steady state) and then estimates with
+:func:`timed_seconds`, a median-of-odd-N that a single 2x-contended
+sample cannot move at all (unit-tested in
+``tests/test_perf_estimator.py``).
 """
 
 from __future__ import annotations
@@ -121,6 +129,63 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
+def median_of(samples) -> float:
+    """Median of an *odd* number of timing samples.
+
+    Odd N makes the median an actual order statistic (no averaging of
+    the middle pair), so a single wildly contended sample — the
+    1-2 vCPU CI runner's signature failure mode — cannot move the
+    estimate at all: up to (N-1)/2 outliers are discarded outright.
+    Best-of-N, by contrast, needs only one *fast* fluke to flatter the
+    baseline and one slow run to fail the gate.
+    """
+    samples = sorted(samples)
+    if not samples or len(samples) % 2 == 0:
+        raise ValueError(
+            f"median_of needs an odd number of samples, got "
+            f"{len(samples)}")
+    return samples[len(samples) // 2]
+
+
+def timed_seconds(fn, repeats: int = 5,
+                  clock=time.perf_counter) -> float:
+    """Median-of-odd-N wall-clock seconds of ``fn()``.
+
+    Even ``repeats`` are rounded up to the next odd count (the
+    estimator requires a true middle sample).  ``clock`` is injectable
+    so the outlier-tolerance contract is unit-testable without real
+    timers.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if repeats % 2 == 0:
+        repeats += 1
+    samples = []
+    for _ in range(repeats):
+        start = clock()
+        fn()
+        samples.append(clock() - start)
+    return median_of(samples)
+
+
+def calibration_spin(min_s: float = 0.15) -> int:
+    """Burn ``min_s`` of CPU on vectorized busywork before sampling.
+
+    Cold CI runners start measurements with the CPU governor parked,
+    BLAS threads unspawned and caches cold — the first timing samples
+    then read slow through no fault of the code.  A fixed spin brings
+    the host to its steady state before the first sample; returns the
+    number of spin iterations (so a caller can assert work happened).
+    """
+    deadline = time.perf_counter() + min_s
+    x = np.full(4096, 1.0)
+    spins = 0
+    while time.perf_counter() < deadline:
+        x = np.sqrt(x * x + 1e-9)
+        spins += 1
+    return spins
+
+
 def filter_workload(recording, cache: FilterDesignCache,
                     config: PipelineConfig):
     """All filter applications one recording triggers, as a thunk.
@@ -184,6 +249,9 @@ def measure_streaming(quick: bool = False,
     # kernel/batch sections must not tilt the comparison.
     import gc
     gc.collect()
+    if quick:
+        calibration_spin()
+    timer = timed_seconds if quick else _best_of
     duration = STREAM_DURATION_QUICK_S if quick else STREAM_DURATION_FULL_S
     fleet = DeviceFleet(FleetConfig(n_devices=n_devices,
                                     duration_s=duration,
@@ -192,7 +260,7 @@ def measure_streaming(quick: bool = False,
     cache = FilterDesignCache()
     if (os.cpu_count() or 1) == 1:
         n_workers = 1
-    serial_batch_s = _best_of(
+    serial_batch_s = timer(
         lambda: process_batch(recordings, n_jobs=1, cache=cache),
         repeats=3)
     # Streaming vs serial-ingest differ by low single-digit percent;
@@ -228,15 +296,22 @@ def measure_streaming(quick: bool = False,
         start = time.perf_counter()
         executor.run(fleet)
         stream_times.append(time.perf_counter() - start)
-    serial_ingest_s = min(serial_times)
-    stream_s = min(stream_times)
+    # Quick mode takes the median of the interleaved samples (one
+    # contended repeat cannot tilt either side); full mode keeps the
+    # best-of noise floor.
+    if quick:
+        serial_ingest_s = median_of(serial_times)
+        stream_s = median_of(stream_times)
+    else:
+        serial_ingest_s = min(serial_times)
+        stream_s = min(stream_times)
     stats = executor.last_queue_stats.as_dict()
     # The live per-chunk causal view is extra work the batch path
     # simply does not offer; its throughput is reported alongside.
     with_preview = StreamingExecutor(n_workers=n_workers,
                                      max_chunks=max_chunks,
                                      cache=cache, preview=True)
-    preview_s = _best_of(lambda: with_preview.run(fleet), repeats=2)
+    preview_s = timer(lambda: with_preview.run(fleet), repeats=2)
     return {
         "n_devices": n_devices,
         "duration_s_each": duration,
@@ -283,18 +358,27 @@ def measure(quick: bool = False, n_jobs: int = 4,
     cache = FilterDesignCache()
     probe = recordings[0]
 
+    # Quick mode (CI) runs on contended 1-2 vCPU runners where one
+    # stolen timeslice can blow a best-of estimate past the gate
+    # tolerance with no code change: spin the host to its steady state
+    # first, then estimate with the outlier-immune median-of-odd-N.
+    # Full mode (local hardware) keeps the best-of noise floor.
+    if quick:
+        calibration_spin()
+    timer = timed_seconds if quick else _best_of
+
     # -- kernel layer: scalar reference vs vectorized -------------------
     kernel_run = filter_workload(probe, cache, config)
     with _iir.use_sosfilt_backend("reference"):
-        scalar_kernel_s = _best_of(kernel_run)
-    vector_kernel_s = _best_of(kernel_run)
+        scalar_kernel_s = timer(kernel_run)
+    vector_kernel_s = timer(kernel_run)
 
     # -- end-to-end pipeline under both kernel backends -----------------
     pipeline = BeatToBeatPipeline(probe.fs, config, cache=cache)
     single = lambda: pipeline.process_recording(probe)  # noqa: E731
     with _iir.use_sosfilt_backend("reference"):
-        scalar_pipe_s = _best_of(single)
-    vector_pipe_s = _best_of(single)
+        scalar_pipe_s = timer(single)
+    vector_pipe_s = timer(single)
 
     summary = {
         "mode": "quick" if quick else "full",
@@ -318,15 +402,15 @@ def measure(quick: bool = False, n_jobs: int = 4,
 
     if include_batch:
         # -- batch executor: serial vs threads vs processes -------------
-        serial_s = _best_of(
+        serial_s = timer(
             lambda: process_batch(recordings, config, n_jobs=1,
                                   cache=cache),
             repeats=2)
-        threads_s = _best_of(
+        threads_s = timer(
             lambda: process_batch(recordings, config, n_jobs=n_jobs,
                                   cache=cache),
             repeats=2)
-        process_s = _best_of(
+        process_s = timer(
             lambda: process_batch(recordings, config, n_jobs=n_jobs,
                                   backend="process"),
             repeats=2)

@@ -50,6 +50,7 @@ from repro.errors import (
     ConfigurationError,
     DetectionError,
     HardwareError,
+    JournalError,
     ProtocolError,
     ReproError,
     SignalError,
@@ -75,5 +76,5 @@ __all__ = [
     "SynthesisConfig", "synthesize_recording",
     "ProtocolConfig", "StudyResult", "run_study",
     "ReproError", "ConfigurationError", "SignalError", "DetectionError",
-    "HardwareError", "ProtocolError",
+    "HardwareError", "ProtocolError", "JournalError",
 ]

@@ -16,7 +16,15 @@ want:
 * ``merge`` — merge shard artifacts back into the full study report;
 * ``ingest`` — stream a simulated N-device fleet through the bounded
   work queue and the streaming executor, one payload row per session
-  plus the queue's backpressure statistics;
+  plus the queue's backpressure statistics; ``--rounds``/``--dropout``
+  turn on multi-round operation with churn, and ``--journal DIR``
+  writes every consumed chunk through a durable
+  :class:`~repro.ingest.journal.ChunkJournal` first (sessions left
+  open by dropouts or a kill then survive the process);
+* ``recover`` — re-open a journal directory after a crash: finalize
+  every session whose trailer was journaled (bit-identical to the
+  interrupted run), report the ones still open, and quarantine any
+  the scan found damaged;
 * ``power`` — the Table I battery bookkeeping;
 * ``monitor`` — a simulated CHF decompensation course with alerts;
 * ``cache-stats`` — exercise a small cohort and report the filter-
@@ -51,7 +59,13 @@ from repro.experiments import (
     run_study,
     run_study_shard,
 )
-from repro.ingest import DeviceFleet, FleetConfig, StreamingExecutor
+from repro.ingest import (
+    ChunkJournal,
+    DeviceFleet,
+    FleetConfig,
+    RecoveryManager,
+    StreamingExecutor,
+)
 from repro.io import load_shard, save_shard
 from repro.monitoring import (
     ChfMonitor,
@@ -143,6 +157,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "producer blocks (backpressure)")
     ingest.add_argument("--seed", type=int, default=0,
                         help="fleet seed (device parameters + jitter)")
+    ingest.add_argument("--rounds", type=int, default=1,
+                        help="measurement rounds per device "
+                             "(long-lived load)")
+    ingest.add_argument("--gap", type=float, default=5.0,
+                        help="nominal gap between a device's rounds, "
+                             "seconds (jittered 0.5-1.5x)")
+    ingest.add_argument("--dropout", type=float, default=0.0,
+                        help="per-session probability the user aborts "
+                             "mid-measurement")
+    ingest.add_argument("--no-rejoin", action="store_true",
+                        help="dropped sessions never reconnect (they "
+                             "stay open; requires --journal to be "
+                             "durable)")
+    ingest.add_argument("--journal", default=None,
+                        help="journal directory: write every consumed "
+                             "chunk through a durable chunk journal "
+                             "(enables `repro recover` after a crash)")
+    ingest.add_argument("--segment-records", type=int, default=None,
+                        help="roll the journal to a new segment file "
+                             "every N records")
+
+    recover = commands.add_parser(
+        "recover", help="replay a chunk journal after a crash: "
+                        "finalize completed sessions, report open and "
+                        "damaged ones")
+    recover.add_argument("journal", help="the journal directory a "
+                                         "previous `repro ingest "
+                                         "--journal` wrote")
+    recover.add_argument("--jobs", type=int, default=1,
+                         help="finalize-pool workers")
+    recover.add_argument("--backend", default="thread", choices=BACKENDS,
+                         help="finalize backend (as in process_batch)")
 
     commands.add_parser("power", help="Table I battery bookkeeping")
 
@@ -297,19 +343,7 @@ def _cmd_merge(args) -> int:
     return 0
 
 
-def _cmd_ingest(args) -> int:
-    fleet = DeviceFleet(FleetConfig(n_devices=args.devices,
-                                    duration_s=args.duration,
-                                    chunk_s=args.chunk,
-                                    seed=args.seed))
-    executor = StreamingExecutor(n_workers=args.jobs,
-                                 finalize_backend=args.backend,
-                                 max_chunks=args.max_chunks)
-    print(f"Ingesting {args.devices} devices x {args.duration:.0f} s "
-          f"({args.chunk:.1f} s chunks, queue bound "
-          f"{args.max_chunks} chunks, {args.jobs} finalize "
-          f"worker(s)) ...")
-    results = executor.run(fleet)
+def _print_session_rows(results) -> None:
     for session_id in sorted(results):
         session = results[session_id]
         summary = session.result.summary()
@@ -321,11 +355,67 @@ def _cmd_ingest(args) -> int:
               f"PEP {summary['pep_s'] * 1000:3.0f} ms | "
               f"HR {summary['hr_bpm']:5.1f} bpm | "
               f"{session.n_chunks} chunks")
+
+
+def _cmd_ingest(args) -> int:
+    fleet = DeviceFleet(FleetConfig(n_devices=args.devices,
+                                    duration_s=args.duration,
+                                    chunk_s=args.chunk,
+                                    seed=args.seed,
+                                    n_rounds=args.rounds,
+                                    round_gap_s=args.gap,
+                                    dropout=args.dropout,
+                                    rejoin=not args.no_rejoin))
+    journal = (None if args.journal is None
+               else ChunkJournal(args.journal,
+                                 segment_records=args.segment_records))
+    executor = StreamingExecutor(n_workers=args.jobs,
+                                 finalize_backend=args.backend,
+                                 max_chunks=args.max_chunks,
+                                 journal=journal)
+    rounds = (f", {args.rounds} rounds" if args.rounds > 1 else "")
+    churn = (f", dropout {args.dropout:.0%}" if args.dropout else "")
+    print(f"Ingesting {args.devices} devices x {args.duration:.0f} s"
+          f"{rounds}{churn} ({args.chunk:.1f} s chunks, queue bound "
+          f"{args.max_chunks} chunks, {args.jobs} finalize "
+          f"worker(s)"
+          + (f", journal {args.journal}" if args.journal else "")
+          + ") ...")
+    try:
+        results = executor.run(fleet)
+    finally:
+        if journal is not None:
+            journal.close()
+    _print_session_rows(results)
+    if executor.last_open_sessions:
+        print(f"Open sessions (journaled, awaiting trailer): "
+              f"{', '.join(executor.last_open_sessions)}")
+        print(f"Finalize later with: repro recover {args.journal}")
     stats = executor.last_queue_stats.as_dict()
     print(f"Queue: {stats['total_put']} chunks through, peak depth "
           f"{stats['peak_depth']} ({stats['peak_bytes']} bytes), "
           f"{stats['blocked_puts']} backpressure stalls")
     return 0
+
+
+def _cmd_recover(args) -> int:
+    manager = RecoveryManager(args.journal)
+    outcome = manager.recover(n_workers=args.jobs,
+                              finalize_backend=args.backend)
+    print(f"Journal {args.journal}: {outcome.n_records} records"
+          + (", torn tail truncated" if outcome.torn_tail_recovered
+             else ""))
+    print(f"Recovered {len(outcome.results)} session(s):")
+    _print_session_rows(outcome.results)
+    if outcome.open_sessions:
+        print(f"Still open (no trailer journaled): "
+              f"{', '.join(outcome.open_sessions)}")
+    for session_id in sorted(outcome.damaged):
+        print(f"DAMAGED {session_id}: {outcome.damaged[session_id]}")
+    if outcome.unattributed_damage:
+        print(f"DAMAGED records not attributable to a session: "
+              f"{outcome.unattributed_damage}")
+    return 1 if (outcome.damaged or outcome.unattributed_damage) else 0
 
 
 def _cmd_power(_args) -> int:
@@ -402,6 +492,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "merge": _cmd_merge,
     "ingest": _cmd_ingest,
+    "recover": _cmd_recover,
     "power": _cmd_power,
     "monitor": _cmd_monitor,
     "cache-stats": _cmd_cache_stats,

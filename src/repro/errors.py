@@ -15,6 +15,7 @@ __all__ = [
     "DetectionError",
     "HardwareError",
     "ProtocolError",
+    "JournalError",
 ]
 
 
@@ -61,3 +62,16 @@ class HardwareError(ReproError):
 class ProtocolError(ReproError):
     """The experimental protocol was violated (wrong position ids,
     missing recordings for a requested frequency, ...)."""
+
+
+class JournalError(ReproError):
+    """A durable-ingest journal was misused or found damaged.
+
+    Raised when an append would violate the journal's per-session
+    contiguity (a sequence gap, or writing to a session the scan marked
+    damaged) and when a journal directory cannot be interpreted at all.
+    Recoverable damage — a torn tail after a crash, a record failing
+    its CRC — is *not* raised during a scan: it is reported in the scan
+    result so recovery can quarantine exactly the affected sessions and
+    carry on with the rest.
+    """

@@ -1,19 +1,28 @@
 """Streaming ingest: chunked session sources, a simulated device
-fleet, a bounded work queue with backpressure, and the streaming
-executor that drains it into the stage graph.
+fleet, a bounded work queue with backpressure, the streaming executor
+that drains it into the stage graph — and the durability layer that
+lets all of it survive a crash.
 
 The offline executor (:mod:`repro.core.executor`) consumes fully
 materialized recording lists; nothing there models data *arriving*.
 This package does: a :class:`~repro.ingest.chunks.SessionSource`
 yields :class:`~repro.ingest.chunks.RecordingChunk` objects over
 (simulated) time, a :class:`~repro.ingest.fleet.DeviceFleet` simulates
-N concurrent touch devices feeding a
+N concurrent touch devices (optionally over repeated measurement
+rounds with dropout/rejoin churn) feeding a
 :class:`~repro.ingest.workqueue.BoundedWorkQueue`, and a
 :class:`~repro.ingest.streaming.StreamingExecutor` drains the queue —
 conditioning each chunk causally as it lands (the vectorized
 counterpart of the :mod:`repro.rt` kernels, pinned against them by
 tests) and running the offline stage graph on the assembled session so
 streaming results are bit-identical to ``process_batch``.
+
+Durability rides the same drain loop: a
+:class:`~repro.ingest.journal.ChunkJournal` persists every consumed
+chunk as a CRC-framed record before analysis sees it, and a
+:class:`~repro.ingest.recovery.RecoveryManager` replays the journal
+after a crash — finalizing completed sessions bit-identically to the
+interrupted run and resuming open ones when their source reconnects.
 """
 
 from repro.ingest.chunks import (
@@ -23,7 +32,14 @@ from repro.ingest.chunks import (
     SessionSource,
     chunk_recording,
 )
-from repro.ingest.fleet import DeviceFleet, FleetConfig, SimulatedDevice
+from repro.ingest.fleet import (
+    DeviceFleet,
+    FleetConfig,
+    SessionSchedule,
+    SimulatedDevice,
+)
+from repro.ingest.journal import ChunkJournal, JournalScan, scan_journal
+from repro.ingest.recovery import RecoveryManager, RecoveryResult
 from repro.ingest.streaming import (
     CausalIcgConditioner,
     SessionResult,
@@ -34,7 +50,9 @@ from repro.ingest.workqueue import BoundedWorkQueue, QueueStats
 __all__ = [
     "RecordingChunk", "SessionSource", "RecordingSource",
     "SessionAssembler", "chunk_recording",
-    "DeviceFleet", "FleetConfig", "SimulatedDevice",
+    "DeviceFleet", "FleetConfig", "SimulatedDevice", "SessionSchedule",
     "BoundedWorkQueue", "QueueStats",
     "StreamingExecutor", "SessionResult", "CausalIcgConditioner",
+    "ChunkJournal", "JournalScan", "scan_journal",
+    "RecoveryManager", "RecoveryResult",
 ]

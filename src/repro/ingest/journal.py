@@ -1,0 +1,390 @@
+"""The chunk journal: durable, append-only ingest persistence.
+
+A :class:`ChunkJournal` is a directory of numbered append-only segment
+files (``segment-00000.log`` ...) holding CRC-framed
+:class:`~repro.ingest.chunks.RecordingChunk` records (the codec lives
+in :mod:`repro.io.journal_records`), plus one small JSON *manifest*
+per completed session (written atomically when the session's trailer
+is journaled).  The streaming executor writes every consumed chunk
+through the journal before analysing it, so after any crash the disk
+holds exactly the chunks the service had accepted — and a
+:class:`~repro.ingest.recovery.RecoveryManager` can replay them.
+
+Durability contract, pinned by the journal/fault tests:
+
+* **Idempotent append** — re-appending an already-journaled
+  ``(session, seq)`` is a no-op, which is what lets recovery replay a
+  whole source through a journal-attached executor without duplicating
+  records; appending a *gap* (seq beyond the next expected) raises,
+  since a replay could then never reconstruct the session.
+* **Torn tails heal** — reopening a journal whose last segment ends
+  mid-record truncates the torn bytes (the classic WAL recovery step)
+  and appends cleanly after the last good record.
+* **Damage quarantines** — a record failing its CRC marks its session
+  damaged; the journal refuses further appends for that session (new
+  records could never be replayed past the hole) and the scan reports
+  exactly which sessions are affected, while every other session stays
+  fully usable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigurationError, JournalError
+from repro.io.journal_records import encode_chunk, frame_record, scan_segment
+
+__all__ = ["ChunkJournal", "JournalScan", "scan_journal",
+           "repair_torn_tail", "write_manifest", "read_manifests"]
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".log"
+_MANIFEST_PREFIX = "manifest-"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:05d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_paths(directory: Path) -> list:
+    """Existing segment files in index order."""
+    return sorted(directory.glob(
+        f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+
+def _manifest_name(session_id: str) -> str:
+    """Filesystem-safe manifest filename (the id is also stored inside
+    the JSON, so the filename never needs to be parsed back)."""
+    safe = "".join(c if c.isalnum() or c in "-_." else f"%{ord(c):02x}"
+                   for c in session_id)
+    return f"{_MANIFEST_PREFIX}{safe}.json"
+
+
+def write_manifest(directory, session_id: str, n_chunks: int,
+                   n_samples: int, fs: float) -> Path:
+    """Atomically write one session's completion manifest (tmp file +
+    rename, so a crash never leaves a half manifest)."""
+    directory = Path(directory)
+    path = directory / _manifest_name(session_id)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps({
+        "session_id": session_id,
+        "n_chunks": int(n_chunks),
+        "n_samples": int(n_samples),
+        "fs": float(fs),
+        "completed": True,
+    }, indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_manifests(directory) -> dict:
+    """All readable session manifests, ``{session_id: manifest}``.
+
+    A torn/unparsable manifest is skipped — the log is the source of
+    truth; manifests only accelerate and cross-check it.
+    """
+    manifests = {}
+    for path in sorted(Path(directory).glob(
+            f"{_MANIFEST_PREFIX}*.json")):
+        try:
+            manifest = json.loads(path.read_text())
+            manifests[str(manifest["session_id"])] = manifest
+        except Exception:
+            continue
+    return manifests
+
+
+@dataclass
+class JournalScan:
+    """Everything a journal directory holds, classified.
+
+    ``complete``/``open`` map session ids to their chunk lists in log
+    order; ``damaged`` maps a session id to the human-readable reason
+    it was quarantined.  ``torn_tail`` is ``(segment_path, offset)``
+    when the last segment ended mid-record (crash mid-append) — the
+    torn bytes carry no completed ``write`` and are safe to truncate.
+    ``unattributed_damage`` counts damaged records whose header did not
+    survive (they could not be pinned to a session; any session with a
+    sequence gap is quarantined instead).
+    """
+
+    directory: Path
+    segments: tuple = ()
+    n_records: int = 0
+    complete: dict = field(default_factory=dict)
+    open: dict = field(default_factory=dict)
+    damaged: dict = field(default_factory=dict)
+    manifests: dict = field(default_factory=dict)
+    torn_tail: Optional[tuple] = None
+    unattributed_damage: int = 0
+    #: Records per segment file, in log order (damaged ones included —
+    #: their frames occupy the file, so appends count them too).
+    records_per_segment: tuple = ()
+    #: Whether the *last* segment lost its framing (bad magic):
+    #: appending after the unreadable bytes would hide the new records
+    #: from every future scan, so a reopening journal must roll to a
+    #: fresh segment instead.
+    last_segment_lost_framing: bool = False
+
+    @property
+    def session_counts(self) -> dict:
+        """Good journaled chunks per non-damaged session."""
+        counts = {sid: len(chunks) for sid, chunks in self.open.items()}
+        counts.update({sid: len(chunks)
+                       for sid, chunks in self.complete.items()})
+        return counts
+
+
+def scan_journal(directory) -> JournalScan:
+    """Classify every record of a journal directory.
+
+    Never raises on damaged content (that is the point of recovery);
+    raises :class:`~repro.errors.JournalError` only when ``directory``
+    is not a journal at all.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise JournalError(f"no journal directory at {directory}")
+    segments = _segment_paths(directory)
+    scan = JournalScan(directory=directory,
+                       segments=tuple(segments),
+                       manifests=read_manifests(directory))
+    sessions: dict = {}          # sid -> [chunks] in log order
+    expected: dict = {}          # sid -> next seq
+    completed: set = set()
+    damaged: dict = {}
+
+    def quarantine(sid: Optional[str], reason: str) -> None:
+        if sid is None:
+            scan.unattributed_damage += 1
+            return
+        damaged.setdefault(sid, reason)
+
+    records_per_segment = []
+    for position, path in enumerate(segments):
+        segment = scan_segment(path)
+        last = position == len(segments) - 1
+        records_per_segment.append(len(segment.entries))
+        if last:
+            scan.last_segment_lost_framing = (
+                segment.lost_framing_offset is not None)
+        for entry in segment.entries:
+            scan.n_records += 1
+            if entry.error is not None:
+                quarantine(entry.session_id,
+                           f"{entry.error} in {path.name} at offset "
+                           f"{entry.offset}")
+                continue
+            chunk = entry.chunk
+            sid = chunk.session_id
+            if sid in damaged:
+                continue
+            want = expected.get(sid, 0)
+            if sid in completed or chunk.seq != want:
+                quarantine(sid,
+                           f"record sequence broken in {path.name}: "
+                           f"got seq {chunk.seq}, expected {want}")
+                continue
+            sessions.setdefault(sid, []).append(chunk)
+            expected[sid] = want + 1
+            if chunk.is_last:
+                completed.add(sid)
+        if segment.torn_offset is not None:
+            if last:
+                scan.torn_tail = (path, segment.torn_offset)
+            else:
+                # A short read inside a *non*-final segment means the
+                # file was externally truncated, not crash-torn; the
+                # bytes lost cannot be attributed to a session.
+                scan.unattributed_damage += 1
+        if segment.lost_framing_offset is not None:
+            scan.unattributed_damage += 1
+
+    # A session can be quarantined after some of its records were
+    # accepted (e.g. a damaged middle record then a seq gap) — those
+    # already-collected chunks are untrustworthy too.
+    for sid in damaged:
+        sessions.pop(sid, None)
+        completed.discard(sid)
+
+    # A manifest asserting completion for a session the log cannot
+    # complete is itself evidence of damage (the trailer was journaled
+    # before the manifest was written — log and manifest can only
+    # disagree if records were lost).
+    for sid, manifest in scan.manifests.items():
+        if (manifest.get("completed") and sid not in completed
+                and sid not in damaged):
+            damaged[sid] = ("manifest records a completed session the "
+                            "log cannot reassemble")
+            sessions.pop(sid, None)
+
+    for sid, chunks in sessions.items():
+        (scan.complete if sid in completed else scan.open)[sid] = chunks
+    scan.damaged = damaged
+    scan.records_per_segment = tuple(records_per_segment)
+    return scan
+
+
+def repair_torn_tail(scan: JournalScan) -> bool:
+    """Truncate the torn bytes a crash mid-append left behind.
+
+    The torn record never completed its ``write`` — no consumer can
+    have observed it — so dropping it is the safe WAL-recovery step.
+    Returns whether anything was truncated.
+    """
+    if scan.torn_tail is None:
+        return False
+    path, offset = scan.torn_tail
+    with open(path, "r+b") as fh:
+        fh.truncate(offset)
+    return True
+
+
+class ChunkJournal:
+    """Append-only, CRC-framed chunk log with per-session manifests.
+
+    Opening a directory that already holds a journal *continues* it:
+    the scan rebuilds per-session positions, a torn tail left by a
+    crash is truncated away, and appends resume in the last segment
+    (rolling to a new one every ``segment_records`` records when set).
+
+    Parameters
+    ----------
+    directory:
+        Journal directory; created when missing.
+    segment_records:
+        Roll to a new segment file after this many records (``None``
+        keeps a single segment).  Segmentation bounds how much data a
+        lost-framing corruption can take down and is the knob the
+        recovery property test sweeps.
+    fsync:
+        Force records to stable storage on every append.  Off by
+        default — the simulated workloads only need crash consistency
+        with respect to the process, not the kernel.
+    """
+
+    def __init__(self, directory, segment_records: Optional[int] = None,
+                 fsync: bool = False) -> None:
+        if segment_records is not None and segment_records < 1:
+            raise ConfigurationError("segment_records must be >= 1")
+        self.directory = Path(directory)
+        self.segment_records = segment_records
+        self.fsync = bool(fsync)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        scan = scan_journal(self.directory)
+        #: The classification this reopen was based on (taken before
+        #: the torn-tail repair; callers like ``resume`` reuse it
+        #: instead of paying a second full-journal scan).
+        self.last_scan = scan
+        self._expected = dict(scan.session_counts)
+        self._completed = set(scan.complete)
+        self._damaged = dict(scan.damaged)
+        self.recovered_torn_tail = repair_torn_tail(scan)
+        #: Records actually written by *this* journal instance (the
+        #: scan's n_records plus this is the directory's live total).
+        self.appended_records = 0
+        if not scan.segments:
+            self._segment_index = 0
+            self._segment_records_written = 0
+        elif scan.last_segment_lost_framing:
+            # Appending after unreadable bytes would hide the new
+            # records from every future scan — roll to a fresh segment
+            # and leave the damaged one to the scan's damage report.
+            self._segment_index = len(scan.segments)
+            self._segment_records_written = 0
+        else:
+            self._segment_index = len(scan.segments) - 1
+            self._segment_records_written = scan.records_per_segment[-1]
+        self._fh = open(
+            self.directory / _segment_name(self._segment_index), "ab")
+        self._closed = False
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def segments(self) -> tuple:
+        """Paths of every segment file, in log order."""
+        return tuple(_segment_paths(self.directory))
+
+    @property
+    def completed_sessions(self) -> tuple:
+        """Ids of sessions whose trailer has been journaled."""
+        return tuple(sorted(self._completed))
+
+    @property
+    def open_sessions(self) -> tuple:
+        """Ids of journaled sessions still awaiting their trailer."""
+        return tuple(sorted(set(self._expected)
+                            - self._completed - set(self._damaged)))
+
+    def next_seq(self, session_id: str) -> int:
+        """The sequence number the journal expects next for a session."""
+        return self._expected.get(session_id, 0)
+
+    # -- the append path --------------------------------------------------
+
+    def append(self, chunk) -> bool:
+        """Journal one chunk; ``True`` when a record was written.
+
+        Appends are idempotent per ``(session, seq)``: a chunk the
+        journal already holds (a recovery replay, a device re-sending
+        after a reconnect) returns ``False`` without touching the log.
+        A sequence *gap* raises — it could never be replayed — as does
+        appending to a damaged (quarantined) session or a closed
+        journal.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        sid = chunk.session_id
+        if sid in self._damaged:
+            raise JournalError(
+                f"session {sid!r} is quarantined as damaged: "
+                f"{self._damaged[sid]}")
+        want = self._expected.get(sid, 0)
+        if sid in self._completed or chunk.seq < want:
+            return False                 # idempotent replay
+        if chunk.seq > want:
+            raise JournalError(
+                f"session {sid!r}: appending seq {chunk.seq} would "
+                f"leave a gap (journal expects {want})")
+        if (self.segment_records is not None
+                and self._segment_records_written >= self.segment_records):
+            self._roll_segment()
+        self._fh.write(frame_record(encode_chunk(chunk)))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._segment_records_written += 1
+        self.appended_records += 1
+        self._expected[sid] = want + 1
+        if chunk.is_last:
+            self._completed.add(sid)
+            write_manifest(self.directory, sid,
+                           n_chunks=self._expected[sid],
+                           n_samples=chunk.start_sample + chunk.n_samples,
+                           fs=chunk.fs)
+        return True
+
+    def _roll_segment(self) -> None:
+        self._fh.close()
+        self._segment_index += 1
+        self._segment_records_written = 0
+        self._fh = open(
+            self.directory / _segment_name(self._segment_index), "ab")
+
+    def close(self) -> None:
+        """Flush and close the active segment (idempotent)."""
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "ChunkJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,207 @@
+"""Crash recovery: replay a chunk journal back into the stage graph.
+
+A service that journals every consumed chunk can die at any instant
+and lose nothing it had accepted.  :class:`RecoveryManager` is the
+restart path: it scans the journal directory
+(:func:`~repro.ingest.journal.scan_journal` classifies every record —
+complete sessions, open sessions, damaged sessions, torn tail),
+then
+
+* :meth:`recover` replays the journaled chunks through a fresh
+  :class:`~repro.ingest.streaming.StreamingExecutor` — the *same* code
+  path live ingest runs — finalizing every session whose trailer was
+  journaled.  Because chunk transport is lossless and the stage graph
+  is pure, the per-session results are bit-identical to the run the
+  crash interrupted (the recovery property test asserts this for
+  arbitrary crash points and journal segmentations);
+* :meth:`resume` additionally re-attaches a chunk source (a device
+  fleet whose devices reconnect): journaled chunks replay first,
+  already-journaled sequence numbers from the source are skipped, and
+  genuinely new chunks are journaled and assembled — so sessions the
+  crash (or a dropout) left open complete exactly as if nothing had
+  happened.
+
+Damaged sessions are never silently repaired: they are quarantined by
+the scan, excluded from replay, and reported by id in the
+:class:`RecoveryResult` — the caller decides whether to re-measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.cache import FilterDesignCache
+from repro.core.config import PipelineConfig
+from repro.ingest.journal import (
+    ChunkJournal,
+    JournalScan,
+    repair_torn_tail,
+    scan_journal,
+    write_manifest,
+)
+from repro.ingest.streaming import StreamingExecutor
+
+__all__ = ["RecoveryManager", "RecoveryResult"]
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one recovery (or resume) pass.
+
+    ``results`` holds a
+    :class:`~repro.ingest.streaming.SessionResult` per session that
+    could be finalized; ``open_sessions`` the ids still awaiting their
+    trailer after the pass; ``damaged`` the quarantined sessions with
+    the scan's reason for each.
+    """
+
+    results: dict
+    open_sessions: tuple = ()
+    damaged: dict = field(default_factory=dict)
+    n_records: int = 0
+    torn_tail_recovered: bool = False
+    unattributed_damage: int = 0
+
+
+class RecoveryManager:
+    """Re-open a chunk journal and pick its sessions back up.
+
+    Parameters mirror the streaming executor's: ``config`` is the
+    stage configuration sessions were (and will be) analysed under —
+    recovery must run the identical configuration to reproduce the
+    interrupted run's bits — and ``cache`` the filter-design cache for
+    thread-backend finalization.
+    """
+
+    def __init__(self, directory,
+                 config: Optional[PipelineConfig] = None,
+                 cache: Optional[FilterDesignCache] = None) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self.cache = cache
+
+    def scan(self) -> JournalScan:
+        """Classify the journal without replaying anything."""
+        return scan_journal(self.directory)
+
+    # -- internals --------------------------------------------------------
+
+    def _executor(self, n_workers: int, finalize_backend: str,
+                  preview: bool, journal: Optional[ChunkJournal],
+                  max_chunks: Optional[int]) -> StreamingExecutor:
+        return StreamingExecutor(
+            config=self.config, n_workers=n_workers,
+            finalize_backend=finalize_backend, max_chunks=max_chunks,
+            preview=preview, cache=self.cache, journal=journal,
+            allow_open=True)
+
+    @staticmethod
+    def _replay(scan: JournalScan):
+        """Every good journaled chunk, session-contiguous.
+
+        The assembler only requires per-session sequence order (live
+        ingest interleaves sessions arbitrarily), so replay yields each
+        session's chunks in log order, complete sessions first.
+        """
+        for chunks in scan.complete.values():
+            yield from chunks
+        for chunks in scan.open.values():
+            yield from chunks
+
+    def _backfill_manifests(self, scan: JournalScan) -> None:
+        """Write manifests a crash raced past (trailer journaled, but
+        the process died before the manifest rename)."""
+        for sid, chunks in scan.complete.items():
+            if sid not in scan.manifests:
+                trailer = chunks[-1]
+                write_manifest(
+                    self.directory, sid, n_chunks=len(chunks),
+                    n_samples=trailer.start_sample + trailer.n_samples,
+                    fs=trailer.fs)
+
+    # -- the two entry points ---------------------------------------------
+
+    def recover(self, n_workers: int = 1,
+                finalize_backend: str = "thread",
+                preview: bool = False,
+                max_chunks: Optional[int] = 64) -> RecoveryResult:
+        """Finalize every session the journal holds complete.
+
+        Open sessions are reported, not dropped — they stay journaled
+        for a later :meth:`resume`.  Missing manifests of complete
+        sessions are backfilled, and a torn tail left by a crash
+        mid-append is truncated away (the same healing a reopening
+        journal performs).
+        """
+        scan = self.scan()
+        torn_recovered = repair_torn_tail(scan)
+        executor = self._executor(n_workers, finalize_backend, preview,
+                                  journal=None, max_chunks=max_chunks)
+        results = executor.run(self._replay(scan))
+        self._backfill_manifests(scan)
+        return RecoveryResult(
+            results=results,
+            open_sessions=executor.last_open_sessions,
+            damaged=dict(scan.damaged),
+            n_records=scan.n_records,
+            torn_tail_recovered=torn_recovered,
+            unattributed_damage=scan.unattributed_damage,
+        )
+
+    def resume(self, source, n_workers: int = 1,
+               finalize_backend: str = "thread",
+               preview: bool = False,
+               max_chunks: Optional[int] = 64,
+               segment_records: Optional[int] = None) -> RecoveryResult:
+        """Replay the journal, then continue ingesting ``source``.
+
+        ``source`` is any :class:`~repro.ingest.chunks.SessionSource`;
+        chunks it re-sends that the journal already holds are skipped
+        (and the journal's own append is idempotent besides), chunks of
+        quarantined sessions are refused, and everything genuinely new
+        is journaled before analysis — exactly the live write-through
+        path.  The returned results therefore cover *all* finalized
+        sessions: those completed before the crash and those completed
+        by the resumed stream.
+        """
+        # The reopening journal scans (and heals) the directory once;
+        # its classification is reused for the replay and the result's
+        # bookkeeping instead of paying further full-journal scans.
+        journal = ChunkJournal(self.directory,
+                               segment_records=segment_records)
+        scan = journal.last_scan
+        counts = scan.session_counts
+        completed = set(scan.complete)
+        damaged = set(scan.damaged)
+
+        def stream():
+            yield from self._replay(scan)
+            for chunk in source:
+                sid = chunk.session_id
+                if sid in damaged or sid in completed:
+                    continue
+                if chunk.seq < counts.get(sid, 0):
+                    continue
+                yield chunk
+
+        try:
+            executor = self._executor(n_workers, finalize_backend,
+                                      preview, journal=journal,
+                                      max_chunks=max_chunks)
+            results = executor.run(stream())
+        finally:
+            journal.close()
+        # Sessions complete on disk before the crash replay as no-op
+        # appends (no trailer write, so no manifest): backfill from
+        # the scan.  Newly completed sessions wrote theirs live.
+        self._backfill_manifests(scan)
+        return RecoveryResult(
+            results=results,
+            open_sessions=executor.last_open_sessions,
+            damaged=dict(scan.damaged),
+            n_records=scan.n_records + journal.appended_records,
+            torn_tail_recovered=journal.recovered_torn_tail,
+            unattributed_damage=scan.unattributed_damage,
+        )

@@ -164,10 +164,26 @@ class StreamingExecutor:
     cache:
         Filter-design cache for preview conditioners and thread-backend
         finalization; the process-wide default when omitted.
+    journal:
+        A :class:`~repro.ingest.journal.ChunkJournal` to write every
+        consumed chunk through *before* it is analysed — the
+        durability step that lets a
+        :class:`~repro.ingest.recovery.RecoveryManager` replay the run
+        after a crash.  The executor does not close the journal; the
+        caller owns its lifetime.
+    allow_open:
+        What a source closing with sessions still open (no trailer
+        seen) means.  Without a journal the default is to raise —
+        silently dropping a session would fake durability the system
+        does not have.  With a journal attached the default flips to
+        tolerate: the open sessions' chunks are durable on disk and a
+        later recovery/resume completes them; their ids are reported
+        in :attr:`last_open_sessions`.
 
     After :meth:`run`, :attr:`last_queue_stats` holds the queue's
     counters (peak depth/bytes, backpressure events) for capacity
-    planning.
+    planning and :attr:`last_open_sessions` the ids left open (always
+    empty when ``allow_open`` resolves to ``False``).
     """
 
     def __init__(self, config: Optional[PipelineConfig] = None,
@@ -176,7 +192,9 @@ class StreamingExecutor:
                  max_chunks: Optional[int] = 64,
                  max_bytes: Optional[int] = None,
                  preview: bool = True,
-                 cache: Optional[FilterDesignCache] = None) -> None:
+                 cache: Optional[FilterDesignCache] = None,
+                 journal=None,
+                 allow_open: Optional[bool] = None) -> None:
         if n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
         self.config = config
@@ -186,7 +204,11 @@ class StreamingExecutor:
         self.max_bytes = max_bytes
         self.preview = bool(preview)
         self.cache = cache if cache is not None else default_design_cache()
+        self.journal = journal
+        self.allow_open = (journal is not None if allow_open is None
+                           else bool(allow_open))
         self.last_queue_stats: Optional[QueueStats] = None
+        self.last_open_sessions: tuple = ()
 
     # -- internals ---------------------------------------------------------
 
@@ -260,6 +282,11 @@ class StreamingExecutor:
                         break
                     for chunk in burst:
                         sid = chunk.session_id
+                        if self.journal is not None:
+                            # Durability first: the chunk must be on
+                            # disk before any analysis observes it, so
+                            # a crash at any later point can replay it.
+                            self.journal.append(chunk)
                         chunk_counts[sid] = chunk_counts.get(sid, 0) + 1
                         first_arrival.setdefault(sid, chunk.arrival_s)
                         if self.preview:
@@ -297,7 +324,8 @@ class StreamingExecutor:
             producer.join()
         if errors:
             raise errors[0]
-        if len(assembler):
+        self.last_open_sessions = assembler.open_sessions
+        if len(assembler) and not self.allow_open:
             raise ConfigurationError(
                 f"source closed with incomplete sessions: "
                 f"{list(assembler.open_sessions)}")

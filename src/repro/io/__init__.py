@@ -1,6 +1,17 @@
-"""Recording containers, shard artifacts and persistence."""
+"""Recording containers, shard artifacts, journal records and
+persistence."""
 
 from repro.io.records import Recording
 from repro.io.shards import load_shard, save_shard
+from repro.io.journal_records import (
+    RecordEntry,
+    SegmentScan,
+    decode_chunk,
+    encode_chunk,
+    frame_record,
+    scan_segment,
+)
 
-__all__ = ["Recording", "save_shard", "load_shard"]
+__all__ = ["Recording", "save_shard", "load_shard",
+           "encode_chunk", "decode_chunk", "frame_record",
+           "RecordEntry", "SegmentScan", "scan_segment"]

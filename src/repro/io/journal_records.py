@@ -1,0 +1,252 @@
+"""CRC-framed on-disk records for the durable-ingest chunk journal.
+
+One journal segment is a flat append-only file of framed records, each
+holding exactly one :class:`~repro.ingest.chunks.RecordingChunk`:
+
+```
+record  := MAGIC(4) | payload_len u32 | crc32(payload) u32 | payload
+payload := header_len u32 | header JSON (utf-8) | float64 arrays
+```
+
+The JSON header carries the chunk coordinates (session id, seq, fs,
+start_sample, is_last, arrival_s), the name and length of every signal
+and annotation array, and the scalar metadata; the arrays follow
+back-to-back as raw little-endian float64 — so a decode reproduces the
+encoded chunk bit-for-bit (float64 bytes round-trip exactly, and JSON
+round-trips Python scalars exactly).
+
+The framing is what makes crash recovery tractable:
+
+* a **torn tail** (the process died mid-``write``) shows up as a frame
+  or payload shorter than its declared length — recoverable by
+  truncating to the last good record;
+* a **flipped byte** anywhere in the payload or the stored CRC shows
+  up as a CRC mismatch, but the frame length stays trustworthy, so the
+  scan steps over the damaged record and keeps reading the segment;
+* only a corrupted *frame header* (bad magic) ends a scan early — at
+  that point the byte stream has lost its framing entirely.
+
+:func:`scan_segment` implements exactly that taxonomy and never
+raises on damaged input; callers decide what a damaged record means
+(the recovery layer quarantines the affected session).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import JournalError
+
+# RecordingChunk is imported lazily inside decode_chunk: the io package
+# sits below repro.ingest in the import graph (chunks are built from
+# repro.io.records), so a module-level import here would be circular —
+# the same convention repro.io.shards uses for the experiment types.
+
+__all__ = ["MAGIC", "encode_chunk", "decode_chunk", "frame_record",
+           "RecordEntry", "SegmentScan", "scan_segment"]
+
+#: Frame marker; a scan that does not find it where a record should
+#: start has lost the framing and must stop.
+MAGIC = b"ICGJ"
+
+_FRAME = len(MAGIC) + 4 + 4     # magic | payload_len | crc32
+
+
+def _meta_scalar(value):
+    """A JSON-safe view of one Recording meta scalar (numpy scalars
+    become the equivalent Python number; equality is preserved)."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return str(value)
+
+
+def encode_chunk(chunk) -> bytes:
+    """Serialise one chunk to a record *payload* (no frame)."""
+    signals = {name: np.ascontiguousarray(np.asarray(data, dtype="<f8"))
+               for name, data in chunk.signals.items()}
+    annotations = {
+        name: np.ascontiguousarray(np.asarray(data, dtype="<f8"))
+        for name, data in chunk.annotations.items()
+    }
+    header = {
+        "session_id": chunk.session_id,
+        "seq": int(chunk.seq),
+        "fs": float(chunk.fs),
+        "start_sample": int(chunk.start_sample),
+        "is_last": bool(chunk.is_last),
+        "arrival_s": float(chunk.arrival_s),
+        "signals": [[name, int(arr.size)]
+                    for name, arr in signals.items()],
+        "annotations": [[name, int(arr.size)]
+                        for name, arr in annotations.items()],
+        "meta": {key: _meta_scalar(value)
+                 for key, value in chunk.meta.items()},
+    }
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [np.uint32(len(head)).tobytes(), head]
+    parts.extend(arr.tobytes() for arr in signals.values())
+    parts.extend(arr.tobytes() for arr in annotations.values())
+    return b"".join(parts)
+
+
+def decode_chunk(payload: bytes):
+    """Rebuild the :class:`~repro.ingest.chunks.RecordingChunk` a
+    payload encodes (raises on malformed input — callers gate on the
+    CRC first)."""
+    from repro.ingest.chunks import RecordingChunk
+
+    header, offset = _decode_header(payload)
+    signals, annotations = {}, {}
+    for store, names in (
+            (signals, header["signals"]),
+            (annotations, header["annotations"])):
+        for name, size in names:
+            nbytes = int(size) * 8
+            block = payload[offset:offset + nbytes]
+            if len(block) != nbytes:
+                raise JournalError("record payload shorter than its "
+                                   "declared arrays")
+            store[name] = np.frombuffer(block, dtype="<f8").copy()
+            offset += nbytes
+    return RecordingChunk(
+        session_id=header["session_id"],
+        seq=int(header["seq"]),
+        fs=float(header["fs"]),
+        signals=signals,
+        start_sample=int(header["start_sample"]),
+        is_last=bool(header["is_last"]),
+        arrival_s=float(header["arrival_s"]),
+        annotations=annotations,
+        meta=dict(header["meta"]),
+    )
+
+
+def _decode_header(payload: bytes):
+    if len(payload) < 4:
+        raise JournalError("record payload too short for a header")
+    head_len = int(np.frombuffer(payload[:4], dtype="<u4")[0])
+    head = payload[4:4 + head_len]
+    if len(head) != head_len:
+        raise JournalError("record payload shorter than its header")
+    return json.loads(head.decode("utf-8")), 4 + head_len
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap a payload in the on-disk frame (magic, length, CRC)."""
+    return b"".join([
+        MAGIC,
+        np.uint32(len(payload)).tobytes(),
+        np.uint32(zlib.crc32(payload) & 0xFFFFFFFF).tobytes(),
+        payload,
+    ])
+
+
+@dataclass(frozen=True)
+class RecordEntry:
+    """One scanned record: its location plus either the decoded chunk
+    or, for a damaged record, the best-effort identity and reason."""
+
+    offset: int                       #: frame start within the segment
+    length: int                       #: whole frame length, bytes
+    chunk: Optional[RecordingChunk]   #: ``None`` when damaged
+    error: Optional[str] = None       #: damage reason when damaged
+    #: Best-effort identity of a damaged record (its header usually
+    #: survives a payload/CRC byte flip); ``None`` when unreadable.
+    session_id: Optional[str] = None
+    seq: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """Everything one segment file yielded.
+
+    ``torn_offset`` is set when the file ends inside a record — the
+    signature of a crash mid-append; bytes from that offset on are not
+    a record.  ``lost_framing_offset`` is set when a frame header was
+    unreadable (bad magic): nothing after it could be interpreted.
+    """
+
+    path: Path
+    entries: tuple
+    torn_offset: Optional[int] = None
+    lost_framing_offset: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        """No torn tail, no lost framing, no damaged records."""
+        return (self.torn_offset is None
+                and self.lost_framing_offset is None
+                and all(e.error is None for e in self.entries))
+
+
+def scan_segment(path) -> SegmentScan:
+    """Read every interpretable record of one segment file.
+
+    Never raises on damaged content — damage is classified per the
+    module taxonomy and reported in the returned :class:`SegmentScan`.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    entries = []
+    offset = 0
+    torn = None
+    lost = None
+    while offset < len(data):
+        frame = data[offset:offset + _FRAME]
+        if len(frame) < _FRAME:
+            torn = offset
+            break
+        if frame[:len(MAGIC)] != MAGIC:
+            lost = offset
+            break
+        payload_len = int(np.frombuffer(
+            frame[len(MAGIC):len(MAGIC) + 4], dtype="<u4")[0])
+        crc_stored = int(np.frombuffer(
+            frame[len(MAGIC) + 4:], dtype="<u4")[0])
+        payload = data[offset + _FRAME:offset + _FRAME + payload_len]
+        if len(payload) < payload_len:
+            torn = offset
+            break
+        length = _FRAME + payload_len
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc_stored:
+            sid, seq = _best_effort_identity(payload)
+            entries.append(RecordEntry(
+                offset=offset, length=length, chunk=None,
+                error="crc mismatch", session_id=sid, seq=seq))
+        else:
+            try:
+                chunk = decode_chunk(payload)
+            except Exception as exc:     # malformed despite good CRC
+                sid, seq = _best_effort_identity(payload)
+                entries.append(RecordEntry(
+                    offset=offset, length=length, chunk=None,
+                    error=f"undecodable record: {exc}",
+                    session_id=sid, seq=seq))
+            else:
+                entries.append(RecordEntry(
+                    offset=offset, length=length, chunk=chunk,
+                    session_id=chunk.session_id, seq=chunk.seq))
+        offset += length
+    return SegmentScan(path=path, entries=tuple(entries),
+                       torn_offset=torn, lost_framing_offset=lost)
+
+
+def _best_effort_identity(payload: bytes):
+    """(session_id, seq) of a damaged record when its JSON header
+    still parses — a CRC-field or array-byte flip leaves it intact —
+    else ``(None, None)``."""
+    try:
+        header, _ = _decode_header(payload)
+        return str(header["session_id"]), int(header["seq"])
+    except Exception:
+        return None, None

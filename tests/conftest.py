@@ -17,6 +17,13 @@ from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
 FS = 250.0
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection tests (torn journals, crc flips, "
+        "killed sources); run in their own CI job via -m faults")
+
+
 @pytest.fixture(scope="session")
 def cohort():
     """The five-subject default cohort."""

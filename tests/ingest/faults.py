@@ -1,0 +1,140 @@
+"""Fault-injection harness for the durable-ingest tests.
+
+Three families of scripted damage, mirroring the failure taxonomy the
+journal's record framing is designed around
+(:mod:`repro.io.journal_records`):
+
+* :class:`FaultySource` — the *process* dies: a source that yields its
+  wrapped source's chunks and then raises :class:`SimulatedCrash`
+  mid-stream (between chunks, i.e. at a chunk boundary — the journal
+  only ever observes whole consumed chunks; sub-record deaths are the
+  torn-tail case below).
+* :func:`tear_journal_tail` — the *write* dies: truncate the last
+  segment mid-record, exactly what a crash inside ``write`` leaves
+  behind.  Recovery must drop the torn bytes and heal.
+* :func:`flip_crc_byte` / :func:`flip_payload_byte` — the *medium*
+  lies: flip one byte of a stored record's CRC field or payload.  The
+  scan must flag the record, pin it to its session, and quarantine
+  exactly that session — never crash, never silently accept.
+
+All helpers operate on a journal *directory* so tests stay independent
+of segment layout; record indices count across segments in log order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.io.journal_records import MAGIC, scan_segment
+
+__all__ = ["SimulatedCrash", "FaultySource", "journal_segments",
+           "tear_journal_tail", "flip_crc_byte", "flip_payload_byte",
+           "flip_magic_byte"]
+
+_FRAME = len(MAGIC) + 4 + 4
+
+
+class SimulatedCrash(BaseException):
+    """Stands in for SIGKILL.  Deliberately *not* a ReproError (and not
+    even an Exception): nothing in the library may catch it, exactly
+    like a real kill."""
+
+
+class FaultySource:
+    """A session source that dies after yielding ``crash_after`` chunks.
+
+    Wraps any iterable source; iterating raises
+    :class:`SimulatedCrash` once the budget is exhausted.  If the
+    wrapped source ends first, no crash happens (the degenerate
+    crash-after-everything case recovery must also handle).
+    """
+
+    def __init__(self, source, crash_after: int) -> None:
+        self.source = source
+        self.crash_after = int(crash_after)
+
+    def __iter__(self):
+        count = 0
+        for chunk in self.source:
+            if count >= self.crash_after:
+                raise SimulatedCrash(
+                    f"source killed after {self.crash_after} chunks")
+            yield chunk
+            count += 1
+
+
+def journal_segments(directory) -> list:
+    """Segment files of a journal directory, in log order."""
+    return sorted(Path(directory).glob("segment-*.log"))
+
+
+def _locate_record(directory, index: int):
+    """(segment_path, RecordEntry) of the ``index``-th record across
+    the whole journal, in log order."""
+    count = 0
+    for path in journal_segments(directory):
+        entries = scan_segment(path).entries
+        if index < count + len(entries):
+            return path, entries[index - count]
+        count += len(entries)
+    raise IndexError(f"journal holds {count} records, no index {index}")
+
+
+def tear_journal_tail(directory, keep_bytes: int = 11) -> Path:
+    """Truncate the last segment mid-record (a crash inside ``write``).
+
+    The final record is cut down to ``keep_bytes`` of its frame —
+    enough to leave recognisable garbage, too little to parse — and
+    the truncated segment path is returned.  Raises when the journal
+    has no records to tear.
+    """
+    segments = journal_segments(directory)
+    for path in reversed(segments):
+        entries = scan_segment(path).entries
+        if entries:
+            last = entries[-1]
+            keep = min(int(keep_bytes), last.length - 1)
+            with open(path, "r+b") as fh:
+                fh.truncate(last.offset + keep)
+            return path
+    raise IndexError("journal holds no records to tear")
+
+
+def _flip_byte(path: Path, offset: int) -> None:
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def flip_crc_byte(directory, index: int = 0) -> str:
+    """Flip one byte of record ``index``'s stored CRC field.
+
+    The payload stays intact, so the scan can still identify the
+    session the damaged record belonged to; returns that session id.
+    """
+    path, entry = _locate_record(directory, index)
+    _flip_byte(path, entry.offset + len(MAGIC) + 4)
+    return entry.session_id
+
+
+def flip_magic_byte(directory, index: int = 0) -> str:
+    """Flip one byte of record ``index``'s frame MAGIC — the
+    lost-framing damage class: nothing after it in that segment can be
+    interpreted.  Returns the record's session id."""
+    path, entry = _locate_record(directory, index)
+    _flip_byte(path, entry.offset)
+    return entry.session_id
+
+
+def flip_payload_byte(directory, index: int = 0,
+                      payload_offset: Optional[int] = None) -> str:
+    """Flip one byte inside record ``index``'s payload (array bytes by
+    default, so the JSON header — and session attribution — survives);
+    returns the damaged record's session id."""
+    path, entry = _locate_record(directory, index)
+    if payload_offset is None:
+        # Flip in the trailing half: safely past the JSON header.
+        payload_offset = (entry.length - _FRAME) - 8
+    _flip_byte(path, entry.offset + _FRAME + payload_offset)
+    return entry.session_id

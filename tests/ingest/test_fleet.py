@@ -83,4 +83,148 @@ def test_fleet_config_validation():
     with pytest.raises(ConfigurationError):
         FleetConfig(jitter_s=-1.0)
     with pytest.raises(ConfigurationError):
+        FleetConfig(n_rounds=0)
+    with pytest.raises(ConfigurationError):
+        FleetConfig(dropout=1.5)
+    with pytest.raises(ConfigurationError):
+        FleetConfig(round_gap_s=-1.0)
+    with pytest.raises(ConfigurationError):
         DeviceFleet(QUICK, cohort=[])
+
+
+# -- multi-round operation and churn -------------------------------------
+
+MULTI = FleetConfig(n_devices=3, duration_s=8.0, chunk_s=2.0, seed=9,
+                    n_rounds=3, round_gap_s=2.0)
+CHURN = FleetConfig(n_devices=4, duration_s=8.0, chunk_s=2.0, seed=6,
+                    n_rounds=2, round_gap_s=2.0, dropout=0.5)
+
+
+def test_multi_round_schedules_one_session_per_device_round():
+    fleet = DeviceFleet(MULTI)
+    assert len(fleet.schedules) == 3 * 3
+    assert fleet.session_ids == tuple(
+        f"device-{i:03d}-r{r}" for i in range(3) for r in range(3))
+    assert fleet.total_recording_s == pytest.approx(9 * 8.0)
+
+
+def test_multi_round_interleave_is_deterministic():
+    first = [(c.session_id, c.seq, c.arrival_s) for c in DeviceFleet(MULTI)]
+    second = [(c.session_id, c.seq, c.arrival_s)
+              for c in DeviceFleet(MULTI)]
+    assert first == second
+    churned_a = [(c.session_id, c.seq, c.arrival_s)
+                 for c in DeviceFleet(CHURN)]
+    churned_b = [(c.session_id, c.seq, c.arrival_s)
+                 for c in DeviceFleet(CHURN)]
+    assert churned_a == churned_b
+
+
+def test_multi_round_stream_is_sorted_and_per_session_sequential():
+    last_arrival = -1.0
+    per_session = {}
+    for chunk in DeviceFleet(CHURN):
+        assert chunk.arrival_s >= last_arrival
+        last_arrival = chunk.arrival_s
+        expected = per_session.get(chunk.session_id, 0)
+        assert chunk.seq == expected
+        per_session[chunk.session_id] = expected + 1
+    assert set(per_session) == set(DeviceFleet(CHURN).session_ids)
+
+
+def test_rounds_are_gapped_in_time():
+    fleet = DeviceFleet(MULTI)
+    for device in fleet.devices:
+        starts = [s.start_s for s in fleet.schedules
+                  if s.device == device]
+        for earlier, later in zip(starts, starts[1:]):
+            # Next round starts after the previous round's recording
+            # plus at least half the nominal gap.
+            assert later >= earlier + MULTI.duration_s \
+                + 0.5 * MULTI.round_gap_s
+
+
+def test_rounds_vary_the_recording_but_round0_matches_single_round():
+    multi = DeviceFleet(MULTI)
+    single = DeviceFleet(FleetConfig(**{**MULTI.__dict__,
+                                        "n_rounds": 1}))
+    for i in range(3):
+        r0 = multi.session_recording(f"device-{i:03d}-r0")
+        base = single.session_recording(f"device-{i:03d}")
+        assert np.array_equal(r0.channel("z"), base.channel("z"))
+        r1 = multi.session_recording(f"device-{i:03d}-r1")
+        assert not np.array_equal(r0.channel("z"), r1.channel("z"))
+
+
+def test_dropout_without_rejoin_withholds_trailers():
+    config = FleetConfig(**{**CHURN.__dict__, "rejoin": False})
+    fleet = DeviceFleet(config)
+    dropped = set(fleet.dropped_session_ids)
+    assert dropped                         # this seed must churn
+    finished = {c.session_id for c in fleet if c.is_last}
+    assert finished == set(fleet.session_ids) - dropped
+    # Dropped sessions stream at least one chunk, never all of them.
+    seen = {}
+    for chunk in fleet:
+        seen[chunk.session_id] = seen.get(chunk.session_id, 0) + 1
+    for sid in dropped:
+        assert 1 <= seen[sid] < 4          # 8 s in 2 s chunks
+
+
+def test_rejoin_completes_dropped_sessions_late():
+    fleet = DeviceFleet(CHURN)
+    dropped = set(fleet.dropped_session_ids)
+    assert dropped
+    finished = {c.session_id for c in fleet if c.is_last}
+    assert finished == set(fleet.session_ids)
+    # The rejoin delay must show as an arrival gap inside the session.
+    for sid in dropped:
+        arrivals = [c.arrival_s for c in fleet if c.session_id == sid]
+        gaps = np.diff(arrivals)
+        schedule = next(s for s in fleet.schedules
+                        if s.session_id == sid)
+        assert gaps.max() >= 0.9 * schedule.rejoin_delay_s
+
+
+def test_single_chunk_sessions_cannot_drop():
+    """A session too short to split (one chunk) streams whole even
+    when its dropout draw fired — and must not be reported dropped,
+    or consumers would wrongly expect an open session."""
+    config = FleetConfig(n_devices=3, duration_s=8.0, chunk_s=8.0,
+                         seed=6, n_rounds=2, dropout=1.0, rejoin=False)
+    fleet = DeviceFleet(config)
+    assert fleet.dropped_session_ids == ()
+    finished = {c.session_id for c in fleet if c.is_last}
+    assert finished == set(fleet.session_ids)
+
+
+def test_churn_never_touches_sample_values():
+    churned = DeviceFleet(CHURN)
+    twin = DeviceFleet(FleetConfig(**{**CHURN.__dict__,
+                                      "dropout": 0.0}))
+    assert churned.session_ids == twin.session_ids
+    for sid in churned.session_ids:
+        assert np.array_equal(churned.session_recording(sid).channel("z"),
+                              twin.session_recording(sid).channel("z"))
+    by_session = {}
+    for chunk in churned:
+        by_session.setdefault(chunk.session_id, []).append(chunk)
+    for sid, chunks in by_session.items():
+        streamed = np.concatenate([c.signals["z"] for c in chunks])
+        want = churned.session_recording(sid).channel("z")
+        assert np.array_equal(streamed, want[: streamed.size])
+
+
+def test_queue_backpressure_bound_holds_under_churn():
+    from repro.ingest import StreamingExecutor
+
+    fleet = DeviceFleet(CHURN)
+    n_chunks = sum(1 for _ in fleet)
+    executor = StreamingExecutor(n_workers=2, max_chunks=4,
+                                 allow_open=True, preview=False)
+    executor.run(fleet)
+    stats = executor.last_queue_stats
+    assert stats.peak_depth <= 4
+    assert stats.total_put == stats.total_got == n_chunks
+    chunk_bytes = 2 * 8 * int(CHURN.chunk_s * 250.0)
+    assert stats.peak_bytes <= 4 * chunk_bytes

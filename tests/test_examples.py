@@ -26,6 +26,7 @@ EXPECTED_OUTPUT = {
     "chf_monitoring": "ICG multi-parameter alert",
     "body_composition": "ECW fraction",
     "device_fleet": "bit-identical",
+    "durable_ingest": "bit-identical across all",
 }
 
 

@@ -66,12 +66,13 @@ def test_exceptions_form_a_hierarchy():
         ConfigurationError,
         DetectionError,
         HardwareError,
+        JournalError,
         ProtocolError,
         ReproError,
         SignalError,
     )
 
     for exc in (ConfigurationError, SignalError, DetectionError,
-                HardwareError, ProtocolError):
+                HardwareError, ProtocolError, JournalError):
         assert issubclass(exc, ReproError)
         assert issubclass(exc, Exception)
