@@ -44,7 +44,11 @@ import numpy as np
 
 from repro.core import BeatToBeatPipeline, process_batch
 from repro.core.cache import cache_statistics
-from repro.core.executor import BACKENDS, process_worker_cache_stats
+from repro.core.executor import (
+    BACKENDS,
+    last_ipc_stats,
+    process_worker_cache_stats,
+)
 from repro.device.power import PowerBudget, battery_life_hours, paper_operating_point
 from repro.errors import ReproError
 from repro.experiments import (
@@ -483,6 +487,15 @@ def _cmd_cache_stats(args) -> int:
         for pid in sorted(workers):
             print(f"  worker pid {pid}:")
             _render_cache_table(workers[pid], indent="    ")
+        stats = last_ipc_stats()
+        if stats is not None:
+            print("Shared-memory data plane (last fan-out):")
+            print(f"  {stats.n_descriptors} descriptors | pipe "
+                  f"{stats.payload_bytes / 1024:.1f} KiB | shm "
+                  f"{stats.data_plane_bytes / 1024:.1f} KiB | "
+                  f"collapse {stats.descriptor_collapse:.0f}x "
+                  f"(legacy pickle plane: "
+                  f"{stats.legacy_bytes / 1024:.1f} KiB)")
     return 0
 
 

@@ -29,6 +29,14 @@ from repro.core.pipeline import (
     PipelineResult,
     result_from_context,
 )
+from repro.core.shm import (
+    RecordingDescriptor,
+    ShmArena,
+    ShmDescriptor,
+    attach_view,
+    publish_recording,
+    recording_from_descriptor,
+)
 from repro.core.stages import (
     EcgConditionStage,
     HemodynamicsStage,
@@ -52,4 +60,6 @@ __all__ = [
     "process_batch", "parallel_map", "resolve_backend", "BACKENDS",
     "job_batches", "IpcStats", "last_ipc_stats",
     "process_worker_cache_stats",
+    "ShmArena", "ShmDescriptor", "RecordingDescriptor", "attach_view",
+    "publish_recording", "recording_from_descriptor",
 ]

@@ -44,6 +44,11 @@ class BeatContext:
     r_peak_indices: Optional[np.ndarray] = None
     icg: Optional[np.ndarray] = None
     points: Optional[list] = None
+    #: Array twin of ``points`` (:class:`repro.icg.batch.BeatLandmarks`)
+    #: filled by the batched point-detection backend; ``None`` under the
+    #: reference backend, which downstream stages treat as "use the
+    #: per-beat path".
+    beat_landmarks: Optional[object] = None
     failures: Optional[list] = None
     intervals: Optional[object] = None       # SystolicIntervals
     z0_ohm: Optional[float] = None

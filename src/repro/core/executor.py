@@ -37,9 +37,11 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 from functools import partial
 from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.core.cache import (
     FilterDesignCache,
@@ -48,12 +50,26 @@ from repro.core.cache import (
 )
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import BeatToBeatPipeline
+from repro.dsp import calibration as _calibration
+from repro.core.shm import (
+    RecordingDescriptor,
+    ShmArena,
+    ShmDescriptor,
+    aligned_nbytes,
+    attach_view,
+    detach,
+    publish_recording,
+    recording_from_descriptor,
+    recording_nbytes,
+)
 from repro.errors import ConfigurationError
 
 __all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
            "resolve_backend", "will_parallelize", "BACKENDS",
            "job_batches", "IpcStats", "last_ipc_stats",
-           "process_worker_cache_stats", "process_recording_job"]
+           "process_worker_cache_stats", "process_recording_job",
+           "ShmJob", "process_shm_job", "resolve_shm_result",
+           "RESULT_ARRAY_FIELDS"]
 
 #: Supported fan-out backends.
 BACKENDS = ("thread", "process")
@@ -135,14 +151,18 @@ _WORKER_SHARED: dict = {}
 _WORKER_PIPELINES: dict = {}
 
 
-def _pool_initializer(payload: bytes) -> None:
+def _pool_initializer(payload: bytes, calibration: dict) -> None:
     """Install the shared callable in a worker (runs once per worker).
 
     The callable travels pre-pickled so the parent can meter exactly
     what crosses the boundary; unpickling here is what the per-job
-    ``partial`` scheme used to pay on every single job.
+    ``partial`` scheme used to pay on every single job.  The parent's
+    FFT-crossover calibration snapshot rides along so parent and
+    worker can never disagree on a convolution path (which would break
+    the bit-identical batch/serial contract).
     """
     _WORKER_SHARED["fn"] = pickle.loads(payload)
+    _calibration.install_snapshot(calibration)
 
 
 def _run_shared_batch(payload: bytes) -> tuple:
@@ -162,13 +182,18 @@ def _run_shared_batch(payload: bytes) -> tuple:
 
 @dataclass(frozen=True)
 class IpcStats:
-    """What one process-backend fan-out shipped over the pipe.
+    """What one process-backend fan-out shipped, and over which plane.
 
     ``shared_fn_bytes`` counts the shared callable's pickle — paid
     once per *worker* via the initializer, not once per job (the
     pre-refactor cost was ``n_jobs * shared_fn_bytes``).
     ``payload_bytes`` is the pickled size of every job batch actually
-    submitted.
+    submitted — under the shared-memory data plane these are
+    *descriptors*, not arrays.  ``data_plane_bytes`` is the raw array
+    payload that travelled through shared memory instead of the pipe,
+    and ``n_descriptors`` how many array handles replaced it; both are
+    zero for fan-outs that never touch the data plane (non-recording
+    items).
     """
 
     n_items: int
@@ -176,17 +201,29 @@ class IpcStats:
     n_workers: int
     shared_fn_bytes: int
     payload_bytes: int
+    data_plane_bytes: int = 0
+    n_descriptors: int = 0
 
     @property
     def shipped_bytes(self) -> int:
-        """Total bytes shipped: per-worker shared state + batches."""
+        """Pickled bytes over the pipe: per-worker shared state +
+        job batches (array payloads excluded — they ride the data
+        plane)."""
         return self.n_workers * self.shared_fn_bytes + self.payload_bytes
 
     @property
     def legacy_bytes(self) -> int:
-        """What the per-job ``partial`` scheme would have shipped for
-        the same work (shared callable re-pickled with every item)."""
-        return self.n_items * self.shared_fn_bytes + self.payload_bytes
+        """What the per-job pickle scheme would have shipped for the
+        same work: the shared callable re-pickled with every item plus
+        every array payload through the pipe."""
+        return (self.n_items * self.shared_fn_bytes + self.payload_bytes
+                + self.data_plane_bytes)
+
+    @property
+    def descriptor_collapse(self) -> float:
+        """How many raw array bytes each pickled payload byte stands
+        in for (>= 1 means the data plane is carrying the weight)."""
+        return self.data_plane_bytes / max(self.payload_bytes, 1)
 
 
 _LAST_IPC_STATS: list = [None]
@@ -211,9 +248,15 @@ def process_worker_cache_stats() -> dict:
     return dict(_LAST_WORKER_CACHE_STATS)
 
 
-def _parallel_map_process(fn: Callable, items: list, n_jobs: int) -> list:
+def _parallel_map_process(fn: Callable, items: list, n_jobs: int,
+                          data_plane_bytes: int = 0,
+                          n_descriptors: int = 0) -> list:
     """Batched process fan-out with the shared callable hoisted into
-    the worker initializer; records IPC and worker-cache stats."""
+    the worker initializer; records IPC and worker-cache stats.
+
+    ``data_plane_bytes``/``n_descriptors`` are accounting hints from a
+    shared-memory caller: the array payload that bypassed the pipe.
+    """
     n_workers = min(n_jobs, len(items))
     batches = job_batches(items, n_workers * BATCHES_PER_WORKER)
     shared = pickle.dumps(fn)
@@ -222,7 +265,8 @@ def _parallel_map_process(fn: Callable, items: list, n_jobs: int) -> list:
     _LAST_WORKER_CACHE_STATS.clear()
     with ProcessPoolExecutor(max_workers=n_workers,
                              initializer=_pool_initializer,
-                             initargs=(shared,)) as pool:
+                             initargs=(shared,
+                                       _calibration.snapshot())) as pool:
         futures = []
         for batch in batches:
             payload = pickle.dumps(batch)
@@ -235,7 +279,9 @@ def _parallel_map_process(fn: Callable, items: list, n_jobs: int) -> list:
     _LAST_IPC_STATS[0] = IpcStats(
         n_items=len(items), n_submissions=len(batches),
         n_workers=n_workers, shared_fn_bytes=len(shared),
-        payload_bytes=payload_bytes)
+        payload_bytes=payload_bytes,
+        data_plane_bytes=int(data_plane_bytes),
+        n_descriptors=int(n_descriptors))
     return results
 
 
@@ -278,6 +324,148 @@ def process_recording_job(recording,
     return pipeline.process_recording(recording)
 
 
+# -- the shared-memory data plane ----------------------------------------
+
+#: ``PipelineResult`` fields that are recording-length arrays — the
+#: result plane pre-reserves one float64 slot per field per recording.
+RESULT_ARRAY_FIELDS = ("ecg_filtered", "icg")
+
+
+@dataclass(frozen=True)
+class ShmJob:
+    """One process-backend job by reference: the recording's
+    descriptors plus pre-reserved result slots.  Pickles to a few
+    hundred bytes however long the recording — this is what crosses
+    the pipe instead of the arrays."""
+
+    recording: RecordingDescriptor
+    slots: dict
+
+
+def swap_result_fields(result, slots: dict):
+    """Write a dataclass result's array fields into their pre-reserved
+    slots and return the result with those fields swapped for
+    descriptors — the single definition of the result-plane hand-off
+    (batch, streaming and study workers all go through it).
+
+    A field whose array does not match its slot's shape/dtype (a
+    custom stage graph changing output lengths) stays inline —
+    correctness never depends on the fast path.
+    """
+    swapped = {}
+    for name, descriptor in slots.items():
+        value = getattr(result, name, None)
+        if (isinstance(value, np.ndarray)
+                and tuple(value.shape) == tuple(descriptor.shape)
+                and value.dtype.str == descriptor.dtype):
+            attach_view(descriptor, writable=True)[...] = value
+            swapped[name] = descriptor
+    return replace(result, **swapped) if swapped else result
+
+
+def recording_job_nbytes(recording) -> int:
+    """Arena bytes one recording job needs: the published inputs plus
+    one float64 result slot per :data:`RESULT_ARRAY_FIELDS` entry."""
+    return recording_nbytes(recording) + (
+        len(RESULT_ARRAY_FIELDS) * aligned_nbytes(
+            recording.n_samples * np.dtype(np.float64).itemsize))
+
+
+def plan_recording_job(recording, arena: ShmArena) -> ShmJob:
+    """Publish one recording and reserve its result slots — the single
+    definition of a data-plane job's layout."""
+    return ShmJob(
+        recording=publish_recording(recording, arena),
+        slots={name: arena.reserve((recording.n_samples,), np.float64)
+               for name in RESULT_ARRAY_FIELDS})
+
+
+def process_shm_job(job: ShmJob,
+                    config: Optional[PipelineConfig] = None):
+    """Worker body of the zero-copy process backend.
+
+    Materialises the recording as shared-memory views, runs the
+    pipeline, and hands the result back through
+    :func:`swap_result_fields` (descriptors out, arrays in shared
+    memory).
+    """
+    recording = recording_from_descriptor(job.recording)
+    try:
+        result = process_recording_job(recording, config)
+        return swap_result_fields(result, job.slots)
+    finally:
+        # Drop this job's mappings: long-lived pools (the streaming
+        # finalizer runs one arena per *session*) must not accumulate
+        # a mapping per processed job — re-attaching within a fan-out
+        # is one cheap mmap, an unreclaimable segment per session is
+        # an unbounded leak.  The recording and its views are dead by
+        # now; detach() refuses (and defers to GC) if any were not.
+        del recording
+        blocks = {d.block for d in job.recording.signals.values()}
+        blocks |= {d.block for d in job.recording.annotations.values()}
+        blocks |= {d.block for d in job.slots.values()}
+        for block in blocks:
+            detach(block)
+
+
+def resolve_shm_result(result, arena: ShmArena):
+    """Parent-side counterpart of :func:`process_shm_job`: swap every
+    :class:`~repro.core.shm.ShmDescriptor` field of a dataclass result
+    back to a zero-copy (read-only) view of the arena."""
+    swapped = {
+        f.name: arena.view(getattr(result, f.name))
+        for f in fields(result)
+        if isinstance(getattr(result, f.name), ShmDescriptor)
+    }
+    return replace(result, **swapped) if swapped else result
+
+
+def _shm_job_plan(recordings) -> tuple:
+    """Arena + descriptor jobs for a recording batch.
+
+    Returns ``(arena, jobs, n_descriptors)``; the arena holds every
+    input array plus one reserved result slot per
+    :data:`RESULT_ARRAY_FIELDS` entry per recording.
+    """
+    arena = ShmArena(sum(recording_job_nbytes(r) for r in recordings))
+    jobs = []
+    n_descriptors = 0
+    try:
+        for recording in recordings:
+            job = plan_recording_job(recording, arena)
+            jobs.append(job)
+            n_descriptors += (len(job.recording.signals)
+                              + len(job.recording.annotations)
+                              + len(job.slots))
+    except Exception:
+        arena.release()
+        raise
+    return arena, jobs, n_descriptors
+
+
+def _process_batch_shm(recordings, config, n_jobs: int) -> list:
+    """Zero-copy process fan-out: descriptors over the pipe,
+    recordings and results through one shared-memory arena.
+
+    When the host cannot provide the arena (e.g. a container's
+    ``/dev/shm`` cap), the fan-out degrades to the pickle plane — the
+    pre-PR data path — instead of failing: slower, never wrong.
+    """
+    try:
+        arena, jobs, n_descriptors = _shm_job_plan(recordings)
+    except OSError:
+        return _parallel_map_process(
+            partial(process_recording_job, config=config),
+            recordings, n_jobs)
+    try:
+        results = _parallel_map_process(
+            partial(process_shm_job, config=config), jobs, n_jobs,
+            data_plane_bytes=arena.used, n_descriptors=n_descriptors)
+        return [resolve_shm_result(result, arena) for result in results]
+    finally:
+        arena.release()
+
+
 def process_batch(recordings, config: Optional[PipelineConfig] = None,
                   n_jobs: Optional[int] = 1,
                   cache: Optional[FilterDesignCache] = None,
@@ -303,9 +491,15 @@ def process_batch(recordings, config: Optional[PipelineConfig] = None,
     backend:
         ``"thread"`` (default) or ``"process"``.  Threads share one
         design cache but serialise the GIL-bound stages; processes
-        scale with cores — the shared config ships once per worker and
-        recordings travel in contiguous job batches (the work-queue
-        scheme of :func:`parallel_map`).
+        scale with cores.  The process backend runs the zero-copy data
+        plane: recordings are published into one shared-memory arena,
+        jobs ship ``(block, shape, dtype, offset)`` descriptors (the
+        shared config still travels once per worker through the
+        initializer), workers write their recording-length result
+        arrays into pre-reserved slots, and the parent returns results
+        whose arrays are read-only views of the arena — see
+        :mod:`repro.core.shm` and :func:`last_ipc_stats` for the
+        descriptor-vs-bytes accounting.
 
     Returns the list of :class:`~repro.core.pipeline.PipelineResult`
     in input order, identical to ``[pipeline.process_recording(r) for r
@@ -314,8 +508,8 @@ def process_batch(recordings, config: Optional[PipelineConfig] = None,
     recordings = list(recordings)
     backend = resolve_backend(backend)
     if backend == "process" and will_parallelize(n_jobs, len(recordings)):
-        return parallel_map(partial(process_recording_job, config=config),
-                            recordings, n_jobs=n_jobs, backend="process")
+        return _process_batch_shm(recordings, config,
+                                  resolve_n_jobs(n_jobs))
     if cache is None:
         cache = default_design_cache()
     # Build pipelines up front (serially) so workers share ready-made,

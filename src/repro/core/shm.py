@@ -1,0 +1,396 @@
+"""Shared-memory data plane for the process backends.
+
+The PR 3 work queue fixed *how often* the process backend pickled its
+shared callable, but every job still round-tripped full float64
+recordings — and their equally large results — through the pool's
+pipes.  For array-heavy jobs the pickling dominated end to end: the
+measured process backend ran at a fraction of serial throughput.
+
+This module is the replacement data plane.  Arrays live in
+``multiprocessing.shared_memory`` blocks; what crosses the pipe is an
+:class:`ShmDescriptor` — ``(block, shape, dtype, offset)``, a few
+dozen bytes regardless of signal length:
+
+* :class:`ShmArena` is a parent-owned block with a bump allocator:
+  ``put`` copies an array in (the only copy on the input path),
+  ``reserve`` hands out an uninitialised slot for a worker to write
+  results into (the only copy on the output path), and ``view`` maps a
+  descriptor back onto the parent's buffer with zero copies.
+* :func:`attach_view` is the worker side: attach once per block
+  (process-local cache), then every descriptor resolves to a zero-copy
+  ndarray view.
+* :func:`publish_recording` / :func:`recording_from_descriptor` lift
+  the scheme to whole :class:`~repro.io.records.Recording` objects —
+  the unit the batch executor, the streaming finalizer and the study
+  runner all exchange.
+* :func:`pack_arrays` / :func:`buffer_view` apply the *same descriptor
+  type* to a plain in-file buffer (``block == ""``): the shard
+  serializer packs its ensemble waveforms into one blob indexed by
+  descriptors, so the zero-copy layout is identical on the wire, on
+  disk and in shared memory.
+
+Lifecycle and crash safety
+--------------------------
+The parent creates, the parent unlinks.  Workers only ever attach and
+close.  ``unlink`` is called as soon as the fan-out's futures resolve —
+POSIX keeps the segment alive for every process that still maps it, so
+result views remain valid while the *name* disappears immediately;
+a crash after unlink leaks nothing.  A crash *before* unlink leaves a
+named segment behind, which the Python resource tracker removes at
+interpreter exit — shared memory is deliberately kept out of the
+durability story (the ingest journal owns persistence; see
+ARCHITECTURE.md's memory model).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.records import Recording
+
+__all__ = [
+    "ShmDescriptor",
+    "ShmArena",
+    "attach_view",
+    "detach",
+    "detach_all",
+    "RecordingDescriptor",
+    "publish_recording",
+    "recording_from_descriptor",
+    "recording_nbytes",
+    "pack_arrays",
+    "buffer_view",
+    "aligned_nbytes",
+]
+
+#: Slot alignment inside a block — cache-line sized so adjacent slots
+#: never false-share when a worker writes one while the parent reads
+#: its neighbour.
+ALIGNMENT = 64
+
+
+def aligned_nbytes(nbytes: int) -> int:
+    """``nbytes`` rounded up to the arena alignment."""
+    return -(-int(nbytes) // ALIGNMENT) * ALIGNMENT
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Where one array lives inside a named buffer.
+
+    ``block`` names a shared-memory segment — or is empty for an
+    inline buffer (the shard file's packed blob uses the same
+    descriptor with ``block=""``).  This tuple is what the process
+    backends ship instead of the array: a constant few dozen pickled
+    bytes however long the recording.
+    """
+
+    block: str
+    shape: tuple
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size described by this descriptor."""
+        return int(np.prod(self.shape, dtype=np.int64)
+                   * np.dtype(self.dtype).itemsize)
+
+
+def _require_supported(array: np.ndarray) -> np.ndarray:
+    if array.dtype.hasobject:
+        raise ConfigurationError(
+            "object arrays cannot travel through shared memory")
+    return np.ascontiguousarray(array)
+
+
+class ShmArena:
+    """A parent-owned shared-memory block with a bump allocator.
+
+    Create with the total byte budget (use :func:`aligned_nbytes` per
+    array when planning), ``put``/``reserve`` slots, hand the returned
+    descriptors to workers, ``view`` the results, then ``release``.
+    Also usable as a context manager (releases on exit).
+    """
+
+    def __init__(self, nbytes: int, name: Optional[str] = None) -> None:
+        if nbytes <= 0:
+            raise ConfigurationError("arena size must be positive")
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=int(nbytes), name=name)
+        self._cursor = 0
+        self._released = False
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block name workers attach by."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Total capacity of the block."""
+        return self._shm.size
+
+    @property
+    def used(self) -> int:
+        """Bytes allocated so far (including alignment padding)."""
+        return self._cursor
+
+    def reserve(self, shape, dtype) -> ShmDescriptor:
+        """An uninitialised, aligned slot — the result plane: workers
+        write into it, the parent views it afterwards."""
+        shape = tuple(int(s) for s in np.atleast_1d(shape)) \
+            if not isinstance(shape, tuple) else shape
+        dtype = np.dtype(dtype)
+        descriptor = ShmDescriptor(block=self.name, shape=tuple(shape),
+                                   dtype=dtype.str, offset=self._cursor)
+        end = self._cursor + descriptor.nbytes
+        if end > self._shm.size:
+            raise ConfigurationError(
+                f"arena overflow: need {end} bytes, have {self._shm.size}")
+        self._cursor = aligned_nbytes(end)
+        return descriptor
+
+    def put(self, array) -> ShmDescriptor:
+        """Copy an array into the arena; returns its descriptor.
+
+        The single copy of the input path — every later consumer,
+        local or in a worker process, views these bytes in place.
+        """
+        array = _require_supported(np.asarray(array))
+        descriptor = self.reserve(array.shape, array.dtype)
+        self.view(descriptor, writable=True)[...] = array
+        return descriptor
+
+    def view(self, descriptor: ShmDescriptor,
+             writable: bool = False) -> np.ndarray:
+        """Zero-copy ndarray over one slot of this arena's buffer."""
+        out = np.frombuffer(self._shm.buf, dtype=descriptor.dtype,
+                            count=int(np.prod(descriptor.shape,
+                                              dtype=np.int64)),
+                            offset=descriptor.offset,
+                            ).reshape(descriptor.shape)
+        if not writable:
+            out = out.view()
+            out.setflags(write=False)
+        return out
+
+    def release(self) -> None:
+        """Unlink the block and detach the arena's handle.
+
+        Views already handed out stay valid — numpy holds the mapping
+        through its own buffer exports, and the OS frees the segment
+        only when the last view is garbage-collected.  The name
+        disappears immediately (nothing to leak after a later crash);
+        the file descriptor is closed here (the mapping does not need
+        it).  Idempotent.
+        """
+        if self._released:
+            return
+        self._released = True
+        shm = self._shm
+        self._shm = _ReleasedBlock(shm)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        _detach_handle(shm)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _ReleasedBlock:
+    """Keeps a released arena's buffer reachable for existing views
+    while refusing new allocations."""
+
+    def __init__(self, shm) -> None:
+        self.buf = shm.buf
+        self.size = shm.size
+        self.name = shm.name
+
+
+#: Handles we could not surgically detach (unexpected CPython
+#: internals): kept alive so their ``__del__`` never runs against
+#: exported buffers.  Empty in practice.
+_PARKED_HANDLES: list = []
+
+
+def _detach_handle(shm) -> None:
+    """Disarm a ``SharedMemory`` handle whose buffer may still be
+    exported by numpy views.
+
+    ``SharedMemory.__del__`` unconditionally calls ``close()``, which
+    raises ``BufferError`` while views are alive and would tear the
+    mapping from under them once they are not.  The mapping's real
+    lifetime is managed by the views themselves (ndarray → memoryview
+    → mmap), so the handle only needs its file descriptor closed and
+    its references dropped.  Private-attribute surgery is guarded: on
+    an unexpected CPython layout the handle is parked forever instead,
+    which leaks a handle object but never corrupts a view.
+    """
+    try:
+        fd = shm._fd
+        if fd >= 0:
+            os.close(fd)
+            shm._fd = -1
+        shm._buf = None
+        shm._mmap = None        # views hold the real mmap alive
+    except (AttributeError, OSError):  # pragma: no cover - exotic layout
+        _PARKED_HANDLES.append(shm)
+
+
+# -- worker-side attachment ----------------------------------------------
+
+#: Process-local attachments: one mapping per block, shared by every
+#: descriptor that names it.
+_ATTACHED: dict = {}
+
+
+def attach_view(descriptor: ShmDescriptor,
+                writable: bool = False) -> np.ndarray:
+    """Resolve a descriptor in this process (attaching on first use).
+
+    Workers call this for every descriptor a job ships; the block is
+    mapped once and cached, each view is zero-copy.  ``writable=True``
+    is the result plane — the worker writes its output straight into
+    the parent's buffer.
+    """
+    block = _ATTACHED.get(descriptor.block)
+    if block is None:
+        block = shared_memory.SharedMemory(name=descriptor.block)
+        _ATTACHED[descriptor.block] = block
+    out = np.frombuffer(block.buf, dtype=descriptor.dtype,
+                        count=int(np.prod(descriptor.shape,
+                                          dtype=np.int64)),
+                        offset=descriptor.offset,
+                        ).reshape(descriptor.shape)
+    if not writable:
+        out = out.view()
+        out.setflags(write=False)
+    return out
+
+
+def detach(block_name: str) -> None:
+    """Drop this process's cached mapping of one block (no-op when it
+    was never attached).  Any views created from it must be dead."""
+    block = _ATTACHED.pop(block_name, None)
+    if block is not None:
+        try:
+            block.close()
+        except BufferError:       # views still alive: let GC reclaim
+            pass
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (worker shutdown / test isolation)."""
+    for name in list(_ATTACHED):
+        detach(name)
+
+
+# -- recordings over the data plane --------------------------------------
+
+@dataclass(frozen=True)
+class RecordingDescriptor:
+    """A :class:`~repro.io.records.Recording` by reference.
+
+    Signals and annotations are descriptors into a block; ``fs`` and
+    scalar ``meta`` ride along inline (they are tiny).  Pickles to a
+    few hundred bytes regardless of the recording length.
+    """
+
+    fs: float
+    signals: dict = field(default_factory=dict)
+    annotations: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+
+def recording_nbytes(recording: Recording) -> int:
+    """Aligned bytes :func:`publish_recording` will consume for one
+    recording (arena sizing)."""
+    total = 0
+    for data in recording.signals.values():
+        total += aligned_nbytes(np.asarray(data).nbytes)
+    for data in recording.annotations.values():
+        total += aligned_nbytes(np.asarray(data).nbytes)
+    return total
+
+
+def publish_recording(recording: Recording,
+                      arena: ShmArena) -> RecordingDescriptor:
+    """Copy a recording's arrays into the arena; descriptor by value."""
+    return RecordingDescriptor(
+        fs=float(recording.fs),
+        signals={name: arena.put(data)
+                 for name, data in recording.signals.items()},
+        annotations={name: arena.put(data)
+                     for name, data in recording.annotations.items()},
+        meta=dict(recording.meta),
+    )
+
+
+def recording_from_descriptor(descriptor: RecordingDescriptor,
+                              ) -> Recording:
+    """Materialise a recording as zero-copy views (worker side).
+
+    The views are read-only — a stage mutating its input would corrupt
+    the shared buffer for every other consumer, so that bug class is
+    turned into an immediate ``ValueError``.
+    """
+    return Recording(
+        fs=descriptor.fs,
+        signals={name: attach_view(desc)
+                 for name, desc in descriptor.signals.items()},
+        annotations={name: attach_view(desc)
+                     for name, desc in descriptor.annotations.items()},
+        meta=dict(descriptor.meta),
+    )
+
+
+# -- the same descriptors over a plain buffer (shard files) ---------------
+
+def pack_arrays(arrays) -> tuple:
+    """Pack arrays into one contiguous buffer plus descriptors.
+
+    The in-file twin of :meth:`ShmArena.put`: same alignment, same
+    descriptor type, ``block=""`` marking "the accompanying buffer".
+    Returns ``(buffer, [ShmDescriptor, ...])``.
+    """
+    arrays = [_require_supported(np.asarray(a)) for a in arrays]
+    total = sum(aligned_nbytes(a.nbytes) for a in arrays)
+    buffer = np.zeros(max(total, 1), dtype=np.uint8)
+    descriptors = []
+    cursor = 0
+    for array in arrays:
+        descriptor = ShmDescriptor(block="", shape=array.shape,
+                                   dtype=array.dtype.str, offset=cursor)
+        view = buffer[cursor: cursor + array.nbytes].view(array.dtype)
+        view.reshape(array.shape or (1,))[...] = (
+            array if array.shape else array.reshape(1))
+        descriptors.append(descriptor)
+        cursor = aligned_nbytes(cursor + array.nbytes)
+    return buffer, descriptors
+
+
+def buffer_view(buffer: np.ndarray,
+                descriptor: ShmDescriptor) -> np.ndarray:
+    """Zero-copy view of one packed array inside a plain buffer."""
+    if descriptor.block:
+        raise ConfigurationError(
+            f"descriptor names shared-memory block "
+            f"{descriptor.block!r}; use attach_view")
+    raw = np.asarray(buffer, dtype=np.uint8)
+    out = raw[descriptor.offset: descriptor.offset + descriptor.nbytes] \
+        .view(descriptor.dtype).reshape(descriptor.shape)
+    out = out.view()
+    out.setflags(write=False)
+    return out

@@ -35,8 +35,12 @@ from repro.core.context import BeatContext
 from repro.ecg.pan_tompkins import PanTompkinsDetector
 from repro.ecg.preprocessing import preprocess_ecg
 from repro.errors import ConfigurationError, SignalError
-from repro.icg.hemodynamics import HemodynamicsEstimator, systolic_intervals
-from repro.icg.points import detect_all_points
+from repro.icg.hemodynamics import (
+    HemodynamicsEstimator,
+    systolic_intervals,
+    systolic_intervals_from_landmarks,
+)
+from repro.icg.points import detect_all_landmarks
 from repro.icg.preprocessing import icg_from_impedance
 
 __all__ = [
@@ -148,23 +152,42 @@ class PointDetectionStage:
     Collects per-beat failures instead of raising: whether an empty
     result is fatal is the downstream consumer's decision (the full
     pipeline treats it as an error, the study runner reports NaNs).
+
+    Under the default batched backend (see
+    :func:`repro.icg.points.set_point_backend`) the detection runs the
+    beat-matrix kernels of :mod:`repro.icg.batch` and additionally
+    fills ``ctx.beat_landmarks`` with the landmark columns, which the
+    hemodynamics stage consumes without re-gathering per beat.  The
+    reference backend leaves ``beat_landmarks`` empty and downstream
+    stages take their per-beat paths — the configuration the parity
+    suite pins the batched chain against.
     """
 
     name = "point_detection"
 
     def run(self, ctx: BeatContext) -> BeatContext:
-        """Fill ``points`` and ``failures``."""
-        points, failures = detect_all_points(
+        """Fill ``points``, ``failures`` and (batched) ``beat_landmarks``."""
+        points, failures, landmarks = detect_all_landmarks(
             ctx.require("icg"), ctx.fs, ctx.require("r_peak_indices"),
             ctx.config.points)
         ctx.points = points
         ctx.failures = failures
+        ctx.beat_landmarks = landmarks
         return ctx
 
 
 class HemodynamicsStage:
     """Z0, HR, PEP, LVET — the radio payload — plus SV/CO when the
-    subject height is configured."""
+    subject height is configured.
+
+    When the point-detection stage ran batched (``ctx.beat_landmarks``
+    present), the systolic intervals and per-beat hemodynamics come
+    from the landmark columns in one vectorized pass
+    (:func:`~repro.icg.hemodynamics.systolic_intervals_from_landmarks`,
+    :meth:`~repro.icg.hemodynamics.HemodynamicsEstimator.estimate_landmarks`);
+    otherwise the original per-beat loops run.  Both paths are
+    bit-identical (pinned by the batched-parity suite).
+    """
 
     name = "hemodynamics"
 
@@ -176,7 +199,12 @@ class HemodynamicsStage:
             raise SignalError(
                 f"no ICG beats could be analysed "
                 f"({len(ctx.failures or [])} failures)")
-        ctx.intervals = systolic_intervals(points, ctx.fs)
+        landmarks = ctx.beat_landmarks
+        if landmarks is not None:
+            ctx.intervals = systolic_intervals_from_landmarks(
+                landmarks, ctx.fs)
+        else:
+            ctx.intervals = systolic_intervals(points, ctx.fs)
         ctx.z0_ohm = mean_impedance(ctx.z)
         rr = np.diff(ctx.require("r_peak_indices")) / ctx.fs
         ctx.hr_bpm = float(60.0 / rr.mean())
@@ -187,8 +215,11 @@ class HemodynamicsStage:
                 ctx.fs, ctx.z0_ohm, ctx.config.height_cm,
                 z0_calibration=ctx.config.z0_calibration,
                 dzdt_calibration=ctx.config.dzdt_calibration)
-            ctx.beat_hemodynamics = estimator.estimate_all(
-                points, ctx.require("icg"))
+            icg = ctx.require("icg")
+            ctx.beat_hemodynamics = (
+                estimator.estimate_landmarks(landmarks, icg)
+                if landmarks is not None
+                else estimator.estimate_all(points, icg))
         return ctx
 
 

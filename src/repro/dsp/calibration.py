@@ -1,0 +1,361 @@
+"""Adaptive FFT/direct convolution crossover calibration.
+
+:func:`repro.dsp.fir.apply_fir` picks between ``np.convolve`` and a
+single-FFT path.  PR 2 pinned the switch at one measured constant
+(``FFT_CROSSOVER_TAPS = 256``), but the true crossover moves with the
+host: numpy build, BLAS/SIMD kernels, cache sizes.  A constant tuned
+on one machine silently picks the slower path on another.
+
+This module replaces the constant with a **startup micro-calibration**:
+
+* the decision is a per-*signal-length-bucket* tap threshold
+  (:class:`FftCrossoverTable`); buckets are powers of two, so one tiny
+  measurement covers every nearby signal length;
+* each bucket is calibrated lazily on first use — a few milliseconds
+  of timing direct vs FFT convolution at candidate tap counts, binary
+  searched and cached for the life of the process;
+* results are clamped to ``[MIN_CROSSOVER_TAPS, MAX_CROSSOVER_TAPS]``.
+  The floor guarantees the short designs of the published chain (the
+  33-tap ECG FIR, the 150 ms MWI at clinical rates) always take the
+  direct path on every host, so cross-host bit-reproducibility of the
+  core protocol never depends on timing;
+* ``REPRO_FFT_CROSSOVER=<taps>`` forces a fixed crossover (no timing,
+  full determinism — deployment hosts with a known-good value), and
+  ``REPRO_FFT_CALIBRATE=0`` disables measurement in favour of the
+  built-in default;
+* within one process the table is calibrated once and then frozen, and
+  the process backends ship the parent's snapshot to their workers
+  (:func:`snapshot` / :func:`install_snapshot`), so a parent and its
+  pool can never disagree on a convolution path — the property the
+  bit-identical batch/serial tests rely on;
+* calibrated buckets persist to a per-host cache file
+  (``$XDG_CACHE_HOME/repro/fft-crossover.json``, keyed by
+  python/numpy/machine; ``REPRO_FFT_CACHE`` relocates it, empty
+  disables), so *separate processes on the same host* — a second CLI
+  run, a crash-recovery replay — resolve every previously measured
+  bucket identically instead of re-timing it.  Persistence is
+  best-effort; ``REPRO_FFT_CROSSOVER`` remains the hard-determinism
+  switch for fleets that need identical paths across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_CROSSOVER_TAPS",
+    "MIN_CROSSOVER_TAPS",
+    "MAX_CROSSOVER_TAPS",
+    "FftCrossoverTable",
+    "crossover_taps",
+    "default_crossover_table",
+    "snapshot",
+    "install_snapshot",
+    "use_crossover",
+    "reset_default_table",
+]
+
+#: The PR 2 measured constant — the fallback when calibration is
+#: disabled and the seed of every candidate search.
+DEFAULT_CROSSOVER_TAPS = 256
+
+#: Clamp: never send kernels shorter than this to the FFT path.  The
+#: published chain's designs (33-tap ECG FIR, ~38-tap MWI at 250 Hz)
+#: sit safely below, so the protocol's numbers are timing-independent.
+MIN_CROSSOVER_TAPS = 64
+MAX_CROSSOVER_TAPS = 2048
+
+#: Candidate thresholds probed by the calibration search.
+_CANDIDATES = (64, 128, 256, 512, 1024, 2048)
+
+#: Signal lengths above this are measured at this length — the FFT
+#: advantage only grows with n, so the cached value stays valid while
+#: startup cost stays bounded.
+_MAX_PROBE_SAMPLES = 16384
+
+_ENV_FORCE = "REPRO_FFT_CROSSOVER"
+_ENV_CALIBRATE = "REPRO_FFT_CALIBRATE"
+_ENV_CACHE = "REPRO_FFT_CACHE"
+
+
+def _disk_cache_path() -> Optional[Path]:
+    """The per-host calibration cache file (``None`` disables).
+
+    ``REPRO_FFT_CACHE`` overrides the location; an empty value turns
+    persistence off.  Default: ``$XDG_CACHE_HOME/repro`` (or
+    ``~/.cache/repro``).
+    """
+    env = os.environ.get(_ENV_CACHE)
+    if env is not None:
+        return Path(env) if env.strip() else None
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return Path(base) / "repro" / "fft-crossover.json"
+
+
+def _host_key() -> str:
+    """Cache key: the crossover moves with interpreter/numpy/machine."""
+    return (f"py{platform.python_version()}"
+            f"-np{np.__version__}-{platform.machine()}")
+
+
+def _load_disk_table() -> dict:
+    """Previously persisted ``{bucket: crossover}`` for this host
+    (empty on any problem — the cache is best-effort)."""
+    path = _disk_cache_path()
+    if path is None:
+        return {}
+    try:
+        stored = json.loads(path.read_text())
+        return {int(bucket): int(taps)
+                for bucket, taps in stored.get(_host_key(), {}).items()}
+    except (OSError, ValueError, AttributeError, TypeError):
+        return {}
+
+
+def _store_disk_table(table: dict) -> None:
+    """Atomically merge this process's calibrated buckets into the
+    host cache, so the *next* process (a recovery replay, a second CLI
+    run) resolves every already-measured bucket identically instead of
+    re-timing it.  Best-effort: any I/O problem is ignored."""
+    path = _disk_cache_path()
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            stored = json.loads(path.read_text())
+        except (OSError, ValueError):
+            stored = {}
+        host = stored.setdefault(_host_key(), {})
+        host.update({str(bucket): int(taps)
+                     for bucket, taps in table.items()})
+        temp = path.with_suffix(".tmp")
+        temp.write_text(json.dumps(stored, indent=1, sort_keys=True))
+        os.replace(temp, path)
+    except OSError:     # pragma: no cover - read-only home, races, ...
+        pass
+
+
+def _fft_beats_direct(n_samples: int, n_taps: int,
+                      repeats: int = 3,
+                      clock: Callable[[], float] = time.perf_counter,
+                      ) -> bool:
+    """Measure whether the FFT path wins for ``(n_samples, n_taps)``.
+
+    Median-of-N of each path (the same outlier-immune estimator the
+    perf harness uses, in miniature).
+    """
+    from repro.dsp import fir as _fir
+
+    rng = np.random.default_rng(n_samples * 31 + n_taps)
+    x = rng.standard_normal(n_samples)
+    taps = rng.standard_normal(n_taps)
+    # One warm pass each (FFT plans, allocator, code paths).
+    np.convolve(x, taps, mode="full")
+    _fir._fft_convolve(x, taps)
+    direct_times = []
+    fft_times = []
+    for _ in range(repeats):
+        start = clock()
+        np.convolve(x, taps, mode="full")
+        direct_times.append(clock() - start)
+        start = clock()
+        _fir._fft_convolve(x, taps)
+        fft_times.append(clock() - start)
+    return sorted(fft_times)[repeats // 2] < sorted(
+        direct_times)[repeats // 2]
+
+
+class FftCrossoverTable:
+    """Lazily calibrated per-signal-bucket crossover thresholds.
+
+    ``resolve(n_taps, n_samples)`` is the hot-path query used by
+    ``apply_fir``'s ``auto`` mode; everything else is plumbing for
+    determinism (env overrides, worker snapshots, test injection).
+    """
+
+    def __init__(self, default: int = DEFAULT_CROSSOVER_TAPS,
+                 calibrate: Optional[bool] = None,
+                 override: Optional[int] = None,
+                 measure: Callable[[int, int], bool] = _fft_beats_direct,
+                 ) -> None:
+        if override is None:
+            forced = os.environ.get(_ENV_FORCE, "").strip()
+            if forced:
+                try:
+                    override = int(forced)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{_ENV_FORCE} must be an integer, got "
+                        f"{forced!r}")
+        if calibrate is None:
+            calibrate = os.environ.get(_ENV_CALIBRATE, "1") != "0"
+        self.default = int(default)
+        self.override = None if override is None else int(override)
+        self.calibrate = bool(calibrate) and self.override is None
+        self._measure = measure
+        # Seed from the per-host disk cache: a fresh process (a second
+        # CLI run, a crash-recovery replay) then resolves every
+        # previously measured bucket identically instead of re-timing
+        # it — cross-*process* path stability on one host.
+        self._table: dict = _load_disk_table() if self.calibrate else {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def bucket(n_samples: int) -> int:
+        """Power-of-two signal-length bucket for ``n_samples``."""
+        n = min(max(int(n_samples), 1), _MAX_PROBE_SAMPLES)
+        return 1 << (n - 1).bit_length()
+
+    def crossover_taps(self, n_samples: int) -> int:
+        """The tap threshold at/above which FFT wins for this length."""
+        if self.override is not None:
+            return max(1, self.override)
+        bucket = self.bucket(n_samples)
+        with self._lock:
+            value = self._table.get(bucket)
+        if value is not None:        # calibrated (or installed) bucket
+            return value
+        if not self.calibrate:
+            return self.default
+        value = self._calibrate_bucket(bucket)
+        with self._lock:
+            self._table.setdefault(bucket, value)
+            value = self._table[bucket]
+            table = dict(self._table)
+        _store_disk_table(table)
+        return value
+
+    def resolve(self, n_taps: int, n_samples: int) -> str:
+        """``"fft"`` or ``"direct"`` for one application."""
+        if n_taps >= self.crossover_taps(n_samples) \
+                and n_samples > n_taps:
+            return "fft"
+        return "direct"
+
+    def _calibrate_bucket(self, bucket: int) -> int:
+        """Binary-search the candidate grid for the smallest tap count
+        where the FFT path wins; clamped, defaulting to the static
+        constant when FFT never wins in range."""
+        lo, hi = 0, len(_CANDIDATES) - 1
+        winner = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            taps = _CANDIDATES[mid]
+            if taps >= bucket:        # degenerate: kernel ~ signal
+                hi = mid - 1
+                continue
+            if self._measure(bucket, taps):
+                winner = taps
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        if winner is None:
+            winner = max(self.default, MIN_CROSSOVER_TAPS)
+        return int(min(max(winner, MIN_CROSSOVER_TAPS),
+                       MAX_CROSSOVER_TAPS))
+
+    # -- worker shipping ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable state for installing in a pool worker."""
+        with self._lock:
+            table = dict(self._table)
+        return {"default": self.default, "override": self.override,
+                "calibrate": self.calibrate, "table": table}
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "FftCrossoverTable":
+        """Rebuild a table that will never re-measure: buckets missing
+        from the snapshot fall back to the parent's default, keeping
+        parent and worker on identical paths."""
+        out = cls(default=state["default"], calibrate=False,
+                  override=state["override"])
+        out._table = dict(state["table"])
+        # Resolve un-snapshotted buckets from the snapshot, never from
+        # fresh (possibly disagreeing) measurement.
+        return out
+
+    def stats(self) -> dict:
+        """Calibrated ``{bucket: crossover}`` plus mode, for the perf
+        harness's summary."""
+        with self._lock:
+            table = dict(sorted(self._table.items()))
+        mode = ("override" if self.override is not None
+                else "calibrated" if self.calibrate else "static")
+        return {"mode": mode, "default": self.default,
+                "override": self.override, "table": table}
+
+
+_DEFAULT_TABLE = FftCrossoverTable()
+_TABLE_LOCK = threading.Lock()
+
+
+def default_crossover_table() -> FftCrossoverTable:
+    """The process-wide table ``apply_fir`` consults."""
+    return _DEFAULT_TABLE
+
+
+def crossover_taps(n_samples: int) -> int:
+    """Tap threshold for a signal of ``n_samples`` (hot-path helper)."""
+    return _DEFAULT_TABLE.crossover_taps(n_samples)
+
+
+def snapshot() -> dict:
+    """The process-wide table's picklable state (for pool workers)."""
+    return _DEFAULT_TABLE.snapshot()
+
+
+def install_snapshot(state: dict) -> None:
+    """Adopt a parent's calibration snapshot process-wide (worker
+    initializer) — the worker then never re-measures, so parent and
+    pool agree on every convolution path."""
+    global _DEFAULT_TABLE
+    with _TABLE_LOCK:
+        _DEFAULT_TABLE = FftCrossoverTable.from_snapshot(state)
+
+
+def reset_default_table(**kwargs) -> None:
+    """Replace the process-wide table (tests / env-change pickup)."""
+    global _DEFAULT_TABLE
+    with _TABLE_LOCK:
+        _DEFAULT_TABLE = FftCrossoverTable(**kwargs)
+
+
+class use_crossover:
+    """Context manager pinning a fixed crossover process-wide.
+
+    ``with use_crossover(256): ...`` makes ``auto`` behave exactly like
+    the static PR 2 constant — what the kernel-parity boundary tests
+    pin, and a handy escape hatch for bit-reproducing a run on a
+    different host.
+    """
+
+    def __init__(self, taps: int) -> None:
+        if taps < 1:
+            raise ConfigurationError("crossover must be >= 1 tap")
+        self.taps = int(taps)
+        self._previous: Optional[FftCrossoverTable] = None
+
+    def __enter__(self) -> "use_crossover":
+        global _DEFAULT_TABLE
+        with _TABLE_LOCK:
+            self._previous = _DEFAULT_TABLE
+            _DEFAULT_TABLE = FftCrossoverTable(override=self.taps)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _DEFAULT_TABLE
+        with _TABLE_LOCK:
+            _DEFAULT_TABLE = self._previous

@@ -32,13 +32,20 @@ __all__ = [
     "FFT_CROSSOVER_TAPS",
 ]
 
-#: Tap count above which the FFT convolution path beats direct
-#: ``np.convolve``.  Measured on the target interpreter (numpy 2.x,
-#: signals of 2k-32k samples): direct wins clearly through ~129 taps,
-#: the two trade places around 257, and FFT wins beyond.  Kernels this
-#: long appear in the high-rate device modes (e.g. the 150 ms
-#: Pan-Tompkins integration window at fs >= ~1.7 kHz) and the
+#: Static default tap count above which the FFT convolution path beats
+#: direct ``np.convolve``.  Measured on the reference interpreter
+#: (numpy 2.x, signals of 2k-32k samples): direct wins clearly through
+#: ~129 taps, the two trade places around 257, and FFT wins beyond.
+#: Kernels this long appear in the high-rate device modes (e.g. the
+#: 150 ms Pan-Tompkins integration window at fs >= ~1.7 kHz) and the
 #: resampler's anti-alias filters.
+#:
+#: ``method="auto"`` no longer uses this constant directly: the actual
+#: switch point comes from the startup micro-calibration in
+#: :mod:`repro.dsp.calibration` (per signal-length bucket, clamped,
+#: env-overridable), which tracks numpy/BLAS differences between
+#: hosts.  This value remains the calibration's fallback/default and
+#: the documented reference point.
 FFT_CROSSOVER_TAPS = 256
 
 
@@ -169,8 +176,9 @@ def _resolve_method(method: str, taps: np.ndarray, x: np.ndarray) -> str:
             f"method must be 'auto', 'direct' or 'fft', got {method!r}")
     if method != "auto":
         return method
-    return ("fft" if taps.size >= FFT_CROSSOVER_TAPS
-            and x.size > taps.size else "direct")
+    from repro.dsp.calibration import default_crossover_table
+
+    return default_crossover_table().resolve(taps.size, x.size)
 
 
 def apply_fir(taps: np.ndarray, x, method: str = "auto") -> np.ndarray:

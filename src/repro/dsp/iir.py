@@ -312,7 +312,11 @@ def _check_sos(sos) -> np.ndarray:
         raise ConfigurationError(
             f"sos must have shape (n_sections, 6), got {sos.shape}"
         )
-    if not np.allclose(sos[:, 3], 1.0):
+    # Same acceptance band as np.allclose(sos[:, 3], 1.0) without its
+    # generic broadcasting machinery — this check runs on every filter
+    # application, so its constant cost is hot-path overhead.
+    a0_error = np.abs(sos[:, 3] - 1.0)
+    if not (a0_error <= 1.0e-8 + 1.0e-5).all():
         raise ConfigurationError("sos sections must be normalised (a0 == 1)")
     return sos
 
@@ -431,13 +435,13 @@ def _biquad_block(section: np.ndarray, x: np.ndarray, w0: float,
     m00, m01 = G[block - 1]
     m10, m11 = G[block - 2]
     tails = particular[:, block - 2:].tolist()
-    states = np.empty((n_blocks, 2))
+    rows = []
     s0 = s1 = 0.0
-    for j, (p_penult, p_last) in enumerate(tails):
-        states[j, 0] = s0
-        states[j, 1] = s1
+    for p_penult, p_last in tails:
+        rows.append((s0, s1))
         s0, s1 = (m00 * s0 + m01 * s1 + p_last,
                   m10 * s0 + m11 * s1 + p_penult)
+    states = np.array(rows)
     y = (particular + states @ G.T).ravel()[:n]
     # Closing DF2T state, read off the last in/out samples.
     w1_out = b2 * x[-1] - a2 * y[-1]

@@ -20,6 +20,8 @@ __all__ = [
     "instantaneous_hr_bpm",
     "HrvSummary",
     "hrv_summary",
+    "hrv_from_landmarks",
+    "instantaneous_hr_from_landmarks",
 ]
 
 
@@ -90,3 +92,24 @@ def heart_rate_from_indices(r_indices, fs: float) -> float:
         raise ConfigurationError("fs must be positive")
     r_indices = np.asarray(r_indices, dtype=float)
     return mean_heart_rate_bpm(r_indices / fs)
+
+
+def hrv_from_landmarks(landmarks, fs: float) -> HrvSummary:
+    """HRV summary straight from beat-batched landmark columns.
+
+    Consumes the R column of a
+    :class:`~repro.icg.batch.BeatLandmarks` (the array twin of the
+    detected points list) — the beat-batched entry point for pipelines
+    that never materialise per-beat objects.
+    """
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    return hrv_summary(np.asarray(landmarks.r, dtype=float) / fs)
+
+
+def instantaneous_hr_from_landmarks(landmarks, fs: float) -> np.ndarray:
+    """Beat-to-beat HR series from beat-batched landmark columns."""
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    return instantaneous_hr_bpm(np.asarray(landmarks.r, dtype=float)
+                                / fs)

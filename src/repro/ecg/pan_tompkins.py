@@ -149,15 +149,65 @@ class PanTompkinsDetector:
 
         peaks = _local_peaks(integrated,
                              min_distance=int(0.2 * self.fs))
-        qrs = self._threshold_pass(integrated, bandpassed, peaks)
+        qrs = self._threshold_pass(integrated, bandpassed, peaks,
+                                   *self._peak_features(bandpassed,
+                                                        peaks))
         return self._refine(x, qrs)
 
     def detect_times(self, ecg) -> np.ndarray:
         """Detect QRS complexes; returns R-peak times in seconds."""
         return self.detect(ecg) / self.fs
 
+    def _peak_features(self, bp: np.ndarray, peaks: np.ndarray) -> tuple:
+        """Per-peak band-pass features, batched.
+
+        The threshold pass consults two windowed maxima at every
+        fiducial mark — the band-pass peak within the preceding 100 ms
+        and the steepest slope within the preceding 75 ms.  Computing
+        them per peak cost a handful of small numpy calls each; here
+        the interior peaks' windows are gathered into one
+        ``(n_peaks, window)`` view and reduced in a single pass (max
+        is reduction-order independent, so the values are bit-equal),
+        with only boundary-clamped peaks falling back to the scalar
+        expression.  Returns ``({peak: bp_peak}, {peak: slope})``.
+        """
+        fs = self.fs
+        n = bp.size
+        w_near = int(0.10 * fs)
+        w_slope = int(0.075 * fs)
+        abs_bp = np.abs(bp)
+        abs_diff = np.abs(np.diff(bp))
+        near: dict = {}
+        slope: dict = {}
+        interior = peaks[(peaks >= w_near) & (peaks >= w_slope)
+                         & (peaks >= 1)]
+        if interior.size and w_near >= 0 and w_slope >= 1:
+            rows = np.lib.stride_tricks.sliding_window_view(
+                abs_bp, w_near + 1)[interior - w_near]
+            near_vals = rows.max(axis=1)
+            rows = np.lib.stride_tricks.sliding_window_view(
+                abs_diff, w_slope)[interior - w_slope]
+            slope_vals = rows.max(axis=1)
+            for i, idx in enumerate(interior):
+                near[int(idx)] = float(near_vals[i])
+                slope[int(idx)] = float(slope_vals[i])
+        for idx in peaks:
+            idx = int(idx)
+            if idx in near:
+                continue
+            lo = max(0, idx - w_near)
+            hi = min(n, idx + 1)
+            near[idx] = (float(np.max(abs_bp[lo:hi]))
+                         if hi > lo else 0.0)
+            lo = max(0, idx - w_slope)
+            segment = bp[lo: idx + 1]
+            slope[idx] = (float(np.max(abs_diff[lo:idx]))
+                          if segment.size > 1 else 0.0)
+        return near, slope
+
     def _threshold_pass(self, mwi: np.ndarray, bp: np.ndarray,
-                        peaks: np.ndarray) -> list:
+                        peaks: np.ndarray, bp_near: dict,
+                        bp_slope: dict) -> list:
         cfg = self.config
         fs = self.fs
         # Initialise estimates from the first two seconds, as the
@@ -177,14 +227,10 @@ class PanTompkinsDetector:
         twave_lim = int(cfg.twave_window_s * fs)
 
         def bp_peak_near(idx: int) -> float:
-            lo = max(0, idx - int(0.10 * fs))
-            hi = min(bp.size, idx + 1)
-            return float(np.max(np.abs(bp[lo:hi]))) if hi > lo else 0.0
+            return bp_near[int(idx)]
 
         def mean_slope_before(idx: int) -> float:
-            lo = max(0, idx - int(0.075 * fs))
-            segment = bp[lo: idx + 1]
-            return float(np.max(np.abs(np.diff(segment)))) if segment.size > 1 else 0.0
+            return bp_slope[int(idx)]
 
         def accept(idx: int) -> None:
             nonlocal spk_i, spk_f, threshold_i, threshold_f
@@ -217,7 +263,10 @@ class PanTompkinsDetector:
             nonlocal spk_i
             if not (cfg.search_back and qrs and rr_recent):
                 return
-            rr_mean = float(np.mean(rr_selective or rr_recent))
+            regular = rr_selective or rr_recent
+            # sum/len of small-integer RRs is exact, hence bit-equal
+            # to np.mean without the reduction-machinery overhead.
+            rr_mean = float(sum(regular) / len(regular))
             if current - qrs[-1] <= 1.66 * rr_mean:
                 return
             candidates = [p for p in peaks
@@ -297,7 +346,8 @@ def _rr_is_regular(rr: int, rr_selective: list) -> bool:
     """RR acceptance test for the selective average (92-116 % band)."""
     if not rr_selective:
         return True
-    mean = float(np.mean(rr_selective))
+    # Exact for integer RR intervals: identical to np.mean.
+    mean = float(sum(rr_selective) / len(rr_selective))
     return 0.92 * mean <= rr <= 1.16 * mean
 
 

@@ -35,8 +35,10 @@ from repro.core.context import BeatContext
 from repro.core.executor import (
     parallel_map,
     resolve_backend,
+    resolve_shm_result,
     will_parallelize,
 )
+from repro.core.shm import ShmArena, aligned_nbytes
 from repro.core.stages import default_stage_graph
 from repro.errors import ProtocolError
 from repro.experiments.protocol import (
@@ -263,6 +265,26 @@ def _run_study_job(job, cache: Optional[FilterDesignCache] = None,
     return store, key, analysis
 
 
+def _run_study_job_shm(item, verbose: bool = False):
+    """Process-backend study job with its ensemble waveform routed
+    through the shared-memory result plane.
+
+    ``item`` is ``(job, slot)`` where ``slot`` is a pre-reserved
+    :class:`~repro.core.shm.ShmDescriptor` — the waveform is written
+    into the parent's arena and only the descriptor is pickled home
+    (the same scheme as the batch executor's result slots).  A
+    waveform that does not fit the slot stays inline; correctness
+    never depends on the fast path.
+    """
+    from repro.core.executor import swap_result_fields
+
+    job, slot = item
+    store, key, analysis = _run_study_job(job, cache=None,
+                                          verbose=verbose)
+    return store, key, swap_result_fields(analysis,
+                                          {"ensemble_beat": slot})
+
+
 def study_jobs(cohort, config: ProtocolConfig) -> list:
     """The protocol's flat, deterministic job list.
 
@@ -302,6 +324,7 @@ def execute_study_jobs(jobs, verbose: bool = False,
     however the jobs are partitioned or fanned out.
     """
     backend = resolve_backend(backend)
+    jobs = list(jobs)
     if cache is None:
         cache = default_design_cache()
     # The design cache holds a lock and cannot cross process
@@ -310,9 +333,36 @@ def execute_study_jobs(jobs, verbose: bool = False,
     # own process-local default instead.
     will_fork = (backend == "process"
                  and will_parallelize(n_jobs, len(jobs)))
-    job_cache = None if will_fork else cache
-    run_job = partial(_run_study_job, cache=job_cache, verbose=verbose)
-    return parallel_map(run_job, jobs, n_jobs=n_jobs, backend=backend)
+    if not will_fork:
+        run_job = partial(_run_study_job, cache=cache, verbose=verbose)
+        return parallel_map(run_job, jobs, n_jobs=n_jobs,
+                            backend=backend)
+    # Forked path: synthesis happens in-worker (jobs are tiny tuples),
+    # and the one array-sized result field — the ensemble waveform —
+    # comes home through a shared-memory result arena instead of the
+    # pipe, reusing the batch executor's descriptor scheme.
+    from repro.icg.ensemble import EnsembleConfig
+
+    n_phase = EnsembleConfig().n_phase_samples
+    slot_bytes = aligned_nbytes(n_phase * np.dtype(np.float64).itemsize)
+    try:
+        arena = ShmArena(max(1, len(jobs)) * slot_bytes)
+    except OSError:
+        # No shared memory available (e.g. a /dev/shm cap): degrade to
+        # the pickle plane — slower, never wrong.
+        run_job = partial(_run_study_job, cache=None, verbose=verbose)
+        return parallel_map(run_job, jobs, n_jobs=n_jobs,
+                            backend=backend)
+    try:
+        items = [(job, arena.reserve((n_phase,), np.float64))
+                 for job in jobs]
+        triples = parallel_map(
+            partial(_run_study_job_shm, verbose=verbose), items,
+            n_jobs=n_jobs, backend=backend)
+        return [(store, key, resolve_shm_result(analysis, arena))
+                for store, key, analysis in triples]
+    finally:
+        arena.release()
 
 
 def run_study(cohort=None, config: Optional[ProtocolConfig] = None,

@@ -7,14 +7,17 @@ from repro.icg.ensemble import (
     ensemble_average,
     extract_beats,
 )
+from repro.icg.batch import BeatLandmarks, detect_all_points_batched
 from repro.icg.hemodynamics import (
     BLOOD_RESISTIVITY_OHM_CM,
     BeatHemodynamics,
+    BeatHemodynamicsSeries,
     HemodynamicsEstimator,
     SystolicIntervals,
     kubicek_stroke_volume_ml,
     sramek_bernstein_stroke_volume_ml,
     systolic_intervals,
+    systolic_intervals_from_landmarks,
     thoracic_fluid_content,
 )
 from repro.icg.points import (
@@ -22,6 +25,8 @@ from repro.icg.points import (
     PointConfig,
     detect_all_points,
     detect_beat_points,
+    set_point_backend,
+    use_point_backend,
 )
 from repro.icg.preprocessing import (
     IcgFilterConfig,
@@ -35,8 +40,12 @@ __all__ = [
     "IcgFilterConfig", "lowpass", "highpass", "condition_icg",
     "icg_from_impedance",
     "PointConfig", "BeatPoints", "detect_beat_points", "detect_all_points",
+    "BeatLandmarks", "detect_all_points_batched", "set_point_backend",
+    "use_point_backend",
     "EnsembleConfig", "EnsembleBeat", "ensemble_average", "extract_beats",
-    "SystolicIntervals", "systolic_intervals", "BeatHemodynamics",
+    "SystolicIntervals", "systolic_intervals",
+    "systolic_intervals_from_landmarks", "BeatHemodynamics",
+    "BeatHemodynamicsSeries",
     "HemodynamicsEstimator", "kubicek_stroke_volume_ml",
     "sramek_bernstein_stroke_volume_ml", "thoracic_fluid_content",
     "BLOOD_RESISTIVITY_OHM_CM",

@@ -30,7 +30,9 @@ from repro.icg.points import BeatPoints
 __all__ = [
     "SystolicIntervals",
     "systolic_intervals",
+    "systolic_intervals_from_landmarks",
     "BeatHemodynamics",
+    "BeatHemodynamicsSeries",
     "HemodynamicsEstimator",
     "kubicek_stroke_volume_ml",
     "sramek_bernstein_stroke_volume_ml",
@@ -80,6 +82,33 @@ def systolic_intervals(points, fs: float,
         raise SignalError("no detected beats supplied")
     pep = np.array([p.pep_s(fs) for p in points])
     lvet = np.array([p.lvet_s(fs) for p in points])
+    valid = ((pep > 0.0) & (pep <= max_pep_s)
+             & (lvet > 0.0) & (lvet <= max_lvet_s))
+    if not valid.any():
+        raise SignalError("no physiologically valid beats after gating")
+    return SystolicIntervals(pep_s=pep[valid], lvet_s=lvet[valid])
+
+
+def systolic_intervals_from_landmarks(landmarks, fs: float,
+                                      max_pep_s: float = 0.30,
+                                      max_lvet_s: float = 0.60,
+                                      ) -> SystolicIntervals:
+    """Beat-batched twin of :func:`systolic_intervals`.
+
+    Consumes the landmark *columns* of a
+    :class:`~repro.icg.batch.BeatLandmarks` instead of gathering
+    per-beat fields from a points list — one integer subtraction and
+    one division for the whole recording.  The per-element arithmetic
+    is the same as ``BeatPoints.pep_s``/``lvet_s`` (exact integer
+    differences divided by ``fs``), so the output is bit-identical to
+    the per-beat path.
+    """
+    if fs <= 0:
+        raise ConfigurationError("fs must be positive")
+    if landmarks.n_beats == 0:
+        raise SignalError("no detected beats supplied")
+    pep = (landmarks.b - landmarks.r) / fs
+    lvet = (landmarks.x - landmarks.b) / fs
     valid = ((pep > 0.0) & (pep <= max_pep_s)
              & (lvet > 0.0) & (lvet <= max_lvet_s))
     if not valid.any():
@@ -149,6 +178,48 @@ class BeatHemodynamics:
     sv_sramek_ml: float
     co_kubicek_l_min: float
     co_sramek_l_min: float
+
+
+@dataclass(frozen=True)
+class BeatHemodynamicsSeries:
+    """Per-beat hemodynamics as flat columns — the beat-batched twin
+    of a ``list[BeatHemodynamics]``.
+
+    Produced in one vectorized pass by
+    :meth:`HemodynamicsEstimator.estimate_series`; monitoring
+    consumers (daily aggregation, trend tracking) reduce these columns
+    directly instead of gathering fields beat by beat.
+    """
+
+    pep_s: np.ndarray
+    lvet_s: np.ndarray
+    hr_bpm: np.ndarray
+    dzdt_max_ohm_s: np.ndarray
+    sv_kubicek_ml: np.ndarray
+    sv_sramek_ml: np.ndarray
+    co_kubicek_l_min: np.ndarray
+    co_sramek_l_min: np.ndarray
+
+    @property
+    def n_beats(self) -> int:
+        """Number of beats in the series."""
+        return int(self.pep_s.size)
+
+    def to_beats(self) -> list:
+        """The equivalent ``list[BeatHemodynamics]`` (legacy contract)."""
+        return [
+            BeatHemodynamics(
+                pep_s=float(self.pep_s[k]),
+                lvet_s=float(self.lvet_s[k]),
+                hr_bpm=float(self.hr_bpm[k]),
+                dzdt_max_ohm_s=float(self.dzdt_max_ohm_s[k]),
+                sv_kubicek_ml=float(self.sv_kubicek_ml[k]),
+                sv_sramek_ml=float(self.sv_sramek_ml[k]),
+                co_kubicek_l_min=float(self.co_kubicek_l_min[k]),
+                co_sramek_l_min=float(self.co_sramek_l_min[k]),
+            )
+            for k in range(self.pep_s.size)
+        ]
 
 
 class HemodynamicsEstimator:
@@ -236,10 +307,84 @@ class HemodynamicsEstimator:
         """Per-beat hemodynamics for a detected-point sequence.
 
         RR intervals are taken between consecutive R indices; the last
-        beat is dropped when no successor exists.
+        beat is dropped when no successor exists.  This per-beat loop
+        is the parity oracle for :meth:`estimate_series`.
         """
         results = []
         for current, successor in zip(points[:-1], points[1:]):
             rr = (successor.r_index - current.r_index) / self.fs
             results.append(self.estimate_beat(current, rr, icg))
         return results
+
+    def estimate_series(self, landmarks, icg) -> BeatHemodynamicsSeries:
+        """Beat-batched hemodynamics from landmark columns.
+
+        One vectorized pass over the landmark arrays of a
+        :class:`~repro.icg.batch.BeatLandmarks` — bit-identical to
+        :meth:`estimate_all` over the equivalent points list (the
+        beat-independent stroke-volume prefactors are evaluated by the
+        exact scalar expressions of the per-beat formulas, then applied
+        elementwise in the same operation order).  Raises the same
+        exception as the per-beat loop would at its first offending
+        beat.
+        """
+        icg = np.asarray(icg, dtype=float)
+        r = landmarks.r
+        if r.size < 2:
+            return BeatHemodynamicsSeries(*(np.empty(0),) * 8)
+        rr = (r[1:] - r[:-1]) / self.fs
+        b = landmarks.b[:-1]
+        c = landmarks.c[:-1]
+        x = landmarks.x[:-1]
+        pep = (b - r[:-1]) / self.fs
+        lvet = (x - b) / self.fs
+        c_ok = (0 <= c) & (c < icg.size)
+        if icg.size:
+            dzdt = (icg[np.clip(c, 0, icg.size - 1)]
+                    * self.dzdt_calibration)
+        else:
+            # No gather possible; every beat fails the bounds check
+            # below with the per-beat loop's exact exception.
+            dzdt = np.zeros(c.size)
+        # The per-beat loop raises at the first beat failing a check;
+        # reproduce the same exception for the same beat (comparisons
+        # written exactly as the scalar checks, so NaNs behave alike).
+        # Kubicek's validation covers lvet *and* the beat-independent
+        # electrode distance under one message.
+        sv_invalid = (lvet <= 0) | (self.electrode_distance_cm <= 0)
+        bad = np.where(rr <= 0, 1,
+                       np.where(~c_ok, 2,
+                                np.where(dzdt <= 0, 3,
+                                         np.where(sv_invalid, 4, 0))))
+        if bad.any():
+            first = int(bad[np.argmax(bad != 0)])
+            if first == 1:
+                raise ConfigurationError("RR interval must be positive")
+            if first == 2:
+                raise SignalError("C index outside the supplied ICG")
+            if first == 3:
+                raise SignalError("non-positive dZ/dt maximum at C")
+            raise ConfigurationError(
+                "Z0, LVET and electrode distance must be positive")
+        z0_equivalent = self.z0_ohm * self.z0_calibration
+        hr = 60.0 / rr
+        # Scalar prefactors written exactly as the per-beat formulas
+        # evaluate them, so the elementwise products round identically.
+        kubicek_prefactor = (BLOOD_RESISTIVITY_OHM_CM
+                             * (self.electrode_distance_cm
+                                / z0_equivalent) ** 2)
+        vept = (0.17 * self.height_cm) ** 3 / 4.25
+        sv_k = kubicek_prefactor * lvet * dzdt
+        sv_s = 1.0 * vept * lvet * dzdt / z0_equivalent
+        return BeatHemodynamicsSeries(
+            pep_s=pep, lvet_s=lvet, hr_bpm=hr, dzdt_max_ohm_s=dzdt,
+            sv_kubicek_ml=sv_k, sv_sramek_ml=sv_s,
+            co_kubicek_l_min=sv_k * hr / 1000.0,
+            co_sramek_l_min=sv_s * hr / 1000.0,
+        )
+
+    def estimate_landmarks(self, landmarks, icg) -> list:
+        """``list[BeatHemodynamics]`` from landmark columns — the
+        batched replacement for :meth:`estimate_all` at the legacy
+        list contract."""
+        return self.estimate_series(landmarks, icg).to_beats()

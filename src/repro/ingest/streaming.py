@@ -30,15 +30,23 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
-from functools import partial
 from typing import Optional
 
 import numpy as np
 
 from repro.core.cache import FilterDesignCache, default_design_cache
 from repro.core.config import PipelineConfig
-from repro.core.executor import process_recording_job, resolve_backend
+from repro.core.executor import (
+    plan_recording_job,
+    process_recording_job,
+    process_shm_job,
+    recording_job_nbytes,
+    resolve_backend,
+    resolve_shm_result,
+)
 from repro.core.pipeline import BeatToBeatPipeline, PipelineResult
+from repro.core.shm import ShmArena
+from repro.dsp import calibration as _calibration
 from repro.dsp import iir as _iir
 from repro.errors import ConfigurationError
 from repro.ingest.chunks import RecordingChunk, SessionAssembler
@@ -108,13 +116,6 @@ class SessionResult:
     #: Concatenated causal per-chunk ICG preview (``None`` when the
     #: executor ran with ``preview=False``).
     preview_icg: Optional[np.ndarray] = None
-
-
-def _finalize_session(recording: Recording,
-                      config: Optional[PipelineConfig]) -> PipelineResult:
-    """Offline stage-graph run for one assembled session (picklable;
-    shares the process-local pipeline memo with the batch backend)."""
-    return process_recording_job(recording, config)
 
 
 class _InlineResult:
@@ -223,8 +224,27 @@ class StreamingExecutor:
             queue.close()
 
     def _finalize_submit(self, pool, recording: Recording):
+        """Submit one assembled session; returns ``(future, arena)``
+        (``arena`` is ``None`` off the shared-memory path)."""
         if self.finalize_backend == "process":
-            return pool.submit(_finalize_session, recording, self.config)
+            # Zero-copy hand-off: the session's arrays land in a
+            # per-session shared-memory arena and the worker receives
+            # descriptors — the same data plane as process_batch.  If
+            # the host cannot provide the arena (/dev/shm cap), this
+            # session degrades to the pickle plane: slower, never
+            # wrong.
+            try:
+                arena = ShmArena(recording_job_nbytes(recording))
+            except OSError:
+                return pool.submit(process_recording_job, recording,
+                                   self.config), None
+            try:
+                job = plan_recording_job(recording, arena)
+                return pool.submit(process_shm_job, job,
+                                   self.config), arena
+            except Exception:
+                arena.release()
+                raise
         # Thread workers share the executor's design cache through a
         # per-rate pipeline memo (mirrors process_batch's warm path).
         fs = float(recording.fs)
@@ -234,8 +254,9 @@ class StreamingExecutor:
                                           cache=self.cache)
             self._pipelines[fs] = pipeline
         if pool is None:                  # single-worker inline path
-            return _InlineResult(pipeline.process_recording, recording)
-        return pool.submit(pipeline.process_recording, recording)
+            return _InlineResult(pipeline.process_recording,
+                                 recording), None
+        return pool.submit(pipeline.process_recording, recording), None
 
     # -- the drain loop ----------------------------------------------------
 
@@ -264,8 +285,13 @@ class StreamingExecutor:
         self._pipelines: dict = {}
 
         if self.finalize_backend == "process":
+            # Finalize workers adopt the parent's FFT-crossover
+            # calibration so streaming results stay bit-identical to
+            # the in-process batch path.
             pool_context = ProcessPoolExecutor(
-                max_workers=self.n_workers)
+                max_workers=self.n_workers,
+                initializer=_calibration.install_snapshot,
+                initargs=(_calibration.snapshot(),))
         elif self.n_workers == 1:
             # One thread worker buys nothing over finalizing in the
             # drain loop itself — skip the pool and its switching.
@@ -301,15 +327,24 @@ class StreamingExecutor:
                         recording = assembler.add(chunk)
                         if recording is not None:
                             conditioners.pop(sid, None)
-                            futures[sid] = (
-                                self._finalize_submit(pool, recording),
-                                recording, chunk.arrival_s)
+                            future, arena = self._finalize_submit(
+                                pool, recording)
+                            futures[sid] = (future, arena, recording,
+                                            chunk.arrival_s)
                 results = {}
-                for sid, (future, recording, last_s) in futures.items():
+                for sid, (future, arena, recording,
+                          last_s) in futures.items():
+                    try:
+                        result = future.result()
+                        if arena is not None:
+                            result = resolve_shm_result(result, arena)
+                    finally:
+                        if arena is not None:
+                            arena.release()
                     results[sid] = SessionResult(
                         session_id=sid,
                         recording=recording,
-                        result=future.result(),
+                        result=result,
                         n_chunks=chunk_counts[sid],
                         first_arrival_s=first_arrival[sid],
                         last_arrival_s=last_s,
@@ -322,6 +357,11 @@ class StreamingExecutor:
             # into `errors`, superseded by the propagating exception).
             queue.close()
             producer.join()
+            # Release any per-session arenas a failure left behind
+            # (idempotent for the ones already resolved above).
+            for entry in futures.values():
+                if entry[1] is not None:
+                    entry[1].release()
         if errors:
             raise errors[0]
         self.last_open_sessions = assembler.open_sessions

@@ -9,10 +9,19 @@ save/load round trip changes no bits and the merged study stays
 bit-identical to the serial run.
 
 The layout is flat key/value: shard coordinates and protocol identity
-under ``shard::``/``config::``, then one ``device::{i}::field`` /
-``thoracic::{i}::field`` group per analysis, where ``i`` is the
-shard-local insertion index (preserved on load, so a shard also
-round-trips its own ordering).
+under ``shard::``/``config::``, one ``device::{i}::field`` /
+``thoracic::{i}::field`` group of scalars per analysis (``i`` is the
+shard-local insertion index, preserved on load so a shard also
+round-trips its own ordering) — and, since schema 2, **one** packed
+``pack::blob`` holding every ensemble waveform, indexed per analysis
+by ``(offset, length)`` spans.  The spans are the on-disk form of the
+process backends' :class:`~repro.core.shm.ShmDescriptor` (built by the
+same :func:`~repro.core.shm.pack_arrays` /
+:func:`~repro.core.shm.buffer_view` pair with ``block=""``), so the
+zero-copy array layout is identical whether an analysis crosses a
+process boundary through shared memory or crosses machines inside a
+shard file: loads resolve each waveform as a view into the blob, not a
+per-key copy.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.shm import ShmDescriptor, buffer_view, pack_arrays
 from repro.errors import ConfigurationError
 
 # The experiment-layer types are imported lazily inside the functions:
@@ -30,10 +40,11 @@ from repro.errors import ConfigurationError
 
 __all__ = ["save_shard", "load_shard"]
 
-_SCHEMA = 1
+_SCHEMA = 2
 
 #: Scalar fields of one analysis, in serialisation order.  The
-#: ensemble waveform is the only array field and travels separately.
+#: ensemble waveform is the only array field; it lives in the packed
+#: blob and each analysis stores its descriptor span.
 _SCALAR_FIELDS = ("subject_id", "setup", "position", "frequency_hz",
                   "mean_z0_ohm", "mean_pep_s", "mean_lvet_s", "hr_bpm",
                   "n_beats", "n_failures")
@@ -55,32 +66,42 @@ def save_shard(shard, path) -> Path:
         "config::positions": np.asarray(shard.config.positions,
                                         dtype=int),
     }
+    waveforms = []
     for store in ("device", "thoracic"):
         for index, analysis in enumerate(getattr(shard, store).values()):
             prefix = f"{store}::{index:05d}::"
             for name in _SCALAR_FIELDS:
                 payload[prefix + name] = np.asarray(
                     getattr(analysis, name))
-            payload[prefix + "ensemble_beat"] = analysis.ensemble_beat
+            waveforms.append((prefix, np.asarray(analysis.ensemble_beat,
+                                                 dtype=np.float64)))
+    blob, descriptors = pack_arrays([w for _, w in waveforms])
+    payload["pack::blob"] = blob
+    for (prefix, _), descriptor in zip(waveforms, descriptors):
+        payload[prefix + "ensemble_beat_span"] = np.asarray(
+            [descriptor.offset, int(descriptor.shape[0])], dtype=np.int64)
     path = Path(path)
     np.savez_compressed(path, **payload)
     return path if str(path).endswith(".npz") else Path(f"{path}.npz")
 
 
-def _load_analysis(data, prefix: str):
+def _load_analysis(data, prefix: str, blob):
     from repro.experiments.study import RecordingAnalysis
 
     fields = {}
     for name in _SCALAR_FIELDS:
         value = data[prefix + name].item()
         fields[name] = value
+    offset, length = (int(v) for v in data[prefix + "ensemble_beat_span"])
+    descriptor = ShmDescriptor(block="", shape=(length,),
+                               dtype="<f8", offset=offset)
     return RecordingAnalysis(
         subject_id=int(fields["subject_id"]),
         setup=str(fields["setup"]),
         position=int(fields["position"]),
         frequency_hz=float(fields["frequency_hz"]),
         mean_z0_ohm=float(fields["mean_z0_ohm"]),
-        ensemble_beat=data[prefix + "ensemble_beat"],
+        ensemble_beat=buffer_view(blob, descriptor),
         mean_pep_s=float(fields["mean_pep_s"]),
         mean_lvet_s=float(fields["mean_lvet_s"]),
         hr_bpm=float(fields["hr_bpm"]),
@@ -91,7 +112,11 @@ def _load_analysis(data, prefix: str):
 
 def load_shard(path):
     """Load a shard previously written by :func:`save_shard`; returns
-    a :class:`~repro.experiments.sharding.StudyShard`."""
+    a :class:`~repro.experiments.sharding.StudyShard`.
+
+    Ensemble waveforms come back as zero-copy views into the shard's
+    packed blob — one decompressed buffer serves every analysis.
+    """
     from repro.experiments.protocol import ProtocolConfig
     from repro.experiments.sharding import StudyShard
 
@@ -121,6 +146,7 @@ def load_shard(path):
             shard_index=int(data["shard::shard_index"]),
             n_jobs_total=int(data["shard::n_jobs_total"]),
         )
+        blob = data["pack::blob"]
         groups: dict = {}
         for key in data.files:
             parts = key.split("::")
@@ -128,7 +154,7 @@ def load_shard(path):
                 groups.setdefault((parts[0], parts[1]), parts[0])
         for (store, index) in sorted(groups):
             prefix = f"{store}::{index}::"
-            analysis = _load_analysis(data, prefix)
+            analysis = _load_analysis(data, prefix, blob)
             if store == "device":
                 key = (analysis.subject_id, analysis.position,
                        analysis.frequency_hz)

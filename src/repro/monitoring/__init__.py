@@ -22,11 +22,13 @@ from repro.monitoring.trends import (
     DailySummary,
     TrendTracker,
     aggregate_daily,
+    summarize_beat_series,
     theil_sen_slope,
 )
 
 __all__ = [
-    "DailySummary", "aggregate_daily", "theil_sen_slope", "TrendTracker",
+    "DailySummary", "aggregate_daily", "summarize_beat_series",
+    "theil_sen_slope", "TrendTracker",
     "DecompensationScenario", "simulate_decompensation_course",
     "DailyMeasurement", "ChfMonitor", "WeightMonitor",
     "respiration_rate_from_impedance", "respiration_rate_from_rr",

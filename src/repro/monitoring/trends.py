@@ -24,9 +24,15 @@ from repro.errors import ConfigurationError, SignalError
 __all__ = [
     "DailySummary",
     "aggregate_daily",
+    "summarize_beat_series",
     "theil_sen_slope",
     "TrendTracker",
 ]
+
+#: Columns of a BeatHemodynamicsSeries that make sense as daily
+#: monitoring parameters.
+BEAT_SERIES_PARAMETERS = ("pep_s", "lvet_s", "hr_bpm",
+                          "sv_kubicek_ml", "co_kubicek_l_min")
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,37 @@ def aggregate_daily(days, values) -> list:
     if not summaries:
         raise SignalError("all measurements were non-finite")
     return summaries
+
+
+def summarize_beat_series(day: int, series,
+                          parameters=BEAT_SERIES_PARAMETERS) -> dict:
+    """One monitoring sample per parameter from a beat-batched series.
+
+    The longitudinal tracker consumes *one robust value per session*;
+    this collapses the columns of a
+    :class:`~repro.icg.hemodynamics.BeatHemodynamicsSeries` (the
+    pipeline's beat-batched output) into per-parameter
+    :class:`DailySummary` entries — median/MAD over beats, computed as
+    column reductions with no per-beat Python.  Returns
+    ``{parameter: DailySummary}``; parameters whose column is entirely
+    non-finite are omitted.
+    """
+    if series.n_beats == 0:
+        raise SignalError("beat series is empty")
+    out = {}
+    for name in parameters:
+        values = np.asarray(getattr(series, name), dtype=float)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            continue
+        mad = float(np.median(np.abs(finite - np.median(finite))))
+        out[name] = DailySummary(
+            day=int(day),
+            median=float(np.median(finite)),
+            spread=1.4826 * mad,
+            n_measurements=int(finite.size),
+        )
+    return out
 
 
 def theil_sen_slope(x, y) -> float:

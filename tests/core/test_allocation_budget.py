@@ -1,0 +1,118 @@
+"""Allocation-regression budget for the beat-batched hot path.
+
+The batched point-detection kernels exist to replace per-beat Python
+with whole-recording array passes.  The regression this suite pins:
+the batched path must not quietly reintroduce per-beat *array*
+temporaries.  Concretely, with the total signal length held fixed,
+
+* the tracemalloc peak of one detection pass must not grow with the
+  number of beats (per-beat buffers of any size would move it);
+* the number of live large blocks (>= 8 KiB) retained by the result
+  must stay a small constant (the landmark columns), never one block
+  per beat;
+* the derivative stage must issue exactly one global ``correlate``
+  per derivative order however many beats the recording holds.
+
+(The deliberately per-beat *scalar* work that bit-parity with the
+reference requires — the tiny edge-projection matvecs and line-fit
+reductions — allocates well under the 8 KiB threshold and is excluded
+by design.)
+"""
+
+import tracemalloc
+
+import numpy as np
+
+from repro.icg.batch import detect_all_points_batched
+from repro.icg.points import PointConfig
+
+FS = 250.0
+LARGE_BLOCK = 8 * 1024
+
+
+def many_beat_signal(n_beats: int, total_samples: int = 48000):
+    """A periodic synthetic ICG with ``n_beats`` analysable beats over
+    a fixed total length (positive C lobe, negative X trough)."""
+    length = total_samples // n_beats
+    t = np.arange(length) / FS
+    period = length / FS
+    beat = (1.2 * np.exp(-((t - 0.30 * period) ** 2) / (2 * 0.03 ** 2))
+            - 0.6 * np.exp(-((t - 0.62 * period) ** 2) / (2 * 0.05 ** 2)))
+    icg = np.tile(beat, n_beats)
+    r_indices = np.arange(n_beats + 1) * length
+    return icg, r_indices
+
+
+def detection_peak_bytes(n_beats: int) -> tuple:
+    """(tracemalloc peak, live large blocks) of one batched pass."""
+    icg, r_indices = many_beat_signal(n_beats)
+    config = PointConfig()
+    # Warm caches (savgol kernels, design tables) out of the budget.
+    detect_all_points_batched(icg, FS, r_indices, config)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before, _ = tracemalloc.get_traced_memory()
+    points, failures, landmarks = detect_all_points_batched(
+        icg, FS, r_indices, config)
+    _, peak = tracemalloc.get_traced_memory()
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    assert points, "synthetic beats must be analysable"
+    large_live = sum(
+        1 for trace in snapshot.traces if trace.size >= LARGE_BLOCK)
+    return peak - before, large_live
+
+
+def test_peak_is_independent_of_beat_count():
+    """Fixed signal, 8x the beats: the batched pass's peak allocation
+    must stay flat (per-beat temporaries would scale it)."""
+    few_peak, few_live = detection_peak_bytes(12)
+    many_peak, many_live = detection_peak_bytes(96)
+    assert many_peak <= 1.3 * few_peak + 64 * 1024, (
+        f"peak grew with beat count: {few_peak} -> {many_peak}")
+    # Live large blocks: the landmark/result columns only — a small
+    # constant, never O(n_beats) buffers.
+    assert many_live <= few_live + 8
+    assert many_live <= 40
+
+
+def test_peak_is_linear_in_signal_not_beats():
+    """The budget itself: one pass allocates a small constant multiple
+    of the signal size (the derivative arrays and window views), not
+    more."""
+    icg, r_indices = many_beat_signal(48)
+    config = PointConfig()
+    detect_all_points_batched(icg, FS, r_indices, config)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before, _ = tracemalloc.get_traced_memory()
+    detect_all_points_batched(icg, FS, r_indices, config)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    signal_bytes = icg.nbytes
+    # 3 derivative arrays + padded copies + (n_beats x width) window
+    # gathers (~2x signal for tiling beats) + masks: comfortably under
+    # 40x the signal; per-beat full-width temporaries would blow past.
+    assert peak - before <= 40 * signal_bytes + 256 * 1024
+
+
+def test_one_global_correlate_per_derivative_order(monkeypatch):
+    """The derivative stage runs exactly three global correlations —
+    one per order — regardless of beat count (the pre-batched code ran
+    three per beat)."""
+    import repro.icg.batch as batch
+
+    calls = []
+    real = np.correlate
+
+    def counting(*args, **kwargs):
+        calls.append(args[1].size)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(batch.np, "correlate", counting)
+    for n_beats in (8, 64):
+        calls.clear()
+        icg, r_indices = many_beat_signal(n_beats)
+        detect_all_points_batched(icg, FS, r_indices, PointConfig())
+        assert len(calls) == 3, (
+            f"{len(calls)} correlate calls for {n_beats} beats")

@@ -207,6 +207,7 @@ def test_process_backend_pickles_config_once_per_worker(batch_recordings):
     not once per job — asserted via the executor's pickle-size
     counter."""
     from repro.core import PipelineConfig
+    from repro.core.executor import process_shm_job
 
     config = PipelineConfig()
     n_workers = 2
@@ -220,20 +221,60 @@ def test_process_backend_pickles_config_once_per_worker(batch_recordings):
     # The shared callable (partial closing over the config) ships with
     # the initializer — its pickle is paid n_workers times, where the
     # legacy per-job scheme paid it once per item.
-    shared_bytes = len(pickle.dumps(partial(process_recording_job,
+    shared_bytes = len(pickle.dumps(partial(process_shm_job,
                                             config=config)))
     assert stats.shared_fn_bytes == shared_bytes
     assert stats.n_workers < stats.n_items
     assert stats.shipped_bytes < stats.legacy_bytes
-
-    # Job payloads carry recordings only: their pickled size must not
-    # grow by a per-job config copy.
-    recordings_bytes = sum(len(pickle.dumps(r))
-                           for r in batch_recordings)
-    per_job_config_cost = stats.n_items * shared_bytes
-    assert stats.payload_bytes < recordings_bytes + per_job_config_cost
     # Batching: far fewer submissions than items.
     assert stats.n_submissions <= 2 * n_workers < stats.n_items
+
+
+def test_process_backend_ships_descriptors_not_arrays(batch_recordings):
+    """The shared-memory data plane: every recording and every
+    recording-length result array crosses as a (block, shape, dtype,
+    offset) descriptor, so the pickled payload collapses to a constant
+    per job while the float64 payload rides shared memory."""
+    process_batch(batch_recordings, n_jobs=2, backend="process")
+    stats = last_ipc_stats()
+    assert stats is not None
+
+    recordings_bytes = sum(len(pickle.dumps(r))
+                           for r in batch_recordings)
+    raw_signal_bytes = sum(
+        sum(s.nbytes for s in r.signals.values())
+        for r in batch_recordings)
+    # Descriptors for: every signal/annotation + 2 result slots each.
+    assert stats.n_descriptors >= 4 * len(batch_recordings)
+    # The data plane carried at least the raw signals plus the two
+    # same-length result arrays per recording.
+    assert stats.data_plane_bytes >= 2 * raw_signal_bytes
+    # The pipe carried orders of magnitude less than the old pickled
+    # payload: at least a 10x collapse (it measures ~50-100x here).
+    assert stats.payload_bytes * 10 < recordings_bytes
+    assert stats.descriptor_collapse > 10.0
+    # legacy_bytes now accounts for the array payload the pickle
+    # scheme would have shipped.
+    assert stats.legacy_bytes > stats.data_plane_bytes
+    assert stats.shipped_bytes < stats.legacy_bytes / 10
+
+
+def test_process_backend_results_are_shared_views(batch_recordings):
+    """Result arrays come back as read-only views over the result
+    arena — the parent never unpickles a recording-length array."""
+    results = process_batch(batch_recordings[:3], n_jobs=2,
+                            backend="process")
+    for result in results:
+        assert not result.ecg_filtered.flags.writeable
+        assert not result.icg.flags.writeable
+        # Values are still exactly the pipeline's output (spot check
+        # against a fresh serial run).
+    serial = [
+        BeatToBeatPipeline(r.fs, cache=FilterDesignCache())
+        .process_recording(r)
+        for r in batch_recordings[:3]
+    ]
+    _assert_results_identical(results, serial)
 
 
 def test_process_backend_reports_worker_cache_stats(batch_recordings):
@@ -269,3 +310,26 @@ def test_study_parallel_matches_serial():
             assert (serial.correlation_table(position)
                     == study.correlation_table(position))
         assert serial.worst_case_error() == study.worst_case_error()
+
+
+def test_process_backend_falls_back_when_shared_memory_unavailable(
+        batch_recordings, monkeypatch):
+    """A host that cannot provide the arena (e.g. a /dev/shm cap) must
+    degrade to the pickle plane, not fail the batch."""
+    import repro.core.executor as executor
+
+    def no_shm(*args, **kwargs):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(executor, "ShmArena", no_shm)
+    serial = [
+        BeatToBeatPipeline(r.fs, cache=FilterDesignCache())
+        .process_recording(r)
+        for r in batch_recordings[:3]
+    ]
+    results = process_batch(batch_recordings[:3], n_jobs=2,
+                            backend="process")
+    _assert_results_identical(results, serial)
+    stats = last_ipc_stats()
+    assert stats.data_plane_bytes == 0          # pickle plane ran
+    assert stats.payload_bytes > 100_000        # arrays over the pipe

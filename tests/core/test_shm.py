@@ -1,0 +1,165 @@
+"""The shared-memory data plane: arenas, descriptors, recordings,
+packed buffers, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.shm import (
+    ALIGNMENT,
+    RecordingDescriptor,
+    ShmArena,
+    ShmDescriptor,
+    aligned_nbytes,
+    attach_view,
+    buffer_view,
+    detach_all,
+    pack_arrays,
+    publish_recording,
+    recording_from_descriptor,
+    recording_nbytes,
+)
+from repro.errors import ConfigurationError
+from repro.io import Recording
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    yield
+    detach_all()
+
+
+def test_aligned_nbytes():
+    assert aligned_nbytes(1) == ALIGNMENT
+    assert aligned_nbytes(ALIGNMENT) == ALIGNMENT
+    assert aligned_nbytes(ALIGNMENT + 1) == 2 * ALIGNMENT
+
+
+def test_arena_put_view_roundtrip():
+    rng = np.random.default_rng(0)
+    arrays = [rng.standard_normal(257), np.arange(9, dtype=np.int64),
+              rng.standard_normal((3, 5))]
+    with ShmArena(sum(aligned_nbytes(a.nbytes) for a in arrays)) as arena:
+        descriptors = [arena.put(a) for a in arrays]
+        for array, descriptor in zip(arrays, descriptors):
+            assert descriptor.block == arena.name
+            assert descriptor.offset % ALIGNMENT == 0
+            view = arena.view(descriptor)
+            assert np.array_equal(view, array)
+            assert not view.flags.writeable
+            assert view.dtype == array.dtype
+
+
+def test_arena_overflow_raises():
+    with ShmArena(ALIGNMENT) as arena:
+        arena.put(np.zeros(8))
+        with pytest.raises(ConfigurationError):
+            arena.put(np.zeros(8))
+
+
+def test_arena_rejects_object_arrays():
+    with ShmArena(ALIGNMENT) as arena:
+        with pytest.raises(ConfigurationError):
+            arena.put(np.array([object()]))
+
+
+def test_reserve_then_write_then_view():
+    with ShmArena(ALIGNMENT * 2) as arena:
+        slot = arena.reserve((6,), np.float64)
+        attach_view(slot, writable=True)[...] = np.arange(6.0)
+        assert np.array_equal(arena.view(slot), np.arange(6.0))
+
+
+def test_views_survive_release():
+    """The release contract: the name disappears immediately, existing
+    views keep their bytes until garbage-collected."""
+    arena = ShmArena(ALIGNMENT)
+    descriptor = arena.put(np.arange(4.0))
+    view = arena.view(descriptor)
+    arena.release()
+    arena.release()                     # idempotent
+    assert np.array_equal(view, np.arange(4.0))
+    with pytest.raises(FileNotFoundError):
+        attach_view(descriptor)         # the name is gone
+
+
+def test_attach_view_same_process():
+    with ShmArena(ALIGNMENT) as arena:
+        descriptor = arena.put(np.arange(5.0))
+        attached = attach_view(descriptor)
+        assert np.array_equal(attached, np.arange(5.0))
+        assert not attached.flags.writeable
+
+
+def test_descriptor_nbytes():
+    descriptor = ShmDescriptor(block="x", shape=(3, 4), dtype="<f8",
+                               offset=0)
+    assert descriptor.nbytes == 96
+
+
+def test_publish_and_materialise_recording():
+    recording = Recording(
+        250.0,
+        signals={"ecg": np.arange(500.0), "z": np.arange(500.0) + 1},
+        annotations={"r_times_s": np.array([0.1, 0.9])},
+        meta={"subject_id": 3, "setup": "device"})
+    with ShmArena(recording_nbytes(recording)) as arena:
+        descriptor = publish_recording(recording, arena)
+        assert isinstance(descriptor, RecordingDescriptor)
+        clone = recording_from_descriptor(descriptor)
+        assert clone.fs == recording.fs
+        assert clone.meta == recording.meta
+        for name in recording.signals:
+            assert np.array_equal(clone.channel(name),
+                                  recording.channel(name))
+            # Zero-copy and read-only: a stage mutating its input
+            # would corrupt the shared buffer, so that is an error.
+            with pytest.raises(ValueError):
+                clone.channel(name)[0] = 1.0
+        assert np.array_equal(clone.annotation("r_times_s"),
+                              recording.annotation("r_times_s"))
+
+
+def test_recording_nbytes_covers_publish():
+    recording = Recording(100.0, signals={"a": np.zeros(77),
+                                          "b": np.zeros(77)})
+    with ShmArena(recording_nbytes(recording)) as arena:
+        publish_recording(recording, arena)     # exactly fits
+        assert arena.used == recording_nbytes(recording)
+
+
+def test_pack_arrays_buffer_view_roundtrip():
+    rng = np.random.default_rng(1)
+    arrays = [rng.standard_normal(100), rng.standard_normal(3),
+              np.arange(7, dtype=np.int32)]
+    buffer, descriptors = pack_arrays(arrays)
+    for array, descriptor in zip(arrays, descriptors):
+        assert descriptor.block == ""       # inline buffer
+        view = buffer_view(buffer, descriptor)
+        assert np.array_equal(view, array)
+        assert view.dtype == array.dtype
+        assert not view.flags.writeable
+
+
+def test_buffer_view_rejects_shm_descriptors():
+    descriptor = ShmDescriptor(block="some_block", shape=(1,),
+                               dtype="<f8", offset=0)
+    with pytest.raises(ConfigurationError):
+        buffer_view(np.zeros(64, np.uint8), descriptor)
+
+
+def test_no_leftover_segments(tmp_path):
+    """Create/publish/release cycles leave nothing in /dev/shm."""
+    import os
+
+    def named_segments():
+        try:
+            return {n for n in os.listdir("/dev/shm")
+                    if n.startswith("psm_")}
+        except FileNotFoundError:       # non-Linux
+            return set()
+
+    before = named_segments()
+    for _ in range(5):
+        with ShmArena(4096) as arena:
+            arena.put(np.zeros(256))
+    assert named_segments() <= before

@@ -1,0 +1,186 @@
+"""Adaptive FFT-crossover calibration: search, clamps, overrides,
+snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import fir as _fir
+from repro.dsp.calibration import (
+    DEFAULT_CROSSOVER_TAPS,
+    MAX_CROSSOVER_TAPS,
+    MIN_CROSSOVER_TAPS,
+    FftCrossoverTable,
+    use_crossover,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    """Keep the per-host calibration cache out of unit tests."""
+    monkeypatch.setenv("REPRO_FFT_CACHE", "")
+
+
+def fake_measure(threshold):
+    """A deterministic 'FFT wins at >= threshold taps' oracle."""
+
+    def measure(n_samples, n_taps):
+        return n_taps >= threshold
+
+    return measure
+
+
+def table(threshold, **kwargs):
+    kwargs.setdefault("calibrate", True)
+    kwargs.setdefault("override", None)
+    return FftCrossoverTable(measure=fake_measure(threshold), **kwargs)
+
+
+def test_bucket_is_power_of_two_and_capped():
+    assert FftCrossoverTable.bucket(1000) == 1024
+    assert FftCrossoverTable.bucket(1024) == 1024
+    assert FftCrossoverTable.bucket(1025) == 2048
+    assert FftCrossoverTable.bucket(10 ** 9) == FftCrossoverTable.bucket(
+        16384)
+
+
+@pytest.mark.parametrize("threshold,expected", [
+    (64, 64),
+    (100, 128),          # next candidate at/above the true threshold
+    (256, 256),
+    (1000, 1024),
+])
+def test_calibration_finds_candidate_threshold(threshold, expected):
+    t = table(threshold)
+    assert t.crossover_taps(8192) == expected
+
+
+def test_calibration_clamped_to_floor():
+    """Even a host where FFT always wins keeps short kernels direct —
+    the published chain's designs must be timing-independent."""
+    t = table(1)
+    assert t.crossover_taps(8192) == MIN_CROSSOVER_TAPS
+
+
+def test_calibration_defaults_when_fft_never_wins():
+    t = table(10 ** 9)
+    value = t.crossover_taps(8192)
+    assert value == max(DEFAULT_CROSSOVER_TAPS, MIN_CROSSOVER_TAPS)
+    assert value <= MAX_CROSSOVER_TAPS
+
+
+def test_calibration_runs_once_per_bucket():
+    calls = []
+
+    def measure(n_samples, n_taps):
+        calls.append((n_samples, n_taps))
+        return n_taps >= 256
+
+    t = FftCrossoverTable(calibrate=True, override=None, measure=measure)
+    first = t.crossover_taps(5000)
+    n_calls = len(calls)
+    assert n_calls > 0
+    assert t.crossover_taps(5000) == first
+    assert t.crossover_taps(5001) == first       # same bucket
+    assert len(calls) == n_calls                 # no re-measurement
+
+
+def test_override_disables_measurement():
+    def explode(n_samples, n_taps):              # pragma: no cover
+        raise AssertionError("measured despite override")
+
+    t = FftCrossoverTable(override=123, measure=explode)
+    assert t.crossover_taps(4096) == 123
+    assert t.resolve(123, 4096) == "fft"
+    assert t.resolve(122, 4096) == "direct"
+
+
+def test_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_FFT_CROSSOVER", "300")
+    t = FftCrossoverTable()
+    assert t.override == 300
+    assert t.crossover_taps(100000) == 300
+    monkeypatch.setenv("REPRO_FFT_CROSSOVER", "many")
+    with pytest.raises(ConfigurationError):
+        FftCrossoverTable()
+
+
+def test_env_disables_calibration(monkeypatch):
+    monkeypatch.setenv("REPRO_FFT_CALIBRATE", "0")
+    t = FftCrossoverTable(measure=fake_measure(64))
+    assert not t.calibrate
+    assert t.crossover_taps(8192) == DEFAULT_CROSSOVER_TAPS
+
+
+def test_resolve_never_ffts_signals_shorter_than_kernel():
+    t = table(64)
+    assert t.resolve(128, 100) == "direct"       # n <= taps
+    assert t.resolve(128, 8192) == "fft"
+
+
+def test_snapshot_install_keeps_worker_in_lockstep():
+    t = table(100)
+    t.crossover_taps(4096)
+    clone = FftCrossoverTable.from_snapshot(t.snapshot())
+    # Calibrated bucket: identical answer, no re-measurement possible.
+    assert clone.crossover_taps(4096) == t.crossover_taps(4096)
+    assert not clone.calibrate
+    # Un-calibrated bucket: falls back to the shared default, never to
+    # a fresh (possibly disagreeing) measurement.
+    assert clone.crossover_taps(16384) == clone.default
+
+
+def test_stats_reports_mode_and_table():
+    t = table(256)
+    t.crossover_taps(4096)
+    stats = t.stats()
+    assert stats["mode"] == "calibrated"
+    assert stats["table"] == {4096: 256}
+    assert FftCrossoverTable(override=50).stats()["mode"] == "override"
+
+
+def test_use_crossover_pins_process_wide():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(4 * 512)
+    with use_crossover(512):
+        assert _fir._resolve_method("auto", rng.standard_normal(511),
+                                    x) == "direct"
+        assert _fir._resolve_method("auto", rng.standard_normal(512),
+                                    x) == "fft"
+    with pytest.raises(ConfigurationError):
+        use_crossover(0)
+
+
+def test_real_calibration_smoke():
+    """The genuine measurement path returns a sane, clamped value and
+    caches it (timing-dependent, so only sanity is asserted)."""
+    t = FftCrossoverTable(calibrate=True, override=None)
+    value = t.crossover_taps(4096)
+    assert MIN_CROSSOVER_TAPS <= value <= MAX_CROSSOVER_TAPS
+    assert t.crossover_taps(4096) == value
+
+
+def test_disk_cache_round_trips_between_processes(tmp_path, monkeypatch):
+    """A second table (a fresh process) resolves previously measured
+    buckets from the per-host cache instead of re-timing them."""
+    monkeypatch.setenv("REPRO_FFT_CACHE", str(tmp_path / "fft.json"))
+    first = table(100)
+    assert first.crossover_taps(4096) == 128
+
+    def explode(n_samples, n_taps):              # pragma: no cover
+        raise AssertionError("re-measured a cached bucket")
+
+    second = FftCrossoverTable(calibrate=True, override=None,
+                               measure=explode)
+    assert second.crossover_taps(4096) == 128
+    # An unmeasured bucket still calibrates (and persists) normally.
+    third = table(512)
+    assert third.crossover_taps(16384) == 512
+    assert table(512).crossover_taps(4096) == 128
+
+
+def test_disk_cache_disabled_by_empty_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FFT_CACHE", "")
+    t = table(100)
+    t.crossover_taps(4096)
+    assert not list(tmp_path.iterdir())

@@ -145,16 +145,24 @@ def test_filtfilt_fir_fft_matches_direct():
 
 
 def test_apply_fir_auto_crossover_boundary():
-    """Auto switches to FFT exactly at the measured crossover, and
-    never for signals shorter than the kernel."""
+    """Auto switches to FFT exactly at the active crossover, and
+    never for signals shorter than the kernel.
+
+    The crossover is pinned for the test — in production it comes from
+    the startup micro-calibration (see ``repro.dsp.calibration``),
+    whose own suite covers the adaptive behaviour.
+    """
+    from repro.dsp.calibration import use_crossover
+
     rng = np.random.default_rng(5)
     long_x = rng.standard_normal(4 * _fir.FFT_CROSSOVER_TAPS)
     below = rng.standard_normal(_fir.FFT_CROSSOVER_TAPS - 1)
     at = rng.standard_normal(_fir.FFT_CROSSOVER_TAPS)
-    assert _fir._resolve_method("auto", below, long_x) == "direct"
-    assert _fir._resolve_method("auto", at, long_x) == "fft"
-    short_x = rng.standard_normal(_fir.FFT_CROSSOVER_TAPS // 2)
-    assert _fir._resolve_method("auto", at, short_x) == "direct"
+    with use_crossover(_fir.FFT_CROSSOVER_TAPS):
+        assert _fir._resolve_method("auto", below, long_x) == "direct"
+        assert _fir._resolve_method("auto", at, long_x) == "fft"
+        short_x = rng.standard_normal(_fir.FFT_CROSSOVER_TAPS // 2)
+        assert _fir._resolve_method("auto", at, short_x) == "direct"
     with pytest.raises(ConfigurationError):
         _fir.apply_fir(at, long_x, method="overlap-save")
 

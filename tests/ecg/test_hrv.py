@@ -83,3 +83,27 @@ def test_validation():
         hrv.mean_heart_rate_bpm(np.array([0.0, 10.0]))  # only outlier RR
     with pytest.raises(ConfigurationError):
         hrv.heart_rate_from_indices(np.arange(10), -1.0)
+
+
+def test_hrv_from_landmarks_matches_r_times_path():
+    """The beat-batched entry point: identical to feeding the landmark
+    R column as times."""
+    import numpy as np
+
+    from repro.ecg.hrv import (
+        hrv_from_landmarks,
+        hrv_summary,
+        instantaneous_hr_bpm,
+        instantaneous_hr_from_landmarks,
+    )
+    from repro.icg.batch import BeatLandmarks
+
+    r = np.array([0, 210, 415, 640, 850, 1070], dtype=np.int64)
+    landmarks = BeatLandmarks(
+        r=r, c=r + 30, b=r + 15, x=r + 80, b0=r + 14.5,
+        x0=r + 85, pattern_found=np.ones(r.size, bool))
+    fs = 250.0
+    want = hrv_summary(r / fs)
+    assert hrv_from_landmarks(landmarks, fs) == want
+    assert np.array_equal(instantaneous_hr_from_landmarks(landmarks, fs),
+                          instantaneous_hr_bpm(r / fs))

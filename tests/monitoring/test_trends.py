@@ -90,3 +90,41 @@ def test_tracker_validation():
         TrendTracker(warmup_updates=0)
     with pytest.raises(SignalError):
         TrendTracker().update(np.nan)
+
+
+def test_summarize_beat_series_collapses_columns():
+    """The beat-batched monitoring bridge: one robust sample per
+    parameter from a BeatHemodynamicsSeries, as column reductions."""
+    import numpy as np
+
+    from repro.icg.hemodynamics import BeatHemodynamicsSeries
+    from repro.monitoring.trends import DailySummary, summarize_beat_series
+
+    pep = np.array([0.08, 0.09, 0.10, np.nan])
+    series = BeatHemodynamicsSeries(
+        pep_s=pep, lvet_s=pep * 3, hr_bpm=np.full(4, 60.0),
+        dzdt_max_ohm_s=pep, sv_kubicek_ml=pep * 100,
+        sv_sramek_ml=pep * 90, co_kubicek_l_min=pep * 5,
+        co_sramek_l_min=pep * 4)
+    out = summarize_beat_series(3, series)
+    assert set(out) == {"pep_s", "lvet_s", "hr_bpm", "sv_kubicek_ml",
+                        "co_kubicek_l_min"}
+    summary = out["pep_s"]
+    assert isinstance(summary, DailySummary)
+    assert summary.day == 3
+    assert summary.n_measurements == 3          # NaN beat dropped
+    assert summary.median == 0.09
+    assert out["hr_bpm"].spread == 0.0
+
+
+def test_summarize_beat_series_rejects_empty():
+    import numpy as np
+    import pytest
+
+    from repro.errors import SignalError
+    from repro.icg.hemodynamics import BeatHemodynamicsSeries
+    from repro.monitoring.trends import summarize_beat_series
+
+    empty = BeatHemodynamicsSeries(*(np.empty(0),) * 8)
+    with pytest.raises(SignalError):
+        summarize_beat_series(0, empty)

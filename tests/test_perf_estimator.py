@@ -77,3 +77,29 @@ def test_estimator_rejects_nonpositive_repeats():
 
 def test_calibration_spin_does_real_work():
     assert perf_regression.calibration_spin(min_s=0.01) >= 1
+
+
+# --- absolute floors (the process_scaling gate) ---------------------------
+
+def test_floor_enforced_on_multicore_runners():
+    summary = {"cpu_count": 4, "batch": {"process_scaling": 0.8}}
+    assert perf_regression.floor_violations(summary) == [
+        ("batch.process_scaling", 0.8, 1.0)]
+
+
+def test_floor_passes_above_minimum():
+    summary = {"cpu_count": 4, "batch": {"process_scaling": 1.42}}
+    assert perf_regression.floor_violations(summary) == []
+
+
+def test_floor_skipped_on_single_core():
+    """A process pool cannot beat serial on one core, whatever the IPC
+    does — the floor is recorded but not enforced there."""
+    summary = {"cpu_count": 1, "batch": {"process_scaling": 0.4}}
+    assert perf_regression.floor_violations(summary) == []
+    assert perf_regression.floor_violations(
+        {"batch": {"process_scaling": 0.4}}) == []
+
+
+def test_floor_ignores_missing_metric():
+    assert perf_regression.floor_violations({"cpu_count": 8}) == []
