@@ -106,6 +106,7 @@ def test_batch_throughput(benchmark, results_dir):
     trajectory = perf_regression.measure(n_jobs=N_JOBS,
                                          include_batch=False,
                                          include_streaming=False,
+                                         include_cohort_tier=False,
                                          cohort=(recordings, duration))
     trajectory["batch"] = {
         "serial_rec_per_s": n / warm_s,

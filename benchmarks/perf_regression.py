@@ -17,7 +17,20 @@ Measures, for a synthetic cohort, recordings/sec of
   the bounded work queue and the streaming executor, against the
   serial batch over the same recordings (the streaming layer's
   acceptance figure — it must sustain at least serial throughput
-  while the queue stays inside its backpressure bound).
+  while the queue stays inside its backpressure bound);
+* the *cohort-batched tier*: ``process_cohort`` vs per-recording
+  dispatch at 10^2 and 10^3 recordings (quick) plus 10^4 (full) —
+  the scaling curve of the leading-axis kernel tier.  Two absolute
+  floors gate it: ``speedup_1000 >= 2`` (the tier's acceptance bar
+  against serial dispatch on the same host) and
+  ``curve_ratio >= 0.8`` (rec/s must not *decrease* with cohort
+  size beyond noise — a collapsing curve means slab batching
+  stopped amortising).
+
+The whole quick run is additionally held to a wall-clock budget
+(``--max-seconds``, default ``QUICK_BUDGET_S`` in quick mode): a CI
+bench that silently grows unboundedly is itself a perf regression,
+so blowing the budget fails the job loudly.
 
 Two entry points:
 
@@ -69,6 +82,9 @@ from repro.core import (                                   # noqa: E402
     FilterDesignCache,
     PipelineConfig,
     process_batch,
+    process_cohort,
+    shutdown_persistent_pool,
+    use_cohort_backend,
 )
 from repro.core.executor import last_ipc_stats             # noqa: E402
 from repro.dsp import calibration as _calibration          # noqa: E402
@@ -94,23 +110,41 @@ GATED_METRICS = (
     "batch.threads_rec_per_s",
     "batch.process_rec_per_s",
     "streaming.rec_per_s",
+    "cohort.rec_per_s_1000",
 )
 
-#: Absolute floors (dotted path -> minimum), checked against the fresh
-#: summary itself — no baseline involved, so a regression can never
-#: ratchet past them.  ``process_scaling`` is the shared-memory
-#: backend's acceptance bar: the PR 3 process backend ran at 0.46x of
-#: serial because every job round-tripped pickled float64 arrays, and
-#: that kind of IPC regression must never merge silently again.  The
-#: floor is only meaningful where a process pool *can* beat serial, so
-#: it is enforced when the measuring host has more than one CPU
-#: (``floor_violations`` skips it on single-core runners, where any
-#: pool is pure overhead by construction).
+#: Absolute floors: dotted path -> ``(minimum, multi_cpu_only)``,
+#: checked against the fresh summary itself — no baseline involved, so
+#: a regression can never ratchet past them.
+#:
+#: ``process_scaling`` is the shared-memory backend's acceptance bar:
+#: the PR 3 process backend ran at 0.46x of serial because every job
+#: round-tripped pickled float64 arrays, and that kind of IPC
+#: regression must never merge silently again.  A process pool can
+#: only beat serial given more than one CPU, so that floor carries
+#: ``multi_cpu_only=True`` (``floor_violations`` skips it on
+#: single-core runners, where any pool is pure overhead by
+#: construction; the value is still recorded for the trajectory).
+#:
+#: The cohort floors hold on *any* host — the tier's win comes from
+#: amortising python-level dispatch into leading-axis kernels, not
+#: from extra cores: ``speedup_1000`` is the tier's acceptance bar
+#: (>= 2x over per-recording dispatch at 10^3 recordings) and
+#: ``curve_ratio`` asserts the scaling curve does not decrease from
+#: 10^2 to 10^3 beyond a noise allowance.
 GATED_FLOORS = {
-    "batch.process_scaling": 1.0,
+    "batch.process_scaling": (1.0, True),
+    "cohort.speedup_1000": (2.0, False),
+    "cohort.curve_ratio": (0.8, False),
 }
 
 DEFAULT_TOLERANCE = 0.30
+
+#: Default wall-clock budget for the quick (CI) bench, seconds.  The
+#: quick gate exists to run on every PR; if it creeps past this, the
+#: bench itself has regressed and the job fails loudly (override with
+#: ``--max-seconds``).
+QUICK_BUDGET_S = 90.0
 
 #: Minimum seconds of serial work behind the process_scaling figure —
 #: the cohort is replicated until a fan-out amortizes pool start-up.
@@ -363,9 +397,78 @@ def measure_streaming(quick: bool = False,
     }
 
 
+#: Cohort-tier scaling points: recordings per measurement.
+COHORT_SIZES_QUICK = (100, 1000)
+COHORT_SIZES_FULL = (100, 1000, 10000)
+
+#: Duration of each cohort-tier bench recording.  Short on purpose:
+#: the tier's whole point is amortising per-recording overhead, which
+#: short recordings maximise (long ones hide it inside kernel time).
+COHORT_DURATION_S = 8.0
+
+
+def measure_cohort(quick: bool = False) -> dict:
+    """The cohort tier's scaling curve vs per-recording dispatch.
+
+    A base pool of ten distinct recordings (five subjects x two
+    setups, 8 s each) is tiled out to each scaling point — synthesis
+    cost stays constant while the measured sweep grows, exactly how
+    the executor's ``process_scaling`` workload is built.  Per point:
+    per-recording dispatch (the ``"reference"`` cohort backend — the
+    oracle the parity suite pins the tier against) and the batched
+    tier, both over identical inputs and a shared warm design cache.
+
+    The gated ratio (``speedup_1000``) divides two noisy timings, so
+    both sides of the 10^3 point use the median-of-3 estimator; only
+    the full-mode 10^4 serial run — whole tens of seconds — drops to
+    a single sample (its ratio is recorded, not gated).
+    """
+    import gc
+    gc.collect()
+    if quick:
+        calibration_spin()
+    subjects = default_cohort()
+    config = SynthesisConfig(duration_s=COHORT_DURATION_S)
+    base = [
+        synthesize_recording(subject, setup, 1, config)
+        for subject in subjects
+        for setup in ("device", "thoracic")
+    ]
+    sizes = COHORT_SIZES_QUICK if quick else COHORT_SIZES_FULL
+    cache = FilterDesignCache()
+    summary: dict = {
+        "base_duration_s": COHORT_DURATION_S,
+        "sizes": list(sizes),
+    }
+    for size in sizes:
+        recordings = [base[i % len(base)] for i in range(size)]
+        serial_s = timed_seconds(
+            lambda: _run_cohort_reference(recordings, cache),
+            repeats=3 if size <= 1000 else 1)
+        cohort_s = timed_seconds(
+            lambda: process_cohort(recordings, cache=cache),
+            repeats=1 if size >= 10000 else 3)
+        summary[f"serial_rec_per_s_{size}"] = size / serial_s
+        summary[f"rec_per_s_{size}"] = size / cohort_s
+        summary[f"speedup_{size}"] = serial_s / cohort_s
+    # The scaling-curve gate: throughput at 10^3 over throughput at
+    # 10^2.  >= 1 means batching keeps amortising as cohorts grow;
+    # the floor allows 20 % measurement noise but catches a collapse.
+    summary["curve_ratio"] = (summary["rec_per_s_1000"]
+                              / summary["rec_per_s_100"])
+    return summary
+
+
+def _run_cohort_reference(recordings, cache) -> None:
+    """Per-recording dispatch over ``recordings`` (the serial side)."""
+    with use_cohort_backend("reference"):
+        process_cohort(recordings, cache=cache)
+
+
 def measure(quick: bool = False, n_jobs: int = 4,
             include_batch: bool = True,
             include_streaming: bool = True,
+            include_cohort_tier: bool = True,
             cohort=None) -> dict:
     """One trajectory point: kernel, pipeline, batch and streaming
     throughput.
@@ -445,6 +548,20 @@ def measure(quick: bool = False, n_jobs: int = 4,
             lambda: process_batch(recordings, config, n_jobs=n_jobs,
                                   cache=cache),
             repeats=2)
+        # Cold vs warm fan-out: the first process_batch after a pool
+        # shutdown pays worker spawn + per-worker warm-up; with the
+        # persistent pool every later fan-out reuses the warm workers.
+        # Single samples by design — cold start is a one-shot event,
+        # and the cold/warm *gap* is the figure of interest.
+        shutdown_persistent_pool()
+        start = time.perf_counter()
+        process_batch(recordings, config, n_jobs=n_jobs,
+                      backend="process")
+        process_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        process_batch(recordings, config, n_jobs=n_jobs,
+                      backend="process")
+        process_warm_s = time.perf_counter() - start
         process_s = timer(
             lambda: process_batch(recordings, config, n_jobs=n_jobs,
                                   backend="process"),
@@ -474,6 +591,9 @@ def measure(quick: bool = False, n_jobs: int = 4,
             "thread_scaling": serial_s / threads_s,
             "process_scaling": serial_scaled_s / process_scaled_s,
             "process_scaling_n_recordings": len(scaled),
+            "process_cold_s": process_cold_s,
+            "process_warm_s": process_warm_s,
+            "warm_pool_speedup": process_cold_s / process_warm_s,
             "ipc": None if ipc is None else {
                 "n_items": ipc.n_items,
                 "n_descriptors": ipc.n_descriptors,
@@ -488,6 +608,9 @@ def measure(quick: bool = False, n_jobs: int = 4,
     if include_streaming:
         summary["streaming"] = measure_streaming(quick,
                                                  n_workers=n_jobs)
+
+    if include_cohort_tier:
+        summary["cohort"] = measure_cohort(quick)
 
     summary["cache"] = cache.stats()
     summary["fft_calibration"] = _calibration.default_crossover_table() \
@@ -526,17 +649,19 @@ def compare(current: dict, baseline: dict,
 def floor_violations(summary: dict) -> list:
     """Absolute-floor failures of one fresh summary.
 
-    Returns ``(metric, current, floor)`` triples.  The
-    ``process_scaling`` floor asserts the shared-memory backend beats
-    serial outright; on a single-CPU host a process pool cannot beat
-    serial whatever the IPC does, so floors are only enforced when the
-    summary reports more than one CPU (the value is still recorded for
-    the trajectory either way).
+    Returns ``(metric, current, floor)`` triples.  Floors marked
+    ``multi_cpu_only`` (the ``process_scaling`` bar — a process pool
+    cannot beat serial on one core, whatever the IPC does) are only
+    enforced when the summary reports more than one CPU; the cohort
+    floors hold everywhere, because leading-axis batching needs no
+    extra cores to win.  Skipped values are still recorded in the
+    trajectory either way.
     """
-    if (summary.get("cpu_count") or 1) <= 1:
-        return []
+    multi_cpu = (summary.get("cpu_count") or 1) > 1
     violations = []
-    for metric, floor in GATED_FLOORS.items():
+    for metric, (floor, multi_cpu_only) in GATED_FLOORS.items():
+        if multi_cpu_only and not multi_cpu:
+            continue
         now = _lookup(summary, metric)
         if now is not None and now <= floor:
             violations.append((metric, now, floor))
@@ -569,6 +694,11 @@ def render(summary: dict) -> str:
             f"{ipc['data_plane_bytes'] / 1024:8.1f} KiB | collapse "
             f"{ipc['descriptor_collapse']:6.0f}x "
             f"(legacy {ipc['legacy_bytes'] / 1024:.1f} KiB)")
+    if "process_cold_s" in b:
+        lines.append(
+            f"  warm pool      : cold fan-out {b['process_cold_s']:6.3f}"
+            f" s | warm {b['process_warm_s']:6.3f} s | speedup "
+            f"{b['warm_pool_speedup']:4.2f}x")
     s = summary.get("streaming")
     if s:
         queue = s["queue"]
@@ -579,6 +709,17 @@ def render(summary: dict) -> str:
             f"rec/s | ratio {s['ratio_vs_serial']:4.2f}x | queue peak "
             f"{queue['peak_depth']}/{s['max_chunks']} "
             f"({queue['blocked_puts']} stalls)")
+    c = summary.get("cohort")
+    if c:
+        for size in c["sizes"]:
+            lines.append(
+                f"  cohort tier    : n={size:<6d} serial "
+                f"{c[f'serial_rec_per_s_{size}']:8.1f} rec/s | batched "
+                f"{c[f'rec_per_s_{size}']:8.1f} rec/s | speedup "
+                f"{c[f'speedup_{size}']:5.2f}x")
+        lines.append(
+            f"  cohort curve   : rec/s(10^3) / rec/s(10^2) = "
+            f"{c['curve_ratio']:4.2f}")
     return "\n".join(lines)
 
 
@@ -606,10 +747,15 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed fractional rec/s regression")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="wall-clock budget for the measurement; "
+                             "exceeding it fails the run (quick mode "
+                             f"defaults to {QUICK_BUDGET_S:.0f} s, "
+                             "full mode to no budget)")
     args = parser.parse_args(argv)
 
     if args.write_baseline:
-        point = {"pr": 5,
+        point = {"pr": 6,
                  "quick": measure(quick=True, n_jobs=args.jobs),
                  "full": measure(quick=False, n_jobs=args.jobs)}
         args.write_baseline.write_text(json.dumps(point, indent=2) + "\n")
@@ -617,10 +763,25 @@ def main(argv=None) -> int:
         print(f"baseline written to {args.write_baseline}")
         return 0
 
+    budget_s = args.max_seconds
+    if budget_s is None and args.quick:
+        budget_s = QUICK_BUDGET_S
+    measure_start = time.perf_counter()
     summary = measure(quick=args.quick, n_jobs=args.jobs)
+    elapsed_s = time.perf_counter() - measure_start
+    summary["elapsed_s"] = elapsed_s
     print(render(summary))
+    print(f"  bench wall     : {elapsed_s:6.1f} s"
+          + (f" (budget {budget_s:.0f} s)" if budget_s else ""))
     if args.output:
         args.output.write_text(json.dumps(summary, indent=2) + "\n")
+
+    over_budget = budget_s is not None and elapsed_s > budget_s
+    if over_budget:
+        print(f"\nBUDGET EXCEEDED: the bench took {elapsed_s:.1f} s "
+              f"against a --max-seconds budget of {budget_s:.1f} s — "
+              f"the measurement suite itself has regressed; trim it "
+              f"or raise the budget deliberately.")
 
     floors = floor_violations(summary)
     if floors:
@@ -641,9 +802,9 @@ def main(argv=None) -> int:
     if args.baseline is not None:
         references.append(("committed baseline", args.baseline))
     if not references:
-        return 1 if floors else 0
+        return 1 if (floors or over_budget) else 0
 
-    failed = bool(floors)
+    failed = bool(floors) or over_budget
     for kind, path in references:
         baseline = json.loads(path.read_text())
         # Trajectory files hold both modes; bare summaries are

@@ -47,6 +47,7 @@ from repro.core.cache import cache_statistics
 from repro.core.executor import (
     BACKENDS,
     last_ipc_stats,
+    persistent_pool_stats,
     process_worker_cache_stats,
 )
 from repro.device.power import PowerBudget, battery_life_hours, paper_operating_point
@@ -496,6 +497,13 @@ def _cmd_cache_stats(args) -> int:
                   f"collapse {stats.descriptor_collapse:.0f}x "
                   f"(legacy pickle plane: "
                   f"{stats.legacy_bytes / 1024:.1f} KiB)")
+        pool = persistent_pool_stats()
+        state = ("disabled" if not pool["enabled"] else
+                 f"{pool['n_workers']} worker(s), pids "
+                 f"{pool['pids']}" if pool["n_workers"] else "cold")
+        print("Warm process pool (persistent across fan-outs):")
+        print(f"  {pool['created']} built / {pool['reused']} reused "
+              f"| {state}")
     return 0
 
 

@@ -12,17 +12,31 @@ from repro.core.cache import (
     cache_statistics,
     default_design_cache,
 )
+from repro.core.cohort import (
+    COHORT_BACKENDS,
+    CohortGroup,
+    CohortPlan,
+    cohort_backend,
+    plan_cohort,
+    process_cohort,
+    set_cohort_backend,
+    use_cohort_backend,
+)
 from repro.core.config import PipelineConfig
 from repro.core.context import BeatContext
 from repro.core.executor import (
     BACKENDS,
+    BATCH_BACKENDS,
     IpcStats,
     job_batches,
     last_ipc_stats,
     parallel_map,
+    persistent_pool_stats,
+    persistent_process_pool,
     process_batch,
     process_worker_cache_stats,
     resolve_backend,
+    shutdown_persistent_pool,
 )
 from repro.core.pipeline import (
     BeatToBeatPipeline,
@@ -58,8 +72,12 @@ __all__ = [
     "HemodynamicsStage",
     "FilterDesignCache", "default_design_cache", "cache_statistics",
     "process_batch", "parallel_map", "resolve_backend", "BACKENDS",
-    "job_batches", "IpcStats", "last_ipc_stats",
-    "process_worker_cache_stats",
+    "BATCH_BACKENDS", "job_batches", "IpcStats", "last_ipc_stats",
+    "process_worker_cache_stats", "persistent_pool_stats",
+    "persistent_process_pool", "shutdown_persistent_pool",
+    "process_cohort", "plan_cohort", "CohortPlan", "CohortGroup",
+    "COHORT_BACKENDS", "cohort_backend", "set_cohort_backend",
+    "use_cohort_backend",
     "ShmArena", "ShmDescriptor", "RecordingDescriptor", "attach_view",
     "publish_recording", "recording_from_descriptor",
 ]

@@ -34,9 +34,13 @@ not reduce to a plain pipeline call.
 
 from __future__ import annotations
 
+import atexit
+import contextlib
+import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
 from functools import partial
 from typing import Callable, Optional, Sequence
@@ -66,13 +70,18 @@ from repro.errors import ConfigurationError
 
 __all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
            "resolve_backend", "will_parallelize", "BACKENDS",
-           "job_batches", "IpcStats", "last_ipc_stats",
+           "BATCH_BACKENDS", "job_batches", "IpcStats", "last_ipc_stats",
            "process_worker_cache_stats", "process_recording_job",
            "ShmJob", "process_shm_job", "resolve_shm_result",
-           "RESULT_ARRAY_FIELDS"]
+           "RESULT_ARRAY_FIELDS", "persistent_pool_stats",
+           "shutdown_persistent_pool", "persistent_process_pool"]
 
 #: Supported fan-out backends.
 BACKENDS = ("thread", "process")
+
+#: Backends :func:`process_batch` accepts: the fan-out pair plus the
+#: single-process cohort-batched kernel tier (:mod:`repro.core.cohort`).
+BATCH_BACKENDS = BACKENDS + ("cohort",)
 
 #: Contiguous batches handed to each process worker per fan-out —
 #: more than one per worker for mild load balancing, few enough that
@@ -141,8 +150,10 @@ def job_batches(items: Sequence, n_batches: int) -> list:
 
 # -- process-backend work queue ------------------------------------------
 
-#: Worker-side state installed by the pool initializer: the shared
-#: callable arrives once per worker, jobs ship only their items.
+#: Worker-side state: the shared callable memoized by content token,
+#: plus the last-installed calibration snapshot.  With the persistent
+#: pool, workers outlive fan-outs — the memo is what lets a warm
+#: worker skip re-unpickling a callable it already holds.
 _WORKER_SHARED: dict = {}
 
 #: Process-local pipeline memo for the process backend: one pipeline
@@ -151,49 +162,72 @@ _WORKER_SHARED: dict = {}
 _WORKER_PIPELINES: dict = {}
 
 
-def _pool_initializer(payload: bytes, calibration: dict) -> None:
-    """Install the shared callable in a worker (runs once per worker).
+def _install_worker_state(token: str, shared: bytes,
+                          calibration: dict) -> Callable:
+    """Adopt a submission header in a worker; returns the callable.
 
     The callable travels pre-pickled so the parent can meter exactly
-    what crosses the boundary; unpickling here is what the per-job
-    ``partial`` scheme used to pay on every single job.  The parent's
-    FFT-crossover calibration snapshot rides along so parent and
-    worker can never disagree on a convolution path (which would break
-    the bit-identical batch/serial contract).
+    what crosses the boundary; a warm worker that already holds this
+    ``token`` skips the unpickle.  The parent's FFT-crossover
+    calibration snapshot is re-installed only when it changed since
+    this worker's last job, so parent and worker can never disagree on
+    a convolution path (which would break the bit-identical
+    batch/serial contract) and a warm pool never reinstalls a
+    snapshot it already runs.
     """
-    _WORKER_SHARED["fn"] = pickle.loads(payload)
-    _calibration.install_snapshot(calibration)
+    if _WORKER_SHARED.get("token") != token:
+        _WORKER_SHARED["fn"] = pickle.loads(shared)
+        _WORKER_SHARED["token"] = token
+    if _WORKER_SHARED.get("calibration") != calibration:
+        _calibration.install_snapshot(calibration)
+        _WORKER_SHARED["calibration"] = calibration
+    return _WORKER_SHARED["fn"]
 
 
-def _run_shared_batch(payload: bytes) -> tuple:
+def _run_shared_batch(header: tuple, payload: bytes) -> tuple:
     """Worker body: apply the shared callable to one job batch.
 
     The batch arrives pre-pickled — the parent serialises each batch
     exactly once, both to meter the IPC honestly and to ship it (the
-    same scheme as the initializer's shared callable).  Returns the
-    batch results plus a snapshot of this worker's process-local
-    cache counters — the statistics are otherwise invisible to the
-    parent process.
+    same scheme as the header's shared callable).  Returns the batch
+    results plus a snapshot of this worker's process-local cache
+    counters — the statistics are otherwise invisible to the parent
+    process.
     """
-    fn = _WORKER_SHARED["fn"]
+    fn = _install_worker_state(*header)
     results = [fn(item) for item in pickle.loads(payload)]
     return results, (os.getpid(), cache_statistics())
+
+
+def _run_direct_job(calibration: dict, fn: Callable, *args):
+    """Worker body for direct (non-batched) submissions through the
+    persistent pool — e.g. the streaming executor's per-session
+    finalize jobs.  Keeps the calibration contract of
+    :func:`_install_worker_state` without the shared-callable memo."""
+    if _WORKER_SHARED.get("calibration") != calibration:
+        _calibration.install_snapshot(calibration)
+        _WORKER_SHARED["calibration"] = calibration
+    return fn(*args)
 
 
 @dataclass(frozen=True)
 class IpcStats:
     """What one process-backend fan-out shipped, and over which plane.
 
-    ``shared_fn_bytes`` counts the shared callable's pickle — paid
-    once per *worker* via the initializer, not once per job (the
-    pre-refactor cost was ``n_jobs * shared_fn_bytes``).
-    ``payload_bytes`` is the pickled size of every job batch actually
-    submitted — under the shared-memory data plane these are
-    *descriptors*, not arrays.  ``data_plane_bytes`` is the raw array
-    payload that travelled through shared memory instead of the pipe,
-    and ``n_descriptors`` how many array handles replaced it; both are
-    zero for fan-outs that never touch the data plane (non-recording
-    items).
+    ``shared_fn_bytes`` counts the shared callable's pickle, and
+    ``shared_copies`` how many of those pickles actually crossed the
+    pipe: one per *submission* under the persistent-pool header
+    protocol (each batch carries the callable so any warm worker can
+    serve it; workers memoize by content token), one per worker under
+    the legacy initializer scheme (``shared_copies=0`` means "per
+    worker" for backward compatibility).  Either way the pre-refactor
+    cost was ``n_items * shared_fn_bytes``.  ``payload_bytes`` is the
+    pickled size of every job batch actually submitted — under the
+    shared-memory data plane these are *descriptors*, not arrays.
+    ``data_plane_bytes`` is the raw array payload that travelled
+    through shared memory instead of the pipe, and ``n_descriptors``
+    how many array handles replaced it; both are zero for fan-outs
+    that never touch the data plane (non-recording items).
     """
 
     n_items: int
@@ -203,13 +237,15 @@ class IpcStats:
     payload_bytes: int
     data_plane_bytes: int = 0
     n_descriptors: int = 0
+    shared_copies: int = 0
 
     @property
     def shipped_bytes(self) -> int:
-        """Pickled bytes over the pipe: per-worker shared state +
-        job batches (array payloads excluded — they ride the data
+        """Pickled bytes over the pipe: shared-callable copies + job
+        batches (array payloads excluded — they ride the data
         plane)."""
-        return self.n_workers * self.shared_fn_bytes + self.payload_bytes
+        copies = self.shared_copies or self.n_workers
+        return copies * self.shared_fn_bytes + self.payload_bytes
 
     @property
     def legacy_bytes(self) -> int:
@@ -248,11 +284,150 @@ def process_worker_cache_stats() -> dict:
     return dict(_LAST_WORKER_CACHE_STATS)
 
 
+# -- the warm persistent pool --------------------------------------------
+
+#: Environment toggle for the persistent pool (default on): set to
+#: ``0``/``false``/``off`` to recreate a pool per fan-out (the
+#: pre-warm-pool behaviour, kept for debugging fork-state issues).
+PERSISTENT_POOL_ENV = "REPRO_PERSISTENT_POOL"
+
+#: The process-wide warm pool: ``[pool, n_workers]`` or ``None``.
+#: Reused across fan-outs so workers keep their design caches,
+#: pipeline memos, shared-callable memo and calibration snapshot warm
+#: — the second fan-out of a session pays zero fork/spawn latency.
+_PERSISTENT_POOL: list = [None]
+_POOL_COUNTERS = {"created": 0, "reused": 0}
+
+
+def _persistent_pool_enabled() -> bool:
+    value = os.environ.get(PERSISTENT_POOL_ENV, "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+def _acquire_persistent_pool(n_workers: int) -> ProcessPoolExecutor:
+    """The warm pool at exactly ``n_workers``, creating or resizing.
+
+    Reuse requires a width match: handing a wider warm pool to a
+    narrower request would change which workers see which jobs (and
+    the reported worker counts), so a mismatch tears the pool down
+    and builds the requested width.
+    """
+    entry = _PERSISTENT_POOL[0]
+    if entry is not None and entry[1] == n_workers:
+        _POOL_COUNTERS["reused"] += 1
+        return entry[0]
+    if entry is not None:
+        entry[0].shutdown(wait=True)
+        _PERSISTENT_POOL[0] = None
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    _PERSISTENT_POOL[0] = [pool, n_workers]
+    _POOL_COUNTERS["created"] += 1
+    return pool
+
+
+def _discard_persistent_pool(wait: bool = True) -> None:
+    entry = _PERSISTENT_POOL[0]
+    if entry is not None:
+        _PERSISTENT_POOL[0] = None
+        entry[0].shutdown(wait=wait)
+
+
+def shutdown_persistent_pool() -> None:
+    """Tear down the warm pool (idempotent).
+
+    Registered at interpreter exit; also the explicit lifecycle hook
+    for hosts that must bound worker lifetimes themselves.  The next
+    process fan-out simply builds a fresh pool.
+    """
+    _discard_persistent_pool(wait=True)
+
+
+atexit.register(shutdown_persistent_pool)
+
+
+def persistent_pool_stats() -> dict:
+    """Lifecycle counters of the warm process pool.
+
+    ``created``/``reused`` count fan-outs that built a fresh pool vs
+    re-entered the warm one (process-wide, monotonic); ``n_workers``
+    and ``pids`` describe the pool currently alive (``None``/empty
+    when none is).  ``repro cache-stats --backend process`` renders
+    these next to the per-worker cache counters.
+    """
+    entry = _PERSISTENT_POOL[0]
+    pids: list = []
+    n_workers = None
+    if entry is not None:
+        n_workers = entry[1]
+        pids = sorted(getattr(entry[0], "_processes", {}) or {})
+    return {"enabled": _persistent_pool_enabled(),
+            "created": _POOL_COUNTERS["created"],
+            "reused": _POOL_COUNTERS["reused"],
+            "n_workers": n_workers,
+            "pids": pids}
+
+
+@contextlib.contextmanager
+def persistent_process_pool(n_workers: int):
+    """A process pool for direct submissions, warm when enabled.
+
+    Yields an object with ``submit(fn, *args)`` routing through the
+    warm pool (calibration snapshot piggybacked on every job, workers
+    install it only on change) — the streaming executor's finalize
+    fan-out uses this so back-to-back ingest runs reuse one worker
+    fleet.  Exiting the context does *not* tear the warm pool down;
+    with the pool disabled via :data:`PERSISTENT_POOL_ENV`, an
+    ephemeral pool is created and shut down on exit instead.
+    """
+    if not _persistent_pool_enabled():
+        with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_calibration.install_snapshot,
+                initargs=(_calibration.snapshot(),)) as pool:
+            yield pool
+        return
+    pool = _acquire_persistent_pool(n_workers)
+    try:
+        yield _WarmPoolHandle(pool)
+    except BrokenProcessPool:
+        _discard_persistent_pool(wait=False)
+        raise
+
+
+class _WarmPoolHandle:
+    """Submission facade over the warm pool: every job carries the
+    parent's calibration snapshot (installed worker-side only when it
+    differs from the last one)."""
+
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self._pool = pool
+
+    def submit(self, fn: Callable, *args):
+        return self._pool.submit(_run_direct_job,
+                                 _calibration.snapshot(), fn, *args)
+
+
+def _submit_shared_batches(pool, header: tuple, payloads: list) -> list:
+    """Submit every pre-pickled batch; returns worker outputs in
+    submission order."""
+    futures = [pool.submit(_run_shared_batch, header, payload)
+               for payload in payloads]
+    return [future.result() for future in futures]
+
+
 def _parallel_map_process(fn: Callable, items: list, n_jobs: int,
                           data_plane_bytes: int = 0,
                           n_descriptors: int = 0) -> list:
-    """Batched process fan-out with the shared callable hoisted into
-    the worker initializer; records IPC and worker-cache stats.
+    """Batched process fan-out over the warm persistent pool; records
+    IPC, worker-cache and pool-lifecycle stats.
+
+    Every submission carries a ``(token, shared_pickle, calibration)``
+    header: the shared callable is pickled once parent-side, shipped
+    with each batch (so any warm worker can serve any batch), and
+    memoized worker-side by content token — a warm worker that ran
+    the same callable last fan-out never re-unpickles it.  A broken
+    pool (a worker died mid-fan-out) is discarded and the fan-out
+    retried once on a fresh pool.
 
     ``data_plane_bytes``/``n_descriptors`` are accounting hints from a
     shared-memory caller: the array payload that bypassed the pipe.
@@ -260,28 +435,36 @@ def _parallel_map_process(fn: Callable, items: list, n_jobs: int,
     n_workers = min(n_jobs, len(items))
     batches = job_batches(items, n_workers * BATCHES_PER_WORKER)
     shared = pickle.dumps(fn)
-    payload_bytes = 0
-    results: list = []
+    header = (hashlib.sha1(shared).hexdigest(), shared,
+              _calibration.snapshot())
+    payloads = [pickle.dumps(batch) for batch in batches]
+    payload_bytes = sum(len(payload) for payload in payloads)
     _LAST_WORKER_CACHE_STATS.clear()
-    with ProcessPoolExecutor(max_workers=n_workers,
-                             initializer=_pool_initializer,
-                             initargs=(shared,
-                                       _calibration.snapshot())) as pool:
-        futures = []
-        for batch in batches:
-            payload = pickle.dumps(batch)
-            payload_bytes += len(payload)
-            futures.append(pool.submit(_run_shared_batch, payload))
-        for future in futures:
-            batch_results, (pid, stats) = future.result()
-            results.extend(batch_results)
-            _LAST_WORKER_CACHE_STATS[pid] = stats
+    if _persistent_pool_enabled():
+        try:
+            pool = _acquire_persistent_pool(n_workers)
+            outputs = _submit_shared_batches(pool, header, payloads)
+        except BrokenProcessPool:
+            # A worker died (OOM kill, crash): the pool is unusable.
+            # Rebuild once and retry — the jobs are pure, so a retry
+            # cannot double-apply anything.
+            _discard_persistent_pool(wait=False)
+            pool = _acquire_persistent_pool(n_workers)
+            outputs = _submit_shared_batches(pool, header, payloads)
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            outputs = _submit_shared_batches(pool, header, payloads)
+    results: list = []
+    for batch_results, (pid, stats) in outputs:
+        results.extend(batch_results)
+        _LAST_WORKER_CACHE_STATS[pid] = stats
     _LAST_IPC_STATS[0] = IpcStats(
         n_items=len(items), n_submissions=len(batches),
         n_workers=n_workers, shared_fn_bytes=len(shared),
         payload_bytes=payload_bytes,
         data_plane_bytes=int(data_plane_bytes),
-        n_descriptors=int(n_descriptors))
+        n_descriptors=int(n_descriptors),
+        shared_copies=len(batches))
     return results
 
 
@@ -489,23 +672,33 @@ def process_batch(recordings, config: Optional[PipelineConfig] = None,
         — process workers cannot share a lock-protected cache and use
         their own process-local default instead.
     backend:
-        ``"thread"`` (default) or ``"process"``.  Threads share one
-        design cache but serialise the GIL-bound stages; processes
-        scale with cores.  The process backend runs the zero-copy data
-        plane: recordings are published into one shared-memory arena,
-        jobs ship ``(block, shape, dtype, offset)`` descriptors (the
-        shared config still travels once per worker through the
-        initializer), workers write their recording-length result
-        arrays into pre-reserved slots, and the parent returns results
-        whose arrays are read-only views of the arena — see
-        :mod:`repro.core.shm` and :func:`last_ipc_stats` for the
-        descriptor-vs-bytes accounting.
+        ``"thread"`` (default), ``"process"`` or ``"cohort"``.
+        Threads share one design cache but serialise the GIL-bound
+        stages; processes scale with cores.  The process backend runs
+        the zero-copy data plane: recordings are published into one
+        shared-memory arena, jobs ship ``(block, shape, dtype,
+        offset)`` descriptors (the shared callable travels with each
+        batch and is memoized per worker), workers write their
+        recording-length result arrays into pre-reserved slots, and
+        the parent returns results whose arrays are read-only views
+        of the arena — see :mod:`repro.core.shm` and
+        :func:`last_ipc_stats` for the descriptor-vs-bytes
+        accounting.  Process fan-outs run on the warm persistent pool
+        (see :func:`persistent_pool_stats`), so consecutive batches
+        reuse one worker fleet.  ``"cohort"`` runs the single-process
+        cohort-batched kernel tier instead
+        (:func:`repro.core.cohort.process_cohort`): recordings are
+        grouped and stacked so the hot DSP chain executes as
+        leading-axis kernels; ``n_jobs`` is ignored there.
 
     Returns the list of :class:`~repro.core.pipeline.PipelineResult`
     in input order, identical to ``[pipeline.process_recording(r) for r
     in recordings]``.
     """
     recordings = list(recordings)
+    if backend == "cohort":
+        from repro.core.cohort import process_cohort
+        return process_cohort(recordings, config, cache=cache)
     backend = resolve_backend(backend)
     if backend == "process" and will_parallelize(n_jobs, len(recordings)):
         return _process_batch_shm(recordings, config,

@@ -5,6 +5,13 @@ and the odd-reflection padding that zero-phase filtering relies on;
 they now live here once.  The helpers are intentionally tiny — this
 module must stay import-free of the rest of the package so any DSP
 module (and the kernel cache) can depend on it without cycles.
+
+The leading-axis variants (:func:`stack_ragged`,
+:func:`odd_reflect_pad_rows`, :func:`padded_row_view`) serve the
+batched kernel tiers: the beat-matrix kernels of
+:mod:`repro.icg.batch` and the cohort stacker of
+:mod:`repro.core.cohort` both need zero padding / odd reflection over
+a leading row axis, so the padding semantics live here exactly once.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ import numpy as np
 
 from repro.errors import SignalError
 
-__all__ = ["as_signal", "odd_reflect_pad"]
+__all__ = ["as_signal", "odd_reflect_pad", "stack_ragged",
+           "check_lengths", "odd_reflect_pad_rows", "padded_row_view"]
 
 
 def as_signal(x) -> np.ndarray:
@@ -41,3 +49,105 @@ def odd_reflect_pad(x: np.ndarray, pad: int) -> np.ndarray:
     left = 2.0 * x[0] - x[pad:0:-1]
     right = 2.0 * x[-1] - x[-2: -pad - 2: -1]
     return np.concatenate([left, x, right])
+
+
+# -- leading-axis (row-batched) variants ---------------------------------
+
+def stack_ragged(signals, width: int = None):
+    """Stack 1-D signals of possibly unequal length into one matrix.
+
+    Returns ``(matrix, lengths)``: a ``(n_rows, width)`` float64 matrix
+    with each signal left-aligned and zero-padded to ``width`` (the
+    maximum length when omitted), plus the per-row valid lengths.
+    Zero tail padding is the stacking contract every batched kernel in
+    the cohort tier relies on: causal filters cannot propagate the pad
+    back into a row's valid samples, so row ``i``'s first ``lengths[i]``
+    outputs are bit-identical to the unstacked call.
+    """
+    arrays = [as_signal(s) for s in signals]
+    if not arrays:
+        raise SignalError("cannot stack an empty list of signals")
+    lengths = np.array([a.size for a in arrays], dtype=np.int64)
+    max_len = int(lengths.max())
+    if width is None:
+        width = max_len
+    elif width < max_len:
+        raise SignalError(
+            f"stack width {width} shorter than longest signal {max_len}")
+    matrix = np.zeros((len(arrays), int(width)))
+    for row, a in enumerate(arrays):
+        matrix[row, : a.size] = a
+    return matrix, lengths
+
+
+def check_lengths(x: np.ndarray, lengths) -> np.ndarray:
+    """Validate per-row lengths against a ``(n_rows, width)`` matrix."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise SignalError(f"expected a (n_rows, n_samples) matrix, "
+                          f"got shape {x.shape}")
+    if lengths is None:
+        return np.full(x.shape[0], x.shape[1], dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (x.shape[0],):
+        raise SignalError(
+            f"lengths must have shape ({x.shape[0]},), "
+            f"got {lengths.shape}")
+    if lengths.size and (lengths.min() < 1 or lengths.max() > x.shape[1]):
+        raise SignalError("row lengths must lie in [1, n_samples]")
+    return lengths
+
+
+def odd_reflect_pad_rows(x: np.ndarray, lengths, pad: int) -> np.ndarray:
+    """Row-batched :func:`odd_reflect_pad` over a leading axis.
+
+    ``x`` is a ``(n_rows, width)`` matrix whose row ``i`` is valid up
+    to ``lengths[i]`` (zero-stacked per :func:`stack_ragged`).  Every
+    row is padded by ``pad`` samples of odd reflection about its own
+    end points; the result has width ``width + 2 * pad`` with row ``i``
+    valid up to ``lengths[i] + 2 * pad`` and zeros beyond.  Each padded
+    row is bit-identical to ``odd_reflect_pad(x[i, :lengths[i]], pad)``
+    — same expressions, elementwise over the rows.
+    """
+    lengths = check_lengths(x, lengths)
+    if pad == 0:
+        return x.copy()
+    if lengths.size and int(lengths.min()) < pad + 1:
+        raise SignalError("signal too short for reflective padding")
+    n_rows, width = x.shape
+    rows = np.arange(n_rows)[:, None]
+    out = np.zeros((n_rows, width + 2 * pad))
+    out[:, pad: pad + width] = x
+    # Zero the stale tail copies: row i's stacked zeros land between
+    # its data and where the right reflection goes.
+    cols = np.arange(width)[None, :]
+    out[:, pad: pad + width][cols >= lengths[:, None]] = 0.0
+    # Left edge: 2*x[0] - x[pad:0:-1], identical per row.
+    out[:, :pad] = 2.0 * x[:, :1] - x[:, pad:0:-1]
+    # Right edge: 2*x[L-1] - x[L-2-j] for j = 0..pad-1, gathered at
+    # each row's own end.
+    j = np.arange(pad)[None, :]
+    last = x[rows, lengths[:, None] - 1]
+    mirrored = x[rows, lengths[:, None] - 2 - j]
+    right = 2.0 * last - mirrored
+    np.put_along_axis(out, pad + lengths[:, None] + j, right, axis=1)
+    return out
+
+
+def padded_row_view(signal: np.ndarray, row_starts, width: int):
+    """Strided ``(n_rows, width)`` window view with tail zero padding.
+
+    Gathers the window of ``width`` samples starting at each
+    ``row_starts`` entry from a 1-D signal, zero-extending the signal
+    so windows running off the end stay in bounds (the gather the
+    beat-matrix kernels and the cohort stacker both build on).  Zero
+    extension preserves values: windows never read past their row's
+    valid samples in the consuming reductions, which mask by length.
+    """
+    signal = np.asarray(signal, dtype=float)
+    row_starts = np.asarray(row_starts, dtype=np.int64)
+    pad = max(0, (int(row_starts.max()) if row_starts.size else 0)
+              + int(width) - signal.size)
+    padded = np.concatenate([signal, np.zeros(pad)]) if pad else signal
+    return np.lib.stride_tricks.sliding_window_view(
+        padded, int(width))[row_starts]

@@ -17,8 +17,10 @@ import numpy as np
 
 from repro.dsp import windows as _windows
 from repro.dsp._signal import as_signal as _as_signal
+from repro.dsp._signal import check_lengths as _check_lengths
 from repro.dsp._signal import odd_reflect_pad as _odd_reflect_pad
-from repro.errors import ConfigurationError
+from repro.dsp._signal import odd_reflect_pad_rows as _odd_reflect_pad_rows
+from repro.errors import ConfigurationError, SignalError
 
 __all__ = [
     "design_lowpass",
@@ -26,7 +28,9 @@ __all__ = [
     "design_bandpass",
     "design_bandstop",
     "apply_fir",
+    "apply_fir_batch",
     "filtfilt_fir",
+    "filtfilt_fir_batch",
     "group_delay",
     "frequency_response",
     "FFT_CROSSOVER_TAPS",
@@ -197,6 +201,110 @@ def apply_fir(taps: np.ndarray, x, method: str = "auto") -> np.ndarray:
     return np.convolve(x, taps, mode="full")[: x.size]
 
 
+def _resolve_method_rows(method: str, taps: np.ndarray,
+                         lengths: np.ndarray) -> list:
+    """Per-row convolution paths, matching what :func:`apply_fir` would
+    resolve for each row's own length."""
+    if method not in ("auto", "direct", "fft"):
+        raise ConfigurationError(
+            f"method must be 'auto', 'direct' or 'fft', got {method!r}")
+    if method != "auto":
+        return [method] * lengths.size
+    from repro.dsp.calibration import default_crossover_table
+
+    table = default_crossover_table()
+    return [table.resolve(taps.size, int(n)) for n in lengths]
+
+
+def apply_fir_batch(taps: np.ndarray, x, lengths=None,
+                    method: str = "auto",
+                    patch_head: bool = True) -> np.ndarray:
+    """Causal FIR filtering over a leading recording axis.
+
+    ``x`` is a ``(n_rows, width)`` matrix of zero-stacked signals, row
+    ``i`` valid up to ``lengths[i]``.  The convolution path is resolved
+    per row against each row's own length — exactly what
+    :func:`apply_fir` would pick — and rows sharing a path (and, on
+    the FFT path, a transform size) are processed together:
+
+    * **direct**: one ``np.convolve`` over the row-flattened buffer
+      with ``ntaps - 1`` guard zeros between rows.  Interior outputs
+      are the same full-window dot products either way (the
+      beat-matrix precedent); the first ``ntaps - 1`` outputs of each
+      row are boundary dots whose summation tree differs, so they are
+      patched per row from a prefix convolution — bit-identical.
+    * **fft**: rows bucket by their power-of-two transform length
+      (``nfft`` depends on the row length, so ragged rows can resolve
+      different sizes); each bucket runs one batched ``rfft``/``irfft``
+      — bit-identical to the per-row transforms, since zero tail
+      padding is exactly what ``np.fft.rfft(x, nfft)`` does.
+
+    Row ``i``'s first ``lengths[i]`` outputs equal
+    ``apply_fir(taps, x[i, :lengths[i]], method)``; columns beyond are
+    unspecified.  Requires every row length ``>= taps.size``.
+
+    ``patch_head=False`` skips the per-row boundary patch on the
+    direct path, leaving each row's first ``ntaps - 1`` outputs
+    unspecified alongside the trailing columns.  Only for callers
+    that provably never read the head: :func:`filtfilt_fir_batch`
+    pads by ``3 * ntaps`` before both passes, so the head region of
+    each pass lies entirely inside trimmed padding — the patch there
+    is per-row ``np.convolve`` work (the one remaining per-row loop
+    of the batched FIR) spent on samples nothing observes.
+    """
+    taps = _check_taps(taps)
+    lengths = _check_lengths(x, lengths)
+    x = np.asarray(x, dtype=float)
+    n_rows, width = x.shape
+    if lengths.size and int(lengths.min()) < taps.size:
+        raise SignalError(
+            f"batched FIR needs rows of >= {taps.size} samples; route "
+            "shorter recordings through the per-recording path")
+    methods = _resolve_method_rows(method, taps, lengths)
+    out = np.empty_like(x)
+    cols = np.arange(width)[None, :]
+
+    direct = np.flatnonzero([m == "direct" for m in methods])
+    if direct.size:
+        guard = taps.size - 1
+        buf = np.zeros((direct.size, width + guard))
+        buf[:, :width] = x[direct]
+        buf[:, :width][cols >= lengths[direct, None]] = 0.0
+        flat = np.convolve(buf.ravel(), taps, mode="full")
+        rows_out = flat[: buf.size].reshape(direct.size, -1)[:, :width]
+        # Boundary patch: the first ntaps-1 outputs come from partial
+        # windows whose dot products numpy evaluates over fewer terms
+        # than the guard-zero-extended windows of the flat pass.
+        if patch_head:
+            head = min(guard, width)
+            for k, row in enumerate(direct):
+                prefix = buf[k, : taps.size]
+                rows_out[k, :head] = np.convolve(
+                    prefix, taps, mode="full")[:head]
+        out[direct] = rows_out
+
+    fft_rows = np.flatnonzero([m == "fft" for m in methods])
+    if fft_rows.size:
+        taps_spectra: dict = {}
+        nffts = np.array([
+            1 << (int(n) + taps.size - 1 - 1).bit_length()
+            for n in lengths[fft_rows]])
+        for nfft in np.unique(nffts):
+            rows = fft_rows[nffts == nfft]
+            take = min(width, int(nfft))
+            buf = np.zeros((rows.size, take))
+            buf[:] = x[rows, :take]
+            buf[cols[:, :take] >= lengths[rows, None]] = 0.0
+            if nfft not in taps_spectra:
+                taps_spectra[nfft] = np.fft.rfft(taps, int(nfft))
+            spectrum = (np.fft.rfft(buf, int(nfft), axis=-1)
+                        * taps_spectra[nfft])
+            y = np.fft.irfft(spectrum, int(nfft), axis=-1)
+            out[rows] = 0.0
+            out[rows, :take] = y[:, :take]
+    return out
+
+
 def filtfilt_fir(taps: np.ndarray, x, method: str = "auto") -> np.ndarray:
     """Zero-phase FIR filtering (forward pass then reversed pass).
 
@@ -215,6 +323,53 @@ def filtfilt_fir(taps: np.ndarray, x, method: str = "auto") -> np.ndarray:
     # Each pass delays by (ntaps-1)/2 on average; for linear-phase taps the
     # two passes cancel exactly, so plain unpadding recovers alignment.
     return result[pad: pad + x.size] if pad else result
+
+
+def filtfilt_fir_batch(taps: np.ndarray, x, lengths=None,
+                       method: str = "auto") -> np.ndarray:
+    """Zero-phase FIR filtering over a leading recording axis.
+
+    The row-batched twin of :func:`filtfilt_fir`: per-row odd-reflect
+    padding, a forward :func:`apply_fir_batch` pass, a per-row
+    reversal gather, the backward pass, and un-padding.  Requires
+    every row length to clear the uniform pad (``3 * taps``), so the
+    per-row pad expression ``min(3 * ntaps, n - 1)`` collapses to the
+    same constant for every row; shorter rows belong on the
+    per-recording path.  Row ``i``'s first ``lengths[i]`` outputs are
+    bit-identical to ``filtfilt_fir(taps, x[i, :lengths[i]],
+    method)``; columns beyond are unspecified.
+    """
+    taps = _check_taps(taps)
+    lengths = _check_lengths(x, lengths)
+    x = np.asarray(x, dtype=float)
+    n_rows, width = x.shape
+    pad = 3 * taps.size
+    if lengths.size and int(lengths.min()) <= pad:
+        raise SignalError(
+            f"batched filtfilt needs rows longer than {pad} samples; "
+            "route shorter recordings through the per-recording path")
+    padded = _odd_reflect_pad_rows(x, lengths, pad)
+    padded_lengths = lengths + 2 * pad
+    # Both passes run with patch_head=False: the returned outputs read
+    # backward rows [pad, length + pad - 1], which depend on forward
+    # rows [pad, length + pad + ntaps - 2] — with pad = 3 * ntaps,
+    # neither pass's first ntaps - 1 columns are ever observed, so
+    # their per-row boundary patches would be pure dead work.
+    forward = apply_fir_batch(taps, padded, padded_lengths,
+                              method=method, patch_head=False)
+    rows = np.arange(n_rows)[:, None]
+    rev_idx = np.maximum(padded_lengths[:, None] - 1
+                         - np.arange(padded.shape[1])[None, :], 0)
+    reversed_rows = forward[rows, rev_idx]
+    # Zero the tails so the backward pass sees zero-stacked rows (the
+    # gather clamps trailing indices to column 0).
+    cols = np.arange(padded.shape[1])[None, :]
+    reversed_rows[cols >= padded_lengths[:, None]] = 0.0
+    backward = apply_fir_batch(taps, reversed_rows, padded_lengths,
+                               method=method, patch_head=False)
+    out_idx = np.maximum(padded_lengths[:, None] - 1 - pad
+                         - np.arange(width)[None, :], 0)
+    return backward[rows, out_idx]
 
 
 def group_delay(taps: np.ndarray) -> float:

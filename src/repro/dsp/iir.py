@@ -22,9 +22,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dsp._signal import as_signal as _as_signal
+from repro.dsp._signal import check_lengths as _check_lengths
 from repro.dsp._signal import odd_reflect_pad as _odd_reflect_pad
+from repro.dsp._signal import odd_reflect_pad_rows as _odd_reflect_pad_rows
 from repro.dsp.kernels import DEFAULT_BLOCK, pole_block_kernel
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SignalError
 
 __all__ = [
     "ZpkFilter",
@@ -35,8 +37,10 @@ __all__ = [
     "butter_bandstop",
     "zpk_to_sos",
     "sosfilt",
+    "sosfilt_batch",
     "sosfilt_zi",
     "sosfiltfilt",
+    "sosfiltfilt_batch",
     "sos_frequency_response",
     "set_sosfilt_backend",
     "sosfilt_backend",
@@ -447,6 +451,144 @@ def _biquad_block(section: np.ndarray, x: np.ndarray, w0: float,
     w1_out = b2 * x[-1] - a2 * y[-1]
     w0_out = b1 * x[-1] - a1 * y[-1] + b2 * x[-2] - a2 * y[-2]
     return y, w0_out, w1_out
+
+
+def _biquad_block_rows(section: np.ndarray, x: np.ndarray,
+                       w0: np.ndarray, w1: np.ndarray,
+                       block: int) -> np.ndarray:
+    """Row-batched :func:`_biquad_block` over a leading recording axis.
+
+    ``x`` is ``(n_rows, n)`` with every row a full signal (ragged rows
+    zero-stacked to a common width); ``w0``/``w1`` are per-row incoming
+    DF2T states.  Every operation is the per-row kernel's operation
+    broadcast over rows: the forcing build and boundary recursion are
+    elementwise, and the block matmuls are bit-identical under a
+    leading batch axis (BLAS keeps the K-reduction order independent
+    of M — pinned by the batched-kernel parity suite).  Row ``i``'s
+    first ``L_i`` outputs therefore equal the per-row kernel's outputs
+    whenever columns beyond ``L_i`` are zero, because the filter is
+    causal.  Only ``y`` is returned — batch callers read closing
+    states off the valid row ends themselves.
+    """
+    b0, b1, b2, _, a1, a2 = section
+    n_rows, n = x.shape
+    f = b0 * x
+    f[:, 1:] += b1 * x[:, :-1]
+    f[:, 2:] += b2 * x[:, :-2]
+    f[:, 0] += w0
+    f[:, 1] += w1
+
+    H, G = pole_block_kernel(a1, a2, block)
+    n_blocks = -(-n // block)
+    padded = np.zeros((n_rows, n_blocks * block))
+    padded[:, :n] = f
+    forcing = padded.reshape(n_rows, n_blocks, block)
+    particular = forcing @ H.T
+    m00, m01 = G[block - 1]
+    m10, m11 = G[block - 2]
+    penult = particular[:, :, block - 2]
+    last = particular[:, :, block - 1]
+    states = np.empty((n_rows, n_blocks, 2))
+    s0 = np.zeros(n_rows)
+    s1 = np.zeros(n_rows)
+    for k in range(n_blocks):
+        states[:, k, 0] = s0
+        states[:, k, 1] = s1
+        s0, s1 = (m00 * s0 + m01 * s1 + last[:, k],
+                  m10 * s0 + m11 * s1 + penult[:, k])
+    return (particular + states @ G.T).reshape(n_rows, -1)[:, :n]
+
+
+def sosfilt_batch(sos, x, zi=None, lengths=None):
+    """Causal SOS filtering over a leading recording axis.
+
+    ``x`` is a ``(n_rows, n_samples)`` matrix of zero-stacked signals
+    (see :func:`repro.dsp._signal.stack_ragged`); row ``i`` is valid up
+    to ``lengths[i]`` (full width when ``lengths`` is omitted).  ``zi``
+    accepts per-row initial conditions of shape ``(n_rows, n_sections,
+    2)`` or one shared ``(n_sections, 2)`` state.  Returns ``y`` or
+    ``(y, zf)`` with ``zf`` read off each row's own last valid
+    samples.  Row ``i``'s first ``lengths[i]`` output samples are
+    bit-identical to ``sosfilt(sos, x[i, :lengths[i]], ...)`` under
+    the vectorized backend; columns beyond a row's length are
+    by-products of the stacked scan and must be masked by the caller.
+    """
+    sos = _check_sos(sos)
+    lengths = _check_lengths(x, lengths)
+    x = np.asarray(x, dtype=float)
+    if x.shape[1] < 2:
+        raise SignalError("batched sosfilt needs >= 2 samples per row")
+    n_rows = x.shape[0]
+    n_sections = sos.shape[0]
+    if zi is None:
+        state = np.zeros((n_rows, n_sections, 2))
+    else:
+        state = np.array(zi, dtype=float)
+        if state.shape == (n_sections, 2):
+            state = np.broadcast_to(state, (n_rows, n_sections, 2)).copy()
+        if state.shape != (n_rows, n_sections, 2):
+            raise ConfigurationError(
+                f"zi must have shape ({n_rows}, {n_sections}, 2) or "
+                f"({n_sections}, 2), got {np.shape(zi)}")
+    rows = np.arange(n_rows)
+    y = x
+    for s in range(n_sections):
+        b0, b1, b2, _, a1, a2 = sos[s]
+        out = _biquad_block_rows(sos[s], y, state[:, s, 0],
+                                 state[:, s, 1], DEFAULT_BLOCK)
+        if zi is not None:
+            # Closing DF2T state at each row's own end, the same
+            # expressions as the per-row kernel evaluated per row.
+            x_last = y[rows, lengths - 1]
+            x_penult = y[rows, lengths - 2]
+            y_last = out[rows, lengths - 1]
+            y_penult = out[rows, lengths - 2]
+            state[:, s, 1] = b2 * x_last - a2 * y_last
+            state[:, s, 0] = (b1 * x_last - a1 * y_last
+                              + b2 * x_penult - a2 * y_penult)
+        y = out
+    return y if zi is None else (y, state)
+
+
+def sosfiltfilt_batch(sos, x, lengths=None) -> np.ndarray:
+    """Zero-phase SOS filtering over a leading recording axis.
+
+    The row-batched twin of :func:`sosfiltfilt`: per-row odd-reflect
+    padding, steady-state initial conditions scaled by each row's
+    first padded sample, a forward scan, a per-row reversal gather,
+    the backward scan, and un-padding.  Requires every row length to
+    clear the uniform pad (``3 * ntaps``); shorter rows would need
+    per-row pad lengths and belong on the per-recording path.  Row
+    ``i``'s first ``lengths[i]`` outputs are bit-identical to
+    ``sosfiltfilt(sos, x[i, :lengths[i]])`` under the vectorized
+    backend; columns beyond are unspecified.
+    """
+    sos = _check_sos(sos)
+    lengths = _check_lengths(x, lengths)
+    x = np.asarray(x, dtype=float)
+    n_rows, width = x.shape
+    ntaps = 2 * sos.shape[0] + 1
+    pad = 3 * ntaps
+    if lengths.size and int(lengths.min()) <= pad:
+        raise SignalError(
+            f"batched sosfiltfilt needs rows longer than {pad} samples; "
+            "route shorter recordings through the per-recording path")
+    padded = _odd_reflect_pad_rows(x, lengths, pad)
+    padded_lengths = lengths + 2 * pad
+    zi = sosfilt_zi(sos)
+    zi_fwd = zi[None, :, :] * padded[:, :1, None]
+    forward, _ = sosfilt_batch(sos, padded, zi=zi_fwd,
+                               lengths=padded_lengths)
+    rows = np.arange(n_rows)[:, None]
+    rev_idx = np.maximum(padded_lengths[:, None] - 1
+                         - np.arange(padded.shape[1])[None, :], 0)
+    reversed_rows = forward[rows, rev_idx]
+    zi_bwd = zi[None, :, :] * reversed_rows[:, :1, None]
+    backward, _ = sosfilt_batch(sos, reversed_rows, zi=zi_bwd,
+                                lengths=padded_lengths)
+    out_idx = np.maximum(padded_lengths[:, None] - 1 - pad
+                         - np.arange(width)[None, :], 0)
+    return backward[rows, out_idx]
 
 
 def _sosfilt_vec(sos, x, zi=None, block: int = DEFAULT_BLOCK):

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.dsp._signal import as_signal as _as_signal
+from repro.dsp._signal import check_lengths as _check_lengths
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "closing",
     "estimate_baseline",
     "remove_baseline",
+    "remove_baseline_batch",
     "default_element_lengths",
 ]
 
@@ -74,6 +76,79 @@ def _sliding_extreme(x: np.ndarray, size: int, take_max: bool) -> np.ndarray:
     # (suffix) and the head of the next (prefix).
     return op(suffix[:n_windows],
               prefix[size - 1: size - 1 + n_windows])
+
+
+def _sliding_extreme_rows(x: np.ndarray, lengths: np.ndarray, size: int,
+                          take_max: bool) -> np.ndarray:
+    """Row-batched :func:`_sliding_extreme` over a leading axis.
+
+    Each row's window reductions replicate that row's own first/last
+    valid sample at the edges and ignore the stacked tail (the
+    identity fill never wins a max/min).  Max/min are exact — no
+    rounding — so any correct sliding-window evaluation returns the
+    same bits as the per-row two-scan; only the block alignment
+    differs here.  Columns beyond a row's length are unspecified.
+    """
+    half = size // 2
+    op = np.maximum if take_max else np.minimum
+    identity = -np.inf if take_max else np.inf
+    n_rows, width = x.shape
+    rows = np.arange(n_rows)[:, None]
+    buf_len = width + 2 * half
+    n_blocks = -(-buf_len // size)
+    buf = np.full((n_rows, n_blocks * size), identity)
+    buf[:, half: half + width] = x
+    # Mask each row's stacked tail, then write the edge replications.
+    cols = np.arange(width)[None, :]
+    buf[:, half: half + width][cols >= lengths[:, None]] = identity
+    buf[:, :half] = x[:, :1]
+    j = np.arange(half)[None, :]
+    last = x[rows, lengths[:, None] - 1]
+    np.put_along_axis(buf, half + lengths[:, None] + j,
+                      np.broadcast_to(last, (n_rows, half)).copy(),
+                      axis=1)
+    blocks = buf.reshape(n_rows, n_blocks, size)
+    prefix = op.accumulate(blocks, axis=2).reshape(n_rows, -1)
+    suffix = op.accumulate(blocks[:, :, ::-1],
+                           axis=2)[:, :, ::-1].reshape(n_rows, -1)
+    return op(suffix[:, :width], prefix[:, size - 1: size - 1 + width])
+
+
+def _morph_rows(x: np.ndarray, lengths: np.ndarray, size: int,
+                take_max: bool) -> np.ndarray:
+    if size == 1:
+        return x.copy()
+    return _sliding_extreme_rows(x, lengths, size, take_max)
+
+
+def remove_baseline_batch(x, fs: float, lengths=None,
+                          element_lengths: Optional[Tuple[int, int]] = None,
+                          ) -> np.ndarray:
+    """Row-batched :func:`remove_baseline` over a leading axis.
+
+    ``x`` is a ``(n_rows, width)`` matrix of zero-stacked signals, row
+    ``i`` valid up to ``lengths[i]``.  Opening, closing and the final
+    subtraction act on each row's own samples with that row's edge
+    replication, so row ``i``'s first ``lengths[i]`` outputs are
+    bit-identical to ``remove_baseline(x[i, :lengths[i]], fs,
+    element_lengths)`` — max/min and the subtraction are exact.
+    Columns beyond a row's length are unspecified.
+    """
+    lengths = _check_lengths(x, lengths)
+    x = np.asarray(x, dtype=float)
+    if element_lengths is None:
+        element_lengths = default_element_lengths(fs)
+    first, second = (_check_size(element_lengths[0]),
+                     _check_size(element_lengths[1]))
+    if lengths.size and int(lengths.min()) < 2:
+        raise ConfigurationError(
+            "batched baseline removal needs >= 2 samples per row")
+    opened = _morph_rows(_morph_rows(x, lengths, first, take_max=False),
+                         lengths, first, take_max=True)
+    baseline = _morph_rows(_morph_rows(opened, lengths, second,
+                                       take_max=True),
+                           lengths, second, take_max=False)
+    return x - baseline
 
 
 def erode(x, size: int) -> np.ndarray:

@@ -158,6 +158,212 @@ class PanTompkinsDetector:
         """Detect QRS complexes; returns R-peak times in seconds."""
         return self.detect(ecg) / self.fs
 
+    def detect_batch(self, ecg_rows, lengths=None) -> list:
+        """Row-batched :meth:`detect` over zero-stacked same-rate ECGs.
+
+        ``ecg_rows`` is ``(n_recordings, width)`` with row ``i`` valid
+        up to ``lengths[i]``.  The signal-conditioning half of the
+        algorithm — band-pass, five-point derivative, squaring, MWI —
+        runs batched over the leading axis (bit-identical per row: the
+        IIR scan and FIR/FFT kernels are pinned by the batched-kernel
+        parity suite, the derivative and squaring are elementwise);
+        the sequential threshold logic then runs per row through the
+        *same* ``_local_peaks`` / ``_threshold_pass`` / ``_refine``
+        methods :meth:`detect` uses, so detections cannot drift from
+        the per-recording path.  Returns a list of R-peak index
+        arrays, one per row.  Unlike :meth:`detect`, the
+        ``bandpassed`` / ``integrated`` scratch attributes are left
+        untouched.
+        """
+        from repro.dsp._signal import check_lengths as _check_lengths
+
+        x = np.asarray(ecg_rows, dtype=float)
+        if x.ndim != 2:
+            raise SignalError(
+                f"expected a 2-D batch of ECG rows, got shape {x.shape}")
+        lengths = _check_lengths(x, lengths)
+        if lengths.size and int(lengths.min()) < int(2 * self.fs):
+            raise SignalError(
+                "Pan-Tompkins needs at least two seconds of signal "
+                f"({int(2 * self.fs)} samples) in every row, got "
+                f"{int(lengths.min())}")
+        if _iir.sosfilt_backend() == "reference":
+            # The reference scalar kernel has no batched twin; keep
+            # parity with the oracle by running rows individually.
+            return [self.detect(x[i, :int(lengths[i])])
+                    for i in range(x.shape[0])]
+        bandpassed = _iir.sosfilt_batch(self._sos, x, lengths=lengths)
+        padded = np.concatenate(
+            [np.repeat(bandpassed[:, :1], 4, axis=1), bandpassed], axis=1)
+        deriv = (2.0 * padded[:, 4:] + padded[:, 3:-1] - padded[:, 1:-3]
+                 - 2.0 * padded[:, :-4]) / 8.0
+        squared = deriv ** 2
+        integrated = _fir.apply_fir_batch(self._mwi_kernel, squared,
+                                          lengths=lengths)
+        # Row-batched front half of the threshold logic: the learning-
+        # phase statistics (every row is >= the 2 s head, so the head
+        # slice is uniform; axis-1 max/mean are bit-equal to the
+        # per-row reductions) and the local-maximum candidate mask
+        # (pure comparisons).  Only the inherently sequential
+        # threshold walk remains per row.
+        h = int(2 * self.fs)
+        spk_i_rows = 0.3 * np.max(integrated[:, :h], axis=1,
+                                  initial=0.0)
+        npk_i_rows = 0.1 * np.mean(integrated[:, :h], axis=1)
+        abs_head = np.abs(bandpassed[:, :h])
+        spk_f_rows = 0.3 * np.max(abs_head, axis=1, initial=0.0)
+        npk_f_rows = 0.1 * np.mean(abs_head, axis=1)
+        peak_mask = ((integrated[:, 1:-1] > integrated[:, :-2])
+                     & (integrated[:, 1:-1] >= integrated[:, 2:]))
+        min_distance = int(0.2 * self.fs)
+        peaks_per_row = []
+        for i in range(x.shape[0]):
+            valid = int(lengths[i])
+            candidates = np.flatnonzero(
+                peak_mask[i, : max(valid - 2, 0)]) + 1
+            peaks_per_row.append(
+                _local_peaks(integrated[i, :valid],
+                             min_distance=min_distance,
+                             candidates=candidates))
+        features = self._slab_peak_features(bandpassed, lengths,
+                                            peaks_per_row)
+        qrs_per_row = []
+        for i, peaks in enumerate(peaks_per_row):
+            valid = int(lengths[i])
+            near, slope = (features[i] if features is not None
+                           else self._peak_features(
+                               bandpassed[i, :valid], peaks))
+            qrs_per_row.append(self._threshold_pass(
+                integrated[i, :valid], bandpassed[i, :valid], peaks,
+                near, slope,
+                learning=(float(spk_i_rows[i]), float(npk_i_rows[i]),
+                          float(spk_f_rows[i]), float(npk_f_rows[i]))))
+        return self._slab_refine(x, lengths, qrs_per_row)
+
+    def _slab_peak_features(self, bandpassed: np.ndarray,
+                            lengths: np.ndarray, peaks_per_row: list):
+        """Slab-wide :meth:`_peak_features`: one strided gather for
+        every interior peak of every row.
+
+        The per-row windows never cross row boundaries (an interior
+        peak's window lies inside that row's valid samples), so the
+        windowed maxima can be read off one ``sliding_window_view`` of
+        the row-flattened ``|bp|`` / ``|diff(bp)|`` matrices — max is
+        exact, so the values are bit-equal to the per-row gathers.
+        Returns a per-row list of ``(near, slope)`` dicts, or ``None``
+        when the slope window degenerates (the per-row fallback
+        handles every peak there).
+        """
+        fs = self.fs
+        w_near = int(0.10 * fs)
+        w_slope = int(0.075 * fs)
+        if w_near < 0 or w_slope < 1:
+            return None
+        n_rows, width = bandpassed.shape
+        abs_bp = np.abs(bandpassed)
+        abs_diff = np.abs(np.diff(bandpassed, axis=1))
+        counts = [p.size for p in peaks_per_row]
+        if sum(counts) == 0:
+            return [({}, {}) for _ in peaks_per_row]
+        all_peaks = np.concatenate(peaks_per_row)
+        row_ids = np.repeat(np.arange(n_rows), counts)
+        interior = ((all_peaks >= w_near) & (all_peaks >= w_slope)
+                    & (all_peaks >= 1))
+        int_rows = row_ids[interior]
+        int_peaks = all_peaks[interior]
+        near_vals = np.lib.stride_tricks.sliding_window_view(
+            abs_bp.ravel(), w_near + 1)[
+            int_rows * width + int_peaks - w_near].max(axis=1)
+        slope_vals = np.lib.stride_tricks.sliding_window_view(
+            abs_diff.ravel(), w_slope)[
+            int_rows * (width - 1) + int_peaks - w_slope].max(axis=1)
+        bounds = np.searchsorted(int_rows, np.arange(n_rows + 1))
+        int_keys = int_peaks.tolist()
+        near_list = near_vals.tolist()
+        slope_list = slope_vals.tolist()
+        features = []
+        for i, peaks in enumerate(peaks_per_row):
+            s, e = int(bounds[i]), int(bounds[i + 1])
+            near = dict(zip(int_keys[s:e], near_list[s:e]))
+            slope = dict(zip(int_keys[s:e], slope_list[s:e]))
+            if e - s != peaks.size:
+                # Boundary-clamped peaks: the same scalar fallback as
+                # _peak_features, on this row's slices.
+                valid = int(lengths[i])
+                row_abs = abs_bp[i, :valid]
+                row_diff = abs_diff[i, :valid - 1]
+                row_bp = bandpassed[i, :valid]
+                for idx in peaks.tolist():
+                    if idx in near:
+                        continue
+                    lo = max(0, idx - w_near)
+                    hi = min(valid, idx + 1)
+                    near[idx] = (float(np.max(row_abs[lo:hi]))
+                                 if hi > lo else 0.0)
+                    lo = max(0, idx - w_slope)
+                    segment = row_bp[lo: idx + 1]
+                    slope[idx] = (float(np.max(row_diff[lo:idx]))
+                                  if segment.size > 1 else 0.0)
+            features.append((near, slope))
+        return features
+
+    def _slab_refine(self, x: np.ndarray, lengths: np.ndarray,
+                     qrs_per_row: list) -> list:
+        """Slab-wide :meth:`_refine`: one strided argmax over every
+        interior search window, per-row fallback for clamped ones.
+
+        Interior windows sit inside their row's valid samples, so the
+        row-flattened gather reads exactly the per-row window and
+        ``argmax`` keeps the same first-maximum tie-breaking.  The
+        per-row dedup walk is unchanged.
+        """
+        half = int(self.config.refine_window_s * self.fs)
+        group_delay = int((self.config.integration_window_s / 2)
+                          * self.fs)
+        min_sep = int(self.config.refractory_s * self.fs)
+        n_rows, width = x.shape
+        counts = [len(q) for q in qrs_per_row]
+        total = sum(counts)
+        snapped = np.zeros(total, dtype=int)
+        interior = np.zeros(total, dtype=bool)
+        if total:
+            all_qrs = np.fromiter(
+                (q for row in qrs_per_row for q in row),
+                dtype=np.int64, count=total)
+            row_ids = np.repeat(np.arange(n_rows), counts)
+            centres = all_qrs - group_delay
+            valids = lengths[row_ids]
+            interior = ((centres - half >= 0)
+                        & (centres + half + 1 <= valids))
+            if interior.any():
+                starts = centres[interior] - half
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    x.ravel(), 2 * half + 1)[
+                    row_ids[interior] * width + starts]
+                snapped[interior] = starts + windows.argmax(axis=1)
+        detections = []
+        pos = 0
+        for i, qrs in enumerate(qrs_per_row):
+            valid = int(lengths[i])
+            refined = []
+            for j, idx in enumerate(qrs):
+                if interior[pos + j]:
+                    refined.append(int(snapped[pos + j]))
+                    continue
+                centre = int(idx) - group_delay
+                lo = max(0, centre - half)
+                hi = min(valid, centre + half + 1)
+                if hi <= lo:
+                    continue
+                refined.append(lo + int(np.argmax(x[i, lo:hi])))
+            pos += len(qrs)
+            out: list = []
+            for r in refined:
+                if not out or r - out[-1] >= min_sep:
+                    out.append(r)
+            detections.append(np.asarray(out, dtype=int))
+        return detections
+
     def _peak_features(self, bp: np.ndarray, peaks: np.ndarray) -> tuple:
         """Per-peak band-pass features, batched.
 
@@ -188,11 +394,10 @@ class PanTompkinsDetector:
             rows = np.lib.stride_tricks.sliding_window_view(
                 abs_diff, w_slope)[interior - w_slope]
             slope_vals = rows.max(axis=1)
-            for i, idx in enumerate(interior):
-                near[int(idx)] = float(near_vals[i])
-                slope[int(idx)] = float(slope_vals[i])
-        for idx in peaks:
-            idx = int(idx)
+            keys = interior.tolist()
+            near = dict(zip(keys, near_vals.tolist()))
+            slope = dict(zip(keys, slope_vals.tolist()))
+        for idx in peaks.tolist():
             if idx in near:
                 continue
             lo = max(0, idx - w_near)
@@ -207,16 +412,21 @@ class PanTompkinsDetector:
 
     def _threshold_pass(self, mwi: np.ndarray, bp: np.ndarray,
                         peaks: np.ndarray, bp_near: dict,
-                        bp_slope: dict) -> list:
+                        bp_slope: dict, learning=None) -> list:
         cfg = self.config
         fs = self.fs
-        # Initialise estimates from the first two seconds, as the
-        # original algorithm's learning phase does.
-        head = slice(0, int(2 * fs))
-        spk_i = 0.3 * float(np.max(mwi[head], initial=0.0))
-        npk_i = 0.1 * float(np.mean(mwi[head]))
-        spk_f = 0.3 * float(np.max(np.abs(bp[head]), initial=0.0))
-        npk_f = 0.1 * float(np.mean(np.abs(bp[head])))
+        if learning is None:
+            # Initialise estimates from the first two seconds, as the
+            # original algorithm's learning phase does.
+            head = slice(0, int(2 * fs))
+            spk_i = 0.3 * float(np.max(mwi[head], initial=0.0))
+            npk_i = 0.1 * float(np.mean(mwi[head]))
+            spk_f = 0.3 * float(np.max(np.abs(bp[head]), initial=0.0))
+            npk_f = 0.1 * float(np.mean(np.abs(bp[head])))
+        else:
+            # Precomputed by detect_batch's row-batched reductions
+            # (bit-equal to the expressions above).
+            spk_i, npk_i, spk_f, npk_f = learning
         threshold_i = npk_i + 0.25 * (spk_i - npk_i)
         threshold_f = npk_f + 0.25 * (spk_f - npk_f)
 
@@ -226,15 +436,24 @@ class PanTompkinsDetector:
         refractory = int(cfg.refractory_s * fs)
         twave_lim = int(cfg.twave_window_s * fs)
 
+        # Every index the walk touches is a fiducial mark, so gather
+        # the MWI heights once (vectorized) and run the sequential
+        # logic on python scalars — float64 arithmetic rounds the same
+        # either way, and the walk drops the per-step ufunc dispatch.
+        peak_list = [int(p) for p in peaks]
+        mwi_at = dict(zip(peak_list,
+                          np.asarray(mwi)[peak_list].tolist()
+                          if peak_list else ()))
+
         def bp_peak_near(idx: int) -> float:
-            return bp_near[int(idx)]
+            return bp_near[idx]
 
         def mean_slope_before(idx: int) -> float:
-            return bp_slope[int(idx)]
+            return bp_slope[idx]
 
         def accept(idx: int) -> None:
             nonlocal spk_i, spk_f, threshold_i, threshold_f
-            spk_i = 0.125 * mwi[idx] + 0.875 * spk_i
+            spk_i = 0.125 * mwi_at[idx] + 0.875 * spk_i
             spk_f = 0.125 * bp_peak_near(idx) + 0.875 * spk_f
             if qrs:
                 rr = idx - qrs[-1]
@@ -251,7 +470,7 @@ class PanTompkinsDetector:
 
         def reject(idx: int) -> None:
             nonlocal npk_i, npk_f, threshold_i, threshold_f
-            npk_i = 0.125 * mwi[idx] + 0.875 * npk_i
+            npk_i = 0.125 * mwi_at[idx] + 0.875 * npk_i
             npk_f = 0.125 * bp_peak_near(idx) + 0.875 * npk_f
             threshold_i = npk_i + 0.25 * (spk_i - npk_i)
             threshold_f = npk_f + 0.25 * (spk_f - npk_f)
@@ -269,21 +488,21 @@ class PanTompkinsDetector:
             rr_mean = float(sum(regular) / len(regular))
             if current - qrs[-1] <= 1.66 * rr_mean:
                 return
-            candidates = [p for p in peaks
+            candidates = [p for p in peak_list
                           if qrs[-1] + refractory < p < current - refractory
-                          and mwi[p] > 0.5 * threshold_i]
+                          and mwi_at[p] > 0.5 * threshold_i]
             if candidates:
-                best = int(max(candidates, key=lambda p: mwi[p]))
+                best = max(candidates, key=mwi_at.__getitem__)
                 accept(best)
-                spk_i = 0.25 * mwi[best] + 0.75 * spk_i
+                spk_i = 0.25 * mwi_at[best] + 0.75 * spk_i
 
         last_slope = 0.0
-        for idx in peaks:
+        for idx in peak_list:
             search_back(idx)
             if qrs and idx - qrs[-1] < refractory:
                 reject(idx)
                 continue
-            is_signal = (mwi[idx] > threshold_i
+            is_signal = (mwi_at[idx] > threshold_i
                          and bp_peak_near(idx) > threshold_f)
             if is_signal and qrs and idx - qrs[-1] < twave_lim:
                 # T-wave discrimination: a T wave has less than half the
@@ -308,9 +527,23 @@ class PanTompkinsDetector:
         """
         half = int(self.config.refine_window_s * self.fs)
         group_delay = int((self.config.integration_window_s / 2) * self.fs)
+        centres = np.asarray(qrs, dtype=int) - group_delay
+        w = 2 * half + 1
+        interior = (centres - half >= 0) & (centres + half + 1 <= x.size)
+        batched: dict = {}
+        if w <= x.size and interior.any():
+            # One strided argmax over every full-width window; edge
+            # windows (clamped at either end) fall back per element.
+            starts = centres[interior] - half
+            windows = np.lib.stride_tricks.sliding_window_view(x, w)[starts]
+            args = starts + windows.argmax(axis=1)
+            batched = dict(zip(np.flatnonzero(interior).tolist(),
+                               args.tolist()))
         refined = []
-        for idx in qrs:
-            centre = idx - group_delay
+        for i, centre in enumerate(centres):
+            if i in batched:
+                refined.append(batched[i])
+                continue
             lo = max(0, centre - half)
             hi = min(x.size, centre + half + 1)
             if hi <= lo:
@@ -325,20 +558,35 @@ class PanTompkinsDetector:
         return np.asarray(out, dtype=int)
 
 
-def _local_peaks(x: np.ndarray, min_distance: int) -> np.ndarray:
+def _local_peaks(x: np.ndarray, min_distance: int,
+                 candidates=None) -> np.ndarray:
     """Local maxima at least ``min_distance`` samples apart (the
-    fiducial-mark stage of the original algorithm)."""
-    candidates = np.flatnonzero(
-        (x[1:-1] > x[:-2]) & (x[1:-1] >= x[2:])) + 1
+    fiducial-mark stage of the original algorithm).
+
+    ``candidates`` short-circuits the local-maximum scan with indices
+    a caller already computed (``detect_batch`` evaluates the
+    comparison mask for a whole slab at once); they must equal what
+    the scan below would have found.
+    """
+    if candidates is None:
+        candidates = np.flatnonzero(
+            (x[1:-1] > x[:-2]) & (x[1:-1] >= x[2:])) + 1
     if candidates.size == 0:
         return candidates
+    # One vectorized gather, then a pure-python greedy walk: float64
+    # comparisons are bit-identical whether run on numpy or python
+    # scalars, and the python loop avoids per-step ufunc dispatch.
+    values = x[candidates].tolist()
     selected: list = []
-    for idx in candidates:
+    kept: list = []
+    for idx, v in zip(candidates.tolist(), values):
         if selected and idx - selected[-1] < min_distance:
-            if x[idx] > x[selected[-1]]:
-                selected[-1] = int(idx)
+            if v > kept[-1]:
+                selected[-1] = idx
+                kept[-1] = v
         else:
-            selected.append(int(idx))
+            selected.append(idx)
+            kept.append(v)
     return np.asarray(selected, dtype=int)
 
 

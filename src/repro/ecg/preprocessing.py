@@ -29,7 +29,7 @@ from repro.dsp import morphology as _morphology
 from repro.errors import ConfigurationError
 
 __all__ = ["EcgFilterConfig", "design_ecg_fir", "remove_baseline_wander",
-           "bandpass", "preprocess_ecg"]
+           "bandpass", "preprocess_ecg", "preprocess_ecg_batch"]
 
 
 @dataclass(frozen=True)
@@ -114,3 +114,35 @@ def preprocess_ecg(ecg, fs: float,
     config = config or EcgFilterConfig()
     corrected = remove_baseline_wander(ecg, fs, config)
     return bandpass(corrected, fs, config, taps=taps)
+
+
+def preprocess_ecg_batch(ecg_rows, fs: float, lengths=None,
+                         config: Optional[EcgFilterConfig] = None,
+                         taps: Optional[np.ndarray] = None) -> np.ndarray:
+    """Row-batched :func:`preprocess_ecg` over a leading recording axis.
+
+    ``ecg_rows`` is a ``(n_recordings, width)`` matrix of zero-stacked
+    same-rate ECGs (row ``i`` valid up to ``lengths[i]``).  Both
+    stages run batched — morphological baseline removal via
+    :func:`repro.dsp.morphology.remove_baseline_batch` (exact) and the
+    zero-phase FIR via :func:`repro.dsp.fir.filtfilt_fir_batch`
+    (bit-identical by the boundary-patch argument documented there) —
+    so row ``i``'s first ``lengths[i]`` outputs equal
+    ``preprocess_ecg(ecg_rows[i, :lengths[i]], fs, config, taps)``.
+    Raises :class:`~repro.errors.SignalError` for rows too short for
+    the uniform filtfilt pad; the cohort planner routes those through
+    the per-recording path instead.
+    """
+    from repro.dsp._signal import check_lengths as _check_lengths
+
+    config = config or EcgFilterConfig()
+    if config.high_cut_hz >= fs / 2.0:
+        raise ConfigurationError(
+            f"high cut-off {config.high_cut_hz} Hz does not fit below "
+            f"fs/2 = {fs / 2.0} Hz")
+    lengths = _check_lengths(ecg_rows, lengths)
+    if taps is None:
+        taps = design_ecg_fir(fs, config)
+    corrected = _morphology.remove_baseline_batch(
+        ecg_rows, fs, lengths, config.morphology_lengths(fs))
+    return _fir.filtfilt_fir_batch(taps, corrected, lengths)

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.dsp._signal import padded_row_view as _padded_row_view
 from repro.dsp.derivative import savgol_coefficients
 from repro.dsp.kernels import savgol_kernel
 
@@ -284,7 +285,9 @@ def _pattern_present(d2_rows: np.ndarray, inseg: np.ndarray,
 def detect_all_points_batched(icg: np.ndarray, fs: float,
                               r_indices: np.ndarray,
                               config=None,
-                              rt_intervals_s=None) -> tuple:
+                              rt_intervals_s=None, *,
+                              beats=None,
+                              origins=None) -> tuple:
     """Batched twin of the per-beat detection loop.
 
     Returns ``(points, failures, landmarks)`` where ``points`` and
@@ -295,6 +298,26 @@ def detect_all_points_batched(icg: np.ndarray, fs: float,
     The caller (:func:`repro.icg.points.detect_all_points`) owns input
     validation; this function assumes a 1-D float ``icg`` and >= 2
     integer ``r_indices``.
+
+    ``beats`` — an explicit ``(starts, stops)`` pair of per-beat
+    window bounds — replaces the consecutive-R-pair derivation.  The
+    cohort tier uses it to run *one* detection over several
+    recordings' ICG signals laid end to end: beat windows never read
+    outside themselves (interior derivative taps live in
+    ``[start, stop)``, the edge fits in the window's first/last
+    ``window`` samples, and every row reduction below is masked by the
+    beat's length), so concatenation cannot change any beat's bits.
+    The caller guarantees the windows are in-bounds, disjoint and
+    sorted.
+
+    ``origins`` (with ``beats``) gives each beat an integer origin to
+    subtract when assembling output indices, so a beat cut from a
+    signal placed at offset ``origins[k]`` reports the indices — bit
+    for bit, including the float ``b0_index`` — that a detection over
+    its own recording alone would have produced.  Delegation to the
+    per-beat reference cannot honour foreign origins, so it raises
+    instead (the cohort caller screens delegating beats out and treats
+    the raise as a demotion signal).
     """
     from repro.icg.points import (
         BeatPoints,
@@ -306,19 +329,27 @@ def detect_all_points_batched(icg: np.ndarray, fs: float,
 
     config = config or PointConfig()
     icg = np.asarray(icg, dtype=float)
-    r = np.asarray(r_indices, dtype=np.int64)
-    if np.any(np.diff(r) <= 0):
-        # Overlapping/odd beat windows break the shared-derivative
-        # layout; this is pathological input, not a hot path.
-        points, failures = _detect_all_points_ref(
-            icg, fs, r, config, rt_intervals_s)
-        return points, failures, BeatLandmarks.from_points(points)
+    if beats is None:
+        r = np.asarray(r_indices, dtype=np.int64)
+        if np.any(np.diff(r) <= 0):
+            # Overlapping/odd beat windows break the shared-derivative
+            # layout; this is pathological input, not a hot path.
+            points, failures = _detect_all_points_ref(
+                icg, fs, r, config, rt_intervals_s)
+            return points, failures, BeatLandmarks.from_points(points)
+        starts = r[:-1]
+        stops = r[1:]
+    else:
+        starts = np.asarray(beats[0], dtype=np.int64)
+        stops = np.asarray(beats[1], dtype=np.int64)
 
     n_signal = icg.size
-    starts = r[:-1]
-    stops = r[1:]
     lens = stops - starts
     n = starts.size
+    if origins is None:
+        local_starts = starts
+    else:
+        local_starts = starts - np.asarray(origins, dtype=np.int64)
     status = np.zeros(n, dtype=np.int64)
 
     # -- per-beat validity, in the reference's check order ----------------
@@ -348,10 +379,10 @@ def detect_all_points_batched(icg: np.ndarray, fs: float,
             icg, starts[active], stops[active], window, fs)
 
         def rows_of(signal, row_width):
-            pad = max(0, int(row_starts.max()) + row_width - n_signal)
-            padded = (np.concatenate([signal, np.zeros(pad)])
-                      if pad else signal)
-            return sliding_window_view(padded, row_width)[row_starts]
+            # Shared leading-axis gather (also used by the cohort
+            # stacker); masked reductions below never read past a
+            # beat's length, so the zero extension preserves values.
+            return _padded_row_view(signal, row_starts, row_width)
 
         with np.errstate(all="ignore"):
             rows = rows_of(icg, width)
@@ -510,15 +541,24 @@ def detect_all_points_batched(icg: np.ndarray, fs: float,
         code = int(status[k])
         if code == _OK:
             points.append(BeatPoints(
-                r_index=int(starts[k]),
-                c_index=int(starts[k] + c_rel[k]),
-                b_index=int(starts[k] + b_rel[k]),
-                x_index=int(starts[k] + x_rel[k]),
-                b0_index=float(int(starts[k]) + float(b0_rel[k])),
-                x0_index=int(starts[k] + x0_rel[k]),
+                r_index=int(local_starts[k]),
+                c_index=int(local_starts[k] + c_rel[k]),
+                b_index=int(local_starts[k] + b_rel[k]),
+                x_index=int(local_starts[k] + x_rel[k]),
+                b0_index=float(int(local_starts[k]) + float(b0_rel[k])),
+                x0_index=int(local_starts[k] + x0_rel[k]),
                 pattern_found=bool(pattern[k]),
             ))
         elif code == _DELEGATE:
+            if origins is not None:
+                # The per-beat reference works in this signal's frame;
+                # it cannot report another origin's indices.  The
+                # cohort caller screens these beats out up front, so
+                # reaching here means the screen and the detection
+                # disagree — refuse, and let the caller demote.
+                raise ValueError(
+                    "cannot delegate a beat to the reference detector "
+                    "under per-beat origins")
             rt = (None if rt_intervals_s is None
                   else float(np.asarray(rt_intervals_s)[k]))
             # Reproduce whatever the reference does for this beat —
@@ -542,12 +582,12 @@ def detect_all_points_batched(icg: np.ndarray, fs: float,
     # per-beat pass over the points list on the hot path.
     ok = status == _OK
     landmarks = BeatLandmarks(
-        r=starts[ok],
-        c=(starts + c_rel)[ok],
-        b=(starts + b_rel)[ok],
-        x=(starts + x_rel)[ok],
-        b0=(starts + b0_rel)[ok],
-        x0=(starts + x0_rel)[ok],
+        r=local_starts[ok],
+        c=(local_starts + c_rel)[ok],
+        b=(local_starts + b_rel)[ok],
+        x=(local_starts + x_rel)[ok],
+        b0=(local_starts + b0_rel)[ok],
+        x0=(local_starts + x0_rel)[ok],
         pattern_found=pattern[ok],
     )
     return points, failures, landmarks

@@ -27,7 +27,7 @@ numerical round-off, and both properties pinned by the ingest tests.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional
@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.cache import FilterDesignCache, default_design_cache
 from repro.core.config import PipelineConfig
 from repro.core.executor import (
+    persistent_process_pool,
     plan_recording_job,
     process_recording_job,
     process_shm_job,
@@ -46,7 +47,6 @@ from repro.core.executor import (
 )
 from repro.core.pipeline import BeatToBeatPipeline, PipelineResult
 from repro.core.shm import ShmArena
-from repro.dsp import calibration as _calibration
 from repro.dsp import iir as _iir
 from repro.errors import ConfigurationError
 from repro.ingest.chunks import RecordingChunk, SessionAssembler
@@ -285,13 +285,12 @@ class StreamingExecutor:
         self._pipelines: dict = {}
 
         if self.finalize_backend == "process":
-            # Finalize workers adopt the parent's FFT-crossover
-            # calibration so streaming results stay bit-identical to
-            # the in-process batch path.
-            pool_context = ProcessPoolExecutor(
-                max_workers=self.n_workers,
-                initializer=_calibration.install_snapshot,
-                initargs=(_calibration.snapshot(),))
+            # Finalize jobs go through the warm persistent pool: the
+            # calibration snapshot rides with each submission (workers
+            # install it only on change), so streaming results stay
+            # bit-identical to the in-process batch path while
+            # back-to-back ingest runs reuse one worker fleet.
+            pool_context = persistent_process_pool(self.n_workers)
         elif self.n_workers == 1:
             # One thread worker buys nothing over finalizing in the
             # drain loop itself — skip the pool and its switching.

@@ -211,3 +211,17 @@ def test_cache_stats_process_backend_reports_workers(capsys):
     assert code == 0
     assert "Per-worker process-local caches" in out
     assert "worker pid" in out
+
+
+def test_cache_stats_process_backend_reports_pool_reuse(capsys):
+    """The command runs two fan-outs, so the warm pool must report at
+    least one reuse (unless the kill switch disabled it)."""
+    code = cli.main(["cache-stats", "--duration", "8", "--backend",
+                     "process", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Warm process pool" in out
+    import re
+    match = re.search(r"(\d+) built / (\d+) reused", out)
+    assert match is not None
+    assert int(match.group(2)) >= 1

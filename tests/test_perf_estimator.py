@@ -103,3 +103,50 @@ def test_floor_skipped_on_single_core():
 
 def test_floor_ignores_missing_metric():
     assert perf_regression.floor_violations({"cpu_count": 8}) == []
+
+
+def test_cohort_floors_enforced_on_any_host():
+    """The cohort tier's win needs no extra cores, so its floors are
+    checked even on single-CPU runners."""
+    summary = {"cpu_count": 1,
+               "cohort": {"speedup_1000": 1.4, "curve_ratio": 0.95}}
+    assert perf_regression.floor_violations(summary) == [
+        ("cohort.speedup_1000", 1.4, 2.0)]
+    summary["cohort"]["speedup_1000"] = 2.6
+    assert perf_regression.floor_violations(summary) == []
+
+
+def test_cohort_curve_collapse_is_a_floor_violation():
+    summary = {"cpu_count": 4,
+               "cohort": {"speedup_1000": 2.5, "curve_ratio": 0.5}}
+    assert perf_regression.floor_violations(summary) == [
+        ("cohort.curve_ratio", 0.5, 0.8)]
+
+
+# --- the wall-clock budget (--max-seconds) --------------------------------
+
+def test_quick_mode_defaults_to_the_budget(monkeypatch, capsys,
+                                           tmp_path):
+    """A quick run that blows its --max-seconds budget fails loudly
+    even when every metric gate passes."""
+    monkeypatch.setattr(perf_regression, "measure",
+                        lambda **kwargs: {"mode": "quick",
+                                          "cpu_count": 1})
+    monkeypatch.setattr(perf_regression, "render", lambda s: "(render)")
+    clock = iter([0.0, 100.0])
+    monkeypatch.setattr(perf_regression.time, "perf_counter",
+                        lambda: next(clock))
+    assert perf_regression.main(["--quick"]) == 1
+    assert "BUDGET EXCEEDED" in capsys.readouterr().out
+
+
+def test_budget_passes_under_the_limit(monkeypatch, capsys):
+    monkeypatch.setattr(perf_regression, "measure",
+                        lambda **kwargs: {"mode": "quick",
+                                          "cpu_count": 1})
+    monkeypatch.setattr(perf_regression, "render", lambda s: "(render)")
+    clock = iter([0.0, 5.0])
+    monkeypatch.setattr(perf_regression.time, "perf_counter",
+                        lambda: next(clock))
+    assert perf_regression.main(["--quick", "--max-seconds", "30"]) == 0
+    assert "BUDGET EXCEEDED" not in capsys.readouterr().out
