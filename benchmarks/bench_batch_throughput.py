@@ -107,6 +107,7 @@ def test_batch_throughput(benchmark, results_dir):
                                          include_batch=False,
                                          include_streaming=False,
                                          include_cohort_tier=False,
+                                         include_storage=False,
                                          cohort=(recordings, duration))
     trajectory["batch"] = {
         "serial_rec_per_s": n / warm_s,

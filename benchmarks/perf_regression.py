@@ -136,6 +136,12 @@ GATED_FLOORS = {
     "batch.process_scaling": (1.0, True),
     "cohort.speedup_1000": (2.0, False),
     "cohort.curve_ratio": (0.8, False),
+    # The storage lifecycle's disk bound: after journal-gc of the
+    # 8-device 3-round fleet, the journal may hold at most
+    # STORAGE_DISK_BOUND x the bytes of its still-live sessions.
+    # The metric is (bound x live_bytes) / bytes_after, so the floor
+    # reads like the others: <= 1.0 means the bound was exceeded.
+    "storage.disk_bound": (1.0, False),
 }
 
 DEFAULT_TOLERANCE = 0.30
@@ -397,6 +403,77 @@ def measure_streaming(quick: bool = False,
     }
 
 
+#: Journal disk bound after GC, as a multiple of live-session bytes
+#: (compaction is byte-copying, so the honest overhead is segment
+#: granularity — 25 % covers it with margin).
+STORAGE_DISK_BOUND = 1.25
+
+#: The storage-lifecycle fleet: the acceptance shape (8 devices x 3
+#: rounds) with churn and no rejoin, so dropped sessions stay live in
+#: the journal and the post-GC bound has a non-trivial denominator.
+STORAGE_FLEET = dict(n_devices=8, duration_s=8.0, chunk_s=2.0,
+                     seed=42, n_rounds=3, round_gap_s=2.0,
+                     dropout=0.25, rejoin=False)
+
+
+def measure_storage(quick: bool = False) -> dict:
+    """The storage lifecycle's disk-bound figure.
+
+    Journals the 8-device 3-round churning fleet, garbage-collects,
+    and reports the journal's byte trajectory: ``bytes_before`` (the
+    whole run), ``live_bytes`` (records of sessions still awaiting
+    their trailer — the only replay obligation left) and
+    ``bytes_after`` GC.  The gated ``disk_bound`` metric is
+    ``(STORAGE_DISK_BOUND x live_bytes) / bytes_after`` — above 1.0
+    the journal is bounded by its live traffic, at or below 1.0 GC
+    stopped reclaiming and the disk grows with *total* traffic again.
+    """
+    import shutil
+    import tempfile
+
+    from repro.ingest import ChunkJournal, scan_journal
+    from repro.ingest.gc import journal_bytes, journal_gc
+
+    directory = Path(tempfile.mkdtemp(prefix="repro-bench-journal-"))
+    try:
+        fleet = DeviceFleet(FleetConfig(**STORAGE_FLEET))
+        with ChunkJournal(directory) as journal:
+            executor = StreamingExecutor(n_workers=1, preview=False,
+                                         journal=journal)
+            start = time.perf_counter()
+            results = executor.run(fleet)
+            run_s = time.perf_counter() - start
+        scan = scan_journal(directory)
+        # Live = every record of a session without a journaled trailer.
+        from repro.io import scan_segment
+        live_bytes = sum(
+            entry.length
+            for path in scan.segments
+            for entry in scan_segment(path).entries
+            if entry.session_id in scan.open)
+        bytes_before = journal_bytes(directory)
+        gc_start = time.perf_counter()
+        report = journal_gc(directory)
+        gc_s = time.perf_counter() - gc_start
+        bytes_after = journal_bytes(directory)
+        return {
+            "n_sessions": len(results) + len(scan.open),
+            "n_live_sessions": len(scan.open),
+            "bytes_before": int(bytes_before),
+            "live_bytes": int(live_bytes),
+            "bytes_after_gc": int(bytes_after),
+            "records_dropped": report.records_dropped,
+            "records_kept": report.records_kept,
+            "gc_s": gc_s,
+            "ingest_s": run_s,
+            "bound_multiple": STORAGE_DISK_BOUND,
+            "disk_bound": (STORAGE_DISK_BOUND * live_bytes
+                           / max(bytes_after, 1)),
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 #: Cohort-tier scaling points: recordings per measurement.
 COHORT_SIZES_QUICK = (100, 1000)
 COHORT_SIZES_FULL = (100, 1000, 10000)
@@ -469,6 +546,7 @@ def measure(quick: bool = False, n_jobs: int = 4,
             include_batch: bool = True,
             include_streaming: bool = True,
             include_cohort_tier: bool = True,
+            include_storage: bool = True,
             cohort=None) -> dict:
     """One trajectory point: kernel, pipeline, batch and streaming
     throughput.
@@ -612,6 +690,9 @@ def measure(quick: bool = False, n_jobs: int = 4,
     if include_cohort_tier:
         summary["cohort"] = measure_cohort(quick)
 
+    if include_storage:
+        summary["storage"] = measure_storage(quick)
+
     summary["cache"] = cache.stats()
     summary["fft_calibration"] = _calibration.default_crossover_table() \
         .stats()
@@ -720,6 +801,14 @@ def render(summary: dict) -> str:
         lines.append(
             f"  cohort curve   : rec/s(10^3) / rec/s(10^2) = "
             f"{c['curve_ratio']:4.2f}")
+    st = summary.get("storage")
+    if st:
+        lines.append(
+            f"  journal GC     : {st['bytes_before'] / 1024:8.1f} KiB "
+            f"-> {st['bytes_after_gc'] / 1024:8.1f} KiB "
+            f"({st['n_live_sessions']} live sessions, "
+            f"{st['live_bytes'] / 1024:.1f} KiB live) | bound margin "
+            f"{st['disk_bound']:5.2f}x in {st['gc_s'] * 1000:5.1f} ms")
     return "\n".join(lines)
 
 

@@ -46,11 +46,14 @@ from repro.core import (
     PipelineResult,
     process_batch,
 )
+from repro.core.executor import PoisonJob, raise_if_poison
 from repro.errors import (
+    ArchiveError,
     ConfigurationError,
     DetectionError,
     HardwareError,
     JournalError,
+    PoisonJobError,
     ProtocolError,
     ReproError,
     SignalError,
@@ -76,5 +79,6 @@ __all__ = [
     "SynthesisConfig", "synthesize_recording",
     "ProtocolConfig", "StudyResult", "run_study",
     "ReproError", "ConfigurationError", "SignalError", "DetectionError",
-    "HardwareError", "ProtocolError", "JournalError",
+    "HardwareError", "ProtocolError", "JournalError", "ArchiveError",
+    "PoisonJobError", "PoisonJob", "raise_if_poison",
 ]

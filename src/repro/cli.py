@@ -24,7 +24,18 @@ want:
 * ``recover`` — re-open a journal directory after a crash: finalize
   every session whose trailer was journaled (bit-identical to the
   interrupted run), report the ones still open, and quarantine any
-  the scan found damaged;
+  the scan found damaged; ``--json`` emits the machine-readable
+  report (per-session verdicts, damage taxonomy counts, bytes
+  scanned) with the same exit-1-iff-damage contract;
+* ``journal-gc`` — reclaim journal segments whose records belong to
+  finalized, manifested sessions (delete fully dead segments, compact
+  mixed ones); crash-safe and a conservative no-op on damage;
+* ``archive`` — compact finalized sessions into a compressed cold-tier
+  archive (``io/archive.py``) so ``journal-gc`` can reclaim their hot
+  segments; the archive index keeps them addressable;
+* ``rehydrate`` — pull one archived session back out of the cold tier,
+  bit-identical, and re-run the stage graph over it (``--list`` shows
+  the index instead);
 * ``power`` — the Table I battery bookkeeping;
 * ``monitor`` — a simulated CHF decompensation course with alerts;
 * ``cache-stats`` — exercise a small cohort and report the filter-
@@ -38,6 +49,7 @@ Run ``python -m repro.cli <command> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -71,7 +83,13 @@ from repro.ingest import (
     RecoveryManager,
     StreamingExecutor,
 )
+from repro.ingest.gc import journal_bytes, journal_gc
 from repro.io import load_shard, save_shard
+from repro.io.archive import (
+    archive_sessions,
+    read_archive_index,
+    rehydrate_session,
+)
 from repro.monitoring import (
     ChfMonitor,
     DecompensationScenario,
@@ -194,6 +212,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="finalize-pool workers")
     recover.add_argument("--backend", default="thread", choices=BACKENDS,
                          help="finalize backend (as in process_batch)")
+    recover.add_argument("--json", action="store_true",
+                         help="machine-readable report: per-session "
+                              "verdicts, damage taxonomy counts, bytes "
+                              "scanned (same exit code contract)")
+
+    gc = commands.add_parser(
+        "journal-gc", help="reclaim journal segments of finalized, "
+                           "manifested sessions (crash-safe; no-op on "
+                           "damage it cannot prove dead)")
+    gc.add_argument("journal", help="the journal directory to collect")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be reclaimed without "
+                         "touching the journal")
+    gc.add_argument("--json", action="store_true",
+                    help="machine-readable GC report")
+
+    archive = commands.add_parser(
+        "archive", help="compact finalized journal sessions into a "
+                        "compressed cold-tier archive (run journal-gc "
+                        "afterwards to reclaim their segments)")
+    archive.add_argument("journal", help="the journal directory to "
+                                         "archive from")
+    archive.add_argument("archive_dir", help="the cold-tier archive "
+                                             "directory (index.json + "
+                                             "archive-*.npz)")
+    archive.add_argument("--sessions", nargs="+", default=None,
+                         help="archive only these session ids (default: "
+                              "every finalized, manifested session)")
+    archive.add_argument("--json", action="store_true",
+                         help="machine-readable archive report")
+
+    rehydrate = commands.add_parser(
+        "rehydrate", help="pull one archived session back out of the "
+                          "cold tier (bit-identical) and re-run the "
+                          "stage graph over it")
+    rehydrate.add_argument("archive_dir", help="the cold-tier archive "
+                                               "directory")
+    rehydrate.add_argument("session", nargs="?", default=None,
+                           help="session id to rehydrate (omit with "
+                                "--list)")
+    rehydrate.add_argument("--list", action="store_true",
+                           help="list the archive index instead of "
+                                "rehydrating")
 
     commands.add_parser("power", help="Table I battery bookkeeping")
 
@@ -403,10 +464,61 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _damage_taxonomy(damaged: dict, unattributed: int,
+                     torn: bool) -> dict:
+    """Count quarantine reasons by failure class — the aggregate view
+    of the journal damage taxonomy (ARCHITECTURE.md table)."""
+    counts = {"crc_mismatch": 0, "sequence_break": 0,
+              "manifest_mismatch": 0, "undecodable": 0, "other": 0}
+    for reason in damaged.values():
+        if "crc mismatch" in reason:
+            counts["crc_mismatch"] += 1
+        elif "sequence broken" in reason:
+            counts["sequence_break"] += 1
+        elif "manifest records" in reason:
+            counts["manifest_mismatch"] += 1
+        elif "undecodable" in reason:
+            counts["undecodable"] += 1
+        else:
+            counts["other"] += 1
+    counts["unattributed_records"] = int(unattributed)
+    counts["torn_tail"] = 1 if torn else 0
+    return counts
+
+
 def _cmd_recover(args) -> int:
+    bytes_scanned = journal_bytes(args.journal)
     manager = RecoveryManager(args.journal)
     outcome = manager.recover(n_workers=args.jobs,
                               finalize_backend=args.backend)
+    exit_code = 1 if (outcome.damaged
+                      or outcome.unattributed_damage) else 0
+    if args.json:
+        sessions = {}
+        for sid, session in outcome.results.items():
+            summary = session.result.summary()
+            sessions[sid] = {
+                "verdict": "recovered",
+                "n_chunks": int(session.n_chunks),
+                "payload": {key: float(value)
+                            for key, value in summary.items()},
+            }
+        for sid in outcome.open_sessions:
+            sessions[sid] = {"verdict": "open"}
+        for sid, reason in outcome.damaged.items():
+            sessions[sid] = {"verdict": "damaged", "reason": reason}
+        print(json.dumps({
+            "journal": str(args.journal),
+            "n_records": int(outcome.n_records),
+            "bytes_scanned": int(bytes_scanned),
+            "torn_tail_recovered": bool(outcome.torn_tail_recovered),
+            "sessions": sessions,
+            "damage": _damage_taxonomy(outcome.damaged,
+                                       outcome.unattributed_damage,
+                                       outcome.torn_tail_recovered),
+            "exit_code": exit_code,
+        }, indent=2, sort_keys=True))
+        return exit_code
     print(f"Journal {args.journal}: {outcome.n_records} records"
           + (", torn tail truncated" if outcome.torn_tail_recovered
              else ""))
@@ -420,7 +532,78 @@ def _cmd_recover(args) -> int:
     if outcome.unattributed_damage:
         print(f"DAMAGED records not attributable to a session: "
               f"{outcome.unattributed_damage}")
-    return 1 if (outcome.damaged or outcome.unattributed_damage) else 0
+    return exit_code
+
+
+def _cmd_journal_gc(args) -> int:
+    report = journal_gc(args.journal, dry_run=args.dry_run)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "Would reclaim" if args.dry_run else "Reclaimed"
+    print(f"Journal {args.journal}: {report.bytes_before} -> "
+          f"{report.bytes_after} bytes")
+    print(f"{verb} {report.records_dropped} record(s): "
+          f"{len(report.dropped_segments)} segment(s) dropped, "
+          f"{len(report.compacted_segments)} compacted "
+          f"({report.records_kept} live record(s) kept)")
+    if report.sessions_collected:
+        print(f"Sessions collected: "
+              f"{', '.join(report.sessions_collected)}")
+    for name, reason in report.skipped_segments:
+        print(f"SKIPPED {name}: {reason}")
+    if report.torn_tail_repaired:
+        print("Torn tail truncated before collection")
+    if report.noop:
+        print("Nothing to collect")
+    return 0
+
+
+def _cmd_archive(args) -> int:
+    report = archive_sessions(args.journal, args.archive_dir,
+                              session_ids=args.sessions)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 1 if report.skipped else 0
+    if report.file is not None:
+        print(f"Archived {len(report.archived)} session(s) "
+              f"({report.n_chunks} chunks) into {report.file} "
+              f"({report.bytes_written} bytes)")
+        for sid in report.archived:
+            print(f"  {sid}")
+    if report.already_archived:
+        print(f"Already archived: "
+              f"{', '.join(report.already_archived)}")
+    for sid, reason in sorted(report.skipped.items()):
+        print(f"SKIPPED {sid}: {reason}")
+    if report.file is None and not report.already_archived:
+        print("Nothing to archive")
+    print(f"Reclaim the archived sessions' journal segments with: "
+          f"repro journal-gc {args.journal}")
+    return 1 if report.skipped else 0
+
+
+def _cmd_rehydrate(args) -> int:
+    if args.list:
+        index = read_archive_index(args.archive_dir)
+        print(f"Archive {args.archive_dir}: {len(index)} session(s)")
+        for sid in sorted(index):
+            entry = index[sid]
+            print(f"  {sid}: {entry['n_chunks']} chunks, "
+                  f"{entry['n_samples']} samples @ {entry['fs']:.0f} Hz "
+                  f"in {entry['file']}")
+        return 0
+    if args.session is None:
+        print("error: a session id is required unless --list is given",
+              file=sys.stderr)
+        return 2
+    chunks = rehydrate_session(args.archive_dir, args.session)
+    executor = StreamingExecutor(n_workers=1, preview=False)
+    results = executor.run(iter(chunks))
+    print(f"Rehydrated {args.session} from {args.archive_dir}: "
+          f"{len(chunks)} chunks")
+    _print_session_rows(results)
+    return 0
 
 
 def _cmd_power(_args) -> int:
@@ -514,6 +697,9 @@ _COMMANDS = {
     "merge": _cmd_merge,
     "ingest": _cmd_ingest,
     "recover": _cmd_recover,
+    "journal-gc": _cmd_journal_gc,
+    "archive": _cmd_archive,
+    "rehydrate": _cmd_rehydrate,
     "power": _cmd_power,
     "monitor": _cmd_monitor,
     "cache-stats": _cmd_cache_stats,

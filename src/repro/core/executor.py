@@ -39,6 +39,10 @@ import contextlib
 import hashlib
 import os
 import pickle
+import sys
+import time
+import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
@@ -66,7 +70,7 @@ from repro.core.shm import (
     recording_from_descriptor,
     recording_nbytes,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PoisonJobError
 
 __all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
            "resolve_backend", "will_parallelize", "BACKENDS",
@@ -74,7 +78,8 @@ __all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
            "process_worker_cache_stats", "process_recording_job",
            "ShmJob", "process_shm_job", "resolve_shm_result",
            "RESULT_ARRAY_FIELDS", "persistent_pool_stats",
-           "shutdown_persistent_pool", "persistent_process_pool"]
+           "shutdown_persistent_pool", "persistent_process_pool",
+           "PoisonJob", "raise_if_poison", "POISON_ATTEMPTS"]
 
 #: Supported fan-out backends.
 BACKENDS = ("thread", "process")
@@ -415,6 +420,155 @@ def _submit_shared_batches(pool, header: tuple, payloads: list) -> list:
     return [future.result() for future in futures]
 
 
+# -- crash tolerance ------------------------------------------------------
+
+#: A job is quarantined as poison after this many failed attempts —
+#: an attempt fails when the pool broke while the job was in flight.
+#: The first failure is collateral (a whole broken fan-out cannot say
+#: which job killed the worker); the second is an individually
+#: attributed worker death on the rebuilt pool.
+POISON_ATTEMPTS = 2
+
+#: Capped exponential backoff between retry submissions after a pool
+#: break — gives a transiently starved host (OOM killer sweeps) room
+#: to recover before the retry.
+RETRY_BACKOFF_S = 0.05
+RETRY_BACKOFF_CAP_S = 1.0
+
+
+@dataclass(frozen=True)
+class PoisonJob:
+    """Structured stand-in for a job that repeatedly killed its worker.
+
+    A poisoned job occupies its input-order slot in the fan-out's
+    result list instead of raising, so one pathological job can never
+    take down the surviving jobs' results.  Callers that need the
+    old throwing behaviour resolve entries through
+    :func:`raise_if_poison`.
+    """
+
+    #: Input-order position of the job in its fan-out.
+    index: int
+    #: Failed attempts when the job was quarantined.
+    attempts: int
+    #: Human-readable account of the worker deaths.
+    reason: str
+
+
+def raise_if_poison(result):
+    """Pass a fan-out result through, raising
+    :class:`~repro.errors.PoisonJobError` when it is a
+    :class:`PoisonJob` — the opt-in bridge back to exception-style
+    handling for callers that cannot use a partial batch."""
+    if isinstance(result, PoisonJob):
+        raise PoisonJobError(
+            f"job {result.index} quarantined as poison after "
+            f"{result.attempts} failed attempts: {result.reason}")
+    return result
+
+
+def _run_batches_crash_tolerant(fn: Callable, items: list,
+                                batches: list, header: tuple,
+                                payloads: list, n_workers: int) -> tuple:
+    """Run every batch on the warm pool, surviving worker death.
+
+    Returns ``(item_results, stats)`` where ``item_results`` maps the
+    global item index to its result (a :class:`PoisonJob` for
+    quarantined jobs) and ``stats`` is the list of per-worker cache
+    snapshots collected along the way.
+
+    The recovery ladder, in order:
+
+    1. **Fast path** — all batches on the warm pool; no break, no cost.
+    2. **Rebuild once** — a break marks one collateral failed attempt
+       against every job whose batch had not finished, then the jobs
+       are probed one at a time on a fresh pool (sequentially, so a
+       second death is attributed to exactly one job), with capped
+       exponential backoff between submissions after a break.
+    3. **Poison + serial degrade** — a job individually implicated in
+       a worker death has :data:`POISON_ATTEMPTS` failures: it is
+       quarantined as a :class:`PoisonJob` (never run in-parent — it
+       provably kills its host process).  The pool has now broken
+       twice, so the remaining unprobed jobs run serially in the
+       parent with a loud :class:`RuntimeWarning` instead of betting
+       on a third pool.
+    """
+    offsets = []
+    start = 0
+    for batch in batches:
+        offsets.append(start)
+        start += len(batch)
+    item_results: dict = {}
+    stats: list = []
+    pending: list = []
+    pool = _acquire_persistent_pool(n_workers)
+    broke = False
+    futures = []
+    try:
+        for payload in payloads:
+            futures.append(pool.submit(_run_shared_batch, header,
+                                       payload))
+    except BrokenProcessPool:
+        # A pool already broken (a worker killed between fan-outs)
+        # refuses the submission itself; every unsubmitted batch is
+        # pending.
+        broke = True
+    for position, future in enumerate(futures):
+        try:
+            batch_results, worker_stats = future.result()
+        except BrokenProcessPool:
+            broke = True
+            pending.extend(range(offsets[position],
+                                 offsets[position]
+                                 + len(batches[position])))
+            continue
+        for shift, result in enumerate(batch_results):
+            item_results[offsets[position] + shift] = result
+        stats.append(worker_stats)
+    for position in range(len(futures), len(batches)):
+        pending.extend(range(offsets[position],
+                             offsets[position] + len(batches[position])))
+    if not broke:
+        return item_results, stats
+
+    # Rebuild once; probe the survivors one at a time so a second
+    # worker death names its killer.
+    _discard_persistent_pool(wait=False)
+    pool = _acquire_persistent_pool(n_workers)
+    backoff = RETRY_BACKOFF_S
+    serial = False
+    remaining = list(pending)
+    while remaining:
+        index = remaining.pop(0)
+        if not serial:
+            try:
+                batch_results, worker_stats = pool.submit(
+                    _run_shared_batch, header,
+                    pickle.dumps([items[index]])).result()
+                item_results[index] = batch_results[0]
+                stats.append(worker_stats)
+                continue
+            except BrokenProcessPool:
+                item_results[index] = PoisonJob(
+                    index=index, attempts=POISON_ATTEMPTS,
+                    reason="worker died running this job on a "
+                           "freshly rebuilt pool (and once before "
+                           "in the batched fan-out)")
+                _discard_persistent_pool(wait=False)
+                serial = True
+                if remaining:
+                    warnings.warn(
+                        f"process pool broke twice in one fan-out; "
+                        f"running the remaining {len(remaining)} "
+                        f"job(s) serially in the parent process",
+                        RuntimeWarning, stacklevel=3)
+                time.sleep(min(backoff, RETRY_BACKOFF_CAP_S))
+                backoff *= 2
+                continue
+        item_results[index] = fn(items[index])
+    return item_results, stats
+
+
 def _parallel_map_process(fn: Callable, items: list, n_jobs: int,
                           data_plane_bytes: int = 0,
                           n_descriptors: int = 0) -> list:
@@ -425,9 +579,14 @@ def _parallel_map_process(fn: Callable, items: list, n_jobs: int,
     header: the shared callable is pickled once parent-side, shipped
     with each batch (so any warm worker can serve any batch), and
     memoized worker-side by content token — a warm worker that ran
-    the same callable last fan-out never re-unpickles it.  A broken
-    pool (a worker died mid-fan-out) is discarded and the fan-out
-    retried once on a fresh pool.
+    the same callable last fan-out never re-unpickles it.
+
+    Worker death never crashes the fan-out: a broken pool is rebuilt
+    once and the unfinished jobs retried, a job that keeps killing
+    workers comes back as a :class:`PoisonJob` in its result slot,
+    and a second pool break degrades the remainder to serial
+    execution (see :func:`_run_batches_crash_tolerant`).  With the
+    persistent pool disabled the fan-out is single-shot, as before.
 
     ``data_plane_bytes``/``n_descriptors`` are accounting hints from a
     shared-memory caller: the array payload that bypassed the pipe.
@@ -441,23 +600,18 @@ def _parallel_map_process(fn: Callable, items: list, n_jobs: int,
     payload_bytes = sum(len(payload) for payload in payloads)
     _LAST_WORKER_CACHE_STATS.clear()
     if _persistent_pool_enabled():
-        try:
-            pool = _acquire_persistent_pool(n_workers)
-            outputs = _submit_shared_batches(pool, header, payloads)
-        except BrokenProcessPool:
-            # A worker died (OOM kill, crash): the pool is unusable.
-            # Rebuild once and retry — the jobs are pure, so a retry
-            # cannot double-apply anything.
-            _discard_persistent_pool(wait=False)
-            pool = _acquire_persistent_pool(n_workers)
-            outputs = _submit_shared_batches(pool, header, payloads)
+        item_results, all_stats = _run_batches_crash_tolerant(
+            fn, items, batches, header, payloads, n_workers)
+        results = [item_results[index] for index in range(len(items))]
+        for pid, stats in all_stats:
+            _LAST_WORKER_CACHE_STATS[pid] = stats
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             outputs = _submit_shared_batches(pool, header, payloads)
-    results: list = []
-    for batch_results, (pid, stats) in outputs:
-        results.extend(batch_results)
-        _LAST_WORKER_CACHE_STATS[pid] = stats
+        results = []
+        for batch_results, (pid, stats) in outputs:
+            results.extend(batch_results)
+            _LAST_WORKER_CACHE_STATS[pid] = stats
     _LAST_IPC_STATS[0] = IpcStats(
         n_items=len(items), n_submissions=len(batches),
         n_workers=n_workers, shared_fn_bytes=len(shared),
@@ -571,9 +725,16 @@ def process_shm_job(job: ShmJob,
     pipeline, and hands the result back through
     :func:`swap_result_fields` (descriptors out, arrays in shared
     memory).
+
+    The *entire* body — attachment included — runs under the
+    ``finally`` detach: a job that raises anywhere (a partially
+    attached recording, a pipeline failure) still leaves the worker
+    with zero lingering ``/dev/shm`` mappings, pinned by the shm leak
+    test.
     """
-    recording = recording_from_descriptor(job.recording)
+    recording = None
     try:
+        recording = recording_from_descriptor(job.recording)
         result = process_recording_job(recording, config)
         return swap_result_fields(result, job.slots)
     finally:
@@ -584,6 +745,13 @@ def process_shm_job(job: ShmJob,
         # an unbounded leak.  The recording and its views are dead by
         # now; detach() refuses (and defers to GC) if any were not.
         del recording
+        # A propagating exception's traceback pins the unwound frames
+        # — and with them the shared-memory views those frames held —
+        # which would turn detach() into the deferred-GC path.  Clear
+        # the dead frames so the mappings really close here.
+        exc = sys.exc_info()[1]
+        if exc is not None:
+            traceback.clear_frames(exc.__traceback__)
         blocks = {d.block for d in job.recording.signals.values()}
         blocks |= {d.block for d in job.recording.annotations.values()}
         blocks |= {d.block for d in job.slots.values()}

@@ -16,6 +16,8 @@ __all__ = [
     "HardwareError",
     "ProtocolError",
     "JournalError",
+    "ArchiveError",
+    "PoisonJobError",
 ]
 
 
@@ -74,4 +76,26 @@ class JournalError(ReproError):
     its CRC — is *not* raised during a scan: it is reported in the scan
     result so recovery can quarantine exactly the affected sessions and
     carry on with the rest.
+    """
+
+
+class ArchiveError(ReproError):
+    """A cold-tier session archive is damaged or unreadable.
+
+    Raised when an archive file fails its integrity checks (wrong
+    schema, truncated blob, checksum mismatch, a session id the index
+    does not know) — rehydration refuses to fabricate data from a
+    container it cannot fully verify, since the archive is typically
+    the *only* remaining copy once the journal segments were GC'd.
+    """
+
+
+class PoisonJobError(ReproError):
+    """A job repeatedly killed its worker and was quarantined as poison.
+
+    Raised only when a caller *resolves* a poison entry
+    (:func:`repro.core.executor.raise_if_poison`); the fan-out itself
+    never raises this — a poisoned job comes back as a structured
+    :class:`~repro.core.executor.PoisonJob` element so the surviving
+    jobs' results are still delivered.
     """

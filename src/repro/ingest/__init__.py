@@ -38,8 +38,13 @@ from repro.ingest.fleet import (
     SessionSchedule,
     SimulatedDevice,
 )
+from repro.ingest.gc import GcReport, collectible_sessions, journal_gc
 from repro.ingest.journal import ChunkJournal, JournalScan, scan_journal
-from repro.ingest.recovery import RecoveryManager, RecoveryResult
+from repro.ingest.recovery import (
+    RecoveryManager,
+    RecoveryResult,
+    ReingestReport,
+)
 from repro.ingest.streaming import (
     CausalIcgConditioner,
     SessionResult,
@@ -54,5 +59,6 @@ __all__ = [
     "BoundedWorkQueue", "QueueStats",
     "StreamingExecutor", "SessionResult", "CausalIcgConditioner",
     "ChunkJournal", "JournalScan", "scan_journal",
-    "RecoveryManager", "RecoveryResult",
+    "RecoveryManager", "RecoveryResult", "ReingestReport",
+    "GcReport", "collectible_sessions", "journal_gc",
 ]

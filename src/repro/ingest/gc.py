@@ -1,0 +1,267 @@
+"""Journal garbage collection: bounded disk for a long-lived service.
+
+A fleet service journals every chunk it accepts, so without
+reclamation the journal grows with total traffic, not with live
+traffic.  :func:`journal_gc` reclaims the space of *provably dead*
+sessions — completed, manifested, no damage — by deleting segments
+made entirely of their records and rewriting mixed segments with only
+the live records kept (byte-for-byte copies of the original frames,
+so live sessions replay bit-identically afterwards).
+
+The collection protocol is a two-phase write-ahead scheme, crash-safe
+at every interruption point (pinned by the fault suite):
+
+1. **Mark** — every session about to lose records gets its manifest
+   rewritten (atomically) with ``"collected": true``.  From that
+   moment a scan treats the session's remaining records as reclaimable
+   garbage, so a crash anywhere later never turns leftovers into
+   phantom "damage".
+2. **Sweep** — mixed segments are compacted by writing the surviving
+   frames to a ``*.gctmp`` sidecar (invisible to every scan), fsyncing
+   it, then :func:`os.replace`-ing it over the original name; fully
+   dead segments are unlinked.  A rerun after a crash finishes the
+   sweep: marked sessions stay dead, stale sidecars are removed.
+
+Damage makes collection *conservative*: any segment holding a damaged
+record it cannot prove dead, or any record of a quarantined session
+(those are the re-ingest sidecar's input), is left untouched and
+reported as skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.ingest.journal import (JournalScan, _manifest_name,
+                                  repair_torn_tail, scan_journal)
+from repro.io.journal_records import scan_segment
+
+__all__ = ["GcReport", "collectible_sessions", "journal_gc",
+           "journal_bytes"]
+
+#: Suffix of the compaction sidecar a crashed sweep may leave behind.
+#: It does not end in ``.log``, so no scan ever reads it as a segment.
+_GC_TMP_SUFFIX = ".gctmp"
+
+
+@dataclass
+class GcReport:
+    """What one :func:`journal_gc` pass did (or would do, dry-run)."""
+
+    directory: Path
+    #: Segment filenames deleted outright (every record dead).
+    dropped_segments: tuple = ()
+    #: Segment filenames rewritten with only their live records.
+    compacted_segments: tuple = ()
+    #: ``(segment filename, reason)`` for segments damage made
+    #: uncollectable — the conservative no-op paths.
+    skipped_segments: tuple = ()
+    #: Session ids newly marked ``collected`` by this pass.
+    sessions_collected: tuple = ()
+    records_dropped: int = 0
+    records_kept: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    torn_tail_repaired: bool = False
+    stale_tmp_removed: int = 0
+    dry_run: bool = False
+
+    @property
+    def noop(self) -> bool:
+        """Whether the pass changed (or would change) nothing."""
+        return not (self.dropped_segments or self.compacted_segments
+                    or self.sessions_collected
+                    or self.torn_tail_repaired or self.stale_tmp_removed)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the CLI's ``--json`` payload)."""
+        return {
+            "directory": str(self.directory),
+            "dropped_segments": list(self.dropped_segments),
+            "compacted_segments": list(self.compacted_segments),
+            "skipped_segments": [list(pair)
+                                 for pair in self.skipped_segments],
+            "sessions_collected": list(self.sessions_collected),
+            "records_dropped": self.records_dropped,
+            "records_kept": self.records_kept,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+            "torn_tail_repaired": self.torn_tail_repaired,
+            "stale_tmp_removed": self.stale_tmp_removed,
+            "dry_run": self.dry_run,
+        }
+
+
+def journal_bytes(directory) -> int:
+    """Total size of a journal's segment files, in bytes."""
+    return sum(path.stat().st_size
+               for path in Path(directory).glob("segment-*.log"))
+
+
+def collectible_sessions(scan: JournalScan) -> frozenset:
+    """Session ids whose journal records are provably dead.
+
+    Dead means: the manifest asserts completion, the session is not
+    quarantined, and either the log reassembles it completely or a
+    previous GC pass already marked it collected.  A completed session
+    *without* a manifest is not dead — the manifest write is the
+    durable completion point, so until it lands the log is the only
+    authority and must stay replayable.
+    """
+    dead = set()
+    for sid, manifest in scan.manifests.items():
+        if not manifest.get("completed") or sid in scan.damaged:
+            continue
+        if manifest.get("collected") or sid in scan.complete:
+            dead.add(sid)
+    return frozenset(dead)
+
+
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _mark_collected(directory: Path, session_id: str,
+                    manifest: dict) -> None:
+    updated = dict(manifest)
+    updated["collected"] = True
+    path = directory / _manifest_name(session_id)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(updated, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def journal_gc(directory, dry_run: bool = False,
+               crash_hook: Optional[Callable] = None) -> GcReport:
+    """Reclaim the journal space of finalized, manifested sessions.
+
+    Deletes segments whose every record belongs to a dead session and
+    compacts segments mixing dead and live records (live frames are
+    byte-copied, preserving order, so surviving sessions replay
+    bit-identically).  Damage the pass cannot prove dead makes the
+    affected segment a reported no-op.  With ``dry_run`` the journal
+    is not touched and the report describes what a real pass would do.
+
+    ``crash_hook`` is fault-injection instrumentation: it is invoked
+    as ``crash_hook(stage, detail)`` at every durable step ("marked",
+    "compact-written", "compact-swapped", "dropped") and may raise to
+    simulate a crash at that exact point — the fault suite drives it
+    to pin crash-safety.
+    """
+    directory = Path(directory)
+    scan = scan_journal(directory)
+    report = GcReport(directory=directory, dry_run=dry_run,
+                      bytes_before=journal_bytes(directory))
+
+    def hook(stage: str, detail: str) -> None:
+        if crash_hook is not None:
+            crash_hook(stage, detail)
+
+    # A crashed previous sweep may have left compaction sidecars;
+    # they were never visible to a scan, so removal is always safe.
+    for tmp in sorted(directory.glob(f"segment-*{_GC_TMP_SUFFIX}")):
+        if not dry_run:
+            tmp.unlink()
+        report.stale_tmp_removed += 1
+
+    # Heal a torn tail first — the same safe WAL-recovery truncation a
+    # reopening journal performs — so the last segment classifies
+    # cleanly instead of being skipped for a repairable condition.
+    if scan.torn_tail is not None and not dry_run:
+        report.torn_tail_repaired = repair_torn_tail(scan)
+
+    dead = collectible_sessions(scan)
+    skipped = []
+    plans = []                 # (path, segment_scan, n_dead, n_live)
+    for path in scan.segments:
+        segment = scan_segment(path)
+        if segment.lost_framing_offset is not None:
+            skipped.append((path.name, "lost framing"))
+            continue
+        if segment.torn_offset is not None:
+            # Only reachable in dry-run (real passes healed the tail)
+            # or for an externally truncated middle segment.
+            skipped.append((path.name, "torn record"))
+            continue
+        reason = None
+        n_dead = n_live = 0
+        for entry in segment.entries:
+            sid = entry.session_id
+            if sid is not None and sid in scan.damaged:
+                # Quarantined sessions keep every record on disk:
+                # they are the evidence recovery reports and the
+                # input ``RecoveryManager.reingest`` moves aside.
+                reason = f"records of quarantined session {sid!r}"
+                break
+            if entry.error is not None and (sid is None
+                                            or sid not in dead):
+                reason = "damaged record it cannot prove dead"
+                break
+            if sid in dead:
+                n_dead += 1
+            else:
+                n_live += 1
+        if reason is not None:
+            skipped.append((path.name, reason))
+        elif n_dead:
+            plans.append((path, segment, n_dead, n_live))
+    report.skipped_segments = tuple(skipped)
+    if not plans:
+        report.bytes_after = report.bytes_before
+        return report
+
+    # Phase 1 — write-ahead mark: every session about to lose records
+    # becomes ``collected`` *before* any record is removed, so a crash
+    # between here and the sweep leaves garbage, never damage.
+    to_mark = sorted({entry.session_id
+                      for _, segment, _, _ in plans
+                      for entry in segment.entries
+                      if entry.session_id in dead
+                      and entry.session_id not in scan.collected})
+    for sid in to_mark:
+        if not dry_run:
+            _mark_collected(directory, sid, scan.manifests[sid])
+            hook("marked", sid)
+    report.sessions_collected = tuple(to_mark)
+
+    # Phase 2 — sweep.
+    dropped, compacted = [], []
+    for path, segment, n_dead, n_live in plans:
+        if n_live == 0:
+            if not dry_run:
+                path.unlink()
+                hook("dropped", path.name)
+            dropped.append(path.name)
+            report.records_dropped += n_dead
+            continue
+        if not dry_run:
+            data = path.read_bytes()
+            tmp = Path(str(path) + _GC_TMP_SUFFIX)
+            with open(tmp, "wb") as fh:
+                for entry in segment.entries:
+                    if entry.session_id not in dead:
+                        fh.write(data[entry.offset:
+                                      entry.offset + entry.length])
+                fh.flush()
+                os.fsync(fh.fileno())
+            hook("compact-written", path.name)
+            os.replace(tmp, path)
+            hook("compact-swapped", path.name)
+        compacted.append(path.name)
+        report.records_dropped += n_dead
+        report.records_kept += n_live
+    if not dry_run:
+        _fsync_directory(directory)
+    report.dropped_segments = tuple(dropped)
+    report.compacted_segments = tuple(compacted)
+    report.bytes_after = (report.bytes_before if dry_run
+                          else journal_bytes(directory))
+    return report

@@ -50,18 +50,33 @@ def _segment_name(index: int) -> str:
     return f"{_SEGMENT_PREFIX}{index:05d}{_SEGMENT_SUFFIX}"
 
 
+def _segment_index(path) -> int:
+    """The numeric index a segment filename encodes.
+
+    Resume must parse this rather than count files: garbage collection
+    may delete segments from the middle of the sequence, and appending
+    into a *positional* index would create a file that sorts before
+    surviving higher-numbered segments, reordering the log.
+    """
+    return int(Path(path).name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
 def _segment_paths(directory: Path) -> list:
     """Existing segment files in index order."""
     return sorted(directory.glob(
         f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
 
 
+def _safe_session_id(session_id: str) -> str:
+    """Filesystem-safe spelling of a session id (percent-escaped)."""
+    return "".join(c if c.isalnum() or c in "-_." else f"%{ord(c):02x}"
+                   for c in session_id)
+
+
 def _manifest_name(session_id: str) -> str:
     """Filesystem-safe manifest filename (the id is also stored inside
     the JSON, so the filename never needs to be parsed back)."""
-    safe = "".join(c if c.isalnum() or c in "-_." else f"%{ord(c):02x}"
-                   for c in session_id)
-    return f"{_MANIFEST_PREFIX}{safe}.json"
+    return f"{_MANIFEST_PREFIX}{_safe_session_id(session_id)}.json"
 
 
 def write_manifest(directory, session_id: str, n_chunks: int,
@@ -120,6 +135,13 @@ class JournalScan:
     open: dict = field(default_factory=dict)
     damaged: dict = field(default_factory=dict)
     manifests: dict = field(default_factory=dict)
+    #: Manifests of sessions whose journal records were reclaimed by
+    #: ``journal-gc`` (``collected: true`` in the manifest).  Their
+    #: left-over records — a GC interrupted mid-way legitimately leaves
+    #: some behind — are skipped as garbage, not counted as damage, and
+    #: the journal refuses new appends under their ids just as it does
+    #: for completed sessions.
+    collected: dict = field(default_factory=dict)
     torn_tail: Optional[tuple] = None
     unattributed_damage: int = 0
     #: Records per segment file, in log order (damaged ones included —
@@ -154,6 +176,10 @@ def scan_journal(directory) -> JournalScan:
     scan = JournalScan(directory=directory,
                        segments=tuple(segments),
                        manifests=read_manifests(directory))
+    scan.collected = {sid: manifest
+                      for sid, manifest in scan.manifests.items()
+                      if manifest.get("completed")
+                      and manifest.get("collected")}
     sessions: dict = {}          # sid -> [chunks] in log order
     expected: dict = {}          # sid -> next seq
     completed: set = set()
@@ -175,6 +201,11 @@ def scan_journal(directory) -> JournalScan:
                 segment.lost_framing_offset is not None)
         for entry in segment.entries:
             scan.n_records += 1
+            if entry.session_id in scan.collected:
+                # Reclaimed by journal-gc: the session's results no
+                # longer depend on these records (a crash mid-GC can
+                # leave some behind; a rerun finishes deleting them).
+                continue
             if entry.error is not None:
                 quarantine(entry.session_id,
                            f"{entry.error} in {path.name} at offset "
@@ -218,7 +249,8 @@ def scan_journal(directory) -> JournalScan:
     # disagree if records were lost).
     for sid, manifest in scan.manifests.items():
         if (manifest.get("completed") and sid not in completed
-                and sid not in damaged):
+                and sid not in damaged
+                and sid not in scan.collected):
             damaged[sid] = ("manifest records a completed session the "
                             "log cannot reassemble")
             sessions.pop(sid, None)
@@ -282,7 +314,10 @@ class ChunkJournal:
         #: instead of paying a second full-journal scan).
         self.last_scan = scan
         self._expected = dict(scan.session_counts)
-        self._completed = set(scan.complete)
+        # Collected sessions count as completed: their records were
+        # reclaimed, so an append under the same id could never be
+        # replayed into the original session.
+        self._completed = set(scan.complete) | set(scan.collected)
         self._damaged = dict(scan.damaged)
         self.recovered_torn_tail = repair_torn_tail(scan)
         #: Records actually written by *this* journal instance (the
@@ -295,10 +330,10 @@ class ChunkJournal:
             # Appending after unreadable bytes would hide the new
             # records from every future scan — roll to a fresh segment
             # and leave the damaged one to the scan's damage report.
-            self._segment_index = len(scan.segments)
+            self._segment_index = _segment_index(scan.segments[-1]) + 1
             self._segment_records_written = 0
         else:
-            self._segment_index = len(scan.segments) - 1
+            self._segment_index = _segment_index(scan.segments[-1])
             self._segment_records_written = scan.records_per_segment[-1]
         self._fh = open(
             self.directory / _segment_name(self._segment_index), "ab")

@@ -28,22 +28,51 @@ the scan, excluded from replay, and reported by id in the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
 from repro.core.cache import FilterDesignCache
 from repro.core.config import PipelineConfig
+from repro.errors import JournalError
 from repro.ingest.journal import (
     ChunkJournal,
     JournalScan,
+    _manifest_name,
+    _safe_session_id,
     repair_torn_tail,
     scan_journal,
     write_manifest,
 )
 from repro.ingest.streaming import StreamingExecutor
+from repro.io.journal_records import scan_segment
 
-__all__ = ["RecoveryManager", "RecoveryResult"]
+__all__ = ["RecoveryManager", "RecoveryResult", "ReingestReport"]
+
+#: Sidecar directory quarantined records are moved into; never read by
+#: a journal scan (scans only glob the directory's top level).
+QUARANTINE_DIR = ".quarantine"
+
+_REINGEST_TMP_SUFFIX = ".reingest"
+
+
+@dataclass
+class ReingestReport:
+    """What :meth:`RecoveryManager.reingest` moved aside.
+
+    ``sidecar`` is the ``.quarantine/`` file holding the displaced
+    frames verbatim (scannable with
+    :func:`~repro.io.journal_records.scan_segment` for forensics), or
+    ``None`` when the quarantine held no attributable record — e.g. a
+    manifest/log mismatch where only the manifest had to be reset.
+    """
+
+    session_id: str
+    records_moved: int = 0
+    sidecar: Optional[Path] = None
+    segments_rewritten: tuple = ()
+    manifest_reset: bool = False
 
 
 @dataclass
@@ -120,6 +149,93 @@ class RecoveryManager:
                     self.directory, sid, n_chunks=len(chunks),
                     n_samples=trailer.start_sample + trailer.n_samples,
                     fs=trailer.fs)
+
+    # -- quarantine re-ingest ---------------------------------------------
+
+    def reingest(self, session_id: str) -> ReingestReport:
+        """Clear a quarantined session so it can be measured again.
+
+        Every frame attributable to the session — damaged and intact
+        alike; a quarantined session is untrustworthy as a whole — is
+        byte-copied into a ``.quarantine/`` sidecar file, the frames
+        are removed from their segments (live sessions' frames are
+        byte-copied through unchanged), and the session's manifest is
+        deleted.  Afterwards the journal accepts the session again
+        from seq 0 through the ordinary write-through path.
+
+        Crash-safe by ordering: the sidecar is written and fsynced
+        before any segment is rewritten, segments are rewritten in log
+        order (an interruption leaves the session without its earliest
+        records, so it *stays* quarantined until a rerun finishes),
+        and the manifest is deleted last (a manifest surviving its
+        records keeps the session quarantined too).  Unreadable bytes
+        after a lost-framing point are preserved verbatim — they may
+        belong to other sessions and are not this session's to move.
+
+        Raises :class:`~repro.errors.JournalError` when the session is
+        not quarantined.
+        """
+        scan = self.scan()
+        if session_id not in scan.damaged:
+            raise JournalError(
+                f"session {session_id!r} is not quarantined "
+                f"(nothing to re-ingest)")
+        for stale in sorted(self.directory.glob(
+                f"segment-*.log{_REINGEST_TMP_SUFFIX}")):
+            stale.unlink()
+
+        affected = []                    # (path, segment_scan, data)
+        for path in scan.segments:
+            segment = scan_segment(path)
+            if any(entry.session_id == session_id
+                   for entry in segment.entries):
+                affected.append((path, segment, path.read_bytes()))
+
+        sidecar = None
+        moved = 0
+        if affected:
+            sidecar_dir = self.directory / QUARANTINE_DIR
+            sidecar_dir.mkdir(exist_ok=True)
+            safe = _safe_session_id(session_id)
+            index = 0
+            while (sidecar_dir / f"{safe}-{index:03d}.log").exists():
+                index += 1
+            sidecar = sidecar_dir / f"{safe}-{index:03d}.log"
+            with open(sidecar, "wb") as out:
+                for _, segment, data in affected:
+                    for entry in segment.entries:
+                        if entry.session_id == session_id:
+                            out.write(data[entry.offset:
+                                           entry.offset + entry.length])
+                            moved += 1
+                out.flush()
+                os.fsync(out.fileno())
+
+        rewritten = []
+        for path, segment, data in affected:
+            tmp = Path(str(path) + _REINGEST_TMP_SUFFIX)
+            with open(tmp, "wb") as fh:
+                for entry in segment.entries:
+                    if entry.session_id != session_id:
+                        fh.write(data[entry.offset:
+                                      entry.offset + entry.length])
+                if segment.lost_framing_offset is not None:
+                    fh.write(data[segment.lost_framing_offset:])
+                if segment.torn_offset is not None:
+                    fh.write(data[segment.torn_offset:])
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            rewritten.append(path.name)
+
+        manifest_path = self.directory / _manifest_name(session_id)
+        manifest_reset = manifest_path.exists()
+        if manifest_reset:
+            manifest_path.unlink()
+        return ReingestReport(
+            session_id=session_id, records_moved=moved, sidecar=sidecar,
+            segments_rewritten=tuple(rewritten),
+            manifest_reset=manifest_reset)
 
     # -- the two entry points ---------------------------------------------
 

@@ -27,7 +27,9 @@ numerical round-off, and both properties pinned by the ingest tests.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional
@@ -37,6 +39,7 @@ import numpy as np
 from repro.core.cache import FilterDesignCache, default_design_cache
 from repro.core.config import PipelineConfig
 from repro.core.executor import (
+    _discard_persistent_pool,
     persistent_process_pool,
     plan_recording_job,
     process_recording_job,
@@ -334,9 +337,25 @@ class StreamingExecutor:
                 for sid, (future, arena, recording,
                           last_s) in futures.items():
                     try:
-                        result = future.result()
-                        if arena is not None:
-                            result = resolve_shm_result(result, arena)
+                        try:
+                            result = future.result()
+                            if arena is not None:
+                                result = resolve_shm_result(result,
+                                                            arena)
+                        except BrokenProcessPool:
+                            # A worker died mid-finalize.  The job is
+                            # a pure function of the recording we
+                            # still hold, so rerun it in the parent —
+                            # slower, never wrong — and drop the
+                            # broken pool so later fan-outs rebuild.
+                            _discard_persistent_pool(wait=False)
+                            warnings.warn(
+                                f"finalize worker died for session "
+                                f"{sid!r}; re-running in the parent "
+                                f"process", RuntimeWarning,
+                                stacklevel=2)
+                            result = process_recording_job(
+                                recording, self.config)
                     finally:
                         if arena is not None:
                             arena.release()

@@ -1,6 +1,14 @@
-"""Recording containers, shard artifacts, journal records and
-persistence."""
+"""Recording containers, shard artifacts, journal records, cold-tier
+session archives and persistence."""
 
+from repro.io.archive import (
+    ArchiveReport,
+    archive_sessions,
+    load_archive,
+    read_archive_index,
+    rehydrate_session,
+    save_archive,
+)
 from repro.io.records import Recording
 from repro.io.shards import load_shard, save_shard
 from repro.io.journal_records import (
@@ -14,4 +22,6 @@ from repro.io.journal_records import (
 
 __all__ = ["Recording", "save_shard", "load_shard",
            "encode_chunk", "decode_chunk", "frame_record",
-           "RecordEntry", "SegmentScan", "scan_segment"]
+           "RecordEntry", "SegmentScan", "scan_segment",
+           "ArchiveReport", "archive_sessions", "save_archive",
+           "load_archive", "rehydrate_session", "read_archive_index"]

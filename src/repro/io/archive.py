@@ -1,0 +1,333 @@
+"""Cold-tier session archives: finalized sessions off the hot journal.
+
+The storage lifecycle's last stage: once a session is complete and
+manifested, its journal records exist only to make the session
+replayable — and :func:`archive_sessions` moves that responsibility
+into a compressed ``.npz`` archive so ``journal-gc`` can reclaim the
+hot segments.  The container reuses the shard layout
+(:mod:`repro.io.shards`): **one** ``pack::blob`` built by
+:func:`~repro.core.shm.pack_arrays` holds every chunk array of every
+archived session, per-chunk spans live in one JSON header per session,
+and rehydration resolves each array as a
+:func:`~repro.core.shm.buffer_view` into the blob — the same zero-copy
+layout the process data plane and the shard files use.
+
+Rehydration is bit-identical: arrays travel as raw float64 and chunk
+coordinates as JSON scalars (both round-trip exactly, the journal
+codec's own guarantee), so a rehydrated
+:class:`~repro.ingest.chunks.RecordingChunk` stream replayed through
+the stage graph reproduces the original session's results bit for bit
+— pinned by the archive property test.
+
+Archived sessions stay addressable through ``index.json`` in the
+archive directory (session id → archive file + shape), updated
+atomically after each archive file lands, so a crash between the two
+leaves an unreferenced file, never a dangling index entry.  Damage —
+truncated file, flipped byte, unknown schema, missing session — is
+:class:`~repro.errors.ArchiveError`: the archive is typically the only
+remaining copy, so rehydration refuses to guess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.shm import ShmDescriptor, buffer_view, pack_arrays
+from repro.errors import ArchiveError
+
+# RecordingChunk is imported lazily (io sits below repro.ingest in the
+# import graph — the journal-codec convention).
+
+__all__ = ["ArchiveReport", "archive_sessions", "save_archive",
+           "load_archive", "rehydrate_session", "read_archive_index"]
+
+_SCHEMA = 1
+_INDEX_NAME = "index.json"
+
+
+@dataclass
+class ArchiveReport:
+    """What one :func:`archive_sessions` pass wrote."""
+
+    directory: Path
+    #: The archive file this pass created (``None`` when every
+    #: candidate was already archived).
+    file: Optional[Path] = None
+    archived: tuple = ()
+    #: Sessions skipped because the index already holds them.
+    already_archived: tuple = ()
+    #: ``{session_id: reason}`` for sessions that could not be
+    #: archived (not complete, quarantined, unknown).
+    skipped: dict = field(default_factory=dict)
+    n_chunks: int = 0
+    bytes_written: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the CLI's ``--json`` payload)."""
+        return {
+            "directory": str(self.directory),
+            "file": None if self.file is None else self.file.name,
+            "archived": list(self.archived),
+            "already_archived": list(self.already_archived),
+            "skipped": dict(self.skipped),
+            "n_chunks": self.n_chunks,
+            "bytes_written": self.bytes_written,
+        }
+
+
+def _chunk_header(chunk, descriptors) -> dict:
+    """JSON-safe coordinates of one chunk plus its array spans.
+
+    ``descriptors`` maps array name → packed descriptor, in the pack
+    order produced by :func:`save_archive`.
+    """
+    from repro.io.journal_records import _meta_scalar
+
+    def spans(store):
+        return [[name, int(desc.offset), int(desc.shape[0])]
+                for name, desc in descriptors[store].items()]
+
+    return {
+        "seq": int(chunk.seq),
+        "fs": float(chunk.fs),
+        "start_sample": int(chunk.start_sample),
+        "is_last": bool(chunk.is_last),
+        "arrival_s": float(chunk.arrival_s),
+        "signals": spans("signals"),
+        "annotations": spans("annotations"),
+        "meta": {key: _meta_scalar(value)
+                 for key, value in chunk.meta.items()},
+    }
+
+
+def save_archive(sessions: dict, path) -> Path:
+    """Write one archive file holding ``{session_id: [chunks]}``.
+
+    Chunks must be in sequence order per session (the journal scan
+    yields them that way).  Returns the real file location (``.npz``
+    appended when missing).
+    """
+    order = []              # (sid, chunk, {"signals": {...}, ...})
+    arrays = []
+    for sid, chunks in sessions.items():
+        for chunk in chunks:
+            slots: dict = {"signals": {}, "annotations": {}}
+            for store in ("signals", "annotations"):
+                for name, data in getattr(chunk, store).items():
+                    arrays.append(np.ascontiguousarray(
+                        np.asarray(data, dtype="<f8")))
+                    slots[store][name] = len(arrays) - 1
+            order.append((sid, chunk, slots))
+    blob, descriptors = pack_arrays(arrays)
+    payload = {
+        "schema": np.asarray(_SCHEMA),
+        "pack::blob": blob,
+        "pack::crc32": np.asarray(zlib.crc32(blob.tobytes())
+                                  & 0xFFFFFFFF, dtype=np.uint32),
+        "sessions": np.asarray(json.dumps(list(sessions))),
+    }
+    grouped: dict = {sid: [] for sid in sessions}
+    for sid, chunk, slots in order:
+        resolved = {store: {name: descriptors[i]
+                            for name, i in slots[store].items()}
+                    for store in ("signals", "annotations")}
+        grouped[sid].append(_chunk_header(chunk, resolved))
+    for position, (sid, headers) in enumerate(grouped.items()):
+        payload[f"session::{position:05d}"] = np.asarray(json.dumps(
+            {"session_id": sid, "chunks": headers}))
+    path = Path(path)
+    np.savez_compressed(path, **payload)
+    return path if str(path).endswith(".npz") else Path(f"{path}.npz")
+
+
+def load_archive(path) -> dict:
+    """Read an archive file back into ``{session_id: [chunks]}``.
+
+    Every failure mode — missing file, truncated or bit-flipped
+    container, schema or checksum mismatch — raises
+    :class:`~repro.errors.ArchiveError`; a partially readable archive
+    is never silently partially returned.
+    """
+    from repro.ingest.chunks import RecordingChunk
+
+    path = Path(path)
+    if not path.exists():
+        alt = path.with_name(path.name + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise ArchiveError(f"no archive file at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if int(data["schema"]) != _SCHEMA:
+                raise ArchiveError(
+                    f"unsupported archive schema {int(data['schema'])} "
+                    f"(this build reads schema {_SCHEMA})")
+            blob = data["pack::blob"]
+            if (zlib.crc32(blob.tobytes()) & 0xFFFFFFFF) != int(
+                    data["pack::crc32"]):
+                raise ArchiveError(
+                    f"archive blob failed its checksum in {path.name}")
+            session_ids = json.loads(str(data["sessions"]))
+            sessions: dict = {}
+            for position, sid in enumerate(session_ids):
+                record = json.loads(
+                    str(data[f"session::{position:05d}"]))
+                if record["session_id"] != sid:
+                    raise ArchiveError(
+                        f"archive index/session mismatch in {path.name}")
+                sessions[sid] = [
+                    _rehydrate_chunk(RecordingChunk, sid, header, blob)
+                    for header in record["chunks"]]
+            return sessions
+    except ArchiveError:
+        raise
+    except Exception as exc:       # zip/zlib/json/key damage
+        raise ArchiveError(
+            f"unreadable archive {path.name}: {exc}") from exc
+
+
+def _rehydrate_chunk(chunk_type, sid: str, header: dict, blob):
+    def views(spans):
+        out = {}
+        for name, offset, size in spans:
+            descriptor = ShmDescriptor(block="", shape=(int(size),),
+                                       dtype="<f8", offset=int(offset))
+            out[str(name)] = buffer_view(blob, descriptor)
+        return out
+
+    return chunk_type(
+        session_id=sid,
+        seq=int(header["seq"]),
+        fs=float(header["fs"]),
+        signals=views(header["signals"]),
+        start_sample=int(header["start_sample"]),
+        is_last=bool(header["is_last"]),
+        arrival_s=float(header["arrival_s"]),
+        annotations=views(header["annotations"]),
+        meta=dict(header["meta"]),
+    )
+
+
+def read_archive_index(directory) -> dict:
+    """The archive directory's ``{session_id: entry}`` index (empty
+    when no archive was written yet)."""
+    path = Path(directory) / _INDEX_NAME
+    if not path.exists():
+        return {}
+    try:
+        return dict(json.loads(path.read_text()))
+    except Exception as exc:
+        raise ArchiveError(
+            f"unreadable archive index {path}: {exc}") from exc
+
+
+def _write_index(directory: Path, index: dict) -> None:
+    path = directory / _INDEX_NAME
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def archive_sessions(journal_directory, archive_directory,
+                     session_ids=None) -> ArchiveReport:
+    """Archive finalized journal sessions into the cold tier.
+
+    Candidates are the journal's complete, manifested sessions —
+    ``session_ids`` narrows the set (requesting a session the journal
+    cannot fully reassemble is reported in ``skipped``, not an error,
+    so one bad id never blocks a fleet sweep).  Sessions the index
+    already holds are skipped: archiving is idempotent.  The archive
+    file is written before the index references it, so a crash leaves
+    at worst an unreferenced file.
+
+    The journal is *not* modified — run ``journal-gc`` afterwards to
+    reclaim the archived sessions' segments.
+    """
+    from repro.ingest.journal import scan_journal
+
+    archive_directory = Path(archive_directory)
+    archive_directory.mkdir(parents=True, exist_ok=True)
+    scan = scan_journal(journal_directory)
+    index = read_archive_index(archive_directory)
+    report = ArchiveReport(directory=archive_directory)
+
+    candidates = {sid: chunks for sid, chunks in scan.complete.items()
+                  if sid in scan.manifests}
+    if session_ids is None:
+        wanted = dict(candidates)
+    else:
+        wanted = {}
+        for sid in session_ids:
+            if sid in candidates:
+                wanted[sid] = candidates[sid]
+            elif sid in scan.damaged:
+                report.skipped[sid] = (
+                    f"quarantined: {scan.damaged[sid]}")
+            elif sid in scan.open:
+                report.skipped[sid] = "still open (no trailer)"
+            elif sid in scan.collected:
+                report.skipped[sid] = ("journal records already "
+                                       "collected by journal-gc")
+            else:
+                report.skipped[sid] = "unknown to the journal"
+    fresh = {sid: chunks for sid, chunks in wanted.items()
+             if sid not in index}
+    report.already_archived = tuple(sid for sid in wanted
+                                    if sid in index)
+    if not fresh:
+        return report
+
+    position = 0
+    while (archive_directory / f"archive-{position:05d}.npz").exists():
+        position += 1
+    file = save_archive(
+        fresh, archive_directory / f"archive-{position:05d}.npz")
+    for sid, chunks in fresh.items():
+        trailer = chunks[-1]
+        index[sid] = {
+            "file": file.name,
+            "n_chunks": len(chunks),
+            "n_samples": int(trailer.start_sample + trailer.n_samples),
+            "fs": float(trailer.fs),
+        }
+    _write_index(archive_directory, index)
+    report.file = file
+    report.archived = tuple(fresh)
+    report.n_chunks = sum(len(chunks) for chunks in fresh.values())
+    report.bytes_written = file.stat().st_size
+    return report
+
+
+def rehydrate_session(archive_directory, session_id: str) -> list:
+    """The archived chunk stream of one session, bit-identical to the
+    journal records it was archived from.
+
+    Raises :class:`~repro.errors.ArchiveError` when the index does not
+    know the session or its archive file fails verification.
+    """
+    archive_directory = Path(archive_directory)
+    index = read_archive_index(archive_directory)
+    if session_id not in index:
+        raise ArchiveError(
+            f"session {session_id!r} is not in the archive index "
+            f"at {archive_directory}")
+    entry = index[session_id]
+    sessions = load_archive(archive_directory / entry["file"])
+    if session_id not in sessions:
+        raise ArchiveError(
+            f"index points session {session_id!r} at "
+            f"{entry['file']}, which does not hold it")
+    chunks = sessions[session_id]
+    if len(chunks) != int(entry["n_chunks"]):
+        raise ArchiveError(
+            f"session {session_id!r}: archive holds {len(chunks)} "
+            f"chunks, index records {entry['n_chunks']}")
+    return chunks

@@ -147,19 +147,44 @@ def test_buffer_view_rejects_shm_descriptors():
         buffer_view(np.zeros(64, np.uint8), descriptor)
 
 
-def test_no_leftover_segments(tmp_path):
-    """Create/publish/release cycles leave nothing in /dev/shm."""
+def _named_segments():
     import os
 
-    def named_segments():
-        try:
-            return {n for n in os.listdir("/dev/shm")
-                    if n.startswith("psm_")}
-        except FileNotFoundError:       # non-Linux
-            return set()
+    try:
+        return {n for n in os.listdir("/dev/shm")
+                if n.startswith("psm_")}
+    except FileNotFoundError:           # non-Linux
+        return set()
 
-    before = named_segments()
+
+def test_no_leftover_segments(tmp_path):
+    """Create/publish/release cycles leave nothing in /dev/shm."""
+    before = _named_segments()
     for _ in range(5):
         with ShmArena(4096) as arena:
             arena.put(np.zeros(256))
-    assert named_segments() <= before
+    assert _named_segments() <= before
+
+
+def test_failing_shm_job_detaches_everything():
+    """The worker body detaches its mappings even when the job raises
+    — a long-lived pool worker must not leak an attachment (or, after
+    release, a /dev/shm segment) per failed job."""
+    from repro.core import shm
+    from repro.core.executor import (plan_recording_job,
+                                     process_shm_job,
+                                     recording_job_nbytes)
+    from repro.errors import SignalError
+
+    n = int(8 * 250.0)
+    # Flat signals: journaling-grade input the pipeline rejects.
+    recording = Recording(250.0, signals={"ecg": np.zeros(n),
+                                          "z": np.full(n, 25.0)})
+    before = _named_segments()
+    with ShmArena(recording_job_nbytes(recording)) as arena:
+        job = plan_recording_job(recording, arena)
+        with pytest.raises(SignalError):
+            process_shm_job(job)
+        # The failed job body left zero lingering attachments behind.
+        assert arena.name not in shm._ATTACHED
+    assert _named_segments() <= before

@@ -17,12 +17,27 @@ journal's record framing is designed around
   scan must flag the record, pin it to its session, and quarantine
   exactly that session — never crash, never silently accept.
 
+The storage-lifecycle PR adds three more families:
+
+* :class:`CrashAfterEvents` — a ``crash_hook`` for
+  :func:`repro.ingest.gc.journal_gc` that raises
+  :class:`SimulatedCrash` after the N-th GC event, exercising every
+  interruption window of the mark/sweep protocol.
+* :func:`flip_archive_byte` — cold-tier medium damage: flip one byte
+  of a stored archive file; loading must raise ``ArchiveError``,
+  never return silently wrong data.
+* :func:`kill_worker_job` — a picklable poison job for the process
+  backend: SIGKILLs the worker that runs the sentinel item, the
+  worker-death case the crash-tolerant fan-out must survive.
+
 All helpers operate on a journal *directory* so tests stay independent
 of segment layout; record indices count across segments in log order.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 from pathlib import Path
 from typing import Optional
 
@@ -30,7 +45,8 @@ from repro.io.journal_records import MAGIC, scan_segment
 
 __all__ = ["SimulatedCrash", "FaultySource", "journal_segments",
            "tear_journal_tail", "flip_crc_byte", "flip_payload_byte",
-           "flip_magic_byte"]
+           "flip_magic_byte", "CrashAfterEvents", "flip_archive_byte",
+           "kill_worker_job", "KILL_SENTINEL"]
 
 _FRAME = len(MAGIC) + 4 + 4
 
@@ -138,3 +154,56 @@ def flip_payload_byte(directory, index: int = 0,
         payload_offset = (entry.length - _FRAME) - 8
     _flip_byte(path, entry.offset + _FRAME + payload_offset)
     return entry.session_id
+
+
+# -- storage-lifecycle faults --------------------------------------------
+
+
+class CrashAfterEvents:
+    """A ``crash_hook`` for :func:`repro.ingest.gc.journal_gc` that
+    dies after ``budget`` GC events.
+
+    ``journal_gc`` reports each durable step as a
+    ``crash_hook(stage, detail)`` call — manifests marked, segments
+    dropped, compacted segments written and swapped.  Raising
+    :class:`SimulatedCrash` on the N-th call interrupts the collector
+    in every distinct on-disk window; ``events`` records what ran so a
+    test can assert it crashed where intended.
+    """
+
+    def __init__(self, budget: int) -> None:
+        self.budget = int(budget)
+        self.events: list = []
+
+    def __call__(self, stage: str, detail: str) -> None:
+        self.events.append((stage, detail))
+        if len(self.events) >= self.budget:
+            raise SimulatedCrash(
+                f"gc killed at event {len(self.events)}: "
+                f"{stage} {detail}")
+
+
+def flip_archive_byte(archive_directory, offset: int = -64) -> Path:
+    """Flip one byte of the first archive file (negative offsets count
+    from the end — the default lands in array payload, past the npz
+    directory).  Returns the damaged file's path."""
+    files = sorted(Path(archive_directory).glob("archive-*.npz"))
+    if not files:
+        raise IndexError(f"no archives in {archive_directory}")
+    data = bytearray(files[0].read_bytes())
+    data[offset] ^= 0xFF
+    files[0].write_bytes(bytes(data))
+    return files[0]
+
+
+#: Item value that makes :func:`kill_worker_job` kill its worker.
+KILL_SENTINEL = "kill-this-worker"
+
+
+def kill_worker_job(item):
+    """Process-backend job that SIGKILLs its own worker on the
+    :data:`KILL_SENTINEL` item and echoes everything else — picklable
+    on purpose, so the crash-tolerant fan-out can ship it."""
+    if item == KILL_SENTINEL:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return ("ok", item)

@@ -1,0 +1,212 @@
+"""Journal garbage collection: bounded disk, crash-safe compaction.
+
+The lifecycle contract under test: a GC pass only ever reclaims
+records of provably dead sessions (completed + manifested + undamaged),
+live sessions replay bit-identically from a compacted journal, and the
+journal stays a working journal afterwards — reopening accepts appends
+with correct segment numbering and a rescan reports zero damage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ingest import (
+    ChunkJournal,
+    DeviceFleet,
+    FleetConfig,
+    RecoveryManager,
+    StreamingExecutor,
+    chunk_recording,
+    collectible_sessions,
+    journal_gc,
+    scan_journal,
+)
+from repro.ingest.gc import journal_bytes
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+from tests.ingest.faults import journal_segments
+
+FLEET = FleetConfig(n_devices=3, duration_s=8.0, chunk_s=2.0, seed=13,
+                    n_rounds=2, round_gap_s=2.0)
+
+_CACHE = {}
+
+
+def _fleet():
+    if "fleet" not in _CACHE:
+        _CACHE["fleet"] = DeviceFleet(FLEET)
+    return _CACHE["fleet"]
+
+
+def _journaled_run(directory, segment_records=None, source=None):
+    with ChunkJournal(directory, segment_records=segment_records) as j:
+        executor = StreamingExecutor(n_workers=1, preview=False,
+                                     journal=j)
+        return executor.run(source if source is not None else _fleet())
+
+
+@pytest.fixture()
+def truncated_source():
+    recording = synthesize_recording(
+        default_cohort()[0], "device", 1, SynthesisConfig(duration_s=8.0))
+    return list(chunk_recording(recording, "cut", 2.0))[:-1]
+
+
+def test_gc_reclaims_every_dead_session(tmp_path):
+    directory = tmp_path / "j"
+    _journaled_run(directory)
+    scan = scan_journal(directory)
+    assert collectible_sessions(scan) == frozenset(scan.complete)
+
+    before = journal_bytes(directory)
+    report = journal_gc(directory)
+    assert before > 0
+    assert report.bytes_before == before
+    assert report.bytes_after == journal_bytes(directory) == 0
+    assert set(report.sessions_collected) == set(scan.complete)
+    assert not report.skipped_segments
+
+
+def test_gc_compacts_mixed_segments_and_live_sessions_replay(
+        tmp_path, truncated_source):
+    """A segment mixing records of a dead session and a still-open one
+    is compacted, and the open session's surviving records replay the
+    session bit-identically to the pre-GC journal."""
+    directory = tmp_path / "j"
+    # One big segment: completed fleet sessions + an open "cut" session.
+    def interleaved():
+        yield from _fleet()
+        yield from truncated_source
+    _journaled_run(directory, source=interleaved())
+
+    pre = RecoveryManager(directory).scan()
+    assert "cut" in pre.open
+    report = journal_gc(directory)
+    assert report.compacted_segments or report.dropped_segments
+    assert report.records_kept == len(truncated_source)
+
+    post = RecoveryManager(directory).scan()
+    assert not post.damaged
+    assert set(post.open) == {"cut"}
+    got = post.open["cut"]
+    want = pre.open["cut"]
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.seq == b.seq
+        for name in a.signals:
+            assert np.array_equal(a.signals[name], b.signals[name])
+
+
+def test_gc_dry_run_touches_nothing(tmp_path):
+    directory = tmp_path / "j"
+    _journaled_run(directory)
+    before = {p.name: p.read_bytes() for p in journal_segments(directory)}
+    report = journal_gc(directory, dry_run=True)
+    assert report.dry_run and not report.noop
+    assert report.bytes_after == report.bytes_before
+    after = {p.name: p.read_bytes() for p in journal_segments(directory)}
+    assert after == before
+    assert not scan_journal(directory).collected
+
+
+def test_gc_second_pass_is_a_noop(tmp_path):
+    directory = tmp_path / "j"
+    _journaled_run(directory)
+    assert not journal_gc(directory).noop
+    second = journal_gc(directory)
+    assert second.noop
+    assert second.bytes_after == second.bytes_before
+
+
+def test_gc_skips_unmanifested_complete_sessions(tmp_path,
+                                                 truncated_source):
+    """A trailer in the log but no manifest on disk (crash before the
+    manifest write) keeps the log authoritative: nothing is dead."""
+    directory = tmp_path / "j"
+    _journaled_run(directory)
+    for manifest in directory.glob("manifest-*.json"):
+        manifest.unlink()
+    scan = scan_journal(directory)
+    assert scan.complete and not scan.manifests
+    assert collectible_sessions(scan) == frozenset()
+    report = journal_gc(directory)
+    assert report.noop
+    assert journal_bytes(directory) == report.bytes_before
+
+
+def test_gc_is_conservative_around_damage(tmp_path):
+    from tests.ingest.faults import flip_crc_byte
+
+    directory = tmp_path / "j"
+    _journaled_run(directory, segment_records=4)
+    victim = flip_crc_byte(directory, index=1)
+    damaged_bytes = journal_bytes(directory)
+    report = journal_gc(directory)
+    # The quarantined session's segment(s) stay untouched as evidence;
+    # every other segment is still reclaimed.
+    assert any(victim in reason for _, reason in report.skipped_segments)
+    assert report.dropped_segments
+    assert 0 < journal_bytes(directory) < damaged_bytes
+    scan = scan_journal(directory)
+    assert set(scan.damaged) == {victim}
+
+
+def test_reopen_after_gc_appends_with_fresh_segment_numbering(tmp_path):
+    """The satellite contract: a GC'd journal is still a journal.
+    Reopening accepts appends, new segments never collide with (or
+    sort before) survivors, and a second scan reports zero damage."""
+    directory = tmp_path / "j"
+    # Small segments so GC leaves a numbering gap, not an empty dir.
+    _journaled_run(directory, segment_records=3)
+    extra = synthesize_recording(default_cohort()[1], "device", 1,
+                                 SynthesisConfig(duration_s=8.0))
+    open_chunks = list(chunk_recording(extra, "late", 2.0))[:-1]
+    with ChunkJournal(directory, segment_records=3) as journal:
+        for chunk in open_chunks:
+            journal.append(chunk)
+
+    journal_gc(directory)
+    survivors = [p.name for p in journal_segments(directory)]
+    assert survivors                      # "late" kept segments alive
+
+    with ChunkJournal(directory, segment_records=3) as journal:
+        # Collected sessions stay completed: a replayed chunk is the
+        # idempotent no-op, not a fresh record resurrecting the session.
+        assert journal.append(next(iter(_fleet()))) is False
+        appended = sum(journal.append(c)
+                       for c in chunk_recording(extra, "late", 2.0))
+    assert appended > 0
+
+    names = [p.name for p in journal_segments(directory)]
+    assert names == sorted(names)
+    assert len(set(names)) == len(names)
+    # Every new segment sorts after every survivor: the log order on
+    # disk is still the append order.
+    assert names[:len(survivors)] == survivors
+
+    scan = scan_journal(directory)
+    assert not scan.damaged and scan.unattributed_damage == 0
+    assert "late" in scan.complete
+    outcome = RecoveryManager(directory).recover()
+    assert not outcome.damaged
+    assert "late" in outcome.results
+
+
+def test_gc_heals_a_torn_tail(tmp_path):
+    from tests.ingest.faults import tear_journal_tail
+
+    directory = tmp_path / "j"
+    _journaled_run(directory)
+    tear_journal_tail(directory)
+    report = journal_gc(directory)
+    assert report.torn_tail_repaired
+    assert scan_journal(directory).torn_tail is None
+
+
+def test_gc_removes_stale_compaction_sidecars(tmp_path):
+    directory = tmp_path / "j"
+    _journaled_run(directory)
+    stale = directory / "segment-00000.log.gctmp"
+    stale.write_bytes(b"half-written compaction")
+    report = journal_gc(directory)
+    assert report.stale_tmp_removed == 1
+    assert not stale.exists()

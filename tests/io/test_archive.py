@@ -1,0 +1,170 @@
+"""Cold-tier session archives: bit-identical rehydration, idempotent
+sweeps, an index that stays addressable, and loud refusal on damage."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ArchiveError
+from repro.ingest import (
+    ChunkJournal,
+    DeviceFleet,
+    FleetConfig,
+    StreamingExecutor,
+    journal_gc,
+)
+from repro.io import (
+    archive_sessions,
+    load_archive,
+    read_archive_index,
+    rehydrate_session,
+    save_archive,
+)
+
+FLEET = FleetConfig(n_devices=3, duration_s=8.0, chunk_s=2.0, seed=13,
+                    n_rounds=2, round_gap_s=2.0)
+
+_CACHE = {}
+
+
+def _fleet():
+    if "fleet" not in _CACHE:
+        _CACHE["fleet"] = DeviceFleet(FLEET)
+    return _CACHE["fleet"]
+
+
+@pytest.fixture()
+def journaled(tmp_path):
+    """A completed journaled fleet run; returns (journal dir, results)."""
+    directory = tmp_path / "journal"
+    with ChunkJournal(directory) as journal:
+        executor = StreamingExecutor(n_workers=1, preview=False,
+                                     journal=journal)
+        results = executor.run(_fleet())
+    return directory, results
+
+
+def _assert_chunks_identical(got, want):
+    assert [c.seq for c in got] == [c.seq for c in want]
+    for a, b in zip(got, want):
+        assert a.session_id == b.session_id
+        assert a.fs == b.fs and a.start_sample == b.start_sample
+        assert a.is_last == b.is_last and a.arrival_s == b.arrival_s
+        assert a.meta == b.meta
+        for store in ("signals", "annotations"):
+            sa, sb = getattr(a, store), getattr(b, store)
+            assert set(sa) == set(sb)
+            for name in sa:
+                assert np.array_equal(sa[name], sb[name]), (store, name)
+
+
+def test_archive_then_rehydrate_is_bit_identical(journaled):
+    directory, results = journaled
+    adir = directory.parent / "cold"
+    report = archive_sessions(directory, adir)
+    assert set(report.archived) == set(results)
+    assert not report.skipped
+    assert report.bytes_written > 0
+
+    from repro.ingest import scan_journal
+    scan = scan_journal(directory)
+    for sid, chunks in scan.complete.items():
+        _assert_chunks_identical(rehydrate_session(adir, sid), chunks)
+        # ... and the stage graph over the rehydrated stream produces
+        # the run's exact numbers.
+        replay = StreamingExecutor(n_workers=1, preview=False).run(
+            iter(rehydrate_session(adir, sid)))
+        assert (replay[sid].result.summary()
+                == results[sid].result.summary())
+
+
+def test_archive_is_idempotent_and_appends_new_files(journaled,
+                                                     tmp_path):
+    directory, results = journaled
+    adir = tmp_path / "cold"
+    first = archive_sessions(directory, adir)
+    again = archive_sessions(directory, adir)
+    assert again.file is None and not again.archived
+    assert set(again.already_archived) == set(first.archived)
+    assert sorted(p.name for p in adir.glob("archive-*.npz")) \
+        == [first.file.name]
+
+    # A later run with new sessions lands in a second file; the index
+    # addresses both.
+    late = DeviceFleet(FleetConfig(n_devices=1, duration_s=8.0,
+                                   chunk_s=2.0, seed=99))
+    with ChunkJournal(directory) as journal:
+        StreamingExecutor(n_workers=1, preview=False,
+                          journal=journal).run(late)
+    second = archive_sessions(directory, adir)
+    assert second.file is not None and second.file.name != first.file.name
+    index = read_archive_index(adir)
+    assert set(index) == set(results) | set(second.archived)
+    files = {entry["file"] for entry in index.values()}
+    assert files == {first.file.name, second.file.name}
+
+
+def test_archive_skips_unarchivable_requests(journaled, tmp_path):
+    directory, _ = journaled
+    from tests.ingest.faults import flip_crc_byte
+
+    victim = flip_crc_byte(directory, index=1)
+    report = archive_sessions(directory, tmp_path / "cold",
+                              session_ids=[victim, "no-such-session"])
+    assert not report.archived
+    assert "quarantined" in report.skipped[victim]
+    assert report.skipped["no-such-session"] == "unknown to the journal"
+
+
+def test_archive_then_gc_keeps_sessions_addressable(journaled,
+                                                    tmp_path):
+    """The lifecycle handoff: archive, reclaim the journal, and the
+    sessions remain reachable from the cold tier only."""
+    directory, results = journaled
+    adir = tmp_path / "cold"
+    report = archive_sessions(directory, adir)
+    gc_report = journal_gc(directory)
+    assert set(gc_report.sessions_collected) == set(results)
+    sid = sorted(results)[0]
+    replay = StreamingExecutor(n_workers=1, preview=False).run(
+        iter(rehydrate_session(adir, sid)))
+    assert replay[sid].result.summary() == results[sid].result.summary()
+    # Collected sessions cannot be re-archived from the journal.
+    rerun = archive_sessions(directory, tmp_path / "cold2",
+                             session_ids=[sid])
+    assert "collected" in rerun.skipped[sid]
+    assert report.file.exists()
+
+
+def test_load_archive_round_trips_standalone(tmp_path):
+    from repro.ingest import chunk_recording
+    from repro.synth import (SynthesisConfig, default_cohort,
+                             synthesize_recording)
+
+    recording = synthesize_recording(
+        default_cohort()[0], "device", 1, SynthesisConfig(duration_s=8.0))
+    chunks = list(chunk_recording(recording, "solo", 2.0))
+    file = save_archive({"solo": chunks}, tmp_path / "one")
+    assert file.name.endswith(".npz")
+    _assert_chunks_identical(load_archive(file)["solo"], chunks)
+
+
+def test_rehydrate_unknown_session_raises(tmp_path):
+    (tmp_path / "index.json").write_text("{}")
+    with pytest.raises(ArchiveError):
+        rehydrate_session(tmp_path, "ghost")
+    with pytest.raises(ArchiveError):
+        load_archive(tmp_path / "missing.npz")
+
+
+def test_index_mismatch_raises(journaled, tmp_path):
+    directory, results = journaled
+    adir = tmp_path / "cold"
+    archive_sessions(directory, adir)
+    sid = sorted(results)[0]
+    index = read_archive_index(adir)
+    index[sid]["n_chunks"] += 1
+    (adir / "index.json").write_text(json.dumps(index))
+    with pytest.raises(ArchiveError):
+        rehydrate_session(adir, sid)

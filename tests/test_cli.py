@@ -213,6 +213,148 @@ def test_cache_stats_process_backend_reports_workers(capsys):
     assert "worker pid" in out
 
 
+def _journaled_ingest(journal):
+    code = cli.main(["ingest", "--devices", "2", "--duration", "8",
+                     "--chunk", "2", "--jobs", "1", "--journal",
+                     str(journal)])
+    assert code == 0
+
+
+def test_recover_json_reports_verdicts_and_taxonomy(tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "journal"
+    _journaled_ingest(journal)
+    capsys.readouterr()
+    code = cli.main(["recover", "--json", str(journal)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0 and payload["exit_code"] == 0
+    assert payload["journal"] == str(journal)
+    assert payload["n_records"] > 0
+    assert payload["bytes_scanned"] > 0
+    verdicts = {s["verdict"] for s in payload["sessions"].values()}
+    assert verdicts == {"recovered"}
+    for session in payload["sessions"].values():
+        assert session["n_chunks"] > 0
+        assert {"z0_ohm", "lvet_s", "pep_s", "hr_bpm"} \
+            <= set(session["payload"])
+    assert payload["damage"]["crc_mismatch"] == 0
+    assert payload["damage"]["unattributed_records"] == 0
+
+
+def test_recover_json_damage_counts_and_exit_code(tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "journal"
+    _journaled_ingest(journal)
+    capsys.readouterr()
+    from tests.ingest.faults import flip_crc_byte
+
+    victim = flip_crc_byte(journal, index=1)
+    code = cli.main(["recover", "--json", str(journal)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1 and payload["exit_code"] == 1
+    assert payload["sessions"][victim]["verdict"] == "damaged"
+    assert "crc mismatch" in payload["sessions"][victim]["reason"]
+    assert payload["damage"]["crc_mismatch"] == 1
+
+
+def test_journal_gc_reclaims_and_reports(tmp_path, capsys):
+    journal = tmp_path / "journal"
+    _journaled_ingest(journal)
+    capsys.readouterr()
+    code = cli.main(["journal-gc", "--dry-run", str(journal)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Would reclaim" in out
+
+    code = cli.main(["journal-gc", str(journal)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Reclaimed" in out and "-> 0 bytes" in out
+    assert "Sessions collected:" in out
+
+    code = cli.main(["journal-gc", str(journal)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Nothing to collect" in out
+
+
+def test_journal_gc_json_payload(tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "journal"
+    _journaled_ingest(journal)
+    capsys.readouterr()
+    code = cli.main(["journal-gc", "--json", str(journal)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["bytes_before"] > payload["bytes_after"] == 0
+    assert payload["sessions_collected"]
+    assert payload["dry_run"] is False
+
+
+def test_archive_and_rehydrate_roundtrip(tmp_path, capsys):
+    journal = tmp_path / "journal"
+    cold = tmp_path / "cold"
+    _journaled_ingest(journal)
+    ingest_out = capsys.readouterr().out
+    code = cli.main(["archive", str(journal), str(cold)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Archived 2 session(s)" in out
+    assert f"repro journal-gc {journal}" in out
+
+    code = cli.main(["rehydrate", "--list", str(cold)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "device-000" in out and "device-001" in out
+
+    code = cli.main(["journal-gc", str(journal)])
+    capsys.readouterr()
+    code = cli.main(["rehydrate", str(cold), "device-001"])
+    out = capsys.readouterr().out
+    assert code == 0
+    # The archived session replays to the exact rows the live ingest
+    # printed (bit-identical rehydration, same formatting).
+    for line in ingest_out.splitlines():
+        if line.startswith("  device-001") and "Z0" in line:
+            assert line in out
+
+
+def test_archive_skips_are_reported_with_exit_code(tmp_path, capsys):
+    journal = tmp_path / "journal"
+    _journaled_ingest(journal)
+    capsys.readouterr()
+    code = cli.main(["archive", str(journal), str(tmp_path / "cold"),
+                     "--sessions", "device-000", "ghost"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SKIPPED ghost: unknown to the journal" in out
+    assert "device-000" in out
+
+
+def test_rehydrate_requires_a_session_or_list(tmp_path, capsys):
+    code = cli.main(["rehydrate", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "session id" in captured.err
+
+
+def test_rehydrate_unknown_session_is_an_error(tmp_path, capsys):
+    (tmp_path / "index.json").write_text("{}")
+    code = cli.main(["rehydrate", str(tmp_path), "ghost"])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_parser_help_lists_lifecycle_commands():
+    parser = cli.build_parser()
+    help_text = parser.format_help()
+    for command in ("recover", "journal-gc", "archive", "rehydrate"):
+        assert command in help_text
+
+
 def test_cache_stats_process_backend_reports_pool_reuse(capsys):
     """The command runs two fan-outs, so the warm pool must report at
     least one reuse (unless the kill switch disabled it)."""

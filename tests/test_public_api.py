@@ -63,16 +63,34 @@ def test_top_level_surface():
 
 def test_exceptions_form_a_hierarchy():
     from repro import (
+        ArchiveError,
         ConfigurationError,
         DetectionError,
         HardwareError,
         JournalError,
+        PoisonJobError,
         ProtocolError,
         ReproError,
         SignalError,
     )
 
     for exc in (ConfigurationError, SignalError, DetectionError,
-                HardwareError, ProtocolError, JournalError):
+                HardwareError, ProtocolError, JournalError,
+                ArchiveError, PoisonJobError):
         assert issubclass(exc, ReproError)
         assert issubclass(exc, Exception)
+
+
+def test_storage_lifecycle_surface():
+    """The storage-lifecycle names callers handle failures through:
+    the archive and poison-job types ride the top-level package."""
+    from repro import PoisonJob, raise_if_poison
+
+    for name in ("ArchiveError", "PoisonJobError", "PoisonJob",
+                 "raise_if_poison"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+    job = PoisonJob(index=3, attempts=2, reason="worker died twice")
+    with pytest.raises(repro.PoisonJobError):
+        raise_if_poison(job)
+    assert raise_if_poison("fine") == "fine"
