@@ -23,14 +23,32 @@ chunk as a CRC-framed record before analysis sees it, and a
 :class:`~repro.ingest.recovery.RecoveryManager` replays the journal
 after a crash — finalizing completed sessions bit-identically to the
 interrupted run and resuming open ones when their source reconnects.
+
+Transport is zero-copy by default: the producer publishes each chunk
+once into a per-session :class:`~repro.ingest.chunks.ChunkArenaRing`
+and ships a :class:`~repro.ingest.chunks.ChunkDescriptor` through the
+queue; the journal writes the same shared bytes through its iovec
+codec; :mod:`repro.ingest.stats` counts every byte the plane publishes
+or copies (the hot path's ``bytes_copied`` is asserted zero).  The
+historical object transport survives as the ``"reference"`` ingest
+backend (:func:`~repro.ingest.chunks.use_ingest_backend`), the oracle
+the parity sweep pins the arena plane against.
 """
 
 from repro.ingest.chunks import (
+    ChunkArenaRing,
+    ChunkDescriptor,
+    INGEST_BACKENDS,
     RecordingChunk,
     RecordingSource,
     SessionAssembler,
     SessionSource,
+    chunk_from_descriptor,
     chunk_recording,
+    ingest_backend,
+    publish_chunk,
+    set_ingest_backend,
+    use_ingest_backend,
 )
 from repro.ingest.fleet import (
     DeviceFleet,
@@ -39,12 +57,20 @@ from repro.ingest.fleet import (
     SimulatedDevice,
 )
 from repro.ingest.gc import GcReport, collectible_sessions, journal_gc
-from repro.ingest.journal import ChunkJournal, JournalScan, scan_journal
+from repro.ingest.journal import (
+    ChunkJournal,
+    DURABILITY_MODES,
+    JOURNAL_CODECS,
+    JournalScan,
+    scan_journal,
+)
 from repro.ingest.recovery import (
     RecoveryManager,
     RecoveryResult,
     ReingestReport,
 )
+from repro.ingest.stats import IngestStats, ingest_stats, \
+    reset_ingest_stats
 from repro.ingest.streaming import (
     CausalIcgConditioner,
     SessionResult,
@@ -55,10 +81,15 @@ from repro.ingest.workqueue import BoundedWorkQueue, QueueStats
 __all__ = [
     "RecordingChunk", "SessionSource", "RecordingSource",
     "SessionAssembler", "chunk_recording",
+    "ChunkDescriptor", "ChunkArenaRing", "publish_chunk",
+    "chunk_from_descriptor", "INGEST_BACKENDS", "set_ingest_backend",
+    "ingest_backend", "use_ingest_backend",
+    "IngestStats", "ingest_stats", "reset_ingest_stats",
     "DeviceFleet", "FleetConfig", "SimulatedDevice", "SessionSchedule",
     "BoundedWorkQueue", "QueueStats",
     "StreamingExecutor", "SessionResult", "CausalIcgConditioner",
     "ChunkJournal", "JournalScan", "scan_journal",
+    "DURABILITY_MODES", "JOURNAL_CODECS",
     "RecoveryManager", "RecoveryResult", "ReingestReport",
     "GcReport", "collectible_sessions", "journal_gc",
 ]

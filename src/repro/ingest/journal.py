@@ -25,21 +25,107 @@ Durability contract, pinned by the journal/fault tests:
   records could never be replayed past the hole) and the scan reports
   exactly which sessions are affected, while every other session stays
   fully usable.
+
+Write path
+----------
+Records are encoded by the copy-free iovec codec by default
+(``codec="iov"``: header bytes + raw array views, framed with a
+chained CRC and written through one ``os.writev`` — bit-identical on
+disk to the legacy ``codec="bytes"`` path, which is retained as the
+bench reference).  ``durability`` picks when those bytes reach the
+file:
+
+* ``"strict"`` (default) writes — and, with ``fsync``, syncs — inside
+  ``append``, preserving the historical chunk-on-disk-before-analysis
+  ordering per record;
+* ``"group"`` lands appends in a bounded in-memory buffer drained by
+  a background writer thread, one flush (and one fsync) per drain
+  window — the classic group commit: while one window syncs, the next
+  batches.  Appends block when the buffer is full (backpressure), a
+  session trailer barriers on :meth:`ChunkJournal.flush` *before* its
+  manifest is written (so the manifest-after-records invariant and
+  finalize's recovery bit-identity both survive any crash point), and
+  what is on disk is always a prefix of append order — which is why
+  the crash-point property tests hold in both modes.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import ConfigurationError, JournalError
-from repro.io.journal_records import encode_chunk, frame_record, scan_segment
+from repro.io.journal_records import (
+    encode_chunk,
+    encode_chunk_iov,
+    frame_nbytes,
+    frame_record,
+    frame_record_iov,
+    scan_segment,
+)
 
 __all__ = ["ChunkJournal", "JournalScan", "scan_journal",
-           "repair_torn_tail", "write_manifest", "read_manifests"]
+           "repair_torn_tail", "write_manifest", "read_manifests",
+           "DURABILITY_MODES", "JOURNAL_CODECS"]
+
+#: ``"strict"`` writes per append; ``"group"`` batches appends into
+#: background flush windows with one fsync each.
+DURABILITY_MODES = ("strict", "group")
+
+#: ``"iov"`` is the zero-copy writev codec; ``"bytes"`` the legacy
+#: materializing codec (bit-identical output, kept as the reference).
+JOURNAL_CODECS = ("iov", "bytes")
+
+
+def _credit(**deltas) -> None:
+    from repro.ingest.stats import ingest_stats
+    ingest_stats().add(**deltas)
+
+
+#: How long the group writer lingers (only when ``fsync`` is on) so
+#: more appends can join the flush window before it pays the fsync.
+#: A :meth:`ChunkJournal.flush` barrier bypasses the wait entirely, so
+#: finalize never eats the window latency.
+GROUP_WINDOW_S = 0.002
+
+try:
+    _IOV_MAX = os.sysconf("SC_IOV_MAX")
+    if _IOV_MAX <= 0:
+        _IOV_MAX = 1024
+except (AttributeError, OSError, ValueError):
+    _IOV_MAX = 1024
+
+
+def _writev_all(fd: int, buffers) -> int:
+    """Write an iovec fully (handling partial writes); bytes written.
+
+    The common case is one complete ``writev`` straight off the
+    caller's buffers; only a partial write pays for the byte-granular
+    views needed to slice off the consumed prefix."""
+    total = sum(len(b) if isinstance(b, (bytes, bytearray))
+                else memoryview(b).nbytes for b in buffers)
+    n = os.writev(fd, buffers)
+    done = n
+    if done >= total:
+        return total
+    views = [memoryview(b).cast("B") for b in buffers]
+    while done < total:
+        while n:                       # drop the consumed prefix
+            head = views[0]
+            if n >= head.nbytes:
+                n -= head.nbytes
+                views.pop(0)
+            else:
+                views[0] = head[n:]
+                n = 0
+        n = os.writev(fd, views)
+        done += n
+    return total
 
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".log"
@@ -162,12 +248,14 @@ class JournalScan:
         return counts
 
 
-def scan_journal(directory) -> JournalScan:
+def scan_journal(directory, decoder=None) -> JournalScan:
     """Classify every record of a journal directory.
 
     Never raises on damaged content (that is the point of recovery);
     raises :class:`~repro.errors.JournalError` only when ``directory``
-    is not a journal at all.
+    is not a journal at all.  ``decoder`` is threaded through to
+    :func:`~repro.io.journal_records.scan_segment` (recovery passes an
+    arena-rehydrating one).
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -193,7 +281,7 @@ def scan_journal(directory) -> JournalScan:
 
     records_per_segment = []
     for position, path in enumerate(segments):
-        segment = scan_segment(path)
+        segment = scan_segment(path, decoder=decoder)
         last = position == len(segments) - 1
         records_per_segment.append(len(segment.entries))
         if last:
@@ -295,20 +383,51 @@ class ChunkJournal:
         lost-framing corruption can take down and is the knob the
         recovery property test sweeps.
     fsync:
-        Force records to stable storage on every append.  Off by
+        Force records to stable storage — per append in ``"strict"``
+        durability, once per flush window in ``"group"``.  Off by
         default — the simulated workloads only need crash consistency
         with respect to the process, not the kernel.
+    durability:
+        ``"strict"`` (default) writes each record inside ``append``;
+        ``"group"`` batches appends into a bounded buffer a
+        background writer drains — see the module docstring.
+    codec:
+        ``"iov"`` (default) writes the copy-free writev iovec;
+        ``"bytes"`` the legacy materializing codec.  Byte-identical on
+        disk.
+    max_pending_bytes:
+        Group-commit buffer bound; appends block (backpressure) while
+        the writer is this many frame bytes behind.
+    scan_decoder:
+        Optional record decoder for the reopen scan (recovery passes
+        an arena-rehydrating one so resume replays stay zero-copy).
     """
 
     def __init__(self, directory, segment_records: Optional[int] = None,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, durability: str = "strict",
+                 codec: str = "iov",
+                 max_pending_bytes: int = 8 << 20,
+                 scan_decoder=None) -> None:
         if segment_records is not None and segment_records < 1:
             raise ConfigurationError("segment_records must be >= 1")
+        if durability not in DURABILITY_MODES:
+            raise ConfigurationError(
+                f"unknown durability {durability!r}; "
+                f"choose from {DURABILITY_MODES}")
+        if codec not in JOURNAL_CODECS:
+            raise ConfigurationError(
+                f"unknown journal codec {codec!r}; "
+                f"choose from {JOURNAL_CODECS}")
+        if max_pending_bytes < 1:
+            raise ConfigurationError("max_pending_bytes must be >= 1")
         self.directory = Path(directory)
         self.segment_records = segment_records
         self.fsync = bool(fsync)
+        self.durability = durability
+        self.codec = codec
+        self.max_pending_bytes = int(max_pending_bytes)
         self.directory.mkdir(parents=True, exist_ok=True)
-        scan = scan_journal(self.directory)
+        scan = scan_journal(self.directory, decoder=scan_decoder)
         #: The classification this reopen was based on (taken before
         #: the torn-tail repair; callers like ``resume`` reuse it
         #: instead of paying a second full-journal scan).
@@ -335,9 +454,25 @@ class ChunkJournal:
         else:
             self._segment_index = _segment_index(scan.segments[-1])
             self._segment_records_written = scan.records_per_segment[-1]
+        # Unbuffered: writes (and writev against the raw fd) hit the
+        # file directly, so fd-level and file-object writes never
+        # interleave through a stale userspace buffer.
         self._fh = open(
-            self.directory / _segment_name(self._segment_index), "ab")
+            self.directory / _segment_name(self._segment_index), "ab",
+            buffering=0)
         self._closed = False
+        # Group-commit writer state (thread started lazily on the
+        # first group-mode append; strict journals never pay for it).
+        self._writer: Optional[threading.Thread] = None
+        self._wlock = threading.Lock()
+        self._wcond = threading.Condition(self._wlock)
+        self._pending: list = []
+        self._pending_bytes = 0
+        self._accepted = 0          # group records accepted by append
+        self._synced = 0            # group records written (+synced)
+        self._stop = False
+        self._flush_waiters = 0     # barriers waiting in flush()
+        self._writer_error: Optional[BaseException] = None
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -387,36 +522,216 @@ class ChunkJournal:
             raise JournalError(
                 f"session {sid!r}: appending seq {chunk.seq} would "
                 f"leave a gap (journal expects {want})")
-        if (self.segment_records is not None
-                and self._segment_records_written >= self.segment_records):
-            self._roll_segment()
-        self._fh.write(frame_record(encode_chunk(chunk)))
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-        self._segment_records_written += 1
+        if self.codec == "bytes":
+            # Legacy reference codec: payload and frame materialized.
+            record = frame_record(encode_chunk(chunk))
+            length = len(record)
+        else:
+            # Copy-free iovec: header bytes + raw views over the
+            # chunk's arrays; the CRC is chained at frame time.
+            record = encode_chunk_iov(chunk)
+            length = frame_nbytes(record)
+        if self.durability == "strict":
+            self._write_record(record)
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+                _credit(strict_fsyncs=1)
+        else:
+            self._enqueue("record", record, length)
         self.appended_records += 1
         self._expected[sid] = want + 1
         if chunk.is_last:
             self._completed.add(sid)
-            write_manifest(self.directory, sid,
-                           n_chunks=self._expected[sid],
-                           n_samples=chunk.start_sample + chunk.n_samples,
-                           fs=chunk.fs)
+            manifest = dict(
+                n_chunks=self._expected[sid],
+                n_samples=chunk.start_sample + chunk.n_samples,
+                fs=chunk.fs)
+            # The manifest-after-records invariant: the trailer (and
+            # with it every record of the session) must be on disk
+            # before the completion manifest exists.  Strict mode just
+            # wrote (and synced) the trailer; group mode enqueues the
+            # manifest *behind* the trailer record, so the single
+            # writer preserves the ordering at every crash point
+            # without the producer serializing a drain per trailer —
+            # ``flush``/``close`` still barrier on it.
+            if self.durability == "strict":
+                write_manifest(self.directory, sid, **manifest)
+            else:
+                self._enqueue("manifest", (sid, manifest), 0)
         return True
+
+    # -- the write side (strict: append's thread; group: the writer) ------
+
+    def _write_record(self, record) -> None:
+        if (self.segment_records is not None
+                and self._segment_records_written >= self.segment_records):
+            self._roll_segment()
+        if isinstance(record, (bytes, bytearray)):
+            self._fh.write(record)
+            written = len(record)
+        else:
+            written = _writev_all(self._fh.fileno(),
+                                  frame_record_iov(record))
+        self._segment_records_written += 1
+        _credit(journal_records=1, journal_bytes_written=written)
+
+    def _enqueue(self, kind: str, item, length: int) -> None:
+        with self._wlock:
+            self._raise_writer_error()
+            if self._writer is None:
+                self._writer = threading.Thread(
+                    target=self._writer_loop, name="journal-writer",
+                    daemon=True)
+                self._writer.start()
+            while self._pending_bytes >= self.max_pending_bytes:
+                self._wcond.wait(timeout=0.05)
+                self._raise_writer_error()
+            self._pending.append((kind, item))
+            self._pending_bytes += length
+            self._accepted += 1
+            self._wcond.notify_all()
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._wlock:
+                while not self._pending and not self._stop:
+                    self._wcond.wait()
+                if not self._pending and self._stop:
+                    return
+                self._accumulate_window()
+                # Take everything accumulated — the flush window.
+                # While this batch writes and syncs, the next one
+                # batches behind the lock: fsync latency is amortised
+                # over however many appends it overlapped.
+                batch = self._pending
+                self._pending = []
+                self._pending_bytes = 0
+            try:
+                records = [item for kind, item in batch
+                           if kind == "record"]
+                self._write_batch(records)
+                if records:
+                    if self.fsync:
+                        os.fsync(self._fh.fileno())
+                        _credit(group_fsyncs=1)
+                    _credit(group_flushes=1)
+                # Manifests strictly after their records hit disk
+                # (and after the window's fsync): the ordering half
+                # of the finalize invariant.
+                for kind, item in batch:
+                    if kind == "manifest":
+                        sid, manifest = item
+                        write_manifest(self.directory, sid, **manifest)
+            except BaseException as exc:
+                with self._wlock:
+                    self._writer_error = exc
+                    self._stop = True
+                    self._wcond.notify_all()
+                return
+            with self._wlock:
+                self._synced += len(batch)
+                self._wcond.notify_all()
+
+    def _accumulate_window(self) -> None:
+        """Linger briefly (lock held, inside the condition wait) so
+        more appends join the flush window — one writev (and, with
+        ``fsync``, one fsync) then covers them all.  Bypassed the
+        moment anyone barriers in ``flush``, the journal is stopping,
+        or the buffer is already half full: latency is only ever
+        traded for fewer syscalls, never added to a finalize or close
+        path."""
+        deadline = time.monotonic() + GROUP_WINDOW_S
+        while (not self._stop and not self._flush_waiters
+               and self._pending_bytes < self.max_pending_bytes // 2):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._wcond.wait(timeout=remaining)
+
+    def _write_batch(self, batch) -> None:
+        """Write one flush window through one ``os.writev`` per
+        contiguous run — runs break only at segment-roll boundaries
+        and at the platform ``IOV_MAX``."""
+        iov: list = []
+        staged = 0
+
+        def drain() -> None:
+            nonlocal iov, staged
+            if not iov:
+                return
+            written = _writev_all(self._fh.fileno(), iov)
+            self._segment_records_written += staged
+            _credit(journal_records=staged, journal_bytes_written=written)
+            iov = []
+            staged = 0
+
+        for record in batch:
+            if (self.segment_records is not None
+                    and self._segment_records_written + staged
+                    >= self.segment_records):
+                drain()
+                self._roll_segment()
+            parts = ([record] if isinstance(record, (bytes, bytearray))
+                     else frame_record_iov(record))
+            if iov and len(iov) + len(parts) > _IOV_MAX:
+                drain()
+            iov.extend(parts)
+            staged += 1
+        drain()
+
+    def _raise_writer_error(self) -> None:
+        if self._writer_error is not None:
+            raise JournalError(
+                f"journal writer failed: {self._writer_error!r}"
+            ) from self._writer_error
+
+    def flush(self) -> None:
+        """Barrier: every accepted append is on disk (and fsynced when
+        ``fsync`` is on) when this returns.  Cheap no-op in strict
+        mode (appends already write through) and on an idle group
+        journal."""
+        if self._writer is None:
+            return
+        with self._wlock:
+            target = self._accepted
+            self._flush_waiters += 1
+            self._wcond.notify_all()   # cut a lingering window short
+            try:
+                while self._synced < target:
+                    self._raise_writer_error()
+                    self._wcond.wait(timeout=0.05)
+                self._raise_writer_error()
+            finally:
+                self._flush_waiters -= 1
 
     def _roll_segment(self) -> None:
         self._fh.close()
         self._segment_index += 1
         self._segment_records_written = 0
         self._fh = open(
-            self.directory / _segment_name(self._segment_index), "ab")
+            self.directory / _segment_name(self._segment_index), "ab",
+            buffering=0)
 
     def close(self) -> None:
-        """Flush and close the active segment (idempotent)."""
-        if not self._closed:
+        """Drain the write buffer and close the segment (idempotent).
+
+        A group journal barriers on its writer first — close returns
+        only once every accepted append is on disk — and re-raises a
+        writer failure rather than losing it silently.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._writer is not None:
+                with self._wlock:
+                    self._stop = True
+                    self._wcond.notify_all()
+                self._writer.join()
+        finally:
             self._fh.close()
-            self._closed = True
+        if self._writer_error is not None:
+            self._raise_writer_error()
 
     def __enter__(self) -> "ChunkJournal":
         return self

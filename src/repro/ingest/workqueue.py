@@ -18,8 +18,11 @@ Closing follows the sentinel-free convention: the producer calls
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import deque
 from typing import Optional
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -60,9 +63,10 @@ class BoundedWorkQueue:
         Maximum simultaneous items; ``None`` leaves the count
         unbounded.
     max_bytes:
-        Maximum simultaneous sum of item ``nbytes``; ``None`` leaves
-        bytes unbounded.  Items without an ``nbytes`` attribute count
-        as zero bytes.
+        Maximum simultaneous sum of item payload sizes; ``None``
+        leaves bytes unbounded.  Items are sized by their ``nbytes``
+        attribute, falling back to ``(shape, dtype)``; an item sized
+        neither way counts as zero and warns once per queue.
 
     At least one bound must be set — an unbounded "bounded queue" is a
     configuration error, not a default.
@@ -86,12 +90,39 @@ class BoundedWorkQueue:
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
+        self._warned_unsized = False
 
     # -- internals ---------------------------------------------------------
 
-    @staticmethod
-    def _size_of(item) -> int:
-        return int(getattr(item, "nbytes", 0))
+    def _size_of(self, item) -> int:
+        """Payload bytes one item buffers.
+
+        ``nbytes`` when the item exposes it (chunks, chunk/shm
+        descriptors, ndarrays), else derived from ``(shape, dtype)``
+        (bare descriptor tuples).  An item sized neither way counts as
+        zero and — when a byte bound is configured — warns once per
+        queue: silently unbounded byte backpressure is the historical
+        bug this closes.
+        """
+        nbytes = getattr(item, "nbytes", None)
+        if nbytes is not None:
+            return int(nbytes)
+        shape = getattr(item, "shape", None)
+        dtype = getattr(item, "dtype", None)
+        if shape is not None and dtype is not None:
+            try:
+                return int(np.prod(shape, dtype=np.int64)
+                           * np.dtype(dtype).itemsize)
+            except (TypeError, ValueError):
+                pass
+        if self.max_bytes is not None and not self._warned_unsized:
+            self._warned_unsized = True
+            warnings.warn(
+                f"queue item of type {type(item).__name__} exposes "
+                f"neither nbytes nor (shape, dtype); byte "
+                f"backpressure cannot account for it",
+                RuntimeWarning, stacklevel=3)
+        return 0
 
     def _has_space(self, nbytes: int) -> bool:
         if self.max_items is not None and len(self._items) >= self.max_items:

@@ -29,11 +29,31 @@ The framing is what makes crash recovery tractable:
 :func:`scan_segment` implements exactly that taxonomy and never
 raises on damaged input; callers decide what a damaged record means
 (the recovery layer quarantines the affected session).
+
+Two codec paths share the byte format:
+
+* :func:`encode_chunk` materializes the payload as one ``bytes`` — the
+  reference path, paying an ``arr.tobytes()`` copy per array plus a
+  join per payload and another per frame;
+* :func:`encode_chunk_iov` returns the *same payload* as an iovec of
+  buffers (header bytes + raw little-endian float64 views over the
+  chunk's arrays) and :func:`frame_record_iov` frames it with the CRC
+  chained incrementally over the views (``zlib.crc32`` carries state),
+  so a journal append materializes **zero** intermediate bytes — the
+  frame goes to disk through one ``os.writev``.  The concatenation of
+  the iovec is bit-identical to the reference frame, pinned by test.
+
+On the read side :func:`decode_chunk_into` rehydrates a payload's
+arrays straight into an arena (one write into the slab, no per-array
+``.copy()``), which is how recovery replays stay on the zero-copy
+plane.  Both paths credit :mod:`repro.ingest.stats` so "zero copies"
+is an asserted number, not a comment.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -43,19 +63,52 @@ import numpy as np
 
 from repro.errors import JournalError
 
-# RecordingChunk is imported lazily inside decode_chunk: the io package
+# RecordingChunk is imported lazily inside the decoders: the io package
 # sits below repro.ingest in the import graph (chunks are built from
 # repro.io.records), so a module-level import here would be circular —
 # the same convention repro.io.shards uses for the experiment types.
 
-__all__ = ["MAGIC", "encode_chunk", "decode_chunk", "frame_record",
-           "RecordEntry", "SegmentScan", "scan_segment"]
+__all__ = ["MAGIC", "encode_chunk", "encode_chunk_iov", "decode_chunk",
+           "decode_chunk_into", "frame_record", "frame_record_iov",
+           "payload_crc", "frame_nbytes", "RecordEntry", "SegmentScan",
+           "scan_segment"]
 
 #: Frame marker; a scan that does not find it where a record should
 #: start has lost the framing and must stop.
 MAGIC = b"ICGJ"
 
 _FRAME = len(MAGIC) + 4 + 4     # magic | payload_len | crc32
+
+#: The wire dtype.  Arrays already in it (arena views always are)
+#: skip the ``ascontiguousarray`` round-trip on the encode hot path.
+_LE_F8 = np.dtype("<f8")
+
+_U32 = struct.Struct("<I")
+
+
+def _credit(**deltas) -> None:
+    """Credit the ingest counters (lazy import: repro.io sits below
+    repro.ingest in the import graph, same convention as the chunk
+    types themselves)."""
+    from repro.ingest.stats import ingest_stats
+    ingest_stats().add(**deltas)
+
+
+def _as_buffer(part):
+    """A byte-granular buffer over one iovec part (no copy)."""
+    if isinstance(part, (bytes, bytearray)):
+        return part
+    view = part if isinstance(part, memoryview) else memoryview(part)
+    return view if view.format == "B" else view.cast("B")
+
+
+def _part_nbytes(part) -> int:
+    """Byte length of one iovec part."""
+    if isinstance(part, (bytes, bytearray)):
+        return len(part)
+    if isinstance(part, (np.ndarray, memoryview)):
+        return part.nbytes
+    return memoryview(part).nbytes
 
 
 def _meta_scalar(value):
@@ -70,14 +123,33 @@ def _meta_scalar(value):
     return str(value)
 
 
-def encode_chunk(chunk) -> bytes:
-    """Serialise one chunk to a record *payload* (no frame)."""
-    signals = {name: np.ascontiguousarray(np.asarray(data, dtype="<f8"))
-               for name, data in chunk.signals.items()}
-    annotations = {
-        name: np.ascontiguousarray(np.asarray(data, dtype="<f8"))
-        for name, data in chunk.annotations.items()
-    }
+def _payload_parts(chunk):
+    """The payload of one chunk as ``(parts, payload_len, cast_bytes)``.
+
+    ``parts`` is the header blob (``bytes``) followed by the chunk's
+    arrays as contiguous little-endian float64 ``ndarray``s — still
+    zero-copy views whenever the chunk's arrays already are (arena
+    slices are); ``cast_bytes`` counts the bytes a dtype/contiguity
+    conversion had to materialize.  Both encoders join/iterate these
+    same parts, which is what makes them bit-identical by
+    construction.
+    """
+    cast_bytes = 0
+    arrays = []
+    sized = {"signals": [], "annotations": []}
+    for key, store in (("signals", chunk.signals),
+                       ("annotations", chunk.annotations)):
+        for name, data in store.items():
+            if (isinstance(data, np.ndarray) and data.dtype == _LE_F8
+                    and data.flags.c_contiguous):
+                arr = data            # arena views take this path
+            else:
+                src = np.asarray(data)
+                arr = np.ascontiguousarray(src, dtype="<f8")
+                if arr is not src:
+                    cast_bytes += arr.nbytes
+            sized[key].append([name, int(arr.size)])
+            arrays.append(arr)
     header = {
         "session_id": chunk.session_id,
         "seq": int(chunk.seq),
@@ -85,27 +157,50 @@ def encode_chunk(chunk) -> bytes:
         "start_sample": int(chunk.start_sample),
         "is_last": bool(chunk.is_last),
         "arrival_s": float(chunk.arrival_s),
-        "signals": [[name, int(arr.size)]
-                    for name, arr in signals.items()],
-        "annotations": [[name, int(arr.size)]
-                        for name, arr in annotations.items()],
+        "signals": sized["signals"],
+        "annotations": sized["annotations"],
         "meta": {key: _meta_scalar(value)
                  for key, value in chunk.meta.items()},
     }
     head = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    parts = [np.uint32(len(head)).tobytes(), head]
-    parts.extend(arr.tobytes() for arr in signals.values())
-    parts.extend(arr.tobytes() for arr in annotations.values())
-    return b"".join(parts)
+    parts = [_U32.pack(len(head)) + head]
+    parts.extend(arrays)
+    payload_len = len(parts[0]) + sum(arr.nbytes for arr in arrays)
+    return parts, payload_len, cast_bytes
 
 
-def decode_chunk(payload: bytes):
-    """Rebuild the :class:`~repro.ingest.chunks.RecordingChunk` a
-    payload encodes (raises on malformed input — callers gate on the
-    CRC first)."""
-    from repro.ingest.chunks import RecordingChunk
+def encode_chunk(chunk) -> bytes:
+    """Serialise one chunk to a record *payload* (no frame).
 
-    header, offset = _decode_header(payload)
+    The reference (object-mode) codec: every array is materialized via
+    ``tobytes`` and the parts joined — copies the iovec path avoids
+    and the ``bytes_copied`` counter makes visible.
+    """
+    parts, payload_len, cast_bytes = _payload_parts(chunk)
+    payload = b"".join(p if isinstance(p, bytes) else p.tobytes()
+                       for p in parts)
+    # casts + per-array tobytes + the join itself
+    _credit(bytes_copied=cast_bytes
+            + (payload_len - len(parts[0])) + payload_len)
+    return payload
+
+
+def encode_chunk_iov(chunk) -> list:
+    """Serialise one chunk to a payload *iovec* (no frame, no copies).
+
+    Returns a list of buffers — header ``bytes`` followed by raw
+    float64 views over the chunk's arrays — whose concatenation equals
+    :func:`encode_chunk`'s payload bit-for-bit.  Nothing is
+    materialized unless an array needed a dtype/contiguity cast (the
+    only case that credits ``bytes_copied``).
+    """
+    parts, _, cast_bytes = _payload_parts(chunk)
+    if cast_bytes:
+        _credit(bytes_copied=cast_bytes)
+    return parts
+
+
+def _decode_arrays(payload, header, offset, make):
     signals, annotations = {}, {}
     for store, names in (
             (signals, header["signals"]),
@@ -116,8 +211,14 @@ def decode_chunk(payload: bytes):
             if len(block) != nbytes:
                 raise JournalError("record payload shorter than its "
                                    "declared arrays")
-            store[name] = np.frombuffer(block, dtype="<f8").copy()
+            store[name] = make(block)
             offset += nbytes
+    return signals, annotations
+
+
+def _chunk_from_header(header, signals, annotations):
+    from repro.ingest.chunks import RecordingChunk
+
     return RecordingChunk(
         session_id=header["session_id"],
         seq=int(header["seq"]),
@@ -131,24 +232,105 @@ def decode_chunk(payload: bytes):
     )
 
 
-def _decode_header(payload: bytes):
+def decode_chunk(payload):
+    """Rebuild the :class:`~repro.ingest.chunks.RecordingChunk` a
+    payload encodes (raises on malformed input — callers gate on the
+    CRC first).  Every array is a private copy."""
+    header, offset = _decode_header(payload)
+    signals, annotations = _decode_arrays(
+        payload, header, offset,
+        lambda block: np.frombuffer(block, dtype="<f8").copy())
+    copied = sum(a.nbytes for a in signals.values())
+    copied += sum(a.nbytes for a in annotations.values())
+    _credit(bytes_copied=copied)
+    return _chunk_from_header(header, signals, annotations)
+
+
+def decode_chunk_into(payload, arena):
+    """Rebuild a chunk with its arrays rehydrated into ``arena``.
+
+    ``arena`` is a :class:`~repro.ingest.chunks.ChunkArenaRing` (its
+    ``put(array, session_id)`` / ``view(descriptor)`` pair; a plain
+    :class:`~repro.core.shm.ShmArena` works too) — each array is
+    written once into a shared-memory slab and returned as a read-only
+    zero-copy view, so a recovery replay stays on the same zero-copy
+    plane live ingest runs on.  Bit-identical to :func:`decode_chunk`
+    (float64 bytes land verbatim), pinned by the recovery tests.
+    """
+    header, offset = _decode_header(payload)
+    session_id = str(header["session_id"])
+
+    def rehydrate(block):
+        source = np.frombuffer(block, dtype="<f8")
+        try:
+            descriptor = arena.put(source, session_id)
+        except TypeError:     # a bare ShmArena: no session routing
+            descriptor = arena.put(source)
+        return arena.view(descriptor)
+
+    signals, annotations = _decode_arrays(payload, header, offset,
+                                          rehydrate)
+    published = sum(a.nbytes for a in signals.values())
+    published += sum(a.nbytes for a in annotations.values())
+    _credit(rehydrated_chunks=1, bytes_published=published)
+    return _chunk_from_header(header, signals, annotations)
+
+
+def _decode_header(payload):
     if len(payload) < 4:
         raise JournalError("record payload too short for a header")
     head_len = int(np.frombuffer(payload[:4], dtype="<u4")[0])
     head = payload[4:4 + head_len]
     if len(head) != head_len:
         raise JournalError("record payload shorter than its header")
-    return json.loads(head.decode("utf-8")), 4 + head_len
+    return json.loads(bytes(head).decode("utf-8")), 4 + head_len
 
 
-def frame_record(payload: bytes) -> bytes:
-    """Wrap a payload in the on-disk frame (magic, length, CRC)."""
-    return b"".join([
-        MAGIC,
-        np.uint32(len(payload)).tobytes(),
-        np.uint32(zlib.crc32(payload) & 0xFFFFFFFF).tobytes(),
-        payload,
-    ])
+def payload_crc(parts) -> int:
+    """CRC32 of a payload iovec, chained incrementally over the parts
+    (``zlib.crc32`` carries state) — equal to the CRC of the joined
+    payload without ever joining it."""
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+    return crc & 0xFFFFFFFF
+
+
+def frame_nbytes(parts) -> int:
+    """On-disk frame size of a payload iovec (accounting for bounded
+    write buffers — nothing is materialized)."""
+    return _FRAME + sum(_part_nbytes(p) for p in parts)
+
+
+def frame_record_iov(parts) -> list:
+    """Frame a payload iovec without materializing it.
+
+    Returns a list of buffers — the 12-byte frame header followed by
+    the payload parts — whose concatenation is bit-identical to
+    :func:`frame_record` of the joined payload; the journal hands it
+    straight to ``os.writev``.
+    """
+    payload_len = sum(_part_nbytes(p) for p in parts)
+    header = (MAGIC + _U32.pack(payload_len)
+              + _U32.pack(payload_crc(parts)))
+    return [header, *parts]
+
+
+def frame_record(payload) -> bytes:
+    """Wrap a payload in the on-disk frame (magic, length, CRC).
+
+    Accepts the joined payload ``bytes`` or a payload iovec (what
+    :func:`encode_chunk_iov` returns); either way the frame is built
+    with a *single* join and an incrementally chained CRC — the strict
+    append path stopped paying the historical payload-then-frame
+    double materialization.
+    """
+    parts = ([payload]
+             if isinstance(payload, (bytes, bytearray, memoryview))
+             else list(payload))
+    frame = b"".join(_as_buffer(p) for p in frame_record_iov(parts))
+    _credit(bytes_copied=len(frame))
+    return frame
 
 
 @dataclass(frozen=True)
@@ -189,14 +371,20 @@ class SegmentScan:
                 and all(e.error is None for e in self.entries))
 
 
-def scan_segment(path) -> SegmentScan:
+def scan_segment(path, decoder=None) -> SegmentScan:
     """Read every interpretable record of one segment file.
 
     Never raises on damaged content — damage is classified per the
     module taxonomy and reported in the returned :class:`SegmentScan`.
+    ``decoder`` replaces :func:`decode_chunk` for CRC-clean payloads
+    (recovery passes a :func:`decode_chunk_into` closure to rehydrate
+    straight into an arena); payloads reach it as memoryviews over the
+    segment bytes.
     """
+    decoder = decode_chunk if decoder is None else decoder
     path = Path(path)
     data = path.read_bytes()
+    view = memoryview(data)
     entries = []
     offset = 0
     torn = None
@@ -213,7 +401,7 @@ def scan_segment(path) -> SegmentScan:
             frame[len(MAGIC):len(MAGIC) + 4], dtype="<u4")[0])
         crc_stored = int(np.frombuffer(
             frame[len(MAGIC) + 4:], dtype="<u4")[0])
-        payload = data[offset + _FRAME:offset + _FRAME + payload_len]
+        payload = view[offset + _FRAME:offset + _FRAME + payload_len]
         if len(payload) < payload_len:
             torn = offset
             break
@@ -225,7 +413,7 @@ def scan_segment(path) -> SegmentScan:
                 error="crc mismatch", session_id=sid, seq=seq))
         else:
             try:
-                chunk = decode_chunk(payload)
+                chunk = decoder(payload)
             except Exception as exc:     # malformed despite good CRC
                 sid, seq = _best_effort_identity(payload)
                 entries.append(RecordEntry(
@@ -241,7 +429,7 @@ def scan_segment(path) -> SegmentScan:
                        torn_offset=torn, lost_framing_offset=lost)
 
 
-def _best_effort_identity(payload: bytes):
+def _best_effort_identity(payload):
     """(session_id, seq) of a damaged record when its JSON header
     still parses — a CRC-field or array-byte flip leaves it intact —
     else ``(None, None)``."""

@@ -41,12 +41,21 @@ def uninterrupted(fleet):
     return StreamingExecutor(n_workers=1, preview=False).run(fleet)
 
 
+@pytest.fixture(params=["strict", "group"])
+def durability(request):
+    """Every fault scenario must hold under both write-through modes:
+    strict (record on disk before analysis) and group commit (bounded
+    buffer, one fsync per flush window)."""
+    return request.param
+
+
 def _crash_journaled_run(tmp_path, fleet, crash_after,
-                         segment_records=None):
+                         segment_records=None, durability="strict"):
     """Run a journal-attached executor into a scripted kill; returns
     the journal directory."""
     directory = tmp_path / "journal"
-    journal = ChunkJournal(directory, segment_records=segment_records)
+    journal = ChunkJournal(directory, segment_records=segment_records,
+                           durability=durability)
     executor = StreamingExecutor(n_workers=1, preview=False,
                                  journal=journal)
     try:
@@ -76,9 +85,11 @@ def _assert_sessions_identical(got, want):
 @pytest.mark.parametrize("crash_after", [0, 1, 7, 23])
 def test_killed_source_recovers_bit_identically(tmp_path, fleet,
                                                 uninterrupted,
-                                                crash_after):
+                                                crash_after,
+                                                durability):
     directory = _crash_journaled_run(tmp_path, fleet, crash_after,
-                                     segment_records=5)
+                                     segment_records=5,
+                                     durability=durability)
     outcome = RecoveryManager(directory).resume(fleet)
     assert not outcome.damaged and not outcome.open_sessions
     _assert_sessions_identical(outcome.results, uninterrupted)
@@ -102,8 +113,10 @@ def test_kill_after_everything_is_a_clean_run(tmp_path, fleet,
 
 
 def test_torn_tail_is_truncated_and_resume_heals(tmp_path, fleet,
-                                                 uninterrupted):
-    directory = _crash_journaled_run(tmp_path, fleet, 9)
+                                                 uninterrupted,
+                                                 durability):
+    directory = _crash_journaled_run(tmp_path, fleet, 9,
+                                     durability=durability)
     tear_journal_tail(directory)
     scan = scan_journal(directory)
     assert scan.torn_tail is not None
@@ -116,10 +129,12 @@ def test_torn_tail_is_truncated_and_resume_heals(tmp_path, fleet,
     assert scan_journal(directory).torn_tail is None
 
 
-def test_recover_alone_heals_the_torn_tail(tmp_path, fleet):
+def test_recover_alone_heals_the_torn_tail(tmp_path, fleet,
+                                              durability):
     """`recover` (journal untouched otherwise) must leave the disk in
     the state it reports: torn bytes truncated, gone on a rescan."""
-    directory = _crash_journaled_run(tmp_path, fleet, 9)
+    directory = _crash_journaled_run(tmp_path, fleet, 9,
+                                     durability=durability)
     tear_journal_tail(directory)
     outcome = RecoveryManager(directory).recover()
     assert outcome.torn_tail_recovered
@@ -143,8 +158,10 @@ def test_torn_tail_in_final_segment_only_loses_one_record(tmp_path,
 
 
 def test_crc_flip_reports_the_exact_damaged_session(tmp_path, fleet,
-                                                    uninterrupted):
-    directory = _crash_journaled_run(tmp_path, fleet, 20)
+                                                    uninterrupted,
+                                                    durability):
+    directory = _crash_journaled_run(tmp_path, fleet, 20,
+                                     durability=durability)
     victim = flip_crc_byte(directory, index=4)
     outcome = RecoveryManager(directory).recover()
     assert set(outcome.damaged) == {victim}
@@ -166,8 +183,9 @@ def test_payload_flip_reports_the_exact_damaged_session(tmp_path,
 
 
 def test_resume_quarantines_damaged_sessions_and_completes_the_rest(
-        tmp_path, fleet, uninterrupted):
-    directory = _crash_journaled_run(tmp_path, fleet, 20)
+        tmp_path, fleet, uninterrupted, durability):
+    directory = _crash_journaled_run(tmp_path, fleet, 20,
+                                     durability=durability)
     victim = flip_crc_byte(directory, index=4)
     outcome = RecoveryManager(directory).resume(fleet)
     assert set(outcome.damaged) == {victim}
@@ -223,3 +241,28 @@ def test_truncated_middle_segment_never_crashes_the_scan(tmp_path,
     # Sessions with records lost to the truncation show sequence gaps
     # and are quarantined; the rest still finalize or stay open.
     assert set(outcome.results).isdisjoint(outcome.damaged)
+
+
+# -- arena rehydration ----------------------------------------------------
+
+
+def test_arena_rehydrated_replay_matches_after_a_torn_tail(tmp_path,
+                                                           fleet,
+                                                           durability):
+    """Recovery replays journal records into arena slabs
+    (`decode_chunk_into`); after a torn tail the rehydrated replay
+    must finalize bit-identically to the copying decoder's replay."""
+    from repro.ingest import ingest_stats, reset_ingest_stats, \
+        use_ingest_backend
+
+    directory = _crash_journaled_run(tmp_path, fleet, 15,
+                                     durability=durability)
+    tear_journal_tail(directory)
+    with use_ingest_backend("reference"):     # copying decoder
+        oracle = RecoveryManager(directory).recover()
+    reset_ingest_stats()
+    with use_ingest_backend("arena"):         # decode_chunk_into
+        outcome = RecoveryManager(directory).recover()
+    assert ingest_stats().rehydrated_chunks > 0
+    assert outcome.torn_tail_recovered is False   # oracle healed it
+    _assert_sessions_identical(outcome.results, oracle.results)

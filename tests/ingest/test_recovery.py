@@ -16,7 +16,9 @@ from repro.errors import ConfigurationError
 from repro.ingest import (
     ChunkJournal,
     DeviceFleet,
+    DURABILITY_MODES,
     FleetConfig,
+    JOURNAL_CODECS,
     RecoveryManager,
     StreamingExecutor,
     chunk_recording,
@@ -67,9 +69,9 @@ def _assert_sessions_identical(got, want):
 @settings(max_examples=8, deadline=None)
 @given(data=st.data())
 def test_recovery_is_bit_identical_for_any_crash_and_segmentation(data):
-    """Property: for any crash point and journal segmentation, the
-    journaled 8-device 3-round fleet recovers to per-session results
-    bit-identical to the uninterrupted run."""
+    """Property: for any crash point, journal segmentation, durability
+    mode and codec, the journaled 8-device 3-round fleet recovers to
+    per-session results bit-identical to the uninterrupted run."""
     reference = _uninterrupted()
     fleet = _acceptance_fleet()
     crash_after = data.draw(
@@ -78,9 +80,13 @@ def test_recovery_is_bit_identical_for_any_crash_and_segmentation(data):
     segment_records = data.draw(
         st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
         label="segment_records")
+    durability = data.draw(st.sampled_from(DURABILITY_MODES),
+                           label="durability")
+    codec = data.draw(st.sampled_from(JOURNAL_CODECS), label="codec")
     directory = _CACHE.setdefault("tmp_factory")(
-        f"crash{crash_after}-seg{segment_records}")
-    journal = ChunkJournal(directory, segment_records=segment_records)
+        f"crash{crash_after}-seg{segment_records}-{durability}")
+    journal = ChunkJournal(directory, segment_records=segment_records,
+                           durability=durability, codec=codec)
     executor = StreamingExecutor(n_workers=1, preview=False,
                                  journal=journal)
     try:

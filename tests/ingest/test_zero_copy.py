@@ -1,0 +1,509 @@
+"""The zero-copy ingest plane: arena rings and descriptor transport,
+the iovec journal codec, group-commit write-through — and the
+hypothesis parity sweep pinning the ``"arena"`` backend bit-identical
+to the object-mode ``"reference"`` oracle over the churning
+acceptance fleet."""
+
+import warnings
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shm import ALIGNMENT
+from repro.errors import ConfigurationError, JournalError
+from repro.ingest import (
+    BoundedWorkQueue,
+    ChunkArenaRing,
+    ChunkJournal,
+    DeviceFleet,
+    DURABILITY_MODES,
+    FleetConfig,
+    INGEST_BACKENDS,
+    JOURNAL_CODECS,
+    RecordingChunk,
+    StreamingExecutor,
+    chunk_from_descriptor,
+    chunk_recording,
+    ingest_backend,
+    ingest_stats,
+    publish_chunk,
+    reset_ingest_stats,
+    scan_journal,
+    set_ingest_backend,
+    use_ingest_backend,
+)
+from repro.ingest.journal import read_manifests
+from repro.io.journal_records import (
+    decode_chunk,
+    decode_chunk_into,
+    encode_chunk,
+    encode_chunk_iov,
+    frame_nbytes,
+    frame_record,
+    frame_record_iov,
+    payload_crc,
+)
+from repro.synth import SynthesisConfig, default_cohort, synthesize_recording
+
+#: The acceptance-criterion fleet: 8 devices x 3 rounds, with churn.
+ACCEPTANCE = FleetConfig(n_devices=8, duration_s=8.0, chunk_s=2.0,
+                         seed=42, n_rounds=3, round_gap_s=2.0,
+                         dropout=0.25, rejoin=True)
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return synthesize_recording(default_cohort()[0], "device", 1,
+                                SynthesisConfig(duration_s=12.0))
+
+
+@pytest.fixture(scope="module")
+def chunks(recording):
+    return list(chunk_recording(recording, "s", 2.0))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_ingest_stats()
+    yield
+    reset_ingest_stats()
+
+
+def _iov_bytes(parts):
+    return b"".join(bytes(memoryview(p)) for p in parts)
+
+
+# -- arena rings and descriptor transport --------------------------------
+
+
+def test_publish_roundtrips_a_chunk(chunks):
+    with ChunkArenaRing() as ring:
+        for chunk in chunks:
+            descriptor = publish_chunk(chunk, ring)
+            assert descriptor.session_id == chunk.session_id
+            assert descriptor.seq == chunk.seq
+            assert descriptor.n_samples == chunk.n_samples
+            assert descriptor.nbytes == chunk.nbytes
+            back = chunk_from_descriptor(descriptor, ring)
+            for name in chunk.signals:
+                assert np.array_equal(back.signals[name],
+                                      chunk.signals[name])
+                assert not back.signals[name].flags.writeable
+            for name in chunk.annotations:
+                assert np.array_equal(back.annotations[name],
+                                      chunk.annotations[name])
+            assert back.meta == chunk.meta
+            assert back.is_last == chunk.is_last
+
+
+def test_descriptors_keep_queue_byte_accounting(chunks):
+    """A descriptor is small on the wire but its ``nbytes`` still
+    reports the described payload, so byte backpressure keeps bounding
+    real buffered memory."""
+    with ChunkArenaRing() as ring:
+        descriptor = publish_chunk(chunks[0], ring)
+        queue = BoundedWorkQueue(max_items=None,
+                                 max_bytes=2 * descriptor.nbytes)
+        queue.put(descriptor)
+        assert queue.stats.peak_bytes == chunks[0].nbytes
+
+
+def test_ring_rolls_blocks_and_reports_utilization(chunks):
+    small = max(ALIGNMENT, 4096)
+    with ChunkArenaRing(block_bytes=small) as ring:
+        for chunk in chunks:
+            ring.publish(chunk)
+        assert ring.open_sessions == ("s",)
+        stats = ingest_stats()
+        assert stats.arena_blocks >= len(chunks)
+        utilization = ring.session_utilization()
+        assert 0.0 < utilization["s"] <= 1.0
+        assert stats.arena_bytes_used <= stats.arena_bytes_reserved
+
+
+def test_views_survive_session_release(chunks):
+    ring = ChunkArenaRing()
+    descriptor = ring.publish(chunks[0])
+    view = chunk_from_descriptor(descriptor, ring)
+    ring.release_session("s")
+    assert ring.open_sessions == ()
+    # The unlinked block lives on while the view holds its mapping —
+    # a group-commit writer still draining iovecs is never racing.
+    for name in chunks[0].signals:
+        assert np.array_equal(view.signals[name],
+                              chunks[0].signals[name])
+    ring.release()
+
+
+def test_released_ring_refuses_puts(chunks):
+    ring = ChunkArenaRing()
+    ring.release()
+    with pytest.raises(ConfigurationError):
+        ring.publish(chunks[0])
+    ring.release()                        # idempotent
+
+
+def test_ring_validation():
+    with pytest.raises(ConfigurationError):
+        ChunkArenaRing(block_bytes=ALIGNMENT - 1)
+
+
+def test_size_hint_presizes_the_first_block(recording, chunks):
+    total = sum(v.nbytes for v in recording.signals.values())
+    total += sum(v.nbytes for v in recording.annotations.values())
+    with ChunkArenaRing(block_bytes=4096,
+                        size_hint=lambda sid: total) as ring:
+        for chunk in chunks:
+            ring.publish(chunk)
+        # The hint pre-sizes block one to hold the whole session.
+        assert ingest_stats().arena_blocks == 1
+
+
+def test_backend_toggle_roundtrips():
+    assert ingest_backend() in INGEST_BACKENDS
+    before = ingest_backend()
+    with use_ingest_backend("reference"):
+        assert ingest_backend() == "reference"
+    assert ingest_backend() == before
+    with pytest.raises(ConfigurationError):
+        set_ingest_backend("pigeon")
+
+
+# -- the iovec codec ------------------------------------------------------
+
+
+def test_iov_codec_is_bit_identical_to_bytes_codec(chunks):
+    for chunk in chunks:
+        payload = encode_chunk(chunk)
+        parts = encode_chunk_iov(chunk)
+        assert _iov_bytes(parts) == payload
+        assert frame_nbytes(parts) == len(frame_record(payload))
+        assert _iov_bytes(frame_record_iov(parts)) == \
+            frame_record(payload)
+
+
+def test_iov_codec_shares_the_chunk_memory(chunks):
+    """The raw-sample parts alias the chunk's arrays — nothing is
+    materialised, and the copy counter stays at zero."""
+    chunk = chunks[0]
+    reset_ingest_stats()
+    parts = encode_chunk_iov(chunk)
+    assert ingest_stats().bytes_copied == 0
+    sample_parts = [np.frombuffer(memoryview(p), dtype="<f8")
+                    for p in parts[1:]]
+    arrays = list(chunk.signals.values()) + \
+        list(chunk.annotations.values())
+    for part, array in zip(sample_parts, arrays):
+        assert np.shares_memory(part, array)
+
+
+def test_payload_crc_chains_like_a_single_crc(chunks):
+    parts = encode_chunk_iov(chunks[0])
+    assert payload_crc(parts) == \
+        zlib.crc32(_iov_bytes(parts)) & 0xFFFFFFFF
+
+
+def test_codec_roundtrips_noncontiguous_and_readonly_views():
+    """Strided device buffers and read-only arena views must encode
+    through both codecs and decode bit-identically; the iov path folds
+    the contiguity cast into its accounted copies."""
+    rng = np.random.default_rng(5)
+    raw = rng.normal(size=400)
+    strided = raw[::2]                    # non-contiguous
+    frozen = np.ascontiguousarray(raw[:200])
+    frozen.setflags(write=False)          # read-only (an arena view)
+    assert not strided.flags["C_CONTIGUOUS"]
+    chunk = RecordingChunk("views", 0, 250.0,
+                           {"z": strided, "ecg": frozen}, 0,
+                           is_last=True)
+    for payload in (encode_chunk(chunk),
+                    _iov_bytes(encode_chunk_iov(chunk))):
+        back = decode_chunk(payload)
+        assert np.array_equal(back.signals["z"], strided)
+        assert np.array_equal(back.signals["ecg"], frozen)
+    # The strided signal forced one accounted cast copy; the read-only
+    # contiguous one rode through untouched.
+    reset_ingest_stats()
+    encode_chunk_iov(chunk)
+    assert ingest_stats().bytes_copied == strided.nbytes
+
+
+def test_decode_chunk_into_rehydrates_into_the_arena(chunks):
+    with ChunkArenaRing() as ring:
+        for chunk in chunks:
+            payload = encode_chunk(chunk)
+            copied = decode_chunk(payload)
+            reset_ingest_stats()
+            arena_backed = decode_chunk_into(payload, ring)
+            stats = ingest_stats()
+            assert stats.rehydrated_chunks == 1
+            assert stats.bytes_copied == 0
+            for name in chunk.signals:
+                assert np.array_equal(arena_backed.signals[name],
+                                      copied.signals[name])
+                assert not arena_backed.signals[name].flags.writeable
+            assert arena_backed.meta == copied.meta
+
+
+def test_frame_record_accepts_bytes_or_iovec(chunks):
+    """The satellite fix: framing an iovec no longer materialises the
+    payload twice — both spellings produce the same frame."""
+    chunk = chunks[0]
+    assert frame_record(encode_chunk_iov(chunk)) == \
+        frame_record(encode_chunk(chunk))
+    view = memoryview(encode_chunk(chunk))
+    assert frame_record(view) == frame_record(bytes(view))
+
+
+# -- group-commit write-through -------------------------------------------
+
+
+def _journal_all(directory, chunks, **kwargs):
+    with ChunkJournal(directory, **kwargs) as journal:
+        for chunk in chunks:
+            journal.append(chunk)
+    return journal
+
+
+def _segment_bytes(journal):
+    return b"".join(path.read_bytes() for path in journal.segments)
+
+
+@pytest.mark.parametrize("durability", DURABILITY_MODES)
+@pytest.mark.parametrize("codec", JOURNAL_CODECS)
+def test_every_mode_writes_the_same_bytes(tmp_path, chunks, durability,
+                                          codec):
+    """Group commit and the iovec codec change *when* bytes reach the
+    disk, never *which* bytes: every durability x codec combination
+    produces the byte-identical journal."""
+    reference = _journal_all(tmp_path / "ref", chunks)
+    journal = _journal_all(tmp_path / "j", chunks,
+                           durability=durability, codec=codec)
+    assert _segment_bytes(journal) == _segment_bytes(reference)
+    assert read_manifests(tmp_path / "j") == \
+        read_manifests(tmp_path / "ref")
+
+
+def test_finalize_barriers_the_group_buffer(tmp_path, chunks):
+    """``flush`` is the group-mode finalize barrier: once it returns,
+    every buffered record *and* the queued completion manifest are on
+    disk (appends themselves never serialize on the writer — the
+    manifest marker rides the write queue behind its trailer)."""
+    with ChunkJournal(tmp_path / "j", durability="group") as journal:
+        for chunk in chunks:
+            journal.append(chunk)
+            if chunk.is_last:
+                journal.flush()
+                scan = scan_journal(tmp_path / "j")
+                assert scan.n_records == len(chunks)
+                assert "s" in read_manifests(tmp_path / "j")
+
+
+def test_group_reopen_is_idempotent(tmp_path, chunks):
+    cut = len(chunks) // 2
+    _journal_all(tmp_path / "j", chunks[:cut], durability="group")
+    with ChunkJournal(tmp_path / "j", durability="group") as journal:
+        written = sum(journal.append(c) for c in chunks)
+    assert written == len(chunks) - cut
+    assert scan_journal(tmp_path / "j").n_records == len(chunks)
+
+
+def test_group_backpressure_never_drops_records(tmp_path, chunks):
+    """A pending-byte budget far below one record still admits every
+    append (the bound caps buffering, not record size) — the producer
+    just runs lockstep with the writer."""
+    _journal_all(tmp_path / "j", chunks, durability="group",
+                 max_pending_bytes=1024)
+    assert scan_journal(tmp_path / "j").n_records == len(chunks)
+
+
+def test_fsync_batches_per_window_not_per_record(tmp_path, chunks):
+    _journal_all(tmp_path / "s", chunks, durability="strict",
+                 fsync=True)
+    strict = ingest_stats().strict_fsyncs
+    reset_ingest_stats()
+    _journal_all(tmp_path / "g", chunks, durability="group",
+                 fsync=True)
+    stats = ingest_stats()
+    assert strict == len(chunks)
+    assert 1 <= stats.group_fsyncs <= stats.group_flushes
+    assert stats.group_flushes <= len(chunks)
+
+
+def test_group_writer_error_surfaces_as_journal_error(tmp_path,
+                                                      chunks):
+    journal = ChunkJournal(tmp_path / "j", durability="group")
+    try:
+        def explode(batch):
+            raise OSError("disk on fire")
+
+        journal._write_batch = explode
+        with pytest.raises(JournalError, match="journal writer"):
+            for chunk in chunks:
+                journal.append(chunk)
+                journal.flush()
+    finally:
+        with pytest.raises(JournalError):
+            journal.close()
+
+
+def test_journal_mode_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ChunkJournal(tmp_path / "j", durability="eventually")
+    with pytest.raises(ConfigurationError):
+        ChunkJournal(tmp_path / "j", codec="pickle")
+    with pytest.raises(ConfigurationError):
+        ChunkJournal(tmp_path / "j", max_pending_bytes=0)
+
+
+# -- work-queue sizing (the `_size_of` satellite) -------------------------
+
+
+class _ShapedItem:
+    shape = (1000,)
+    dtype = "float64"
+
+
+def test_size_of_falls_back_to_shape_and_dtype():
+    queue = BoundedWorkQueue(max_items=None, max_bytes=10_000)
+    queue.put(_ShapedItem())
+    assert queue.stats.peak_bytes == 8000
+
+
+def test_unsized_items_warn_once_per_queue():
+    queue = BoundedWorkQueue(max_items=None, max_bytes=100)
+    with pytest.warns(RuntimeWarning, match="byte"):
+        queue.put(object())
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        queue.put(object())               # second put: already warned
+    assert not [w for w in caught
+                if issubclass(w.category, RuntimeWarning)]
+    assert queue.stats.peak_bytes == 0
+    assert len(queue) == 2
+
+
+def test_unsized_items_stay_silent_without_a_byte_bound():
+    queue = BoundedWorkQueue(max_items=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        queue.put(object())
+    assert not [w for w in caught
+                if issubclass(w.category, RuntimeWarning)]
+
+
+# -- the executor hot path and the parity sweep ---------------------------
+
+
+def _acceptance_fleet():
+    if "fleet" not in _CACHE:
+        _CACHE["fleet"] = DeviceFleet(ACCEPTANCE)
+    return _CACHE["fleet"]
+
+
+def _reference_results():
+    if "reference" not in _CACHE:
+        with use_ingest_backend("reference"):
+            _CACHE["reference"] = StreamingExecutor(
+                n_workers=1, preview=False).run(_acceptance_fleet())
+    return _CACHE["reference"]
+
+
+def _assert_sessions_identical(got, want):
+    assert set(got) == set(want)
+    for sid, reference in want.items():
+        result = got[sid].result
+        assert np.array_equal(result.icg, reference.result.icg)
+        assert np.array_equal(result.ecg_filtered,
+                              reference.result.ecg_filtered)
+        assert np.array_equal(result.pep_s, reference.result.pep_s)
+        assert np.array_equal(result.lvet_s, reference.result.lvet_s)
+        assert result.z0_ohm == reference.result.z0_ohm
+        assert result.hr_bpm == reference.result.hr_bpm
+
+
+def test_streaming_hot_path_copies_nothing(tmp_path):
+    """The tentpole's bottom line: a journaled arena-backend run
+    publishes each chunk once and copies zero bytes after that."""
+    fleet = DeviceFleet(FleetConfig(n_devices=3, duration_s=6.0,
+                                    chunk_s=2.0, seed=9))
+    n_chunks = sum(1 for _ in fleet)
+    reset_ingest_stats()
+    with ChunkJournal(tmp_path / "j", durability="group",
+                      codec="iov") as journal:
+        StreamingExecutor(n_workers=1, preview=False, journal=journal,
+                          ingest_backend="arena").run(fleet)
+    stats = ingest_stats()
+    assert stats.bytes_copied == 0
+    assert stats.descriptor_chunks == n_chunks
+    assert stats.object_chunks == 0
+    assert stats.journal_records == n_chunks
+    assert stats.arena_sessions_released == len(fleet.session_ids)
+    assert stats.bytes_published == \
+        sum(c.nbytes for c in fleet) + \
+        sum(sum(a.nbytes for a in c.annotations.values())
+            for c in fleet)
+
+
+def test_reference_backend_ships_plain_objects():
+    fleet = DeviceFleet(FleetConfig(n_devices=2, duration_s=4.0,
+                                    chunk_s=2.0, seed=9))
+    n_chunks = sum(1 for _ in fleet)
+    reset_ingest_stats()
+    StreamingExecutor(n_workers=1, preview=False,
+                      ingest_backend="reference").run(fleet)
+    stats = ingest_stats()
+    assert stats.descriptor_chunks == 0
+    assert stats.object_chunks == n_chunks
+    assert stats.arena_blocks == 0
+
+
+def test_executor_rejects_unknown_backend():
+    with pytest.raises(ConfigurationError):
+        StreamingExecutor(ingest_backend="pigeon")
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_arena_backend_is_bit_identical_to_reference(data):
+    """Property: over the churning acceptance fleet, the arena
+    transport — any worker count, durability mode and codec — produces
+    per-session results bit-identical to object-mode ingest."""
+    reference = _reference_results()
+    fleet = _acceptance_fleet()
+    n_workers = data.draw(st.integers(min_value=1, max_value=3),
+                          label="n_workers")
+    journaled = data.draw(st.booleans(), label="journaled")
+    durability = data.draw(st.sampled_from(DURABILITY_MODES),
+                           label="durability")
+    codec = data.draw(st.sampled_from(JOURNAL_CODECS), label="codec")
+    directory = _CACHE["tmp_factory"](f"w{n_workers}-{durability}")
+    journal = (ChunkJournal(directory, durability=durability,
+                            codec=codec) if journaled else None)
+    try:
+        results = StreamingExecutor(
+            n_workers=n_workers, preview=False, journal=journal,
+            ingest_backend="arena").run(fleet)
+    finally:
+        if journal is not None:
+            journal.close()
+    _assert_sessions_identical(results, reference)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _tmp_factory(tmp_path_factory):
+    """Expose pytest's tmp dir factory to the hypothesis body (fixtures
+    cannot be drawn inside @given examples)."""
+    counter = [0]
+
+    def make(tag):
+        counter[0] += 1
+        return tmp_path_factory.mktemp(f"zcopy-{counter[0]}-{tag}")
+
+    _CACHE["tmp_factory"] = make
+    yield
+    _CACHE.pop("tmp_factory", None)

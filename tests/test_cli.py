@@ -53,6 +53,17 @@ def test_cache_stats_reports_hit_rates(capsys):
     assert "hit rate" in out
 
 
+def test_cache_stats_reports_the_ingest_plane(capsys):
+    code = cli.main(["cache-stats", "--duration", "8"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Zero-copy ingest plane" in out
+    assert "descriptor chunks" in out
+    assert "0 B copied on the hot path" in out
+    assert "% of its ring" in out
+    assert "group commit" in out and "fsync" in out
+
+
 def test_power_reports_106_hours(capsys):
     code = cli.main(["power"])
     out = capsys.readouterr().out
