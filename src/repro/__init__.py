@@ -35,6 +35,10 @@ Subpackage map (one per subsystem):
 - :mod:`repro.ingest` — streaming ingest: chunked sources, the
   simulated device fleet, the bounded work queue and the streaming
   executor;
+- :mod:`repro.serve` — the supervised always-on analysis service
+  (``repro serve``): session supervision, deadline/backoff policies,
+  load-shedding degradation, crash-recovering restarts and the
+  health endpoint;
 - :mod:`repro.io` — recording containers, shard artifacts and
   persistence.
 """
@@ -55,8 +59,10 @@ from repro.errors import (
     JournalError,
     PoisonJobError,
     ProtocolError,
+    QueueClosedError,
     ReproError,
     SignalError,
+    SupervisorError,
 )
 from repro.experiments import ProtocolConfig, StudyResult, run_study
 from repro.io import Recording
@@ -81,4 +87,5 @@ __all__ = [
     "ReproError", "ConfigurationError", "SignalError", "DetectionError",
     "HardwareError", "ProtocolError", "JournalError", "ArchiveError",
     "PoisonJobError", "PoisonJob", "raise_if_poison",
+    "QueueClosedError", "SupervisorError",
 ]

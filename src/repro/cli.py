@@ -21,6 +21,13 @@ want:
   writes every consumed chunk through a durable
   :class:`~repro.ingest.journal.ChunkJournal` first (sessions left
   open by dropouts or a kill then survive the process);
+* ``serve`` — the supervised always-on analysis service: boot-recover
+  the journal, multiplex a device fleet's sessions under the
+  :mod:`repro.serve` state machine (deadlines, retry backoff,
+  load-shedding degradation), run journal GC/archival as supervised
+  periodic jobs, and answer ``repro serve --status`` over the
+  journal directory's unix socket; SIGTERM drains gracefully
+  (buffered chunks finalized, open sessions left durable);
 * ``recover`` — re-open a journal directory after a crash: finalize
   every session whose trailer was journaled (bit-identical to the
   interrupted run), report the ones still open, and quarantine any
@@ -50,7 +57,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -93,6 +102,14 @@ from repro.io.archive import (
     read_archive_index,
     rehydrate_session,
 )
+from repro.serve import (
+    DeadlinePolicy,
+    RetryPolicy,
+    STATUS_SOCKET_NAME,
+    ServeDaemon,
+    read_status,
+)
+from repro.ingest.journal import DURABILITY_MODES
 from repro.monitoring import (
     ChfMonitor,
     DecompensationScenario,
@@ -203,6 +220,75 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--segment-records", type=int, default=None,
                         help="roll the journal to a new segment file "
                              "every N records")
+
+    serve = commands.add_parser(
+        "serve", help="supervised always-on analysis service: "
+                      "boot-recover the journal, serve a device "
+                      "fleet under session supervision, answer "
+                      "--status over a unix socket")
+    serve.add_argument("--journal", required=True,
+                       help="journal directory the daemon owns (its "
+                            "durable state and status socket live "
+                            "here)")
+    serve.add_argument("--status", action="store_true",
+                       help="query a running daemon's health endpoint "
+                            "instead of serving (prints the JSON "
+                            "status document; exit 0 iff healthy)")
+    serve.add_argument("--devices", type=int, default=8,
+                       help="simulated fleet size to serve")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="recording length per device, seconds")
+    serve.add_argument("--chunk", type=float, default=2.0,
+                       help="chunk length a device transmits, seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="fleet seed (device parameters + jitter)")
+    serve.add_argument("--rounds", type=int, default=1,
+                       help="measurement rounds per device")
+    serve.add_argument("--gap", type=float, default=5.0,
+                       help="nominal gap between rounds, seconds")
+    serve.add_argument("--dropout", type=float, default=0.0,
+                       help="per-session probability the user aborts "
+                            "mid-measurement")
+    serve.add_argument("--no-rejoin", action="store_true",
+                       help="dropped sessions never reconnect (they "
+                            "stay open in the journal for the next "
+                            "boot)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="finalize-pool workers")
+    serve.add_argument("--backend", default="thread", choices=BACKENDS,
+                       help="finalize backend (as in process_batch)")
+    serve.add_argument("--max-chunks", type=int, default=64,
+                       help="queue bound; also the denominator of the "
+                            "overload ladder's pressure signal")
+    serve.add_argument("--durability", default="strict",
+                       choices=DURABILITY_MODES,
+                       help="journal durability (overload may force "
+                            "strict temporarily)")
+    serve.add_argument("--segment-records", type=int, default=None,
+                       help="roll the journal to a new segment file "
+                            "every N records")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="quarantine a session whose source goes "
+                            "silent this many seconds (default: "
+                            "disabled)")
+    serve.add_argument("--finalize-timeout", type=float, default=None,
+                       help="quarantine a session whose finalize runs "
+                            "longer than this many seconds (default: "
+                            "disabled)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="attempts per transient fault before a "
+                            "session is quarantined")
+    serve.add_argument("--gc-interval", type=float, default=None,
+                       help="run journal GC every N seconds as a "
+                            "supervised job")
+    serve.add_argument("--archive-dir", default=None,
+                       help="cold-tier archive directory for the "
+                            "supervised archival job")
+    serve.add_argument("--archive-interval", type=float, default=None,
+                       help="archive finalized sessions every N "
+                            "seconds (needs --archive-dir)")
+    serve.add_argument("--no-health", action="store_true",
+                       help="do not bind the status socket")
 
     recover = commands.add_parser(
         "recover", help="replay a chunk journal after a crash: "
@@ -464,6 +550,72 @@ def _cmd_ingest(args) -> int:
     print(f"Queue: {stats['total_put']} chunks through, peak depth "
           f"{stats['peak_depth']} ({stats['peak_bytes']} bytes), "
           f"{stats['blocked_puts']} backpressure stalls")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    if args.status:
+        doc = read_status(Path(args.journal) / STATUS_SOCKET_NAME)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if doc.get("ok") else 1
+    fleet = DeviceFleet(FleetConfig(n_devices=args.devices,
+                                    duration_s=args.duration,
+                                    chunk_s=args.chunk,
+                                    seed=args.seed,
+                                    n_rounds=args.rounds,
+                                    round_gap_s=args.gap,
+                                    dropout=args.dropout,
+                                    rejoin=not args.no_rejoin))
+    daemon = ServeDaemon(
+        args.journal,
+        n_workers=args.jobs,
+        finalize_backend=args.backend,
+        max_chunks=args.max_chunks,
+        durability=args.durability,
+        segment_records=args.segment_records,
+        deadline=DeadlinePolicy(chunk_deadline_s=args.deadline,
+                                finalize_timeout_s=args.finalize_timeout),
+        retry=RetryPolicy(max_attempts=args.retries),
+        gc_interval_s=args.gc_interval,
+        archive_dir=args.archive_dir,
+        archive_interval_s=args.archive_interval,
+        health=not args.no_health)
+
+    def drain(_signum, _frame):
+        # Graceful shutdown: stop admitting, finish what is buffered
+        # and submitted, flush, exit.  Open sessions stay journaled.
+        daemon.stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, drain)
+    print(f"Serving {args.devices} device(s) x {args.duration:.0f} s "
+          f"over journal {args.journal} "
+          f"({args.durability} durability, {args.jobs} finalize "
+          f"worker(s)"
+          + ("" if args.no_health
+             else f"; status: repro serve --status --journal "
+                  f"{args.journal}") + ") ...")
+    try:
+        results = daemon.serve([fleet], once=True)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    _print_session_rows(results)
+    status = daemon.status()
+    counts = status["sessions"]["counts"]
+    print(f"Sessions: {counts['done']} done, "
+          f"{counts['accepting']} still open (journaled), "
+          f"{counts['quarantined']} quarantined"
+          + (f", {len(status['shed_sessions'])} shed"
+             if status["shed_sessions"] else ""))
+    for record in daemon.supervisor.in_state("quarantined"):
+        print(f"QUARANTINED {record.session_id}: {record.reason}")
+    stats = ingest_stats()
+    print(f"Policies: {stats.serve_retries} retried fault(s), "
+          f"{stats.serve_deadline_hits} deadline hit(s), "
+          f"{stats.serve_degradations} degradation(s), "
+          f"{stats.serve_sheds} shed(s)")
     return 0
 
 
@@ -737,6 +889,35 @@ def _render_ingest_stats() -> None:
           f"{stats.journal_bytes_written / 1024:.1f} KiB | "
           f"group commit: {stats.group_flushes} flush(es), "
           f"{stats.group_fsyncs} fsync(s)")
+    _render_serve_stats()
+
+
+def _render_serve_stats() -> None:
+    """Serve a tiny fleet through the supervised daemon and report the
+    service counters — the same numbers the ``repro serve --status``
+    endpoint exposes, from the same :func:`ingest_stats` source."""
+    import tempfile
+
+    fleet = DeviceFleet(FleetConfig(n_devices=2, duration_s=4.0,
+                                    chunk_s=2.0, seed=3))
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            daemon = ServeDaemon(tmp, n_workers=1, health=False)
+            results = daemon.run_once(fleet)
+        except ReproError as exc:         # never block the report
+            print(f"Serve daemon: unavailable ({exc})")
+            return
+    stats = ingest_stats()
+    print(f"Serve daemon ({fleet.config.n_devices} supervised "
+          f"sessions):")
+    print(f"  sessions: {stats.serve_sessions_accepted} accepted | "
+          f"{stats.serve_sessions_done} done | "
+          f"{stats.serve_sessions_quarantined} quarantined | "
+          f"{len(results)} finalized this pass")
+    print(f"  policies: {stats.serve_sheds} shed(s), "
+          f"{stats.serve_retries} retried fault(s), "
+          f"{stats.serve_deadline_hits} deadline hit(s), "
+          f"{stats.serve_degradations} degradation(s)")
 
 
 _COMMANDS = {
@@ -745,6 +926,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "merge": _cmd_merge,
     "ingest": _cmd_ingest,
+    "serve": _cmd_serve,
     "recover": _cmd_recover,
     "journal-gc": _cmd_journal_gc,
     "archive": _cmd_archive,

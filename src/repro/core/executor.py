@@ -79,7 +79,8 @@ __all__ = ["process_batch", "parallel_map", "resolve_n_jobs",
            "ShmJob", "process_shm_job", "resolve_shm_result",
            "RESULT_ARRAY_FIELDS", "persistent_pool_stats",
            "shutdown_persistent_pool", "persistent_process_pool",
-           "PoisonJob", "raise_if_poison", "POISON_ATTEMPTS"]
+           "PoisonJob", "raise_if_poison", "POISON_ATTEMPTS",
+           "RETRY_BACKOFF_S", "RETRY_BACKOFF_CAP_S"]
 
 #: Supported fan-out backends.
 BACKENDS = ("thread", "process")

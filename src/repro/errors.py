@@ -18,6 +18,8 @@ __all__ = [
     "JournalError",
     "ArchiveError",
     "PoisonJobError",
+    "QueueClosedError",
+    "SupervisorError",
 ]
 
 
@@ -87,6 +89,29 @@ class ArchiveError(ReproError):
     does not know) — rehydration refuses to fabricate data from a
     container it cannot fully verify, since the archive is typically
     the *only* remaining copy once the journal segments were GC'd.
+    """
+
+
+class QueueClosedError(ReproError):
+    """A producer tried to ``put`` into a closed work queue.
+
+    Raised both by a ``put`` that finds the queue already closed and by
+    one *blocked in backpressure wait* when the queue closes underneath
+    it — the shutdown path a long-running service takes: closing the
+    queue must wake every blocked producer with a clean error, never
+    leave it waiting forever for space that will not come.
+    """
+
+
+class SupervisorError(ReproError):
+    """A session supervisor was driven through an illegal transition.
+
+    The serve-daemon session state machine (ACCEPTING → DRAINING →
+    FINALIZING → DONE / QUARANTINED) only permits the edges its table
+    declares; asking for any other edge — finalizing a session that
+    never drained, reviving a DONE session — is a programming error in
+    the caller and raises eagerly instead of corrupting the session's
+    lifecycle bookkeeping.
     """
 
 

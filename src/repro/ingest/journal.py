@@ -51,6 +51,7 @@ file:
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import threading
@@ -473,6 +474,8 @@ class ChunkJournal:
         self._stop = False
         self._flush_waiters = 0     # barriers waiting in flush()
         self._writer_error: Optional[BaseException] = None
+        self._writer_busy = False   # a batch is being written unlocked
+        self._atexit_registered = False
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -480,6 +483,11 @@ class ChunkJournal:
     def segments(self) -> tuple:
         """Paths of every segment file, in log order."""
         return tuple(_segment_paths(self.directory))
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (appends raise afterwards)."""
+        return self._closed
 
     @property
     def completed_sessions(self) -> tuple:
@@ -583,6 +591,14 @@ class ChunkJournal:
                     target=self._writer_loop, name="journal-writer",
                     daemon=True)
                 self._writer.start()
+                if not self._atexit_registered:
+                    # A daemon dying via SIGTERM → SystemExit never
+                    # reaches close(); the interpreter's atexit pass
+                    # runs while this barrier can still drain the 2 ms
+                    # group-commit window — before finalization freezes
+                    # the (daemonic) writer thread mid-flight.
+                    atexit.register(self._atexit_barrier)
+                    self._atexit_registered = True
             while self._pending_bytes >= self.max_pending_bytes:
                 self._wcond.wait(timeout=0.05)
                 self._raise_writer_error()
@@ -606,6 +622,7 @@ class ChunkJournal:
                 batch = self._pending
                 self._pending = []
                 self._pending_bytes = 0
+                self._writer_busy = True
             try:
                 records = [item for kind, item in batch
                            if kind == "record"]
@@ -626,10 +643,12 @@ class ChunkJournal:
                 with self._wlock:
                     self._writer_error = exc
                     self._stop = True
+                    self._writer_busy = False
                     self._wcond.notify_all()
                 return
             with self._wlock:
                 self._synced += len(batch)
+                self._writer_busy = False
                 self._wcond.notify_all()
 
     def _accumulate_window(self) -> None:
@@ -685,13 +704,22 @@ class ChunkJournal:
                 f"journal writer failed: {self._writer_error!r}"
             ) from self._writer_error
 
-    def flush(self) -> None:
+    def flush(self, timeout: Optional[float] = None) -> bool:
         """Barrier: every accepted append is on disk (and fsynced when
         ``fsync`` is on) when this returns.  Cheap no-op in strict
         mode (appends already write through) and on an idle group
-        journal."""
+        journal.
+
+        Returns whether the barrier was reached.  Without ``timeout``
+        it always is (or a writer failure raises); with one, ``False``
+        means the writer could not catch up in time — the bounded wait
+        the atexit barrier uses on a dying interpreter, where the
+        writer thread may already be frozen.
+        """
         if self._writer is None:
-            return
+            return True
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         with self._wlock:
             target = self._accepted
             self._flush_waiters += 1
@@ -699,10 +727,81 @@ class ChunkJournal:
             try:
                 while self._synced < target:
                     self._raise_writer_error()
+                    if (deadline is not None
+                            and time.monotonic() >= deadline):
+                        return False
                     self._wcond.wait(timeout=0.05)
                 self._raise_writer_error()
             finally:
                 self._flush_waiters -= 1
+        return True
+
+    def set_durability(self, durability: str) -> str:
+        """Switch durability mode at runtime; returns the previous mode.
+
+        The serve daemon's degradation ladder uses this lever: under
+        overload it degrades ``"group"`` → ``"strict"`` so the bounded
+        write buffer stops absorbing memory and every append pays its
+        own write (backpressure lands directly on the producer), then
+        restores ``"group"`` when pressure clears.  Switching *to*
+        strict barriers on :meth:`flush` first, so records never reach
+        the file out of append order — the scan's per-session sequence
+        check relies on the on-disk order being a prefix of append
+        order.
+        """
+        if durability not in DURABILITY_MODES:
+            raise ConfigurationError(
+                f"unknown durability {durability!r}; "
+                f"choose from {DURABILITY_MODES}")
+        previous = self.durability
+        if durability == previous:
+            return previous
+        if durability == "strict":
+            self.flush()
+        self.durability = durability
+        return previous
+
+    def _atexit_barrier(self) -> None:
+        """Best-effort drain of the group window on interpreter exit.
+
+        A graceful shutdown path (``close``) never reaches this — it
+        unregisters the hook.  On an abrupt ``SystemExit`` (a SIGTERM
+        handler, an unhandled exception in a daemon) the writer thread
+        is daemonic, so the pending window's appends would silently die
+        with it.  The barrier first gives the still-live writer a
+        bounded chance to finish, then writes any remaining pending
+        batch inline from the exiting thread — unless the writer is
+        frozen mid-batch, where writing from a second thread could
+        interleave into its half-written frame (the torn bytes are
+        then the ordinary torn-tail crash class a rescan heals).
+        """
+        if self._closed:
+            return
+        try:
+            if self.flush(timeout=1.0):
+                return
+            with self._wlock:
+                if self._writer_busy:
+                    return           # mid-frame: appending would tear
+                batch, self._pending = self._pending, []
+                self._pending_bytes = 0
+                self._stop = True
+            records = [item for kind, item in batch if kind == "record"]
+            self._write_batch(records)
+            if records and self.fsync:
+                os.fsync(self._fh.fileno())
+                _credit(group_fsyncs=1)
+            if records:
+                _credit(group_flushes=1)
+            for kind, item in batch:
+                if kind == "manifest":
+                    sid, manifest = item
+                    write_manifest(self.directory, sid, **manifest)
+        except Exception:
+            # The interpreter is dying; the journal's crash contract
+            # (any on-disk prefix of append order recovers) covers
+            # whatever this barrier could not finish.
+            pass
 
     def _roll_segment(self) -> None:
         self._fh.close()
@@ -722,6 +821,9 @@ class ChunkJournal:
         if self._closed:
             return
         self._closed = True
+        if self._atexit_registered:
+            atexit.unregister(self._atexit_barrier)
+            self._atexit_registered = False
         try:
             if self._writer is not None:
                 with self._wlock:

@@ -43,6 +43,9 @@ class IngestStats:
         "journal_records", "journal_bytes_written",
         "group_flushes", "group_fsyncs", "strict_fsyncs",
         "rehydrated_chunks",
+        "serve_sessions_accepted", "serve_sessions_done",
+        "serve_sessions_quarantined", "serve_sheds",
+        "serve_retries", "serve_deadline_hits", "serve_degradations",
     )
 
     def __init__(self) -> None:
@@ -79,6 +82,23 @@ class IngestStats:
         self.strict_fsyncs = 0
         #: Chunks recovery rehydrated straight into arena slabs.
         self.rehydrated_chunks = 0
+        #: Sessions the serve daemon admitted (supervised lifecycles).
+        self.serve_sessions_accepted = 0
+        #: Supervised sessions finalized to DONE.
+        self.serve_sessions_done = 0
+        #: Supervised sessions quarantined (stalled past their chunk
+        #: deadline, finalize timeout/poison, journal damage).
+        self.serve_sessions_quarantined = 0
+        #: New sessions rejected by overload shedding (admission-class
+        #: degradation: shed the newcomers, never the journaled).
+        self.serve_sheds = 0
+        #: Retry attempts the daemon's backoff policies consumed
+        #: (broken finalize pools, journal OSErrors).
+        self.serve_retries = 0
+        #: Deadline expirations (per-chunk ingest + finalize timeout).
+        self.serve_deadline_hits = 0
+        #: Degradation-level escalations the overload ladder took.
+        self.serve_degradations = 0
 
     def add(self, **deltas) -> None:
         """Credit counters atomically (``name=delta`` keywords)."""

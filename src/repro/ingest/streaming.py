@@ -65,7 +65,8 @@ from repro.ingest.stats import ingest_stats
 from repro.ingest.workqueue import BoundedWorkQueue, QueueStats
 from repro.io.records import Recording
 
-__all__ = ["CausalIcgConditioner", "SessionResult", "StreamingExecutor"]
+__all__ = ["CausalIcgConditioner", "FinalizeDispatcher",
+           "SessionResult", "StreamingExecutor"]
 
 
 class CausalIcgConditioner:
@@ -151,6 +152,120 @@ class _InlineResult:
         return self._value
 
 
+class FinalizeDispatcher:
+    """The shared finalize path: one assembled session → one
+    stage-graph result, identical whoever drives it.
+
+    Both the :class:`StreamingExecutor` (batch-shaped ingest runs) and
+    the serve daemon (:mod:`repro.serve`) finalize sessions through
+    this object, so a session's result is bit-identical no matter
+    which front-end consumed its chunks — the invariant the recovery
+    and soak property tests rest on.
+
+    ``backend`` follows :func:`repro.core.executor.process_batch`:
+    ``"thread"`` workers share the dispatcher's design ``cache``
+    through a per-rate pipeline memo; ``"process"`` ships the
+    recording through the shared-memory descriptor plane into the warm
+    persistent pool (degrading to the pickle plane when the host
+    cannot grow shared memory).
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 backend: str = "thread",
+                 cache: Optional[FilterDesignCache] = None) -> None:
+        self.config = config
+        self.backend = resolve_backend(backend)
+        self.cache = cache if cache is not None else default_design_cache()
+        self._pipelines: dict = {}
+
+    def pool_context(self, n_workers: int):
+        """The finalize pool this dispatcher's backend wants:
+        the warm persistent process pool, a thread pool, or ``None``
+        (inline finalize) for a single thread worker."""
+        if self.backend == "process":
+            # Finalize jobs go through the warm persistent pool: the
+            # calibration snapshot rides with each submission (workers
+            # install it only on change), so streaming results stay
+            # bit-identical to the in-process batch path while
+            # back-to-back ingest runs reuse one worker fleet.
+            return persistent_process_pool(n_workers)
+        if n_workers == 1:
+            # One thread worker buys nothing over finalizing in the
+            # drain loop itself — skip the pool and its switching.
+            return nullcontext(None)
+        return ThreadPoolExecutor(max_workers=n_workers)
+
+    def submit(self, pool, recording: Recording):
+        """Submit one assembled session; returns ``(future, arena)``
+        (``arena`` is ``None`` off the shared-memory path)."""
+        if self.backend == "process":
+            # Zero-copy hand-off: the session's arrays land in a
+            # per-session shared-memory arena and the worker receives
+            # descriptors — the same data plane as process_batch.  If
+            # the host cannot provide the arena (/dev/shm cap), this
+            # session degrades to the pickle plane: slower, never
+            # wrong.
+            try:
+                arena = ShmArena(recording_job_nbytes(recording))
+            except OSError:
+                return pool.submit(process_recording_job, recording,
+                                   self.config), None
+            try:
+                job = plan_recording_job(recording, arena)
+                return pool.submit(process_shm_job, job,
+                                   self.config), arena
+            except Exception:
+                arena.release()
+                raise
+        # Thread workers share the executor's design cache through a
+        # per-rate pipeline memo (mirrors process_batch's warm path).
+        pipeline = self._pipeline(recording.fs)
+        if pool is None:                  # single-worker inline path
+            return _InlineResult(pipeline.process_recording,
+                                 recording), None
+        return pool.submit(pipeline.process_recording, recording), None
+
+    def _pipeline(self, fs: float) -> BeatToBeatPipeline:
+        fs = float(fs)
+        pipeline = self._pipelines.get(fs)
+        if pipeline is None:
+            pipeline = BeatToBeatPipeline(fs, self.config,
+                                          cache=self.cache)
+            self._pipelines[fs] = pipeline
+        return pipeline
+
+    def resolve(self, session_id: str, future, arena,
+                recording: Recording) -> PipelineResult:
+        """Resolve one submitted finalize, releasing its arena.
+
+        A worker dying mid-finalize (``BrokenProcessPool``) degrades
+        to re-running the pure job in the parent — slower, never
+        wrong — after dropping the broken pool so later fan-outs
+        rebuild.  Pipeline exceptions propagate to the caller, which
+        owns the retry/quarantine policy.
+        """
+        try:
+            try:
+                result = future.result()
+                if arena is not None:
+                    result = resolve_shm_result(result, arena)
+            except BrokenProcessPool:
+                # A worker died mid-finalize.  The job is a pure
+                # function of the recording we still hold, so rerun it
+                # in the parent — slower, never wrong — and drop the
+                # broken pool so later fan-outs rebuild.
+                _discard_persistent_pool(wait=False)
+                warnings.warn(
+                    f"finalize worker died for session "
+                    f"{session_id!r}; re-running in the parent "
+                    f"process", RuntimeWarning, stacklevel=2)
+                result = process_recording_job(recording, self.config)
+        finally:
+            if arena is not None:
+                arena.release()
+        return result
+
+
 class StreamingExecutor:
     """Consume a chunked session source through a bounded work queue.
 
@@ -230,11 +345,13 @@ class StreamingExecutor:
         self.ingest_backend = ingest_backend
         self.config = config
         self.n_workers = int(n_workers)
-        self.finalize_backend = resolve_backend(finalize_backend)
+        self._dispatcher = FinalizeDispatcher(config, finalize_backend,
+                                              cache)
+        self.finalize_backend = self._dispatcher.backend
         self.max_chunks = max_chunks
         self.max_bytes = max_bytes
         self.preview = bool(preview)
-        self.cache = cache if cache is not None else default_design_cache()
+        self.cache = self._dispatcher.cache
         self.journal = journal
         self.allow_open = (journal is not None if allow_open is None
                            else bool(allow_open))
@@ -270,41 +387,6 @@ class StreamingExecutor:
         finally:
             queue.close()
 
-    def _finalize_submit(self, pool, recording: Recording):
-        """Submit one assembled session; returns ``(future, arena)``
-        (``arena`` is ``None`` off the shared-memory path)."""
-        if self.finalize_backend == "process":
-            # Zero-copy hand-off: the session's arrays land in a
-            # per-session shared-memory arena and the worker receives
-            # descriptors — the same data plane as process_batch.  If
-            # the host cannot provide the arena (/dev/shm cap), this
-            # session degrades to the pickle plane: slower, never
-            # wrong.
-            try:
-                arena = ShmArena(recording_job_nbytes(recording))
-            except OSError:
-                return pool.submit(process_recording_job, recording,
-                                   self.config), None
-            try:
-                job = plan_recording_job(recording, arena)
-                return pool.submit(process_shm_job, job,
-                                   self.config), arena
-            except Exception:
-                arena.release()
-                raise
-        # Thread workers share the executor's design cache through a
-        # per-rate pipeline memo (mirrors process_batch's warm path).
-        fs = float(recording.fs)
-        pipeline = self._pipelines.get(fs)
-        if pipeline is None:
-            pipeline = BeatToBeatPipeline(fs, self.config,
-                                          cache=self.cache)
-            self._pipelines[fs] = pipeline
-        if pool is None:                  # single-worker inline path
-            return _InlineResult(pipeline.process_recording,
-                                 recording), None
-        return pool.submit(pipeline.process_recording, recording), None
-
     # -- the drain loop ----------------------------------------------------
 
     def run(self, source) -> dict:
@@ -337,22 +419,8 @@ class StreamingExecutor:
         chunk_counts: dict = {}
         first_arrival: dict = {}
         futures: dict = {}
-        self._pipelines: dict = {}
 
-        if self.finalize_backend == "process":
-            # Finalize jobs go through the warm persistent pool: the
-            # calibration snapshot rides with each submission (workers
-            # install it only on change), so streaming results stay
-            # bit-identical to the in-process batch path while
-            # back-to-back ingest runs reuse one worker fleet.
-            pool_context = persistent_process_pool(self.n_workers)
-        elif self.n_workers == 1:
-            # One thread worker buys nothing over finalizing in the
-            # drain loop itself — skip the pool and its switching.
-            pool_context = nullcontext(None)
-        else:
-            pool_context = ThreadPoolExecutor(
-                max_workers=self.n_workers)
+        pool_context = self._dispatcher.pool_context(self.n_workers)
         producer.start()
         try:
             with pool_context as pool:
@@ -388,7 +456,7 @@ class StreamingExecutor:
                         recording = assembler.add(chunk)
                         if recording is not None:
                             conditioners.pop(sid, None)
-                            future, arena = self._finalize_submit(
+                            future, arena = self._dispatcher.submit(
                                 pool, recording)
                             futures[sid] = (future, arena, recording,
                                             chunk.arrival_s)
@@ -402,29 +470,8 @@ class StreamingExecutor:
                 results = {}
                 for sid, (future, arena, recording,
                           last_s) in futures.items():
-                    try:
-                        try:
-                            result = future.result()
-                            if arena is not None:
-                                result = resolve_shm_result(result,
-                                                            arena)
-                        except BrokenProcessPool:
-                            # A worker died mid-finalize.  The job is
-                            # a pure function of the recording we
-                            # still hold, so rerun it in the parent —
-                            # slower, never wrong — and drop the
-                            # broken pool so later fan-outs rebuild.
-                            _discard_persistent_pool(wait=False)
-                            warnings.warn(
-                                f"finalize worker died for session "
-                                f"{sid!r}; re-running in the parent "
-                                f"process", RuntimeWarning,
-                                stacklevel=2)
-                            result = process_recording_job(
-                                recording, self.config)
-                    finally:
-                        if arena is not None:
-                            arena.release()
+                    result = self._dispatcher.resolve(
+                        sid, future, arena, recording)
                     results[sid] = SessionResult(
                         session_id=sid,
                         recording=recording,

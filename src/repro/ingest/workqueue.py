@@ -24,7 +24,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueueClosedError
 
 __all__ = ["BoundedWorkQueue", "QueueStats"]
 
@@ -135,16 +135,23 @@ class BoundedWorkQueue:
     # -- producer side -----------------------------------------------------
 
     def put(self, item) -> None:
-        """Enqueue, blocking while the queue is full (backpressure)."""
+        """Enqueue, blocking while the queue is full (backpressure).
+
+        Raises :class:`~repro.errors.QueueClosedError` when the queue
+        is (or becomes) closed — including for a producer already
+        blocked in the backpressure wait when :meth:`close` lands: the
+        close wakes it and it fails cleanly instead of blocking
+        forever on space no consumer will ever free.
+        """
         nbytes = self._size_of(item)
         with self._not_full:
             if self._closed:
-                raise ConfigurationError("queue is closed")
+                raise QueueClosedError("queue is closed")
             if not self._has_space(nbytes):
                 self.stats.blocked_puts += 1
                 while not self._has_space(nbytes):
                     if self._closed:
-                        raise ConfigurationError("queue is closed")
+                        raise QueueClosedError("queue is closed")
                     self._not_full.wait()
             self._items.append(item)
             self._bytes += nbytes

@@ -1,0 +1,55 @@
+"""The always-on analysis service: ``repro serve``.
+
+This package wraps the batch-shaped ingest machinery in a supervised
+long-running daemon.  The pieces:
+
+* :mod:`repro.serve.supervisor` — the per-session state machine
+  (ACCEPTING → DRAINING → FINALIZING → DONE, with QUARANTINED as the
+  isolation state and re-ingest as its only exit);
+* :mod:`repro.serve.policies` — deadlines, capped-exponential retry,
+  the overload degradation ladder, supervised periodic jobs;
+* :mod:`repro.serve.health` — the unix-socket ``/healthz``-style
+  status endpoint;
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`, which composes
+  them over the journal write-through and the shared
+  :class:`~repro.ingest.streaming.FinalizeDispatcher` so a served
+  session's result is bit-identical to the batch path's.
+
+The CLI front-ends are ``repro serve --journal DIR ...`` (run the
+daemon) and ``repro serve --status --journal DIR`` (query a running
+one).
+"""
+
+from repro.serve.daemon import ServeDaemon
+from repro.serve.health import HealthServer, STATUS_SOCKET_NAME, read_status
+from repro.serve.policies import (
+    DEGRADATION_LEVELS,
+    DeadlinePolicy,
+    DegradationLadder,
+    NORMAL,
+    PeriodicJob,
+    RetryPolicy,
+    SHED_NEW,
+    STRICT_DURABILITY,
+)
+from repro.serve.supervisor import (
+    ACCEPTING,
+    DONE,
+    DRAINING,
+    FINALIZING,
+    LEGAL_TRANSITIONS,
+    QUARANTINED,
+    SESSION_STATES,
+    SessionRecord,
+    SessionSupervisor,
+)
+
+__all__ = [
+    "ServeDaemon",
+    "HealthServer", "read_status", "STATUS_SOCKET_NAME",
+    "DeadlinePolicy", "RetryPolicy", "DegradationLadder", "PeriodicJob",
+    "DEGRADATION_LEVELS", "NORMAL", "SHED_NEW", "STRICT_DURABILITY",
+    "SessionSupervisor", "SessionRecord", "SESSION_STATES",
+    "LEGAL_TRANSITIONS", "ACCEPTING", "DRAINING", "FINALIZING", "DONE",
+    "QUARANTINED",
+]

@@ -1,0 +1,144 @@
+"""Health/status endpoint of the serve daemon.
+
+``repro serve`` binds a unix-domain socket (``serve.sock`` inside the
+journal directory) and answers every connection with one JSON status
+document, then closes — the ``/healthz`` idiom without an HTTP stack:
+``repro serve --status --journal DIR`` (or any ``nc -U``) reads it.
+
+The document is assembled from the same objects the daemon runs on —
+the :class:`~repro.serve.supervisor.SessionSupervisor`, the
+:class:`~repro.serve.policies.DegradationLadder`, the work queue's
+:class:`~repro.ingest.workqueue.QueueStats` and the process-wide
+:class:`~repro.ingest.stats.IngestStats` — so the endpoint cannot
+drift from reality; there is no second bookkeeping to go stale.
+
+Top-level shape::
+
+    {"ok": true|false,            # false once degraded or draining
+     "state": "serving|draining|stopped",
+     "degradation": {"level": 0, "name": "normal"},
+     "sessions": {"counts": {...}, "by_id": {...}},
+     "queue": {"depth": 3, "buffered_bytes": ..., ...},
+     "jobs": [{"name": "journal-gc", ...}, ...],
+     "stats": {... ingest_stats().as_dict() ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["HealthServer", "read_status", "STATUS_SOCKET_NAME"]
+
+#: Socket filename inside the daemon's journal directory.
+STATUS_SOCKET_NAME = "serve.sock"
+
+
+class HealthServer:
+    """Serve one JSON status document per unix-socket connection.
+
+    ``snapshot`` is called under no daemon locks at request time and
+    must return a JSON-serializable dict; the server thread is a
+    daemon thread so a crashing service never blocks on it.
+    """
+
+    def __init__(self, path: str,
+                 snapshot: Callable[[], dict]) -> None:
+        self.path = str(path)
+        self.snapshot = snapshot
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def start(self) -> "HealthServer":
+        """Bind the socket and start answering; returns self."""
+        if self._thread is not None:
+            return self
+        # A stale socket file from a crashed daemon would make bind()
+        # fail; boot recovery owns the directory, so reclaim it.
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self.path)
+        sock.listen(8)
+        sock.settimeout(0.2)
+        self._sock = sock
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-health", daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed under us during stop()
+            try:
+                payload = json.dumps(self.snapshot()).encode("utf-8")
+            except Exception as exc:
+                payload = json.dumps(
+                    {"ok": False,
+                     "error": f"{type(exc).__name__}: {exc}"},
+                ).encode("utf-8")
+            try:
+                conn.sendall(payload)
+            except OSError:
+                pass  # reader went away; its loss
+            finally:
+                conn.close()
+
+    def stop(self) -> None:
+        """Stop answering and remove the socket file (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def read_status(path: str, timeout: float = 5.0) -> dict:
+    """Connect to a daemon's status socket and return its JSON
+    document; raises :class:`~repro.errors.ReproError` when no daemon
+    answers there."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(str(path))
+        parts = []
+        while True:
+            data = client.recv(65536)
+            if not data:
+                break
+            parts.append(data)
+    except (OSError, socket.timeout) as exc:
+        raise ReproError(
+            f"no serve daemon answering at {path}: {exc}") from exc
+    finally:
+        client.close()
+    raw = b"".join(parts)
+    if not raw:
+        raise ReproError(f"serve daemon at {path} sent an empty status")
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except ValueError as exc:
+        raise ReproError(
+            f"serve daemon at {path} sent malformed status") from exc

@@ -1,0 +1,249 @@
+"""Robustness policies of the serve daemon: deadlines, retries,
+degradation, and supervised periodic jobs.
+
+Policies are plain data + pure decision functions so every edge is
+unit-testable without a daemon around it:
+
+* :class:`DeadlinePolicy` — how long a session may go silent between
+  chunks before it counts as *stalled*, and how long a finalize may
+  run before it counts as *hung*.  Deadline expiry quarantines exactly
+  the offending session; neighbours never wait on it.
+* :class:`RetryPolicy` — capped exponential backoff for transient
+  faults (a finalize pool broken by a killed worker, an ``OSError``
+  from the journal's disk).  The constants default to the PR 7
+  crash-tolerant fan-out's (:data:`repro.core.executor.RETRY_BACKOFF_S`
+  / ``RETRY_BACKOFF_CAP_S``), so a service-level retry waits exactly
+  like a batch-level one.
+* :class:`DegradationLadder` — the overload response, ordered by what
+  it costs users: **NORMAL** → **SHED_NEW** (reject sessions not yet
+  admitted; journaled sessions keep flowing) → **STRICT_DURABILITY**
+  (group-commit's elastic write buffer is collapsed to
+  write-per-append, so backpressure lands on producers instead of
+  memory).  Journaled chunks are *never* dropped at any level.
+  Escalation trips on queue pressure against the high-water fraction;
+  de-escalation requires pressure below the low-water fraction
+  (hysteresis, so the ladder does not flap at the boundary).
+* :class:`PeriodicJob` — a supervised timer thread for the daemon's
+  background maintenance (journal GC, archival): failures are caught,
+  counted and retried with the ladder's backoff instead of killing
+  the service; the soonest next run after a failure backs off too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.executor import RETRY_BACKOFF_CAP_S, RETRY_BACKOFF_S
+from repro.errors import ConfigurationError
+from repro.ingest.stats import ingest_stats
+
+__all__ = ["DeadlinePolicy", "RetryPolicy", "DegradationLadder",
+           "DEGRADATION_LEVELS", "NORMAL", "SHED_NEW",
+           "STRICT_DURABILITY", "PeriodicJob"]
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """When silence becomes failure.
+
+    ``chunk_deadline_s`` bounds the gap between consecutive chunks of
+    an ACCEPTING session (``None`` disables — a journaled session may
+    legitimately stay open across a device dropout and resume later);
+    ``finalize_timeout_s`` bounds a FINALIZING session's pool job.
+    """
+
+    chunk_deadline_s: Optional[float] = None
+    finalize_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("chunk_deadline_s", "finalize_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def chunk_overdue(self, last_chunk_monotonic: Optional[float],
+                      now: float) -> bool:
+        """Whether an ACCEPTING session has gone silent too long."""
+        if self.chunk_deadline_s is None or last_chunk_monotonic is None:
+            return False
+        return now - last_chunk_monotonic > self.chunk_deadline_s
+
+    def finalize_overdue(self, submitted_monotonic: Optional[float],
+                         now: float) -> bool:
+        """Whether a FINALIZING session's job has run too long."""
+        if self.finalize_timeout_s is None or submitted_monotonic is None:
+            return False
+        return now - submitted_monotonic > self.finalize_timeout_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for transient faults.
+
+    Attempt ``k`` (0-based) sleeps ``min(base * 2**k, cap)`` seconds;
+    after ``max_attempts`` failures the caller escalates (quarantine
+    the session, report the job).  The defaults reuse the PR 7
+    poisoned-worker fan-out constants.
+    """
+
+    max_attempts: int = 2
+    base_s: float = RETRY_BACKOFF_S
+    cap_s: float = RETRY_BACKOFF_CAP_S
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ConfigurationError(
+                "need 0 < base_s <= cap_s for a backoff schedule")
+
+    def backoff_s(self, attempt: int) -> float:
+        """The sleep before retrying after failed attempt ``attempt``
+        (0-based)."""
+        return min(self.base_s * (2 ** max(0, int(attempt))), self.cap_s)
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` failures have used up the budget."""
+        return attempts >= self.max_attempts
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep the schedule's backoff; returns the seconds slept
+        (and credits the serve retry counter)."""
+        delay = self.backoff_s(attempt)
+        ingest_stats().add(serve_retries=1)
+        time.sleep(delay)
+        return delay
+
+
+NORMAL = "normal"
+SHED_NEW = "shed-new"
+STRICT_DURABILITY = "strict-durability"
+
+#: The ladder in escalation order; index = numeric degradation level.
+DEGRADATION_LEVELS = (NORMAL, SHED_NEW, STRICT_DURABILITY)
+
+
+class DegradationLadder:
+    """Overload state with hysteresis.
+
+    ``update(pressure)`` feeds the current load factor (queue depth /
+    queue bound, 0..1+) and returns the level the service should run
+    at: pressure at or above ``high_water`` climbs one rung per
+    update, pressure at or below ``low_water`` descends one rung, and
+    the band between holds the level steady — so a service hovering at
+    the boundary does not oscillate between shedding and admitting.
+    """
+
+    def __init__(self, high_water: float = 0.8,
+                 low_water: float = 0.3) -> None:
+        if not 0.0 < low_water < high_water <= 1.0:
+            raise ConfigurationError(
+                "need 0 < low_water < high_water <= 1")
+        self.high_water = float(high_water)
+        self.low_water = float(low_water)
+        self.level = 0
+
+    @property
+    def name(self) -> str:
+        """The current level's name (``repro serve --status`` shows
+        it)."""
+        return DEGRADATION_LEVELS[self.level]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is running above NORMAL."""
+        return self.level > 0
+
+    def update(self, pressure: float) -> int:
+        """Feed one load sample; returns the (possibly new) level."""
+        if pressure >= self.high_water:
+            if self.level < len(DEGRADATION_LEVELS) - 1:
+                self.level += 1
+                ingest_stats().add(serve_degradations=1)
+        elif pressure <= self.low_water and self.level > 0:
+            self.level -= 1
+        return self.level
+
+    def force(self, level: int) -> int:
+        """Jump straight to ``level`` (arena exhaustion and journal
+        pressure escalate without waiting for queue samples)."""
+        level = max(0, min(int(level), len(DEGRADATION_LEVELS) - 1))
+        if level > self.level:
+            ingest_stats().add(serve_degradations=1)
+        self.level = level
+        return self.level
+
+
+class PeriodicJob:
+    """A supervised maintenance timer (journal GC, archival sweeps).
+
+    Runs ``fn`` every ``interval_s`` on a daemon thread.  A run that
+    raises is contained: the exception is recorded (``last_error``,
+    ``failures``) and the next run waits ``interval_s`` plus the retry
+    policy's backoff for the current failure streak — the service
+    never dies because maintenance hiccuped, and a persistently
+    failing job settles at the capped cadence instead of spinning.
+    """
+
+    def __init__(self, name: str, interval_s: float,
+                 fn: Callable[[], object],
+                 retry: Optional[RetryPolicy] = None) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        self.name = name
+        self.interval_s = float(interval_s)
+        self.fn = fn
+        self.retry = retry or RetryPolicy()
+        self.runs = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self._streak = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "PeriodicJob":
+        """Arm the timer; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name=f"serve-{self.name}", daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s + (
+                self.retry.backoff_s(self._streak - 1)
+                if self._streak else 0.0)):
+            self.tick()
+
+    def tick(self) -> bool:
+        """Run the job once, containing failure; ``True`` on success.
+        (Exposed so tests and a draining daemon can run it inline.)"""
+        try:
+            self.fn()
+        except Exception as exc:
+            self.failures += 1
+            self._streak += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            ingest_stats().add(serve_retries=1)
+            return False
+        self.runs += 1
+        self._streak = 0
+        self.last_error = None
+        return True
+
+    def stop(self) -> None:
+        """Disarm and join the timer thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def stats(self) -> dict:
+        """The job's counters for the status endpoint."""
+        return {"name": self.name, "interval_s": self.interval_s,
+                "runs": self.runs, "failures": self.failures,
+                "last_error": self.last_error}

@@ -1,0 +1,203 @@
+"""Session supervision: the per-session state machine of the daemon.
+
+A long-running analysis service multiplexes many device sessions over
+one drain loop; the failure domain must stay the *session*, never the
+service.  The supervisor gives every session an explicit lifecycle —
+
+    ACCEPTING → DRAINING → FINALIZING → DONE
+         \\          \\          \\
+          +----------─+─---------+--→ QUARANTINED --→ ACCEPTING
+                                        (re-ingest)
+
+— and refuses every other edge with a
+:class:`~repro.errors.SupervisorError`, so a bug in the daemon cannot
+silently revive a finished session or finalize one that never drained.
+The states:
+
+* **ACCEPTING** — chunks are arriving (or expected); the journal holds
+  a growing prefix of the session.
+* **DRAINING** — the trailer chunk landed; the session's journal
+  writes are being barriered before finalize (the
+  manifest-after-records invariant).
+* **FINALIZING** — the assembled recording was submitted to the
+  finalize pool; a deadline clock runs against it.
+* **DONE** — terminal: the stage-graph result was delivered.
+* **QUARANTINED** — isolated: stalled past its chunk deadline,
+  finalize timed out or repeatedly killed its worker, or the journal
+  flagged its records damaged.  Neighbour sessions never notice.  The
+  only exit is an explicit re-ingest
+  (:meth:`~repro.ingest.recovery.RecoveryManager.reingest`), which
+  readmits the session from seq 0 — modelled here as the
+  QUARANTINED → ACCEPTING edge.
+
+Each :class:`SessionRecord` also carries the bookkeeping the policies
+act on: next expected sequence number, chunk count, monotonic stamps
+of the last chunk and the finalize submission, retry attempts, and the
+quarantine reason.  Terminal transitions credit the process-wide
+:class:`~repro.ingest.stats.IngestStats` serve counters, so the status
+endpoint and ``repro cache-stats`` read one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SupervisorError
+from repro.ingest.stats import ingest_stats
+
+__all__ = ["ACCEPTING", "DRAINING", "FINALIZING", "DONE", "QUARANTINED",
+           "SESSION_STATES", "LEGAL_TRANSITIONS", "SessionRecord",
+           "SessionSupervisor"]
+
+ACCEPTING = "accepting"
+DRAINING = "draining"
+FINALIZING = "finalizing"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+#: Every supervised state, in lifecycle order.
+SESSION_STATES = (ACCEPTING, DRAINING, FINALIZING, DONE, QUARANTINED)
+
+#: The complete legal edge set; anything else raises.  QUARANTINED →
+#: ACCEPTING is the re-ingest re-admission and resets the record.
+LEGAL_TRANSITIONS = frozenset({
+    (ACCEPTING, DRAINING),
+    (DRAINING, FINALIZING),
+    (FINALIZING, DONE),
+    (ACCEPTING, QUARANTINED),
+    (DRAINING, QUARANTINED),
+    (FINALIZING, QUARANTINED),
+    (QUARANTINED, ACCEPTING),
+})
+
+
+@dataclass
+class SessionRecord:
+    """One supervised session's live bookkeeping."""
+
+    session_id: str
+    state: str = ACCEPTING
+    #: Sequence number the daemon expects next (duplicates below it
+    #: are idempotent transport noise; above it is a gap → quarantine).
+    next_seq: int = 0
+    n_chunks: int = 0
+    #: Monotonic stamp of the last chunk consumed (deadline clock).
+    last_chunk_monotonic: Optional[float] = None
+    #: Monotonic stamp of the finalize submission (timeout clock).
+    submitted_monotonic: Optional[float] = None
+    #: Failed finalize/journal attempts the retry policy has consumed.
+    attempts: int = 0
+    #: Why the session was quarantined (``None`` otherwise).
+    reason: Optional[str] = None
+    #: State history, ``(from, to)`` edges in order (telemetry/tests).
+    history: list = field(default_factory=list)
+
+
+class SessionSupervisor:
+    """Own every session's state machine; enforce the edge table.
+
+    The supervisor is deliberately passive — it validates and records
+    transitions and keeps the counters, while the daemon decides
+    *when* to transition.  That keeps the state machine unit-testable
+    as a table (the satellite suite sweeps every ``(from, to)`` pair)
+    independent of queues, pools and clocks.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict = {}
+
+    # -- admission ---------------------------------------------------------
+
+    def accept(self, session_id: str) -> SessionRecord:
+        """Admit a new session in ACCEPTING; raises when it exists."""
+        if session_id in self._sessions:
+            raise SupervisorError(
+                f"session {session_id!r} is already supervised "
+                f"(state {self._sessions[session_id].state})")
+        record = SessionRecord(session_id=session_id)
+        self._sessions[session_id] = record
+        ingest_stats().add(serve_sessions_accepted=1)
+        return record
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        """The session's record, or ``None`` when unsupervised."""
+        return self._sessions.get(session_id)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # -- transitions -------------------------------------------------------
+
+    def transition(self, session_id: str, state: str,
+                   reason: Optional[str] = None) -> SessionRecord:
+        """Move a session along one legal edge; raises
+        :class:`~repro.errors.SupervisorError` on an unknown session,
+        an unknown state, or an edge outside the table."""
+        record = self._sessions.get(session_id)
+        if record is None:
+            raise SupervisorError(
+                f"session {session_id!r} is not supervised")
+        if state not in SESSION_STATES:
+            raise SupervisorError(
+                f"unknown session state {state!r}; choose from "
+                f"{SESSION_STATES}")
+        edge = (record.state, state)
+        if edge not in LEGAL_TRANSITIONS:
+            raise SupervisorError(
+                f"illegal transition {record.state} -> {state} for "
+                f"session {session_id!r}")
+        record.history.append(edge)
+        record.state = state
+        if state == QUARANTINED:
+            record.reason = reason
+            ingest_stats().add(serve_sessions_quarantined=1)
+        elif state == DONE:
+            ingest_stats().add(serve_sessions_done=1)
+        elif edge == (QUARANTINED, ACCEPTING):
+            # Re-ingest readmission: the journal accepts the session
+            # again from seq 0, so the bookkeeping restarts with it.
+            record.next_seq = 0
+            record.n_chunks = 0
+            record.attempts = 0
+            record.reason = None
+            record.last_chunk_monotonic = None
+            record.submitted_monotonic = None
+            ingest_stats().add(serve_sessions_accepted=1)
+        return record
+
+    def quarantine(self, session_id: str, reason: str) -> SessionRecord:
+        """Shorthand: move a session to QUARANTINED with a reason."""
+        return self.transition(session_id, QUARANTINED, reason=reason)
+
+    # -- views -------------------------------------------------------------
+
+    def records(self) -> tuple:
+        """Every supervised record (insertion order)."""
+        return tuple(self._sessions.values())
+
+    def in_state(self, state: str) -> tuple:
+        """Records currently in ``state``."""
+        return tuple(r for r in self._sessions.values()
+                     if r.state == state)
+
+    def states(self) -> dict:
+        """``{session_id: state}`` for the status endpoint."""
+        return {sid: record.state
+                for sid, record in self._sessions.items()}
+
+    def counts(self) -> dict:
+        """Sessions per state (every state present, zeros included)."""
+        counts = {state: 0 for state in SESSION_STATES}
+        for record in self._sessions.values():
+            counts[record.state] += 1
+        return counts
+
+    @property
+    def all_terminal(self) -> bool:
+        """Whether every supervised session is DONE or QUARANTINED."""
+        return all(record.state in (DONE, QUARANTINED)
+                   for record in self._sessions.values())

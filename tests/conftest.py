@@ -22,6 +22,11 @@ def pytest_configure(config):
         "markers",
         "faults: fault-injection tests (torn journals, crc flips, "
         "killed sources); run in their own CI job via -m faults")
+    config.addinivalue_line(
+        "markers",
+        "soak: long multi-round daemon soak runs (crash-point sweeps, "
+        "SIGTERM drains); run in the hard-timeout CI soak job via "
+        "-m soak")
 
 
 @pytest.fixture(scope="session")

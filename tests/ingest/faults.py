@@ -30,6 +30,12 @@ The storage-lifecycle PR adds three more families:
   backend: SIGKILLs the worker that runs the sentinel item, the
   worker-death case the crash-tolerant fan-out must survive.
 
+And the serve-daemon PR one more:
+
+* :class:`StalledSource` — the source goes *silent* (not dead): it
+  yields N chunks and then blocks without closing, the case a
+  deadline policy (not crash recovery) must handle.
+
 All helpers operate on a journal *directory* so tests stay independent
 of segment layout; record indices count across segments in log order.
 """
@@ -43,7 +49,8 @@ from typing import Optional
 
 from repro.io.journal_records import MAGIC, scan_segment
 
-__all__ = ["SimulatedCrash", "FaultySource", "journal_segments",
+__all__ = ["SimulatedCrash", "FaultySource", "StalledSource",
+           "journal_segments",
            "tear_journal_tail", "flip_crc_byte", "flip_payload_byte",
            "flip_magic_byte", "CrashAfterEvents", "flip_archive_byte",
            "kill_worker_job", "KILL_SENTINEL"]
@@ -76,6 +83,42 @@ class FaultySource:
             if count >= self.crash_after:
                 raise SimulatedCrash(
                     f"source killed after {self.crash_after} chunks")
+            yield chunk
+            count += 1
+
+
+class StalledSource:
+    """A source that goes silent: yields ``yield_chunks`` chunks, then
+    blocks forever (until :meth:`release`) without closing.
+
+    This is the serve daemon's stalled-device case — the session is
+    open, its chunks are journaled, and nothing further ever arrives.
+    A deadline policy must quarantine exactly this session while its
+    neighbours keep flowing; the source never crashes and never ends,
+    so only the deadline (or :meth:`release` from the test) gets the
+    consumer unstuck.
+    """
+
+    def __init__(self, source, yield_chunks: int,
+                 stall_s: float = 3600.0) -> None:
+        import threading
+        self.source = source
+        self.yield_chunks = int(yield_chunks)
+        self.stall_s = float(stall_s)
+        self.stalled = threading.Event()   # set once the stall begins
+        self._release = threading.Event()
+
+    def release(self) -> None:
+        """Un-stall the source (it then ends without further chunks)."""
+        self._release.set()
+
+    def __iter__(self):
+        count = 0
+        for chunk in self.source:
+            if count >= self.yield_chunks:
+                self.stalled.set()
+                self._release.wait(timeout=self.stall_s)
+                return
             yield chunk
             count += 1
 

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueueClosedError, ReproError
 from repro.ingest import BoundedWorkQueue
 
 
@@ -89,8 +89,40 @@ def test_close_drains_then_signals_none():
     assert queue.closed
     assert queue.get() == "a"
     assert queue.get() is None
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(QueueClosedError):
         queue.put("b")
+
+
+def test_queue_closed_error_is_a_repro_error():
+    """Producers that catch the library hierarchy see the close."""
+    assert issubclass(QueueClosedError, ReproError)
+
+
+def test_close_unblocks_producer_stuck_in_backpressure():
+    """A producer blocked in the backpressure wait when close() lands
+    must raise QueueClosedError instead of blocking forever on space
+    no consumer will ever free (the daemon's graceful-drain path)."""
+    queue = BoundedWorkQueue(max_items=1)
+    queue.put("first")
+    outcome = []
+
+    def producer():
+        try:
+            queue.put("second")           # blocks: queue is full
+            outcome.append("returned")
+        except QueueClosedError:
+            outcome.append("closed")
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not outcome                    # genuinely blocked
+    queue.close()
+    thread.join(timeout=2.0)
+    assert outcome == ["closed"]
+    # The buffered item is still drainable after the close.
+    assert queue.get() == "first"
+    assert queue.get() is None
 
 
 def test_get_timeout_returns_none():

@@ -1,0 +1,99 @@
+"""Health endpoint: unix-socket round trips, failure answers, and the
+live daemon's status document."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ingest import DeviceFleet, FleetConfig
+from repro.serve import HealthServer, ServeDaemon, read_status
+
+from tests.ingest.faults import StalledSource
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "health.sock"
+    server = HealthServer(path, lambda: {"ok": True, "answer": 42})
+    server.start()
+    try:
+        doc = read_status(path)
+        assert doc == {"ok": True, "answer": 42}
+        # Each connection gets a fresh document.
+        assert read_status(path)["answer"] == 42
+    finally:
+        server.stop()
+    assert not path.exists()
+
+
+def test_snapshot_failure_answers_not_ok(tmp_path):
+    path = tmp_path / "health.sock"
+
+    def broken():
+        raise RuntimeError("snapshot exploded")
+
+    server = HealthServer(path, broken).start()
+    try:
+        doc = read_status(path)
+        assert doc["ok"] is False
+        assert "snapshot exploded" in doc["error"]
+    finally:
+        server.stop()
+
+
+def test_read_status_without_a_daemon_raises(tmp_path):
+    with pytest.raises(ReproError):
+        read_status(tmp_path / "nobody.sock")
+
+
+def test_stale_socket_file_is_reclaimed(tmp_path):
+    """A socket file left by a SIGKILLed daemon must not block the
+    next boot's bind."""
+    path = tmp_path / "health.sock"
+    HealthServer(path, lambda: {"ok": True}).start().stop()
+    path.touch()                            # simulate the stale leftover
+    server = HealthServer(path, lambda: {"ok": True, "boot": 2}).start()
+    try:
+        assert read_status(path)["boot"] == 2
+    finally:
+        server.stop()
+
+
+def test_live_daemon_answers_on_its_journal_socket(tmp_path):
+    """While serving, the daemon's ``serve.sock`` answers with the
+    supervisor's and ladder's live numbers."""
+    source = StalledSource(
+        DeviceFleet(FleetConfig(n_devices=1, duration_s=4.0,
+                                chunk_s=2.0, seed=3)),
+        yield_chunks=1)
+    daemon = ServeDaemon(tmp_path, n_workers=1)
+    thread = threading.Thread(target=daemon.serve,
+                              args=([source],), daemon=True)
+    thread.start()
+    assert source.stalled.wait(timeout=10.0)
+    deadline = time.monotonic() + 10.0
+    doc = None
+    while time.monotonic() < deadline:
+        try:
+            doc = read_status(daemon.socket_path)
+            if doc["sessions"]["counts"]["accepting"] >= 1:
+                break
+        except ReproError:
+            pass
+        time.sleep(0.02)
+    assert doc is not None
+    assert doc["ok"] is True
+    assert doc["state"] == "serving"
+    assert doc["degradation"] == {"level": 0, "name": "normal"}
+    assert len(doc["journal"]["open_sessions"]) >= 1
+    assert "serve_sessions_accepted" in doc["stats"]
+
+    source.release()
+    daemon.stop()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    # The socket file is gone once the daemon exits.
+    assert not daemon.socket_path.exists()
+    with pytest.raises(ReproError):
+        read_status(daemon.socket_path)

@@ -1,0 +1,169 @@
+"""Serve policies as pure units: deadline math, the backoff schedule,
+ladder hysteresis, and periodic-job failure containment."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ingest.stats import ingest_stats, reset_ingest_stats
+from repro.serve import (
+    DEGRADATION_LEVELS,
+    NORMAL,
+    SHED_NEW,
+    STRICT_DURABILITY,
+    DeadlinePolicy,
+    DegradationLadder,
+    PeriodicJob,
+    RetryPolicy,
+)
+
+# -- DeadlinePolicy ---------------------------------------------------------
+
+
+def test_deadline_none_disables():
+    policy = DeadlinePolicy()
+    assert not policy.chunk_overdue(0.0, 1e9)
+    assert not policy.finalize_overdue(0.0, 1e9)
+
+
+def test_deadline_overdue_math():
+    policy = DeadlinePolicy(chunk_deadline_s=1.0, finalize_timeout_s=2.0)
+    assert not policy.chunk_overdue(10.0, 11.0)     # exactly at: not over
+    assert policy.chunk_overdue(10.0, 11.01)
+    assert not policy.chunk_overdue(None, 11.01)    # no chunk yet: no clock
+    assert not policy.finalize_overdue(10.0, 12.0)
+    assert policy.finalize_overdue(10.0, 12.01)
+    assert not policy.finalize_overdue(None, 1e9)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"chunk_deadline_s": 0.0},
+    {"chunk_deadline_s": -1.0},
+    {"finalize_timeout_s": 0.0},
+])
+def test_deadline_validates(kwargs):
+    with pytest.raises(ConfigurationError):
+        DeadlinePolicy(**kwargs)
+
+
+# -- RetryPolicy ------------------------------------------------------------
+
+
+def test_backoff_schedule_doubles_then_caps():
+    policy = RetryPolicy(max_attempts=5, base_s=0.05, cap_s=0.4)
+    assert [policy.backoff_s(k) for k in range(6)] == \
+        [0.05, 0.1, 0.2, 0.4, 0.4, 0.4]
+
+
+def test_exhausted_counts_failures():
+    policy = RetryPolicy(max_attempts=2)
+    assert not policy.exhausted(0)
+    assert not policy.exhausted(1)
+    assert policy.exhausted(2)
+    assert policy.exhausted(3)
+
+
+def test_sleep_credits_the_retry_counter():
+    reset_ingest_stats()
+    policy = RetryPolicy(max_attempts=2, base_s=0.001, cap_s=0.002)
+    slept = policy.sleep(0)
+    assert slept == pytest.approx(0.001)
+    assert ingest_stats().serve_retries == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_attempts": 0},
+    {"base_s": 0.0},
+    {"base_s": 0.2, "cap_s": 0.1},
+])
+def test_retry_validates(kwargs):
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(**kwargs)
+
+
+# -- DegradationLadder ------------------------------------------------------
+
+
+def test_ladder_order_is_the_cost_order():
+    assert DEGRADATION_LEVELS == (NORMAL, SHED_NEW, STRICT_DURABILITY)
+
+
+def test_ladder_climbs_one_rung_per_sample_and_descends_with_hysteresis():
+    reset_ingest_stats()
+    ladder = DegradationLadder(high_water=0.8, low_water=0.3)
+    assert ladder.level == 0 and not ladder.degraded
+    assert ladder.update(0.9) == 1          # one rung, not a jump
+    assert ladder.name == SHED_NEW and ladder.degraded
+    assert ladder.update(0.95) == 2
+    assert ladder.name == STRICT_DURABILITY
+    assert ladder.update(1.5) == 2          # already at the top
+    assert ladder.update(0.5) == 2          # dead band: holds steady
+    assert ladder.update(0.3) == 1          # at low water: descend
+    assert ladder.update(0.5) == 1          # dead band again
+    assert ladder.update(0.1) == 0
+    assert ladder.update(0.0) == 0          # already at the floor
+    assert ingest_stats().serve_degradations == 2
+
+
+def test_ladder_force_jumps_and_clamps():
+    reset_ingest_stats()
+    ladder = DegradationLadder()
+    assert ladder.force(2) == 2
+    assert ingest_stats().serve_degradations == 1
+    assert ladder.force(99) == 2            # clamped to the top rung
+    assert ladder.force(-3) == 0            # clamped to the floor
+    assert ingest_stats().serve_degradations == 1  # descent is free
+
+
+def test_ladder_validates_watermarks():
+    for high, low in [(0.3, 0.8), (0.8, 0.8), (1.2, 0.3), (0.8, 0.0)]:
+        with pytest.raises(ConfigurationError):
+            DegradationLadder(high_water=high, low_water=low)
+
+
+# -- PeriodicJob ------------------------------------------------------------
+
+
+def test_periodic_job_contains_failures_and_recovers():
+    reset_ingest_stats()
+    calls = []
+
+    def flaky():
+        calls.append(None)
+        if len(calls) < 3:
+            raise OSError("disk hiccup")
+
+    job = PeriodicJob("gc", interval_s=60.0, fn=flaky,
+                      retry=RetryPolicy(base_s=0.001, cap_s=0.002))
+    assert job.tick() is False
+    assert job.tick() is False
+    assert job.failures == 2 and job.runs == 0
+    assert "disk hiccup" in job.last_error
+    assert ingest_stats().serve_retries == 2
+    assert job.tick() is True               # third run succeeds
+    assert job.runs == 1
+    assert job.last_error is None
+    stats = job.stats()
+    assert stats["name"] == "gc" and stats["failures"] == 2
+
+
+def test_periodic_job_runs_on_its_timer_and_stops():
+    ran = []
+    job = PeriodicJob("tick", interval_s=0.02, fn=lambda: ran.append(1))
+    job.start()
+    job.start()                             # idempotent
+    deadline = time.monotonic() + 2.0
+    while len(ran) < 2 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    job.stop()
+    job.stop()                              # idempotent
+    assert len(ran) >= 2
+    settled = len(ran)
+    time.sleep(0.08)
+    assert len(ran) == settled              # really stopped
+
+
+def test_periodic_job_validates_interval():
+    with pytest.raises(ConfigurationError):
+        PeriodicJob("bad", interval_s=0.0, fn=lambda: None)

@@ -1,0 +1,74 @@
+"""SIGTERM with a group-commit window in flight (subprocess fault).
+
+A daemon dying via a SIGTERM handler (``sys.exit``) never reaches
+``ChunkJournal.close``; the journal's atexit barrier must drain the
+pending group-commit window during interpreter shutdown, so a graceful
+termination loses nothing that ``append`` accepted."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import ChunkJournal
+
+pytestmark = pytest.mark.faults
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_CHILD = textwrap.dedent("""
+    import signal
+    import sys
+    import time
+
+    import numpy as np
+
+    from repro.ingest import ChunkJournal, chunk_recording
+    from repro.io import Recording
+
+    signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))
+
+    journal = ChunkJournal({directory!r}, durability="group")
+    n = 2500
+    recording = Recording(250.0, {{"ecg": np.sin(np.arange(n) * 0.1),
+                                   "z": np.full(n, 25.0)}})
+    count = 0
+    for chunk in chunk_recording(recording, "sigterm-000", 0.2):
+        journal.append(chunk)
+        count += 1
+    # Deliberately no flush() and no close(): the group window may
+    # still be pending when SIGTERM lands; only the atexit barrier
+    # stands between those appends and the daemonic writer's death.
+    print("READY", count, flush=True)
+    while True:
+        time.sleep(0.1)
+""")
+
+
+def test_sigterm_mid_window_loses_no_accepted_append(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD.format(directory=str(tmp_path))],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=env, text=True)
+    try:
+        line = child.stdout.readline().split()
+        assert line and line[0] == "READY", child.stderr.read()
+        n_appended = int(line[1])
+        child.send_signal(signal.SIGTERM)
+        assert child.wait(timeout=30) == 0, child.stderr.read()
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    with ChunkJournal(tmp_path) as journal:
+        scan = journal.last_scan
+        assert not scan.damaged
+        assert scan.n_records == n_appended
+        assert "sigterm-000" in journal.completed_sessions

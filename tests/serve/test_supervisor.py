@@ -1,0 +1,181 @@
+"""Session supervisor: the table-driven state machine contract.
+
+Every ``(from, to)`` pair of the state space is swept — legal edges
+must transition, everything else must raise — plus the bookkeeping
+each edge carries (history, counters, the re-ingest reset) and the
+end-to-end QUARANTINED → ACCEPTING readmission through
+``RecoveryManager.reingest`` over a really-damaged journal.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import SupervisorError
+from repro.ingest import ChunkJournal, DeviceFleet, FleetConfig
+from repro.ingest.stats import ingest_stats, reset_ingest_stats
+from repro.serve import (
+    ACCEPTING,
+    DONE,
+    DRAINING,
+    FINALIZING,
+    LEGAL_TRANSITIONS,
+    QUARANTINED,
+    SESSION_STATES,
+    ServeDaemon,
+    SessionSupervisor,
+)
+
+from tests.ingest.faults import flip_crc_byte
+
+#: Shortest legal path that parks a fresh session in each state.
+_PATH_TO = {
+    ACCEPTING: (),
+    DRAINING: (DRAINING,),
+    FINALIZING: (DRAINING, FINALIZING),
+    DONE: (DRAINING, FINALIZING, DONE),
+    QUARANTINED: (QUARANTINED,),
+}
+
+
+def _park(supervisor: SessionSupervisor, sid: str, state: str) -> None:
+    supervisor.accept(sid)
+    for step in _PATH_TO[state]:
+        supervisor.transition(sid, step)
+
+
+@pytest.mark.parametrize(
+    "src,dst", list(itertools.product(SESSION_STATES, SESSION_STATES)))
+def test_every_edge_of_the_table(src, dst):
+    """The complete edge table: legal edges transition and are
+    recorded; every other pair raises and leaves the state alone."""
+    supervisor = SessionSupervisor()
+    _park(supervisor, "s", src)
+    record = supervisor.get("s")
+    assert record.state == src
+    if (src, dst) in LEGAL_TRANSITIONS:
+        supervisor.transition("s", dst)
+        assert record.state == dst
+        assert record.history[-1] == (src, dst)
+    else:
+        with pytest.raises(SupervisorError):
+            supervisor.transition("s", dst)
+        assert record.state == src
+
+
+def test_unknown_session_and_unknown_state_raise():
+    supervisor = SessionSupervisor()
+    with pytest.raises(SupervisorError):
+        supervisor.transition("ghost", DRAINING)
+    supervisor.accept("s")
+    with pytest.raises(SupervisorError):
+        supervisor.transition("s", "exploded")
+
+
+def test_double_accept_raises():
+    supervisor = SessionSupervisor()
+    supervisor.accept("s")
+    with pytest.raises(SupervisorError):
+        supervisor.accept("s")
+
+
+def test_quarantine_records_reason_and_counts():
+    reset_ingest_stats()
+    supervisor = SessionSupervisor()
+    supervisor.accept("s")
+    supervisor.quarantine("s", "stalled source: no chunk for 5s")
+    record = supervisor.get("s")
+    assert record.state == QUARANTINED
+    assert "stalled source" in record.reason
+    stats = ingest_stats()
+    assert stats.serve_sessions_quarantined == 1
+    assert stats.serve_sessions_accepted == 1
+
+
+def test_done_counts():
+    reset_ingest_stats()
+    supervisor = SessionSupervisor()
+    _park(supervisor, "s", DONE)
+    assert ingest_stats().serve_sessions_done == 1
+    assert supervisor.all_terminal
+
+
+def test_reingest_edge_resets_the_record():
+    """QUARANTINED -> ACCEPTING is the readmission: sequencing, retry
+    and deadline bookkeeping restart from scratch."""
+    reset_ingest_stats()
+    supervisor = SessionSupervisor()
+    supervisor.accept("s")
+    record = supervisor.get("s")
+    record.next_seq = 7
+    record.n_chunks = 7
+    record.attempts = 2
+    record.last_chunk_monotonic = 123.0
+    supervisor.quarantine("s", "journal damage: crc mismatch")
+    supervisor.transition("s", ACCEPTING)
+    assert record.state == ACCEPTING
+    assert record.next_seq == 0
+    assert record.n_chunks == 0
+    assert record.attempts == 0
+    assert record.reason is None
+    assert record.last_chunk_monotonic is None
+    assert ingest_stats().serve_sessions_accepted == 2  # re-admission
+
+
+def test_views_cover_all_states():
+    supervisor = SessionSupervisor()
+    _park(supervisor, "a", ACCEPTING)
+    _park(supervisor, "b", DONE)
+    _park(supervisor, "c", QUARANTINED)
+    counts = supervisor.counts()
+    assert set(counts) == set(SESSION_STATES)
+    assert counts[ACCEPTING] == 1
+    assert counts[DONE] == 1
+    assert counts[QUARANTINED] == 1
+    assert counts[DRAINING] == 0
+    assert supervisor.states() == {"a": ACCEPTING, "b": DONE,
+                                   "c": QUARANTINED}
+    assert [r.session_id for r in supervisor.in_state(DONE)] == ["b"]
+    assert not supervisor.all_terminal
+    assert "a" in supervisor and "ghost" not in supervisor
+    assert len(supervisor) == 3
+
+
+FLEET = FleetConfig(n_devices=2, duration_s=4.0, chunk_s=2.0, seed=11)
+
+
+def test_reingest_readmits_damaged_session_end_to_end(tmp_path):
+    """The full QUARANTINED exit: damage one session's journal record
+    on disk, boot a daemon (it quarantines the session), re-ingest via
+    the daemon (RecoveryManager moves the records aside), and serve
+    the session again from seq 0 to DONE."""
+    # Seed the journal with two completed sessions.
+    with ChunkJournal(tmp_path) as journal:
+        for chunk in DeviceFleet(FLEET):
+            journal.append(chunk)
+    damaged_sid = flip_crc_byte(tmp_path, index=0)
+
+    daemon = ServeDaemon(tmp_path, n_workers=1, health=False)
+    results = daemon.serve([])
+    record = daemon.supervisor.get(damaged_sid)
+    assert record.state == QUARANTINED
+    assert "journal damage" in record.reason
+    assert damaged_sid not in results       # the survivor finalized
+    assert len(results) == 1
+
+    report = daemon.reingest(damaged_sid)
+    assert report.records_moved > 0
+    assert report.sidecar is not None and report.sidecar.exists()
+    assert daemon.supervisor.get(damaged_sid).state == ACCEPTING
+
+    # The device measures again: the same session id streams from
+    # seq 0 through the ordinary write-through path, to DONE.
+    fleet = DeviceFleet(FLEET)
+    chunks = [c for c in fleet if c.session_id == damaged_sid]
+    results = daemon.serve([chunks])
+    assert daemon.supervisor.get(damaged_sid).state == DONE
+    assert damaged_sid in results
+
+    # reingest of a non-quarantined session is refused.
+    with pytest.raises(SupervisorError):
+        daemon.reingest(damaged_sid)

@@ -362,7 +362,8 @@ def test_rehydrate_unknown_session_is_an_error(tmp_path, capsys):
 def test_parser_help_lists_lifecycle_commands():
     parser = cli.build_parser()
     help_text = parser.format_help()
-    for command in ("recover", "journal-gc", "archive", "rehydrate"):
+    for command in ("recover", "journal-gc", "archive", "rehydrate",
+                    "serve"):
         assert command in help_text
 
 
@@ -378,3 +379,81 @@ def test_cache_stats_process_backend_reports_pool_reuse(capsys):
     match = re.search(r"(\d+) built / (\d+) reused", out)
     assert match is not None
     assert int(match.group(2)) >= 1
+
+
+def test_serve_runs_a_fleet_to_done(tmp_path, capsys):
+    code = cli.main(["serve", "--journal", str(tmp_path),
+                     "--devices", "2", "--duration", "4",
+                     "--jobs", "1", "--no-health"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Serving 2 device(s)" in out
+    assert "Sessions: 2 done, 0 still open (journaled), 0 quarantined" in out
+    assert "Policies:" in out
+
+
+def test_serve_status_round_trip(tmp_path, capsys):
+    """`repro serve --status` reads the live daemon's socket and exits
+    0 while the service is healthy."""
+    import json
+    import threading
+    import time
+
+    from repro.ingest import DeviceFleet, FleetConfig
+    from repro.serve import ServeDaemon
+    from tests.ingest.faults import StalledSource
+
+    source = StalledSource(
+        DeviceFleet(FleetConfig(n_devices=1, duration_s=4.0,
+                                chunk_s=2.0, seed=8)),
+        yield_chunks=1)
+    daemon = ServeDaemon(tmp_path, n_workers=1)
+    thread = threading.Thread(target=daemon.serve,
+                              args=([source],), daemon=True)
+    thread.start()
+    try:
+        assert source.stalled.wait(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        code = 1
+        while time.monotonic() < deadline:
+            if daemon._state == "serving":
+                code = cli.main(["serve", "--journal", str(tmp_path),
+                                 "--status"])
+                break
+            time.sleep(0.02)
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True and doc["state"] == "serving"
+    finally:
+        source.release()
+        daemon.stop()
+        thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+def test_serve_status_without_a_daemon_is_an_error(tmp_path, capsys):
+    code = cli.main(["serve", "--journal", str(tmp_path), "--status"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "no serve daemon answering" in captured.err
+
+
+def test_serve_resumes_a_previous_journal(tmp_path, capsys):
+    """Two `repro serve` runs over one journal: the second boots from
+    the first's journal and re-finalizes nothing incorrectly."""
+    for _ in range(2):
+        code = cli.main(["serve", "--journal", str(tmp_path),
+                         "--devices", "1", "--duration", "4",
+                         "--jobs", "1", "--no-health"])
+        assert code == 0
+    out = capsys.readouterr().out
+    assert "Sessions: 1 done" in out
+
+
+def test_cache_stats_reports_serve_counters(capsys):
+    code = cli.main(["cache-stats", "--duration", "8"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Serve daemon" in out
+    assert "accepted" in out and "quarantined" in out

@@ -70,13 +70,16 @@ def test_exceptions_form_a_hierarchy():
         JournalError,
         PoisonJobError,
         ProtocolError,
+        QueueClosedError,
         ReproError,
         SignalError,
+        SupervisorError,
     )
 
     for exc in (ConfigurationError, SignalError, DetectionError,
                 HardwareError, ProtocolError, JournalError,
-                ArchiveError, PoisonJobError):
+                ArchiveError, PoisonJobError, QueueClosedError,
+                SupervisorError):
         assert issubclass(exc, ReproError)
         assert issubclass(exc, Exception)
 
